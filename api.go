@@ -1,0 +1,100 @@
+package regconn
+
+import (
+	"regconn/internal/bench"
+	"regconn/internal/codegen"
+	"regconn/internal/core"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+	"regconn/internal/machine"
+)
+
+// TrapConfig configures periodic interrupts / context switches and the
+// operating system's RC-state strategy (paper §4.2–4.3); see Arch.Trap.
+type TrapConfig = machine.TrapConfig
+
+// WindowPolicy selects how the code generator picks map entries for
+// extended-register accesses (§3); see Arch.Windows.
+type WindowPolicy = codegen.WindowPolicy
+
+// Window policies.
+const (
+	WindowLRU        = codegen.WindowLRU
+	WindowRoundRobin = codegen.WindowRoundRobin
+	WindowFirstFree  = codegen.WindowFirstFree
+)
+
+// This file re-exports the library's user-facing building blocks so
+// downstream code programs against the regconn package alone:
+//
+//   - the IR construction API (Program/Builder/Reg) for writing workloads,
+//   - the register-connection hardware model (MapTable, the four models)
+//     for direct architectural experimentation, and
+//   - the benchmark suite used by the paper reproduction.
+
+// Program is a compilation unit under construction (see NewProgram).
+type Program = ir.Program
+
+// Builder appends instructions to a function (see NewFunc).
+type Builder = ir.Builder
+
+// Block is a basic block handle used for control flow.
+type Block = ir.Block
+
+// Global is a named data object.
+type Global = ir.Global
+
+// Reg names a virtual register during program construction.
+type Reg = isa.Reg
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return ir.NewProgram() }
+
+// NewFunc creates a function with the given integer and floating-point
+// parameter counts and returns a builder positioned at its entry block.
+func NewFunc(p *Program, name string, intParams, fpParams int) *Builder {
+	return ir.NewFunc(p, name, intParams, fpParams)
+}
+
+// VerifyIR checks a constructed program's structural invariants.
+func VerifyIR(p *Program) error { return ir.Verify(p) }
+
+// Model selects one of the four automatic register-connection models of
+// paper §2.3.
+type Model = core.Model
+
+// The four automatic-reset models (paper §2.3, Figure 3). ModelDefault is
+// the one the paper evaluates.
+const (
+	ModelNoReset              = core.NoReset
+	ModelWriteReset           = core.WriteReset
+	ModelWriteResetReadUpdate = core.WriteResetReadUpdate
+	ModelReadWriteReset       = core.ReadWriteReset
+	ModelDefault              = core.WriteResetReadUpdate
+)
+
+// MapTable is the register mapping table itself — the paper's primary
+// architectural contribution — for standalone experimentation (context
+// switching, trap handling, connect semantics).
+type MapTable = core.MapTable
+
+// MapContext is saved connection state for context switches (§4.2).
+type MapContext = core.Context
+
+// NewMapTable builds a mapping table with m addressable indices over n
+// physical registers under the given reset model.
+func NewMapTable(model Model, m, n int) *MapTable { return core.NewMapTable(model, m, n) }
+
+// Benchmark is one workload of the reproduced evaluation suite.
+type Benchmark = bench.Benchmark
+
+// Benchmarks returns the paper's twelve-benchmark suite (nine integer,
+// three floating-point stand-ins; see DESIGN.md §4).
+func Benchmarks() []Benchmark { return bench.All() }
+
+// IntegerBenchmarks and FPBenchmarks return the class subsets.
+func IntegerBenchmarks() []Benchmark { return bench.Integer() }
+func FPBenchmarks() []Benchmark      { return bench.FloatingPoint() }
+
+// BenchmarkByName looks a benchmark up by name.
+func BenchmarkByName(name string) (Benchmark, error) { return bench.ByName(name) }

@@ -1,0 +1,48 @@
+package regconn
+
+import (
+	"fmt"
+	"testing"
+
+	"regconn/internal/bench"
+)
+
+// TestBenchmarksAllConfigs compiles and simulates every benchmark of the
+// suite under representative configurations of each experiment axis and
+// verifies the architectural results against the interpreter.
+func TestBenchmarksAllConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark verification is not -short")
+	}
+	configs := []Arch{
+		Baseline(),
+		{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32, Mode: WithoutRC},
+		{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32, Mode: WithRC, CombineConnects: true},
+		{Issue: 4, LoadLatency: 2, IntCore: 8, FPCore: 16, Mode: WithRC, CombineConnects: true},
+		{Issue: 8, LoadLatency: 4, IntCore: 24, FPCore: 48, Mode: WithRC, CombineConnects: true, ConnectLatency: 1, ExtraDecodeStage: true},
+		{Issue: 4, LoadLatency: 2, IntCore: 64, FPCore: 128, Mode: Unlimited},
+	}
+	for _, bm := range bench.All() {
+		bm := bm
+		for ci, arch := range configs {
+			arch := arch
+			t.Run(fmt.Sprintf("%s/c%d-%v-m%d", bm.Name, ci, arch.Mode, arch.IntCore), func(t *testing.T) {
+				t.Parallel()
+				ex, err := Build(bm.Build(), arch)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				if ex.Golden.Ret != bm.Expect {
+					t.Fatalf("golden = %d, want %d", ex.Golden.Ret, bm.Expect)
+				}
+				res, err := ex.Verify()
+				if err != nil {
+					t.Fatalf("verify: %v", err)
+				}
+				if res.RetInt != bm.Expect {
+					t.Fatalf("machine = %d, want %d", res.RetInt, bm.Expect)
+				}
+			})
+		}
+	}
+}

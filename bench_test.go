@@ -1,0 +1,121 @@
+// Benchmark harness: one testing.B benchmark per reproduced table and
+// figure. Each iteration regenerates the experiment end to end (compile,
+// simulate, verify) on the reduced three-benchmark suite so that
+// `go test -bench=.` finishes in minutes; the full-suite numbers in
+// EXPERIMENTS.md come from `go run ./cmd/rcexp`. Custom metrics report the
+// experiment's headline number (geometric-mean speedup or percent growth)
+// so regressions in reproduced *results*, not just runtime, are visible.
+package regconn_test
+
+import (
+	"testing"
+
+	"regconn"
+	"regconn/internal/exp"
+)
+
+func archDefault() regconn.Arch {
+	return regconn.Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32,
+		Mode: regconn.WithRC, CombineConnects: true}
+}
+
+// lastVals returns the summary (geomean) row of a table.
+func lastVals(t *exp.Table) []float64 {
+	return t.Rows[len(t.Rows)-1].Vals
+}
+
+func benchExperiment(b *testing.B, id string, metric func([]*exp.Table) (string, float64)) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewQuickRunner() // fresh: no memoized results
+		tables, err := r.Generate(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && metric != nil {
+			name, v := metric(tables)
+			b.ReportMetric(v, name)
+		}
+	}
+}
+
+func BenchmarkTable1Latencies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := exp.Table1()
+		if len(t.Rows) != 10 {
+			b.Fatal("table 1 shape")
+		}
+	}
+}
+
+func BenchmarkFig7UnlimitedSpeedup(b *testing.B) {
+	benchExperiment(b, "fig7", func(ts []*exp.Table) (string, float64) {
+		return "geomean-8issue-speedup", lastVals(ts[0])[3]
+	})
+}
+
+func BenchmarkFig8CoreSweep(b *testing.B) {
+	benchExperiment(b, "fig8", func(ts []*exp.Table) (string, float64) {
+		// headline: with-RC speedup at the smallest core of the first
+		// benchmark's table.
+		return "withRC-smallest-core-speedup", ts[0].Rows[0].Vals[1]
+	})
+}
+
+func BenchmarkFig9CodeGrowth(b *testing.B) {
+	benchExperiment(b, "fig9", func(ts []*exp.Table) (string, float64) {
+		return "withRC-growth-pct", ts[0].Rows[0].Vals[1]
+	})
+}
+
+func BenchmarkFig10IssueSweepLoad2(b *testing.B) {
+	benchExperiment(b, "fig10", func(ts []*exp.Table) (string, float64) {
+		return "geomean-8issue-RC-speedup", lastVals(ts[0])[5]
+	})
+}
+
+func BenchmarkFig11IssueSweepLoad4(b *testing.B) {
+	benchExperiment(b, "fig11", func(ts []*exp.Table) (string, float64) {
+		return "geomean-8issue-RC-speedup", lastVals(ts[0])[5]
+	})
+}
+
+func BenchmarkFig12ImplementationScenarios(b *testing.B) {
+	benchExperiment(b, "fig12", func(ts []*exp.Table) (string, float64) {
+		// headline: worst-scenario retention vs the best.
+		m := lastVals(ts[0])
+		return "worst-vs-best-retention", m[3] / m[0]
+	})
+}
+
+func BenchmarkFig13MemoryChannels(b *testing.B) {
+	benchExperiment(b, "fig13", func(ts []*exp.Table) (string, float64) {
+		m := lastVals(ts[0])
+		return "RC2ch-over-noRC4ch", m[2] / m[1]
+	})
+}
+
+func BenchmarkAblationModels(b *testing.B) {
+	benchExperiment(b, "models", nil)
+}
+
+func BenchmarkAblationCombinedConnects(b *testing.B) {
+	benchExperiment(b, "combined", nil)
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (machine
+// instructions per second) on the largest benchmark, the quantity that
+// bounds full-suite experiment time.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	r := exp.NewQuickRunner()
+	bm := r.Benchmarks[0]
+	total := int64(0)
+	for i := 0; i < b.N; i++ {
+		r := exp.NewQuickRunner()
+		res, err := r.Run(bm, archDefault())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Instrs
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim-instrs/s")
+}

@@ -1,0 +1,73 @@
+// Command rcdis compiles a benchmark and disassembles the generated
+// machine code, showing the connect instructions the with-RC model inserts
+// (compare -mode rc against -mode spill to see connects replace spill
+// loads/stores).
+//
+// Usage:
+//
+//	rcdis -bench grep [-func main] [-mode rc|spill|unlimited]
+//	      [-intcore 16] [-fpcore 32] [-issue 4] [-model 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regconn"
+	"regconn/internal/bench"
+	"regconn/internal/core"
+)
+
+func main() {
+	var (
+		bmName  = flag.String("bench", "grep", "benchmark name")
+		fnName  = flag.String("func", "", "only this function (default: all)")
+		mode    = flag.String("mode", "rc", "register mode: rc, spill, unlimited")
+		intCore = flag.Int("intcore", 16, "core integer registers")
+		fpCore  = flag.Int("fpcore", 32, "core floating-point registers")
+		issue   = flag.Int("issue", 4, "issue rate")
+		model   = flag.Int("model", 3, "RC model 1..4")
+	)
+	flag.Parse()
+
+	bm, err := bench.ByName(*bmName)
+	if err != nil {
+		fatal(err)
+	}
+	arch := regconn.Arch{
+		Issue: *issue, LoadLatency: 2,
+		IntCore: *intCore, FPCore: *fpCore,
+		Model: core.Model(*model), CombineConnects: true,
+	}
+	switch *mode {
+	case "rc":
+		arch.Mode = regconn.WithRC
+	case "spill":
+		arch.Mode = regconn.WithoutRC
+	case "unlimited":
+		arch.Mode = regconn.Unlimited
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	ex, err := regconn.Build(bm.Build(), arch)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range ex.MProg.Funcs {
+		if *fnName != "" && f.Name != *fnName {
+			continue
+		}
+		fmt.Printf("%s:  ; frame=%d connects=%d spills=%d save/restore=%d\n",
+			f.Name, f.FrameSize, f.ConnectCount, f.SpillCount, f.SaveRestoreCount)
+		for i := range f.Code {
+			fmt.Printf("%5d:  %s\n", i, f.Code[i].String())
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcdis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command rcexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rcexp [-exp table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|models|combined|all]
+//	      [-quick] [-bench name]
+//
+// -quick restricts the suite to three representative benchmarks; -bench
+// restricts it to one. Output is aligned ASCII, one table per figure (or
+// per benchmark for the per-benchmark figures 8 and 9).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regconn/internal/bench"
+	"regconn/internal/exp"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "all", "experiment id or 'all'")
+		quick  = flag.Bool("quick", false, "reduced three-benchmark suite")
+		bmName = flag.String("bench", "", "restrict to one benchmark")
+		format = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	r := exp.NewRunner()
+	if *quick {
+		r = exp.NewQuickRunner()
+	}
+	if *bmName != "" {
+		bm, err := bench.ByName(*bmName)
+		if err != nil {
+			fatal(err)
+		}
+		r.Benchmarks = []bench.Benchmark{bm}
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = exp.Experiments()
+	}
+	for _, id := range ids {
+		tables, err := r.Generate(id)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			if *format == "csv" {
+				fmt.Printf("# %s — %s\n%s\n", t.ID, t.Title, t.CSV())
+			} else {
+				fmt.Println(t.Format())
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// Command rcrun compiles and simulates one benchmark under one
+// architecture configuration and reports cycles, IPC, and the RC
+// statistics.
+//
+// Usage:
+//
+//	rcrun -bench grep [-issue 4] [-load 2] [-channels 0] [-intcore 16]
+//	      [-fpcore 32] [-mode rc|spill|unlimited] [-model 3]
+//	      [-connect-latency 0] [-extra-stage] [-no-combine] [-scalar]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regconn"
+	"regconn/internal/bench"
+	"regconn/internal/core"
+	"regconn/internal/isa"
+)
+
+func main() {
+	var (
+		bmName   = flag.String("bench", "grep", "benchmark name (see -list)")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		issue    = flag.Int("issue", 4, "issue rate (1/2/4/8)")
+		load     = flag.Int("load", 2, "load latency in cycles (2 or 4)")
+		channels = flag.Int("channels", 0, "memory channels (0 = paper default)")
+		intCore  = flag.Int("intcore", 16, "core integer registers")
+		fpCore   = flag.Int("fpcore", 32, "core floating-point registers")
+		mode     = flag.String("mode", "rc", "register mode: rc, spill, unlimited")
+		model    = flag.Int("model", 3, "RC automatic-reset model 1..4")
+		connLat  = flag.Int("connect-latency", 0, "connect latency (0 or 1)")
+		stage    = flag.Bool("extra-stage", false, "extra decode pipeline stage")
+		noComb   = flag.Bool("no-combine", false, "disable combined connects")
+		scalar   = flag.Bool("scalar", false, "scalar optimization only (no ILP)")
+		trace    = flag.Int64("trace", 0, "print a per-cycle issue trace for the first N cycles")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			kind := "int"
+			if b.FP {
+				kind = "fp"
+			}
+			fmt.Printf("%-10s (%s, stands in for %s)\n", b.Name, kind, b.Paper)
+		}
+		return
+	}
+
+	bm, err := bench.ByName(*bmName)
+	if err != nil {
+		fatal(err)
+	}
+	arch := regconn.Arch{
+		Issue:            *issue,
+		MemChannels:      *channels,
+		LoadLatency:      *load,
+		IntCore:          *intCore,
+		FPCore:           *fpCore,
+		Model:            core.Model(*model),
+		ConnectLatency:   *connLat,
+		ExtraDecodeStage: *stage,
+		CombineConnects:  !*noComb,
+		ScalarOnly:       *scalar,
+	}
+	switch *mode {
+	case "rc":
+		arch.Mode = regconn.WithRC
+	case "spill":
+		arch.Mode = regconn.WithoutRC
+	case "unlimited":
+		arch.Mode = regconn.Unlimited
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	ex, err := regconn.Build(bm.Build(), arch)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace > 0 {
+		if _, err := ex.RunWithTrace(os.Stdout, *trace); err != nil {
+			fatal(err)
+		}
+	}
+	res, err := ex.Verify()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchmark   %s (stands in for %s)\n", bm.Name, bm.Paper)
+	fmt.Printf("arch        %d-issue, %d mem channels, %d-cycle load, %s, int=%d fp=%d\n",
+		ex.Arch.Issue, ex.Arch.MemChannels, ex.Arch.LoadLatency, arch.Mode, *intCore, *fpCore)
+	if arch.Mode == regconn.WithRC {
+		fmt.Printf("rc          model %v, %d-cycle connects, extra stage %v, combined %v\n",
+			arch.Model, arch.ConnectLatency, arch.ExtraDecodeStage, arch.CombineConnects)
+	}
+	fmt.Printf("result      %d (verified against interpreter)\n", res.RetInt)
+	fmt.Printf("cycles      %d\n", res.Cycles)
+	fmt.Printf("instrs      %d (IPC %.2f)\n", res.Instrs, res.IPC())
+	fmt.Printf("mem ops     %d\n", res.MemOps)
+	fmt.Printf("connects    %d dynamic (%d static)\n", res.Connects, ex.ConnectInstrs)
+	fmt.Printf("mispredicts %d\n", res.Mispredicts)
+	fmt.Printf("code size   %d -> %d (+%.1f%%, save/restore +%.1f%%)\n",
+		ex.PreAllocSize, ex.PostAllocSize, ex.CodeGrowth()*100, ex.SaveRestoreGrowth()*100)
+	fmt.Printf("stalls      data=%d mem=%d connect=%d\n", res.StallData, res.StallMem, res.StallConn)
+	fmt.Printf("op mix      alu=%d mul=%d div=%d fp=%d load=%d store=%d branch=%d call=%d connect=%d\n",
+		res.MixOf(isa.KindIntALU), res.MixOf(isa.KindIntMul), res.MixOf(isa.KindIntDiv),
+		res.MixOf(isa.KindFPALU)+res.MixOf(isa.KindFPMul)+res.MixOf(isa.KindFPDiv)+res.MixOf(isa.KindFPConv),
+		res.MixOf(isa.KindLoad), res.MixOf(isa.KindStore),
+		res.MixOf(isa.KindBranch), res.MixOf(isa.KindCall), res.MixOf(isa.KindConnect))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcrun:", err)
+	os.Exit(1)
+}

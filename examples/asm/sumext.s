@@ -1,0 +1,84 @@
+; sumext.s — hand-written Register Connection demo for cmd/rcasm.
+;
+; An 8-register machine sums a 12-element array into twelve separate
+; extended-register partial sums (rp40..rp51), then folds them — more
+; simultaneously live values than the core file can hold, with no memory
+; spills: the connect instructions re-route the 8 architectural indices.
+;
+;   go run ./cmd/rcasm -intcore 8 examples/asm/sumext.s
+
+.global arr 96
+.init arr 0 1
+.init arr 1 2
+.init arr 2 3
+.init arr 3 4
+.init arr 4 5
+.init arr 5 6
+.init arr 6 7
+.init arr 7 8
+.init arr 8 9
+.init arr 9 10
+.init arr 10 11
+.init arr 11 12
+
+.func __start
+    call main
+    halt
+
+.func main
+    lga r3, arr+0
+
+    ; Load each element into its own extended register via index r4:
+    ; connect-def diverts the write, model 3 then re-points the read map.
+    con_def ri4:rp40
+    ld r4, 0(r3)
+    con_def ri4:rp41
+    ld r4, 8(r3)
+    con_def ri4:rp42
+    ld r4, 16(r3)
+    con_def ri4:rp43
+    ld r4, 24(r3)
+    con_def ri4:rp44
+    ld r4, 32(r3)
+    con_def ri4:rp45
+    ld r4, 40(r3)
+    con_def ri4:rp46
+    ld r4, 48(r3)
+    con_def ri4:rp47
+    ld r4, 56(r3)
+    con_def ri4:rp48
+    ld r4, 64(r3)
+    con_def ri4:rp49
+    ld r4, 72(r3)
+    con_def ri4:rp50
+    ld r4, 80(r3)
+    con_def ri4:rp51
+    ld r4, 88(r3)
+
+    ; Fold: read each partial through index r5, accumulate in core r2.
+    movi r2, #0
+    con_use ri5:rp40
+    add r2, r2, r5
+    con_use ri5:rp41
+    add r2, r2, r5
+    con_use ri5:rp42
+    add r2, r2, r5
+    con_use ri5:rp43
+    add r2, r2, r5
+    con_use ri5:rp44
+    add r2, r2, r5
+    con_use ri5:rp45
+    add r2, r2, r5
+    con_use ri5:rp46
+    add r2, r2, r5
+    con_use ri5:rp47
+    add r2, r2, r5
+    con_use ri5:rp48
+    add r2, r2, r5
+    con_use ri5:rp49
+    add r2, r2, r5
+    con_use ri5:rp50
+    add r2, r2, r5
+    con_use ri5:rp51
+    add r2, r2, r5
+    ret                     ; r2 = 78

@@ -1,0 +1,67 @@
+// Connection walkthrough: drives the register mapping table — the paper's
+// core mechanism — directly through the public API, reproducing Figure 2's
+// code sequence, the model-3 automatic reset of §2.3, the CALL/RET reset
+// of §4.1, the context-switch save/restore of §4.2, and the trap-handler
+// map-enable flag of §4.3. No compiler or simulator involved: this is the
+// architectural contract itself.
+//
+//	go run ./examples/connection
+package main
+
+import "fmt"
+
+import "regconn"
+
+func main() {
+	// Four addressable registers, twelve physical: the Figure 2 setup.
+	tab := regconn.NewMapTable(regconn.ModelDefault, 4, 12)
+	fmt.Println("Figure 2: connect-use/def redirect an add's operands")
+	fmt.Printf("  fresh table at home: reads r2 -> p%d, writes r1 -> p%d\n",
+		tab.ReadPhys(2), tab.WritePhys(1))
+
+	// connect_use Ri2,Rp10 ; connect_use Ri3,Rp7 ; connect_def Ri1,Rp6
+	tab.ConnectUse(2, 10)
+	tab.ConnectUse(3, 7)
+	tab.ConnectDef(1, 6)
+	fmt.Printf("  after connects: add r1, r2, r3 reads p%d and p%d, writes p%d\n",
+		tab.ReadPhys(2), tab.ReadPhys(3), tab.WritePhys(1))
+
+	// The write's automatic reset under model 3 (§2.3): the read map of
+	// the destination follows the write, the write map returns home.
+	tab.NoteWrite(1)
+	fmt.Printf("  model-3 reset after the write: reads r1 -> p%d, writes r1 -> p%d\n\n",
+		tab.ReadPhys(1), tab.WritePhys(1))
+
+	// §3's example: a connect-use is NOT needed to read a value that was
+	// just written through a connect-def.
+	fmt.Println("§3: no connect-use needed after a connected write")
+	tab.ConnectDef(3, 11)
+	tab.NoteWrite(3)
+	fmt.Printf("  write via r3 went to p11; subsequent reads of r3 reach p%d\n\n", tab.ReadPhys(3))
+
+	// §4.1: subroutine linkage resets the table so binaries compiled for
+	// the original architecture stay correct.
+	fmt.Println("§4.1: CALL/RET reset the map (upward compatibility)")
+	fmt.Printf("  before call: at home = %v\n", tab.AtHome())
+	tab.Reset() // what the jsr/rts hardware does
+	fmt.Printf("  after reset: at home = %v\n\n", tab.AtHome())
+
+	// §4.2: context switches save and restore connection state.
+	fmt.Println("§4.2: context switch")
+	tab.ConnectUse(2, 9)
+	ctx := tab.SaveContext()
+	tab.Reset()
+	other := regconn.NewMapTable(regconn.ModelDefault, 4, 12) // another process
+	other.ConnectUse(2, 5)
+	fmt.Printf("  process A saved (r2 -> p9); process B runs (r2 -> p%d)\n", other.ReadPhys(2))
+	tab.RestoreContext(ctx)
+	fmt.Printf("  process A restored: r2 -> p%d\n\n", tab.ReadPhys(2))
+
+	// §4.3: traps bypass the map via the enable flag, so time-critical
+	// device drivers need no connect bookkeeping.
+	fmt.Println("§4.3: trap handlers disable the map")
+	tab.SetEnabled(false)
+	fmt.Printf("  trap entry: r2 reads core p%d directly\n", tab.ReadPhys(2))
+	tab.SetEnabled(true)
+	fmt.Printf("  return from exception: r2 -> p%d again\n", tab.ReadPhys(2))
+}

@@ -1,0 +1,71 @@
+// Register-pressure sweep: the Figure 8 story on one benchmark. Compiles
+// the espresso stand-in for core integer files of 8..64 registers, with
+// and without RC support, and prints the speedup over the paper's baseline
+// (1-issue, unlimited registers, scalar optimization) plus the code-size
+// cost of each model.
+//
+//	go run ./examples/registerpressure [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"regconn"
+)
+
+func main() {
+	name := "espresso"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	bm, err := regconn.BenchmarkByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline denominator (§5.3).
+	base, err := regconn.Build(bm.Build(), regconn.Baseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseRes, err := base.Verify()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: speedup and code growth vs core integer registers (4-issue, 2-cycle load)\n\n", bm.Name)
+	fmt.Printf("%8s  %12s %12s  %12s %12s\n", "cores", "noRC-speedup", "RC-speedup", "noRC-growth", "RC-growth")
+	for _, m := range []int{8, 16, 24, 32, 64} {
+		var speed [2]float64
+		var growth [2]float64
+		for i, mode := range []regconn.RegMode{regconn.WithoutRC, regconn.WithRC} {
+			ex, err := regconn.Build(bm.Build(), regconn.Arch{
+				Issue: 4, LoadLatency: 2,
+				IntCore: m, FPCore: 64,
+				Mode: mode, CombineConnects: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := ex.Verify()
+			if err != nil {
+				log.Fatal(err)
+			}
+			speed[i] = float64(baseRes.Cycles) / float64(res.Cycles)
+			growth[i] = ex.CodeGrowth() * 100
+		}
+		fmt.Printf("%8d  %12.2f %12.2f  %11.1f%% %11.1f%%\n", m, speed[0], speed[1], growth[0], growth[1])
+	}
+
+	unl, err := regconn.Build(bm.Build(), regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.Unlimited})
+	if err != nil {
+		log.Fatal(err)
+	}
+	unlRes, err := unl.Verify()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nunlimited-register reference: %.2fx\n", float64(baseRes.Cycles)/float64(unlRes.Cycles))
+}

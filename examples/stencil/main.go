@@ -1,0 +1,102 @@
+// Stencil: a floating-point workload written against the public builder
+// API — a red/black 1-D relaxation whose unrolled inner loop creates the
+// FP register pressure the paper's Figure 8 (right side) measures. Sweeps
+// the core floating-point file from 16 to 128 registers.
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regconn"
+)
+
+const cells = 2048
+
+func buildStencil() *regconn.Program {
+	p := regconn.NewProgram()
+	grid := p.AddGlobal("grid", cells*8)
+	vals := make([]float64, cells)
+	for i := range vals {
+		vals[i] = float64(i%31) * 0.125
+	}
+	grid.InitF = vals
+	out := p.AddGlobal("out", 8)
+
+	b := regconn.NewFunc(p, "main", 0, 0)
+	gb := b.Addr(grid, 0)
+	half := b.FConst(0.5)
+	quarter := b.FConst(0.25)
+	energy := b.FConst(0)
+
+	sweep := b.Const(0)
+	outer := b.NewBlock()
+	b.Br(outer)
+	b.SetBlock(outer)
+	q := b.AddI(gb, 8)
+	i := b.Const(1)
+	inner := b.NewBlock()
+	b.Br(inner)
+
+	// x[i] = 0.25*x[i-1] + 0.5*x[i] + 0.25*x[i+1]; energy += x[i]*x[i].
+	// Straight-line body: the compiler unrolls it into a superblock.
+	b.SetBlock(inner)
+	left := b.FLd(q, -8)
+	mid := b.FLd(q, 0)
+	right := b.FLd(q, 8)
+	nv := b.FAdd(b.FAdd(b.FMul(quarter, left), b.FMul(half, mid)), b.FMul(quarter, right))
+	b.FSt(nv, q, 0)
+	b.MovTo(energy, b.FAdd(energy, b.FMul(nv, nv)))
+	b.MovTo(q, b.AddI(q, 8))
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, cells-1, inner)
+	b.Continue()
+	b.MovTo(sweep, b.AddI(sweep, 1))
+	b.BltI(sweep, 4, outer)
+	b.Continue()
+	b.FSt(energy, b.Addr(out, 0), 0)
+	b.Ret(b.FToI(energy))
+	return p
+}
+
+func main() {
+	if err := regconn.VerifyIR(buildStencil()); err != nil {
+		log.Fatal(err)
+	}
+	base, err := regconn.Build(buildStencil(), regconn.Baseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseRes, err := base.Verify()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1-D relaxation stencil: FP register file sweep (4-issue, 2-cycle load)")
+	fmt.Printf("checksum %d, baseline %d cycles\n\n", baseRes.RetInt, baseRes.Cycles)
+	fmt.Printf("%9s  %12s %12s %10s\n", "fp-cores", "noRC", "with-RC", "connects")
+	for _, m := range []int{16, 32, 48, 64, 128} {
+		var speed [2]float64
+		var conns int64
+		for k, mode := range []regconn.RegMode{regconn.WithoutRC, regconn.WithRC} {
+			ex, err := regconn.Build(buildStencil(), regconn.Arch{
+				Issue: 4, LoadLatency: 2,
+				IntCore: 64, FPCore: m,
+				Mode: mode, CombineConnects: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := ex.Verify()
+			if err != nil {
+				log.Fatal(err)
+			}
+			speed[k] = float64(baseRes.Cycles) / float64(res.Cycles)
+			if mode == regconn.WithRC {
+				conns = res.Connects
+			}
+		}
+		fmt.Printf("%9d  %12.2f %12.2f %10d\n", m, speed[0], speed[1], conns)
+	}
+}

@@ -1,0 +1,3 @@
+module regconn
+
+go 1.22

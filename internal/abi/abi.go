@@ -1,0 +1,128 @@
+// Package abi fixes the register conventions shared by the register
+// allocator, the code generator, the scheduler, and the experiment harness.
+//
+// The conventions follow the paper's experimental setup (§5.1): four
+// integer registers are reserved as spill temporaries and one as the stack
+// pointer. Because the core register-file size m is an experimental
+// variable (8..64 integer, 16..128 FP), every set here is computed from m
+// rather than hard-coded:
+//
+//	integer: r0 = zero, r1 = SP, r2 = return value,
+//	         r[m-4..m-1] = spill temporaries,
+//	         allocatable = r2..r[m-5], lower half caller-save (incl. r2),
+//	         upper half callee-save.
+//	float:   f2 = return value, f[m-4..m-1] = spill temporaries,
+//	         allocatable = f0..f[m-5], lower half caller-save,
+//	         upper half callee-save.
+//
+// All extended registers (phys >= m, present only with RC) are caller-save:
+// values live across a call are saved and restored by the caller via
+// connect-use/store and connect-def/load pairs — the code-size cost the
+// paper charges in Figure 9. CALL and RET reset the mapping table (§4.1).
+package abi
+
+import "regconn/internal/isa"
+
+// Calling convention constants. CALL pushes the return address (one word)
+// and arguments are passed on the stack: at function entry, argument i is
+// at SP + 8 + 8*i. Results return in r2 (integer) or f2 (float).
+const (
+	WordSize     = 8
+	RetAddrWords = 1
+)
+
+// Convention is the register convention for one register class under a
+// given core size.
+type Convention struct {
+	Class isa.RegClass
+	Core  int // m: addressable registers
+	Total int // n: physical registers (== Core without RC)
+
+	Allocatable []int // physical core registers the allocator may use
+	SpillTemps  []int // reserved spill temporaries (4)
+	CallerSave  map[int]bool
+	CalleeSave  map[int]bool
+}
+
+// MinCore is the smallest supported core size: zero + SP + return value +
+// one allocatable + four spill temporaries.
+const MinCore = 8
+
+// NewConvention computes the convention for a class with m core and n
+// total physical registers. It panics on unsupported geometry (experiment
+// configuration errors are programming errors).
+func NewConvention(class isa.RegClass, m, n int) *Convention {
+	if m < MinCore || n < m {
+		panic("abi: unsupported core geometry")
+	}
+	c := &Convention{
+		Class:      class,
+		Core:       m,
+		Total:      n,
+		CallerSave: map[int]bool{},
+		CalleeSave: map[int]bool{},
+	}
+	for i := m - 4; i < m; i++ {
+		c.SpillTemps = append(c.SpillTemps, i)
+	}
+	lo := 2 // skip zero and SP for integers
+	if class == isa.ClassFloat {
+		lo = 0
+	}
+	for i := lo; i < m-4; i++ {
+		c.Allocatable = append(c.Allocatable, i)
+	}
+	// Lower half caller-save; this always places the return-value
+	// register (index 2) in the caller-save set.
+	half := (len(c.Allocatable) + 1) / 2
+	for i, r := range c.Allocatable {
+		if i < half {
+			c.CallerSave[r] = true
+		} else {
+			c.CalleeSave[r] = true
+		}
+	}
+	return c
+}
+
+// NumExtended returns the count of extended registers.
+func (c *Convention) NumExtended() int { return c.Total - c.Core }
+
+// IsExtended reports whether phys is in the extended section.
+func (c *Convention) IsExtended(phys int) bool { return phys >= c.Core }
+
+// RetReg returns the physical return-value register for the class.
+func (c *Convention) RetReg() int { return 2 }
+
+// ClobberedByCall reports whether phys does not survive a call from the
+// caller's perspective: caller-save core registers, the return-value
+// register, and every extended register.
+func (c *Convention) ClobberedByCall(phys int) bool {
+	if c.IsExtended(phys) {
+		return true
+	}
+	return c.CallerSave[phys] || phys == c.RetReg()
+}
+
+// Conventions bundles both classes plus the machine-wide geometry used by
+// an experiment configuration.
+type Conventions struct {
+	Int *Convention
+	FP  *Convention
+}
+
+// New builds conventions for both register files.
+func New(intCore, intTotal, fpCore, fpTotal int) *Conventions {
+	return &Conventions{
+		Int: NewConvention(isa.ClassInt, intCore, intTotal),
+		FP:  NewConvention(isa.ClassFloat, fpCore, fpTotal),
+	}
+}
+
+// Of returns the per-class convention.
+func (cs *Conventions) Of(class isa.RegClass) *Convention {
+	if class == isa.ClassFloat {
+		return cs.FP
+	}
+	return cs.Int
+}

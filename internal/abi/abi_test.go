@@ -1,0 +1,91 @@
+package abi
+
+import (
+	"testing"
+
+	"regconn/internal/isa"
+)
+
+func TestConventionGeometry(t *testing.T) {
+	for _, m := range []int{8, 16, 24, 32, 64} {
+		c := NewConvention(isa.ClassInt, m, 256)
+		if len(c.SpillTemps) != 4 {
+			t.Fatalf("m=%d: %d spill temps", m, len(c.SpillTemps))
+		}
+		// Paper §5.1: 4 spill registers + SP reserved; r0 is the zero
+		// register; everything else allocatable.
+		if got, want := len(c.Allocatable), m-6; got != want {
+			t.Errorf("m=%d: %d allocatable, want %d", m, got, want)
+		}
+		for _, r := range c.Allocatable {
+			if r == isa.RegZero || r == isa.RegSP {
+				t.Errorf("m=%d: reserved register %d allocatable", m, r)
+			}
+			for _, s := range c.SpillTemps {
+				if r == s {
+					t.Errorf("m=%d: spill temp %d allocatable", m, r)
+				}
+			}
+			if c.CallerSave[r] == c.CalleeSave[r] {
+				t.Errorf("m=%d: register %d must be in exactly one save class", m, r)
+			}
+		}
+		if !c.CallerSave[c.RetReg()] {
+			t.Errorf("m=%d: return register must be caller-save", m)
+		}
+		if c.NumExtended() != 256-m {
+			t.Errorf("m=%d: %d extended", m, c.NumExtended())
+		}
+		if !c.IsExtended(m) || c.IsExtended(m-1) {
+			t.Errorf("m=%d: extended boundary wrong", m)
+		}
+	}
+}
+
+func TestFPConventionIncludesF0(t *testing.T) {
+	c := NewConvention(isa.ClassFloat, 16, 256)
+	if c.Allocatable[0] != 0 {
+		t.Errorf("fp allocatable starts at %d, want 0", c.Allocatable[0])
+	}
+	if len(c.Allocatable) != 12 {
+		t.Errorf("fp 16: %d allocatable", len(c.Allocatable))
+	}
+}
+
+func TestClobberedByCall(t *testing.T) {
+	c := NewConvention(isa.ClassInt, 16, 256)
+	if !c.ClobberedByCall(2) {
+		t.Error("return register must be clobbered")
+	}
+	if !c.ClobberedByCall(200) {
+		t.Error("extended registers are caller-save (clobbered)")
+	}
+	clobberedCallee := false
+	for r := range c.CalleeSave {
+		if c.ClobberedByCall(r) {
+			clobberedCallee = true
+		}
+	}
+	if clobberedCallee {
+		t.Error("callee-save core registers survive calls")
+	}
+}
+
+func TestConventionsBundle(t *testing.T) {
+	cs := New(16, 256, 32, 256)
+	if cs.Of(isa.ClassInt) != cs.Int || cs.Of(isa.ClassFloat) != cs.FP {
+		t.Error("Of dispatch wrong")
+	}
+	if cs.Int.Core != 16 || cs.FP.Core != 32 {
+		t.Error("core sizes wrong")
+	}
+}
+
+func TestUnsupportedGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for m < MinCore")
+		}
+	}()
+	NewConvention(isa.ClassInt, 4, 256)
+}

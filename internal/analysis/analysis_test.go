@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	s := NewBitSet(200)
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(199)
+	if !s.Has(0) || !s.Has(63) || !s.Has(64) || !s.Has(199) || s.Has(1) {
+		t.Fatal("membership wrong")
+	}
+	if s.Count() != 4 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Count() != 3 {
+		t.Fatal("remove failed")
+	}
+	u := NewBitSet(200)
+	u.Add(5)
+	if !u.UnionWith(s) || !u.Has(0) || !u.Has(5) {
+		t.Fatal("union failed")
+	}
+	if u.UnionWith(s) {
+		t.Fatal("second union should not change")
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 199 {
+		t.Fatalf("forEach = %v", got)
+	}
+	c := s.Clone()
+	if !c.Equal(s) {
+		t.Fatal("clone not equal")
+	}
+	c.Clear()
+	if c.Count() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestQuickBitSetUnionIdempotent(t *testing.T) {
+	f := func(xs []uint16) bool {
+		s := NewBitSet(1 << 16)
+		for _, x := range xs {
+			s.Add(int(x))
+		}
+		u := s.Clone()
+		if u.UnionWith(s) { // union with self never changes
+			return false
+		}
+		for _, x := range xs {
+			if !s.Has(int(x)) {
+				return false
+			}
+		}
+		return s.Count() <= len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// diamond builds: 0 -> (1,2) -> 3, with a loop 3 -> 1 guarded in block 3.
+func buildDiamondLoop() *ir.Func {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "f", 1, 0)
+	n := b.Param(0)
+	left := b.NewBlock()  // 1
+	right := b.NewBlock() // 2
+	join := b.NewBlock()  // 3
+	exit := b.NewBlock()  // 4
+
+	// Block 0: if n > 0 goto right (2); else fall to left (1).
+	// (left is block 1 = fallthrough)
+	b.BgtI(n, 0, right)
+
+	b.SetBlock(left)
+	b.Br(join)
+	b.SetBlock(right)
+	b.Br(join)
+
+	b.SetBlock(join)
+	x := b.AddI(n, 1)
+	_ = x
+	b.BltI(n, 100, left) // back edge: join -> left? left doesn't dominate join
+	b.SetBlock(exit)
+	b.Ret(n)
+	return b.F
+}
+
+func TestCFGAndDominators(t *testing.T) {
+	f := buildDiamondLoop()
+	cfg := BuildCFG(f)
+	if len(cfg.Preds[3]) != 2 {
+		t.Errorf("join preds = %v", cfg.Preds[3])
+	}
+	idom := cfg.Dominators()
+	if idom[3] != 0 {
+		t.Errorf("idom(join) = %d, want 0 (diamond)", idom[3])
+	}
+	if !Dominates(idom, 0, 4) {
+		t.Error("entry must dominate exit")
+	}
+	if Dominates(idom, 1, 3) {
+		t.Error("left branch must not dominate join")
+	}
+}
+
+// buildNestedLoops: for i { for j { body } }
+func buildNestedLoops() *ir.Func {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "g", 1, 0)
+	n := b.Param(0)
+	i := b.Const(0)
+
+	outer := b.NewBlock() // 1: outer header (init j)
+	inner := b.NewBlock() // 2: inner body+latch
+	outerLatch := b.NewBlock()
+	exit := b.NewBlock()
+	b.Br(outer)
+
+	b.SetBlock(outer)
+	j := b.Const(0)
+	b.Br(inner)
+
+	b.SetBlock(inner)
+	j2 := b.AddI(j, 1)
+	b.MovTo(j, j2)
+	b.Blt(j, n, inner) // inner back edge
+
+	b.SetBlock(outerLatch)
+	i2 := b.AddI(i, 1)
+	b.MovTo(i, i2)
+	b.Blt(i, n, outer) // outer back edge
+
+	b.SetBlock(exit)
+	b.Ret(i)
+	return b.F
+}
+
+func TestNaturalLoops(t *testing.T) {
+	f := buildNestedLoops()
+	cfg := BuildCFG(f)
+	idom := cfg.Dominators()
+	loops := cfg.NaturalLoops(idom)
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	outer, inner := loops[0], loops[1]
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Fatalf("depths = %d,%d", outer.Depth, inner.Depth)
+	}
+	if inner.Parent != outer {
+		t.Error("inner loop's parent should be the outer loop")
+	}
+	if !outer.Contains(inner.Header) {
+		t.Error("outer must contain inner header")
+	}
+	if Innermost(outer, loops) || !Innermost(inner, loops) {
+		t.Error("innermost classification wrong")
+	}
+	if len(inner.Latches) != 1 {
+		t.Errorf("inner latches = %v", inner.Latches)
+	}
+	exits := inner.Exits(cfg)
+	if len(exits) != 1 {
+		t.Errorf("inner exits = %v", exits)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "h", 1, 0)
+	n := b.Param(0) // r0
+	x := b.Const(7) // r1
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	n2 := b.SubI(n, 1)
+	b.MovTo(n, n2)
+	b.BgtI(n, 0, loop)
+	exit := b.NewBlock()
+	b.SetBlock(exit)
+	b.Ret(x)
+
+	cfg := BuildCFG(b.F)
+	lv := ComputeLiveness(b.F, cfg)
+	xid := lv.IDs.ID(x)
+	nid := lv.IDs.ID(n)
+	if !lv.LiveIn[loop.Index].Has(xid) {
+		t.Error("x must be live through the loop (used at exit)")
+	}
+	if !lv.LiveIn[loop.Index].Has(nid) {
+		t.Error("n must be live into the loop")
+	}
+	if lv.LiveOut[exit.Index].Count() != 0 {
+		t.Error("nothing live out of exit")
+	}
+}
+
+func TestForEachLivePoint(t *testing.T) {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "k", 0, 0)
+	a := b.Const(1)   // r0
+	c := b.AddI(a, 2) // r1 (kills a's last use here)
+	b.Ret(c)
+
+	cfg := BuildCFG(b.F)
+	lv := ComputeLiveness(b.F, cfg)
+	var liveAfterConst int
+	lv.ForEachLivePoint(b.F, 0, func(j int, live BitSet) {
+		if j == 0 { // after MOVI a
+			liveAfterConst = live.Count()
+		}
+	})
+	// After the MOVI, 'a' is live (used by ADD) — just a: count 1.
+	if liveAfterConst != 1 {
+		t.Errorf("live after const = %d, want 1", liveAfterConst)
+	}
+	_ = c
+}
+
+func TestRegIDsRoundTrip(t *testing.T) {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "m", 2, 1)
+	b.RetVoid()
+	ids := NewRegIDs(b.F)
+	for _, r := range []isa.Reg{isa.IntReg(0), isa.IntReg(1), isa.FloatReg(0)} {
+		if ids.Reg(ids.ID(r)) != r {
+			t.Errorf("round trip failed for %v", r)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package analysis provides the dataflow substrate used by the optimizer,
+// the ILP transformer and the register allocator: CFG predecessors,
+// dominators, natural-loop detection, and liveness over virtual registers.
+package analysis
+
+import "math/bits"
+
+// BitSet is a fixed-capacity bit set.
+type BitSet []uint64
+
+// NewBitSet returns a set able to hold n elements.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Has reports whether i is in the set.
+func (s BitSet) Has(i int) bool { return s[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Add inserts i.
+func (s BitSet) Add(i int) { s[i>>6] |= 1 << uint(i&63) }
+
+// Remove deletes i.
+func (s BitSet) Remove(i int) { s[i>>6] &^= 1 << uint(i&63) }
+
+// UnionWith adds all of t to s, reporting whether s changed.
+func (s BitSet) UnionWith(t BitSet) bool {
+	changed := false
+	for i, w := range t {
+		if s[i]|w != s[i] {
+			s[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy overwrites s with t.
+func (s BitSet) Copy(t BitSet) { copy(s, t) }
+
+// Clear empties the set.
+func (s BitSet) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Count returns the number of elements.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s BitSet) Equal(t BitSet) bool {
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for each element in ascending order.
+func (s BitSet) ForEach(fn func(int)) {
+	for i, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(i*64 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Clone returns a copy of s.
+func (s BitSet) Clone() BitSet { return append(BitSet(nil), s...) }

@@ -1,0 +1,230 @@
+package analysis
+
+import "regconn/internal/ir"
+
+// CFG caches predecessor/successor lists for a function.
+type CFG struct {
+	F     *ir.Func
+	Succs [][]int
+	Preds [][]int
+}
+
+// BuildCFG computes the control-flow graph of f.
+func BuildCFG(f *ir.Func) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{F: f, Succs: make([][]int, n), Preds: make([][]int, n)}
+	for i, b := range f.Blocks {
+		c.Succs[i] = b.Succs()
+		for _, s := range c.Succs[i] {
+			c.Preds[s] = append(c.Preds[s], i)
+		}
+	}
+	return c
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func (c *CFG) Reachable() BitSet {
+	seen := NewBitSet(len(c.Succs))
+	stack := []int{0}
+	seen.Add(0)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range c.Succs[b] {
+			if !seen.Has(s) {
+				seen.Add(s)
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// Dominators computes the immediate-dominator relation with the classic
+// iterative algorithm. idom[0] == 0; unreachable blocks get idom -1.
+func (c *CFG) Dominators() []int {
+	n := len(c.Succs)
+	// Reverse postorder.
+	order := make([]int, 0, n)
+	state := make([]uint8, n)
+	var dfs func(int)
+	dfs = func(b int) {
+		state[b] = 1
+		for _, s := range c.Succs[b] {
+			if state[s] == 0 {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(0)
+	// order is postorder; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range order {
+		rpoNum[b] = i
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Preds[b] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under idom.
+func Dominates(idom []int, a, b int) bool {
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 || idom[b] == -1 {
+			return false
+		}
+		if idom[b] == b {
+			return b == a
+		}
+		b = idom[b]
+	}
+}
+
+// Loop is a natural loop: header plus body block set (header included).
+type Loop struct {
+	Header  int
+	Blocks  BitSet
+	Latches []int // blocks with a back edge to Header
+	Depth   int   // nesting depth, 1 = outermost
+	Parent  *Loop // enclosing loop, nil if outermost
+}
+
+// Contains reports whether block b is in the loop.
+func (l *Loop) Contains(b int) bool { return l.Blocks.Has(b) }
+
+// Exits returns the (fromBlock, toBlock) edges leaving the loop.
+func (l *Loop) Exits(c *CFG) [][2]int {
+	var out [][2]int
+	l.Blocks.ForEach(func(b int) {
+		for _, s := range c.Succs[b] {
+			if !l.Blocks.Has(s) {
+				out = append(out, [2]int{b, s})
+			}
+		}
+	})
+	return out
+}
+
+// NaturalLoops finds all natural loops of the function, outermost first.
+// Loops sharing a header are merged (standard practice).
+func (c *CFG) NaturalLoops(idom []int) []*Loop {
+	n := len(c.Succs)
+	byHeader := map[int]*Loop{}
+	for b := 0; b < n; b++ {
+		for _, s := range c.Succs[b] {
+			if Dominates(idom, s, b) { // back edge b -> s
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: NewBitSet(n)}
+					l.Blocks.Add(s)
+					byHeader[s] = l
+				}
+				l.Latches = append(l.Latches, b)
+				// Collect the natural loop body by walking preds from b.
+				stack := []int{b}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if l.Blocks.Has(x) {
+						continue
+					}
+					l.Blocks.Add(x)
+					for _, p := range c.Preds[x] {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	// Establish nesting: loop A is inside loop B if B contains A's header
+	// and A != B. Parent = smallest containing loop.
+	for _, a := range loops {
+		for _, b := range loops {
+			if a == b || !b.Blocks.Has(a.Header) {
+				continue
+			}
+			if a.Parent == nil || a.Parent.Blocks.Count() > b.Blocks.Count() {
+				a.Parent = b
+			}
+		}
+	}
+	for _, l := range loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	// Outermost first, stable by header index.
+	for i := 0; i < len(loops); i++ {
+		for j := i + 1; j < len(loops); j++ {
+			li, lj := loops[i], loops[j]
+			if lj.Depth < li.Depth || (lj.Depth == li.Depth && lj.Header < li.Header) {
+				loops[i], loops[j] = loops[j], loops[i]
+			}
+		}
+	}
+	return loops
+}
+
+// Innermost reports whether l contains no other loop in loops.
+func Innermost(l *Loop, loops []*Loop) bool {
+	for _, o := range loops {
+		if o != l && o.Parent == l {
+			return false
+		}
+	}
+	return true
+}

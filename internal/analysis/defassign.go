@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// CheckDefiniteAssignment verifies that every register use in f is
+// dominated by a definition (or a parameter): forward dataflow computing
+// the definitely-assigned set at each block entry (intersection over
+// predecessors), then a per-block scan. Programs that violate this read
+// unspecified values when compiled (see package ir), so the facade rejects
+// them at build time.
+func CheckDefiniteAssignment(f *ir.Func) error {
+	cfg := BuildCFG(f)
+	ids := NewRegIDs(f)
+	n := len(f.Blocks)
+
+	// defsIn[b] = definitely assigned at entry to b. Initialize entry to
+	// the parameter set and everything else to "all" (top for an
+	// intersection lattice).
+	all := NewBitSet(ids.Total)
+	for i := 0; i < ids.Total; i++ {
+		all.Add(i)
+	}
+	defsIn := make([]BitSet, n)
+	for b := range defsIn {
+		defsIn[b] = all.Clone()
+	}
+	entry := NewBitSet(ids.Total)
+	for _, p := range f.Params {
+		entry.Add(ids.ID(p))
+	}
+	defsIn[0] = entry
+
+	// Per-block gen sets.
+	gen := make([]BitSet, n)
+	for bi, b := range f.Blocks {
+		g := NewBitSet(ids.Total)
+		for j := range b.Instrs {
+			if d := b.Instrs[j].Def(); d.Valid() {
+				g.Add(ids.ID(d))
+			}
+		}
+		gen[bi] = g
+	}
+
+	reach := cfg.Reachable()
+	for changed := true; changed; {
+		changed = false
+		for bi := 0; bi < n; bi++ {
+			out := defsIn[bi].Clone()
+			out.UnionWith(gen[bi])
+			for _, s := range cfg.Succs[bi] {
+				// in[s] = intersection of predecessors' outs.
+				newIn := defsIn[s].Clone()
+				for w := range newIn {
+					newIn[w] &= out[w]
+				}
+				if !newIn.Equal(defsIn[s]) {
+					defsIn[s].Copy(newIn)
+					changed = true
+				}
+			}
+		}
+	}
+
+	var buf [4]isa.Reg
+	for bi, b := range f.Blocks {
+		if !reach.Has(bi) {
+			continue
+		}
+		have := defsIn[bi].Clone()
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			for _, u := range in.Uses(buf[:0]) {
+				if !have.Has(ids.ID(u)) {
+					return fmt.Errorf("%s: .T%d[%d] %v: %v may be used before assignment",
+						f.Name, bi, j, in, u)
+				}
+			}
+			if d := in.Def(); d.Valid() {
+				have.Add(ids.ID(d))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// RegIDs gives virtual registers of both classes a dense numbering within a
+// function: integer registers are [0, NextInt), floats are
+// [NextInt, NextInt+NextFloat).
+type RegIDs struct {
+	F      *ir.Func
+	NumInt int
+	Total  int
+}
+
+// NewRegIDs captures the function's current register counts.
+func NewRegIDs(f *ir.Func) *RegIDs {
+	return &RegIDs{F: f, NumInt: f.NextInt, Total: f.NextInt + f.NextFloat}
+}
+
+// ID returns the dense id of r; Reg inverts it.
+func (ids *RegIDs) ID(r isa.Reg) int {
+	if r.Class == isa.ClassFloat {
+		return ids.NumInt + r.N
+	}
+	return r.N
+}
+
+// Reg returns the register with dense id v.
+func (ids *RegIDs) Reg(v int) isa.Reg {
+	if v >= ids.NumInt {
+		return isa.FloatReg(v - ids.NumInt)
+	}
+	return isa.IntReg(v)
+}
+
+// Liveness holds per-block live-in/live-out sets over dense register ids.
+type Liveness struct {
+	IDs     *RegIDs
+	LiveIn  []BitSet
+	LiveOut []BitSet
+	use     []BitSet // upward-exposed uses per block
+	def     []BitSet // defs per block
+}
+
+// ComputeLiveness runs backward liveness over the function's virtual
+// registers.
+func ComputeLiveness(f *ir.Func, cfg *CFG) *Liveness {
+	ids := NewRegIDs(f)
+	n := len(f.Blocks)
+	lv := &Liveness{
+		IDs:     ids,
+		LiveIn:  make([]BitSet, n),
+		LiveOut: make([]BitSet, n),
+		use:     make([]BitSet, n),
+		def:     make([]BitSet, n),
+	}
+	var scratch []isa.Reg
+	for i, b := range f.Blocks {
+		use := NewBitSet(ids.Total)
+		def := NewBitSet(ids.Total)
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			scratch = in.Uses(scratch[:0])
+			for _, r := range scratch {
+				id := ids.ID(r)
+				if !def.Has(id) {
+					use.Add(id)
+				}
+			}
+			if d := in.Def(); d.Valid() {
+				def.Add(ids.ID(d))
+			}
+		}
+		lv.use[i], lv.def[i] = use, def
+		lv.LiveIn[i] = NewBitSet(ids.Total)
+		lv.LiveOut[i] = NewBitSet(ids.Total)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := lv.LiveOut[i]
+			for _, s := range cfg.Succs[i] {
+				if out.UnionWith(lv.LiveIn[s]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			newIn := out.Clone()
+			for w := range newIn {
+				newIn[w] &^= lv.def[i][w]
+				newIn[w] |= lv.use[i][w]
+			}
+			if !newIn.Equal(lv.LiveIn[i]) {
+				lv.LiveIn[i].Copy(newIn)
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// ForEachLivePoint walks block b backward, calling fn before each
+// instruction with the set of registers live just after it. The set is
+// reused between calls; fn must not retain it.
+func (lv *Liveness) ForEachLivePoint(f *ir.Func, b int, fn func(j int, liveAfter BitSet)) {
+	live := lv.LiveOut[b].Clone()
+	blk := f.Blocks[b]
+	var scratch []isa.Reg
+	for j := len(blk.Instrs) - 1; j >= 0; j-- {
+		in := &blk.Instrs[j]
+		fn(j, live)
+		if d := in.Def(); d.Valid() {
+			live.Remove(lv.IDs.ID(d))
+		}
+		scratch = in.Uses(scratch[:0])
+		for _, r := range scratch {
+			live.Add(lv.IDs.ID(r))
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"regconn/internal/codegen"
+	"regconn/internal/isa"
+)
+
+// Disassemble renders a machine program in the assembler's input syntax,
+// so Assemble(Disassemble(p)) reproduces p (labels are synthesized as
+// ".L<addr>").
+func Disassemble(mp *codegen.MProg) string {
+	var sb strings.Builder
+	for _, g := range mp.IR.Globals {
+		fmt.Fprintf(&sb, ".global %s %d\n", g.Name, g.Size)
+		for i, v := range g.InitI {
+			if v != 0 {
+				fmt.Fprintf(&sb, ".init %s %d %d\n", g.Name, i, v)
+			}
+		}
+		for i, v := range g.InitF {
+			if v != 0 {
+				fmt.Fprintf(&sb, ".initf %s %d %v\n", g.Name, i, v)
+			}
+		}
+	}
+	for _, f := range mp.Funcs {
+		fmt.Fprintf(&sb, "\n.func %s\n", f.Name)
+		labels := map[int]bool{}
+		for i := range f.Code {
+			in := &f.Code[i]
+			if in.Op == isa.BR || in.Op.IsCondBranch() {
+				labels[in.Target] = true
+			}
+		}
+		for i := range f.Code {
+			if labels[i] {
+				fmt.Fprintf(&sb, ".L%d:\n", i)
+			}
+			fmt.Fprintf(&sb, "    %s\n", formatInstr(&f.Code[i]))
+		}
+		// A trailing label (branch past the end).
+		if labels[len(f.Code)] {
+			fmt.Fprintf(&sb, ".L%d:\n", len(f.Code))
+			fmt.Fprintf(&sb, "    nop\n")
+		}
+	}
+	return sb.String()
+}
+
+// formatInstr prints one instruction in assembler syntax (isa.Instr.String
+// with ".T<n>" targets rewritten to ".L<n>" labels).
+func formatInstr(in *isa.Instr) string {
+	s := in.String()
+	if in.Op == isa.BR || in.Op.IsCondBranch() {
+		s = strings.Replace(s, fmt.Sprintf(".T%d", in.Target), fmt.Sprintf(".L%d", in.Target), 1)
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+// Package bench provides the twelve benchmark programs of the evaluation:
+// nine integer and three floating-point workloads standing in for the
+// paper's suite (cccp, cmp, compress, eqn, eqntott, espresso, grep, lex,
+// yacc; matrix300, nasa7, tomcatv — §5.3). Each stand-in reproduces the
+// computational character of its original: token scanners and
+// table-driven state machines for the branchy call-heavy integer codes,
+// and dense loop nests for the FP codes. See DESIGN.md §4 for the mapping.
+//
+// Build functions return a fresh program on every call because compilation
+// mutates IR in place; Expect is the checksum main must return, verified
+// against the interpreter in the package tests and against every simulated
+// configuration by regconn.Executable.Verify.
+package bench
+
+import (
+	"fmt"
+
+	"regconn/internal/ir"
+)
+
+// Benchmark is one workload.
+type Benchmark struct {
+	Name   string
+	Paper  string // the original benchmark this stands in for
+	FP     bool   // floating-point benchmark (RC applies to the FP file)
+	Build  func() *ir.Program
+	Expect int64
+}
+
+// All returns the full suite in the paper's order.
+func All() []Benchmark {
+	return []Benchmark{
+		{"cpp", "cccp", false, buildCPP, expectCPP},
+		{"cmp", "cmp", false, buildCmp, expectCmp},
+		{"compress", "compress", false, buildCompress, expectCompress},
+		{"eqn", "eqn", false, buildEqn, expectEqn},
+		{"eqntott", "eqntott", false, buildEqntott, expectEqntott},
+		{"espresso", "espresso", false, buildEspresso, expectEspresso},
+		{"grep", "grep", false, buildGrep, expectGrep},
+		{"lex", "lex", false, buildLex, expectLex},
+		{"yacc", "yacc", false, buildYacc, expectYacc},
+		{"matrix300", "matrix300", true, buildMatrix300, expectMatrix300},
+		{"nasa7", "nasa7", true, buildNasa7, expectNasa7},
+		{"tomcatv", "tomcatv", true, buildTomcatv, expectTomcatv},
+	}
+}
+
+// Integer returns the nine integer benchmarks.
+func Integer() []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if !b.FP {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// FloatingPoint returns the three FP benchmarks.
+func FloatingPoint() []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if b.FP {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName finds a benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// lcg is the deterministic input generator (constants from Numerical
+// Recipes); all benchmark inputs derive from fixed seeds.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = (*r)*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+
+func (r *lcg) intn(n int64) int64 {
+	return int64(r.next()>>1) % n
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"testing"
+
+	"regconn/internal/interp"
+	"regconn/internal/ir"
+)
+
+// TestGoldenResults runs every benchmark in the interpreter and asserts the
+// recorded golden checksum; -v also reports dynamic instruction counts.
+func TestGoldenResults(t *testing.T) {
+	for _, bm := range All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			p := bm.Build()
+			if err := ir.Verify(p); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			res, err := interp.Run(p, "main", nil, interp.Options{})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			t.Logf("%-10s ret=%-12d steps=%d", bm.Name, res.Ret, res.Steps)
+			if res.Ret != bm.Expect {
+				t.Errorf("checksum = %d, want %d", res.Ret, bm.Expect)
+			}
+			if res.Steps < 50_000 {
+				t.Errorf("workload too small: %d dynamic instructions", res.Steps)
+			}
+		})
+	}
+}
+
+// TestFreshBuilds verifies Build returns an independent program each call
+// (compilation mutates IR in place, so sharing would corrupt experiments).
+func TestFreshBuilds(t *testing.T) {
+	for _, bm := range All() {
+		p1 := bm.Build()
+		p2 := bm.Build()
+		if p1 == p2 || p1.Funcs[0] == p2.Funcs[0] {
+			t.Errorf("%s: Build returned shared state", bm.Name)
+		}
+	}
+}
+
+func TestSuitePartitions(t *testing.T) {
+	if len(All()) != 12 || len(Integer()) != 9 || len(FloatingPoint()) != 3 {
+		t.Fatalf("suite sizes: all=%d int=%d fp=%d", len(All()), len(Integer()), len(FloatingPoint()))
+	}
+	if _, err := ByName("grep"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("expected error for unknown name")
+	}
+	seen := map[string]bool{}
+	for _, b := range All() {
+		if seen[b.Name] {
+			t.Errorf("duplicate name %s", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Paper == "" {
+			t.Errorf("%s missing paper mapping", b.Name)
+		}
+	}
+}

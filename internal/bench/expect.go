@@ -1,0 +1,20 @@
+package bench
+
+// Golden checksums, produced by the IR interpreter (see TestGoldenResults,
+// which recomputes and asserts them). Every simulated configuration must
+// reproduce these exactly — the FP benchmarks included, because no pipeline
+// stage reassociates floating-point arithmetic.
+const (
+	expectCPP       = 50839
+	expectCmp       = 15904
+	expectCompress  = 693680
+	expectEqn       = 470624
+	expectEqntott   = 1103327520
+	expectEspresso  = 9023
+	expectGrep      = 267
+	expectLex       = 8192
+	expectYacc      = 18618
+	expectMatrix300 = 414672
+	expectNasa7     = 323423
+	expectTomcatv   = 83488
+)

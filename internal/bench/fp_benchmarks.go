@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"regconn/internal/ir"
+)
+
+// ------------------------------------------------------------ matrix300 ---
+
+// buildMatrix300 is a dense matrix multiply (matrix300's whole job),
+// blocked four columns at a time so each inner iteration carries four
+// independent multiply-accumulate chains — the style IMPACT's unrolling
+// produced, and the source of the FP register pressure in Figure 8.
+func buildMatrix300() *ir.Program {
+	const n = 24 // n^3 = 13824 inner iterations, x4 the FP ops
+	p := ir.NewProgram()
+	ga := p.AddGlobal("A", n*n*8)
+	gb := p.AddGlobal("B", n*n*8)
+	gc := p.AddGlobal("C", n*n*8)
+	av := make([]float64, n*n)
+	bv := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			av[i*n+j] = float64((i*3+j*7)%11) * 0.25
+			bv[i*n+j] = float64((i*5+j*2)%13) * 0.125
+		}
+	}
+	ga.InitF = av
+	gb.InitF = bv
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	ab := b.Addr(ga, 0)
+	bb := b.Addr(gb, 0)
+	cb := b.Addr(gc, 0)
+	const rowB = n * 8
+
+	i := b.Const(0)
+	li := b.NewBlock()
+	b.Br(li)
+	b.SetBlock(li)
+	lj := b.NewBlock()
+	j := b.Const(0)
+	rowA := b.Add(ab, b.MulI(i, rowB))
+	rowC := b.Add(cb, b.MulI(i, rowB))
+	b.Br(lj)
+
+	b.SetBlock(lj)
+	lk := b.NewBlock()
+	acc0 := b.FConst(0)
+	acc1 := b.FConst(0)
+	acc2 := b.FConst(0)
+	acc3 := b.FConst(0)
+	pa := b.Mov(rowA)
+	pb := b.Add(bb, b.SllI(j, 3)) // &B[0][j]
+	k := b.Const(0)
+	b.Br(lk)
+
+	// Inner loop: one A element against four B columns; straight-line and
+	// unrollable, with four independent FP chains.
+	b.SetBlock(lk)
+	a := b.FLd(pa, 0)
+	b0 := b.FLd(pb, 0)
+	b1 := b.FLd(pb, 8)
+	b2 := b.FLd(pb, 16)
+	b3 := b.FLd(pb, 24)
+	b.MovTo(acc0, b.FAdd(acc0, b.FMul(a, b0)))
+	b.MovTo(acc1, b.FAdd(acc1, b.FMul(a, b1)))
+	b.MovTo(acc2, b.FAdd(acc2, b.FMul(a, b2)))
+	b.MovTo(acc3, b.FAdd(acc3, b.FMul(a, b3)))
+	b.MovTo(pa, b.AddI(pa, 8))
+	b.MovTo(pb, b.AddI(pb, rowB))
+	b.MovTo(k, b.AddI(k, 1))
+	b.BltI(k, n, lk)
+	b.Continue()
+	outC := b.Add(rowC, b.SllI(j, 3))
+	b.FSt(acc0, outC, 0)
+	b.FSt(acc1, outC, 8)
+	b.FSt(acc2, outC, 16)
+	b.FSt(acc3, outC, 24)
+	b.MovTo(j, b.AddI(j, 4))
+	b.BltI(j, n, lj)
+	b.Continue()
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, n, li)
+	b.Continue()
+
+	// Checksum: sum(C) scaled to an exact integer.
+	s := b.FConst(0)
+	q := b.Mov(cb)
+	t := b.Const(0)
+	cs := b.NewBlock()
+	b.Br(cs)
+	b.SetBlock(cs)
+	b.MovTo(s, b.FAdd(s, b.FLd(q, 0)))
+	b.MovTo(q, b.AddI(q, 8))
+	b.MovTo(t, b.AddI(t, 1))
+	b.BltI(t, n*n, cs)
+	b.Continue()
+	b.Ret(b.FToI(b.FMul(s, b.FConst(32))))
+	return p
+}
+
+// ---------------------------------------------------------------- nasa7 ---
+
+// buildNasa7 mixes three kernels in the spirit of the NASA7 collection:
+// a daxpy sweep (independent iterations, memory-bound), a dot product
+// (reduction chain), and a three-point smoothing recurrence.
+func buildNasa7() *ir.Program {
+	const n = 4096
+	p := ir.NewProgram()
+	gx := p.AddGlobal("nx", n*8)
+	gy := p.AddGlobal("ny", n*8)
+	gz := p.AddGlobal("nz", n*8)
+	xv := make([]float64, n)
+	yv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xv[i] = float64(i%17) * 0.5
+		yv[i] = float64((i*3)%23) * 0.25
+	}
+	gx.InitF = xv
+	gy.InitF = yv
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	xb := b.Addr(gx, 0)
+	yb := b.Addr(gy, 0)
+	zb := b.Addr(gz, 0)
+
+	// daxpy: y = y + a*x
+	a := b.FConst(1.5)
+	px := b.Mov(xb)
+	py := b.Mov(yb)
+	i := b.Const(0)
+	l1 := b.NewBlock()
+	b.Br(l1)
+	b.SetBlock(l1)
+	vy := b.FAdd(b.FLd(py, 0), b.FMul(a, b.FLd(px, 0)))
+	b.FSt(vy, py, 0)
+	b.MovTo(px, b.AddI(px, 8))
+	b.MovTo(py, b.AddI(py, 8))
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, n, l1)
+	b.Continue()
+
+	// dot: d = sum x[i]*y[i], four accumulator chains wide
+	d0 := b.FConst(0)
+	d1 := b.FConst(0)
+	d2 := b.FConst(0)
+	d3 := b.FConst(0)
+	qx := b.Mov(xb)
+	qy := b.Mov(yb)
+	j := b.Const(0)
+	l2 := b.NewBlock()
+	b.Br(l2)
+	b.SetBlock(l2)
+	b.MovTo(d0, b.FAdd(d0, b.FMul(b.FLd(qx, 0), b.FLd(qy, 0))))
+	b.MovTo(d1, b.FAdd(d1, b.FMul(b.FLd(qx, 8), b.FLd(qy, 8))))
+	b.MovTo(d2, b.FAdd(d2, b.FMul(b.FLd(qx, 16), b.FLd(qy, 16))))
+	b.MovTo(d3, b.FAdd(d3, b.FMul(b.FLd(qx, 24), b.FLd(qy, 24))))
+	b.MovTo(qx, b.AddI(qx, 32))
+	b.MovTo(qy, b.AddI(qy, 32))
+	b.MovTo(j, b.AddI(j, 4))
+	b.BltI(j, n, l2)
+	b.Continue()
+	d := b.FAdd(b.FAdd(d0, d1), b.FAdd(d2, d3))
+
+	// smooth: z[i] = 0.25*y[i-1] + 0.5*y[i] + 0.25*y[i+1]
+	c14 := b.FConst(0.25)
+	c12 := b.FConst(0.5)
+	ry := b.AddI(yb, 8)
+	rz := b.AddI(zb, 8)
+	k := b.Const(1)
+	l3 := b.NewBlock()
+	b.Br(l3)
+	b.SetBlock(l3)
+	vm := b.FLd(ry, -8)
+	v0 := b.FLd(ry, 0)
+	vp := b.FLd(ry, 8)
+	sm := b.FAdd(b.FAdd(b.FMul(c14, vm), b.FMul(c12, v0)), b.FMul(c14, vp))
+	b.FSt(sm, rz, 0)
+	b.MovTo(ry, b.AddI(ry, 8))
+	b.MovTo(rz, b.AddI(rz, 8))
+	b.MovTo(k, b.AddI(k, 1))
+	b.BltI(k, n-1, l3)
+	b.Continue()
+
+	// checksum: d + sum z
+	sz := b.FConst(0)
+	qz := b.Mov(zb)
+	t := b.Const(0)
+	l4 := b.NewBlock()
+	b.Br(l4)
+	b.SetBlock(l4)
+	b.MovTo(sz, b.FAdd(sz, b.FLd(qz, 0)))
+	b.MovTo(qz, b.AddI(qz, 8))
+	b.MovTo(t, b.AddI(t, 1))
+	b.BltI(t, n, l4)
+	b.Continue()
+	b.Ret(b.FToI(b.FAdd(d, b.FMul(sz, b.FConst(4)))))
+	return p
+}
+
+// -------------------------------------------------------------- tomcatv ---
+
+// buildTomcatv is a 2-D mesh relaxation (tomcatv's sweep structure): a
+// Gauss-Seidel 5-point stencil over a grid, several sweeps, with an error
+// accumulation per sweep.
+func buildTomcatv() *ir.Program {
+	const (
+		dim    = 34
+		sweeps = 5
+	)
+	p := ir.NewProgram()
+	grid := p.AddGlobal("grid", dim*dim*8)
+	gv := make([]float64, dim*dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			// Boundary values fixed, interior seeded.
+			switch {
+			case i == 0 || j == 0 || i == dim-1 || j == dim-1:
+				gv[i*dim+j] = float64((i+j)%7) * 0.5
+			default:
+				gv[i*dim+j] = 0.1 * float64((i*j)%5)
+			}
+		}
+	}
+	grid.InitF = gv
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	gb := b.Addr(grid, 0)
+	const rowB = dim * 8
+	quarter := b.FConst(0.25)
+	errAcc := b.FConst(0)
+
+	s := b.Const(0)
+	ls := b.NewBlock()
+	b.Br(ls)
+	b.SetBlock(ls)
+	li := b.NewBlock()
+	i := b.Const(1)
+	b.Br(li)
+
+	b.SetBlock(li)
+	lj := b.NewBlock()
+	// row pointer to grid[i][1]
+	q := b.Add(gb, b.AddI(b.MulI(i, rowB), 8))
+	j := b.Const(1)
+	b.Br(lj)
+
+	// Inner sweep: straight-line Gauss-Seidel update.
+	b.SetBlock(lj)
+	up := b.FLd(q, -rowB)
+	down := b.FLd(q, rowB)
+	left := b.FLd(q, -8)
+	right := b.FLd(q, 8)
+	old := b.FLd(q, 0)
+	nv := b.FMul(quarter, b.FAdd(b.FAdd(up, down), b.FAdd(left, right)))
+	b.FSt(nv, q, 0)
+	diff := b.FSub(nv, old)
+	b.MovTo(errAcc, b.FAdd(errAcc, b.FMul(diff, diff)))
+	b.MovTo(q, b.AddI(q, 8))
+	b.MovTo(j, b.AddI(j, 1))
+	b.BltI(j, dim-1, lj)
+	b.Continue()
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, dim-1, li)
+	b.Continue()
+	b.MovTo(s, b.AddI(s, 1))
+	b.BltI(s, sweeps, ls)
+	b.Continue()
+
+	// checksum: scaled error plus grid center sample
+	center := b.FLd(b.Add(gb, b.Const((dim/2)*rowB+(dim/2)*8)), 0)
+	sum := b.FAdd(b.FMul(errAcc, b.FConst(1024)), b.FMul(center, b.FConst(65536)))
+	b.Ret(b.FToI(sum))
+	return p
+}

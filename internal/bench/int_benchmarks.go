@@ -1,0 +1,763 @@
+package bench
+
+import (
+	"regconn/internal/ir"
+)
+
+// ---------------------------------------------------------------- grep ---
+
+// buildGrep is a shift-and text matcher (the hot loop of grep): one pass
+// over the text updating a match bit-vector from a per-character mask
+// table, counting completed matches branchlessly. The loop body is
+// straight-line, so the ILP transformer unrolls it into a superblock.
+func buildGrep() *ir.Program {
+	const (
+		textLen = 16384
+		patLen  = 12
+		classes = 32
+	)
+	p := ir.NewProgram()
+	text := p.AddGlobal("text", textLen*8)
+	patTab := p.AddGlobal("pattab", classes*8)
+
+	rng := lcg(0x67726570)
+	pat := make([]int64, patLen)
+	for i := range pat {
+		pat[i] = rng.intn(classes)
+	}
+	masks := make([]int64, classes)
+	for i, c := range pat {
+		masks[c] |= 1 << uint(i)
+	}
+	patTab.InitI = masks
+	txt := make([]int64, textLen)
+	for i := range txt {
+		txt[i] = rng.intn(classes)
+	}
+	for at := 100; at+patLen < textLen; at += 977 {
+		copy(txt[at:], pat)
+	}
+	text.InitI = txt
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	pt := b.Addr(text, 0)
+	tb := b.Addr(patTab, 0)
+	m := b.Const(0)
+	hits := b.Const(0)
+	i := b.Const(0)
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	c := b.Ld(pt, 0)
+	pm := b.Ld(b.Add(tb, b.SllI(c, 3)), 0)
+	b.MovTo(m, b.And(b.OrI(b.SllI(m, 1), 1), pm))
+	b.MovTo(hits, b.Add(hits, b.AndI(b.SraI(m, patLen-1), 1)))
+	b.MovTo(pt, b.AddI(pt, 8))
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, textLen, loop)
+	b.Continue()
+	b.Ret(hits)
+	return p
+}
+
+// ----------------------------------------------------------------- lex ---
+
+// buildLex is a table-driven DFA scanner (lex's inner loop): per character,
+// a class lookup and a transition lookup, with branchless accept counting.
+// The loop is straight-line but serialized through the state register.
+func buildLex() *ir.Program {
+	const (
+		textLen = 16384
+		nStates = 16
+		nClass  = 8
+		nChars  = 64
+	)
+	p := ir.NewProgram()
+	text := p.AddGlobal("ltext", textLen*8)
+	classTab := p.AddGlobal("class", nChars*8)
+	trans := p.AddGlobal("trans", nStates*nClass*8)
+	accept := p.AddGlobal("accept", nStates*8)
+
+	rng := lcg(0x6c6578)
+	cls := make([]int64, nChars)
+	for i := range cls {
+		cls[i] = rng.intn(nClass)
+	}
+	classTab.InitI = cls
+	tr := make([]int64, nStates*nClass)
+	for i := range tr {
+		tr[i] = rng.intn(nStates)
+	}
+	trans.InitI = tr
+	acc := make([]int64, nStates)
+	for i := range acc {
+		acc[i] = rng.intn(2)
+	}
+	accept.InitI = acc
+	txt := make([]int64, textLen)
+	for i := range txt {
+		txt[i] = rng.intn(nChars)
+	}
+	text.InitI = txt
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	pt := b.Addr(text, 0)
+	cb := b.Addr(classTab, 0)
+	tb := b.Addr(trans, 0)
+	ab := b.Addr(accept, 0)
+	st := b.Const(0)
+	found := b.Const(0)
+	i := b.Const(0)
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	ch := b.Ld(pt, 0)
+	cl := b.Ld(b.Add(cb, b.SllI(ch, 3)), 0)
+	idx := b.Add(b.SllI(st, 3), cl) // state*nClass + class
+	b.MovTo(st, b.Ld(b.Add(tb, b.SllI(idx, 3)), 0))
+	b.MovTo(found, b.Add(found, b.Ld(b.Add(ab, b.SllI(st, 3)), 0)))
+	b.MovTo(pt, b.AddI(pt, 8))
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, textLen, loop)
+	b.Continue()
+	b.Ret(found)
+	return p
+}
+
+// ----------------------------------------------------------------- cmp ---
+
+// buildCmp compares buffer pairs word by word with early exit through a
+// comparison function called once per pair (cmp's whole job).
+func buildCmp() *ir.Program {
+	const (
+		words = 512
+		pairs = 64
+	)
+	p := ir.NewProgram()
+	bufA := p.AddGlobal("bufA", words*8)
+	bufB := p.AddGlobal("bufB", words*8)
+	rng := lcg(0x636d70)
+	a := make([]int64, words)
+	for i := range a {
+		a[i] = rng.intn(1 << 30)
+	}
+	bufA.InitI = a
+	bufB.InitI = append([]int64(nil), a...)
+
+	// cmpbuf(pa, pb, n): first differing index, or n.
+	cb := ir.NewFunc(p, "cmpbuf", 3, 0)
+	pa, pb, n := cb.Param(0), cb.Param(1), cb.Param(2)
+	i := cb.Const(0)
+	test := cb.NewBlock()
+	cb.Br(test)
+	cb.SetBlock(test)
+	out := cb.NewBlock()
+	diff := cb.NewBlock()
+	cb.Bge(i, n, out)
+	cb.Continue() // body
+	va := cb.Ld(pa, 0)
+	vb := cb.Ld(pb, 0)
+	cb.Bne(va, vb, diff)
+	cb.Continue() // advance
+	cb.MovTo(pa, cb.AddI(pa, 8))
+	cb.MovTo(pb, cb.AddI(pb, 8))
+	cb.MovTo(i, cb.AddI(i, 1))
+	cb.Br(test)
+	cb.SetBlock(out)
+	cb.Ret(n)
+	cb.SetBlock(diff)
+	cb.Ret(i)
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	sum := b.Const(0)
+	k := b.Const(0)
+	ba := b.Addr(bufA, 0)
+	bb := b.Addr(bufB, 0)
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	// Poison one word of bufB at position (k*37+11) % words, compare,
+	// then restore it.
+	pos := b.RemI(b.AddI(b.MulI(k, 37), 11), words)
+	addr := b.Add(bb, b.SllI(pos, 3))
+	old := b.Ld(addr, 0)
+	b.St(b.XorI(old, 1), addr, 0)
+	r := b.Call("cmpbuf", ba, bb, b.Const(words))
+	b.St(old, addr, 0)
+	b.MovTo(sum, b.Add(sum, r))
+	b.MovTo(k, b.AddI(k, 1))
+	b.BltI(k, pairs, loop)
+	b.Continue()
+	b.Ret(sum)
+	return p
+}
+
+// ------------------------------------------------------------ compress ---
+
+// buildCompress is an LZW-style compressor loop: hash-probe a dictionary
+// keyed by (prefix code, symbol), extending matches and emitting codes.
+func buildCompress() *ir.Program {
+	const (
+		inputLen = 8192
+		tabSize  = 4096 // power of two
+		nSyms    = 64
+	)
+	p := ir.NewProgram()
+	input := p.AddGlobal("input", inputLen*8)
+	keys := p.AddGlobal("keys", tabSize*8)
+	vals := p.AddGlobal("vals", tabSize*8)
+	rng := lcg(0x636f6d7072)
+	in := make([]int64, inputLen)
+	for i := 0; i < inputLen; {
+		runLen := int(rng.intn(6)) + 1
+		s := rng.intn(nSyms / 4)
+		if rng.intn(4) == 0 {
+			s = rng.intn(nSyms)
+		}
+		for j := 0; j < runLen && i < inputLen; j++ {
+			in[i] = s
+			i++
+		}
+	}
+	input.InitI = in
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	pin := b.Addr(input, 0)
+	kb := b.Addr(keys, 0)
+	vb := b.Addr(vals, 0)
+	code := b.Ld(pin, 0)
+	b.MovTo(pin, b.AddI(pin, 8))
+	nextCode := b.Const(nSyms)
+	emitted := b.Const(0)
+	i := b.Const(1)
+
+	outer := b.NewBlock()
+	b.Br(outer)
+	b.SetBlock(outer)
+	sym := b.Ld(pin, 0)
+	// key = (code<<8) | sym | (1<<40); the high marker keeps 0 = empty.
+	key := b.Or(b.Or(b.SllI(code, 8), sym), b.Const(1<<40))
+	h := b.AndI(b.Xor(b.MulI(key, 0x9E3779B1), b.SraI(key, 7)), tabSize-1)
+	probe := b.NewBlock()
+	b.Br(probe)
+
+	b.SetBlock(probe)
+	hitBlk := b.NewBlock()
+	missBlk := b.NewBlock()
+	stepBlk := b.NewBlock()
+	slot := b.Add(kb, b.SllI(h, 3))
+	kv := b.Ld(slot, 0)
+	b.Beq(kv, key, hitBlk)
+	b.Continue()
+	b.BeqI(kv, 0, missBlk)
+	b.Continue()
+	b.MovTo(h, b.AndI(b.AddI(h, 1), tabSize-1))
+	b.Br(probe)
+
+	b.SetBlock(hitBlk)
+	b.MovTo(code, b.Ld(b.Add(vb, b.SllI(h, 3)), 0))
+	b.Br(stepBlk)
+
+	b.SetBlock(missBlk)
+	b.St(key, slot, 0)
+	b.St(nextCode, b.Add(vb, b.SllI(h, 3)), 0)
+	b.MovTo(nextCode, b.AddI(nextCode, 1))
+	b.MovTo(emitted, b.Add(emitted, code))
+	b.MovTo(code, sym)
+	b.Br(stepBlk)
+
+	b.SetBlock(stepBlk)
+	b.MovTo(pin, b.AddI(pin, 8))
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, inputLen, outer)
+	b.Continue()
+	b.Ret(b.Add(emitted, b.Add(code, nextCode)))
+	return p
+}
+
+// ----------------------------------------------------------------- cpp ---
+
+// buildCPP is a cccp-style token scanner: a dispatch over token kinds with
+// a called hash-table lookup for identifiers and directive counting.
+func buildCPP() *ir.Program {
+	const (
+		nToks   = 6144
+		symTab  = 1024
+		nameMax = 200
+	)
+	p := ir.NewProgram()
+	toks := p.AddGlobal("toks", nToks*2*8) // (kind, payload) pairs
+	symKeys := p.AddGlobal("symkeys", symTab*8)
+	counters := p.AddGlobal("dirs", 8*8)
+	rng := lcg(0x63707000)
+	tk := make([]int64, nToks*2)
+	for i := 0; i < nToks; i++ {
+		k := rng.intn(16)
+		var payload int64
+		switch {
+		case k < 8: // identifier
+			payload = rng.intn(nameMax) + 1
+		case k < 12: // literal
+			payload = rng.intn(1 << 20)
+		default: // directive
+			payload = k - 12
+		}
+		tk[2*i] = k
+		tk[2*i+1] = payload
+	}
+	toks.InitI = tk
+	keys := make([]int64, symTab)
+	for n := int64(1); n <= nameMax/2; n++ {
+		h := (n * 2654435761) & (symTab - 1)
+		for keys[h] != 0 {
+			h = (h + 1) & (symTab - 1)
+		}
+		keys[h] = n
+	}
+	symKeys.InitI = keys
+
+	// look(name): open-addressing probe; insert on empty; returns 1 if
+	// the name was already present.
+	lk := ir.NewFunc(p, "look", 1, 0)
+	name := lk.Param(0)
+	kb := lk.Addr(symKeys, 0)
+	h := lk.AndI(lk.MulI(name, 2654435761), symTab-1)
+	probe := lk.NewBlock()
+	lk.Br(probe)
+	lk.SetBlock(probe)
+	hitB := lk.NewBlock()
+	missB := lk.NewBlock()
+	slot := lk.Add(kb, lk.SllI(h, 3))
+	kv := lk.Ld(slot, 0)
+	lk.Beq(kv, name, hitB)
+	lk.Continue()
+	lk.BeqI(kv, 0, missB)
+	lk.Continue()
+	lk.MovTo(h, lk.AndI(lk.AddI(h, 1), symTab-1))
+	lk.Br(probe)
+	lk.SetBlock(hitB)
+	lk.Ret(lk.Const(1))
+	lk.SetBlock(missB)
+	lk.St(name, slot, 0)
+	lk.Ret(lk.Const(0))
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	pt := b.Addr(toks, 0)
+	cb := b.Addr(counters, 0)
+	foundIDs := b.Const(0)
+	litSum := b.Const(0)
+	i := b.Const(0)
+
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	isLit := b.NewBlock()
+	isDir := b.NewBlock()
+	step := b.NewBlock()
+	kind := b.Ld(pt, 0)
+	payload := b.Ld(pt, 8)
+	b.BgeI(kind, 8, isLit)
+	b.Continue() // identifier
+	r := b.Call("look", payload)
+	b.MovTo(foundIDs, b.Add(foundIDs, r))
+	b.Br(step)
+	b.SetBlock(isLit)
+	b.BgeI(kind, 12, isDir)
+	b.Continue() // literal
+	b.MovTo(litSum, b.Xor(litSum, payload))
+	b.Br(step)
+	b.SetBlock(isDir)
+	daddr := b.Add(cb, b.SllI(payload, 3))
+	b.St(b.AddI(b.Ld(daddr, 0), 1), daddr, 0)
+	b.Br(step)
+	b.SetBlock(step)
+	b.MovTo(pt, b.AddI(pt, 16))
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, nToks, loop)
+	b.Continue()
+	d3 := b.Ld(b.Add(cb, b.Const(3*8)), 0)
+	b.Ret(b.Add(b.Add(foundIDs, b.AndI(litSum, 0xffff)), d3))
+	return p
+}
+
+// ----------------------------------------------------------------- eqn ---
+
+// buildEqn is an operator-precedence expression evaluator (eqn's parse
+// kernel): a token loop driving an explicit precedence/value stack with a
+// called combine step per reduction.
+func buildEqn() *ir.Program {
+	const nPairs = 3072
+	p := ir.NewProgram()
+	stream := p.AddGlobal("etoks", nPairs*2*8) // (prec, value) pairs
+	stack := p.AddGlobal("estack", 64*2*8)
+	depthG := p.AddGlobal("edepth", 8)
+	rng := lcg(0x65716e)
+	ts := make([]int64, nPairs*2)
+	for i := 0; i < nPairs; i++ {
+		ts[2*i] = rng.intn(4) + 1
+		ts[2*i+1] = rng.intn(97) + 1
+	}
+	stream.InitI = ts
+
+	// apply(prec, acc, v) combines per precedence level.
+	ap := ir.NewFunc(p, "apply", 3, 0)
+	prec, acc, v := ap.Param(0), ap.Param(1), ap.Param(2)
+	pm := ap.NewBlock()
+	ap.BgeI(prec, 3, pm)
+	ap.Continue()
+	ap.Ret(ap.Add(acc, v))
+	ap.SetBlock(pm)
+	ap.Ret(ap.AndI(ap.Add(ap.MulI(acc, 3), v), 0xfffff))
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	pt := b.Addr(stream, 0)
+	sb := b.Addr(stack, 0)
+	dg := b.Addr(depthG, 0)
+	b.St(b.Const(0), dg, 0)
+	checksum := b.Const(0)
+	i := b.Const(0)
+
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	reduce := b.NewBlock()
+	push := b.NewBlock()
+	step := b.NewBlock()
+	prec2 := b.Ld(pt, 0)
+	val := b.Ld(pt, 8)
+	b.Br(reduce)
+
+	// while depth > 0 and stack[depth-1].prec >= prec: pop and apply
+	b.SetBlock(reduce)
+	d := b.Ld(dg, 0)
+	b.BleI(d, 0, push)
+	b.Continue()
+	topAddr := b.Add(sb, b.SllI(b.SubI(d, 1), 4))
+	topPrec := b.Ld(topAddr, 0)
+	b.Blt(topPrec, prec2, push)
+	b.Continue()
+	topVal := b.Ld(topAddr, 8)
+	b.MovTo(val, b.Call("apply", topPrec, topVal, val))
+	b.St(b.SubI(d, 1), dg, 0)
+	b.Br(reduce)
+
+	b.SetBlock(push)
+	d2 := b.Ld(dg, 0)
+	slotA := b.Add(sb, b.SllI(d2, 4))
+	b.St(prec2, slotA, 0)
+	b.St(val, slotA, 8)
+	b.St(b.AddI(d2, 1), dg, 0)
+	b.MovTo(checksum, b.Xor(checksum, val))
+	b.Br(step)
+
+	b.SetBlock(step)
+	b.MovTo(pt, b.AddI(pt, 16))
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, nPairs, loop)
+	b.Continue()
+	b.Ret(b.Add(checksum, b.Ld(dg, 0)))
+	return p
+}
+
+// ------------------------------------------------------------- eqntott ---
+
+// buildEqntott sorts bit-vector rows (truth-table terms) by insertion sort
+// over a called lexicographic word comparison — eqntott's dominant kernel.
+func buildEqntott() *ir.Program {
+	const (
+		rows  = 96
+		width = 8
+	)
+	p := ir.NewProgram()
+	table := p.AddGlobal("tt", rows*width*8)
+	tmp := p.AddGlobal("ttmp", width*8)
+	rng := lcg(0x65716e74)
+	tt := make([]int64, rows*width)
+	for i := range tt {
+		tt[i] = rng.intn(1 << 24)
+	}
+	table.InitI = tt
+
+	// cmpvec(pa, pb): -1/0/1 lexicographic over width words.
+	cv := ir.NewFunc(p, "cmpvec", 2, 0)
+	pa, pb := cv.Param(0), cv.Param(1)
+	i := cv.Const(0)
+	test := cv.NewBlock()
+	cv.Br(test)
+	cv.SetBlock(test)
+	eq := cv.NewBlock()
+	lt := cv.NewBlock()
+	gt := cv.NewBlock()
+	cv.BgeI(i, width, eq)
+	cv.Continue()
+	va := cv.Ld(pa, 0)
+	vb := cv.Ld(pb, 0)
+	cv.Blt(va, vb, lt)
+	cv.Continue()
+	cv.Bgt(va, vb, gt)
+	cv.Continue()
+	cv.MovTo(pa, cv.AddI(pa, 8))
+	cv.MovTo(pb, cv.AddI(pb, 8))
+	cv.MovTo(i, cv.AddI(i, 1))
+	cv.Br(test)
+	cv.SetBlock(eq)
+	cv.Ret(cv.Const(0))
+	cv.SetBlock(lt)
+	cv.Ret(cv.Const(-1))
+	cv.SetBlock(gt)
+	cv.Ret(cv.Const(1))
+
+	// copyrow(dst, src)
+	cr := ir.NewFunc(p, "copyrow", 2, 0)
+	dst, src := cr.Param(0), cr.Param(1)
+	j := cr.Const(0)
+	cl := cr.NewBlock()
+	cr.Br(cl)
+	cr.SetBlock(cl)
+	cr.St(cr.Ld(src, 0), dst, 0)
+	cr.MovTo(dst, cr.AddI(dst, 8))
+	cr.MovTo(src, cr.AddI(src, 8))
+	cr.MovTo(j, cr.AddI(j, 1))
+	cr.BltI(j, width, cl)
+	cr.Continue()
+	cr.RetVoid()
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	tb := b.Addr(table, 0)
+	tmpB := b.Addr(tmp, 0)
+	const rowBytes = width * 8
+	k := b.Const(1)
+
+	outer := b.NewBlock()
+	b.Br(outer)
+	b.SetBlock(outer)
+	inner := b.NewBlock()
+	place := b.NewBlock()
+	b.CallVoid("copyrow", tmpB, b.Add(tb, b.MulI(k, rowBytes)))
+	jj := b.Mov(k)
+	b.Br(inner)
+
+	// while j > 0 && cmpvec(row[j-1], tmp) > 0: row[j] = row[j-1]; j--
+	b.SetBlock(inner)
+	b.BleI(jj, 0, place)
+	b.Continue()
+	prev := b.Add(tb, b.MulI(b.SubI(jj, 1), rowBytes))
+	c := b.Call("cmpvec", prev, tmpB)
+	b.BleI(c, 0, place)
+	b.Continue()
+	b.CallVoid("copyrow", b.Add(tb, b.MulI(jj, rowBytes)), prev)
+	b.MovTo(jj, b.SubI(jj, 1))
+	b.Br(inner)
+
+	b.SetBlock(place)
+	b.CallVoid("copyrow", b.Add(tb, b.MulI(jj, rowBytes)), tmpB)
+	b.MovTo(k, b.AddI(k, 1))
+	b.BltI(k, rows, outer)
+	b.Continue()
+
+	// checksum = sum of first word of each row weighted by index
+	cs := b.Const(0)
+	r := b.Const(0)
+	csl := b.NewBlock()
+	b.Br(csl)
+	b.SetBlock(csl)
+	w := b.Ld(b.Add(tb, b.MulI(r, rowBytes)), 0)
+	b.MovTo(cs, b.Add(cs, b.Mul(w, b.AddI(r, 1))))
+	b.MovTo(r, b.AddI(r, 1))
+	b.BltI(r, rows, csl)
+	b.Continue()
+	b.Ret(b.AndI(cs, 0x7fffffff))
+	return p
+}
+
+// ------------------------------------------------------------ espresso ---
+
+// buildEspresso is a cube-intersection kernel over bit-row pairs (the
+// heart of espresso's cover manipulation): the word loop is straight-line
+// and unrollable, with two loads and branchless non-empty counting.
+func buildEspresso() *ir.Program {
+	const (
+		cubes = 48
+		width = 8
+	)
+	p := ir.NewProgram()
+	cover := p.AddGlobal("cover", cubes*width*8)
+	rng := lcg(0x657370)
+	cvr := make([]int64, cubes*width)
+	for i := range cvr {
+		cvr[i] = int64(rng.next() & 0x3fffffff)
+	}
+	cover.InitI = cvr
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	cb := b.Addr(cover, 0)
+	const rowBytes = width * 8
+	total := b.Const(0)
+	ii := b.Const(0)
+
+	outer := b.NewBlock()
+	b.Br(outer)
+	b.SetBlock(outer)
+	mid := b.NewBlock()
+	pi := b.Add(cb, b.MulI(ii, rowBytes))
+	jj := b.AddI(ii, 1)
+	b.Br(mid)
+
+	b.SetBlock(mid)
+	inner := b.NewBlock()
+	pj := b.Add(cb, b.MulI(jj, rowBytes))
+	qa := b.Mov(pi)
+	qb := b.Mov(pj)
+	nz := b.Const(0)
+	w := b.Const(0)
+	b.Br(inner)
+
+	// Straight-line word loop: unrollable.
+	b.SetBlock(inner)
+	x := b.And(b.Ld(qa, 0), b.Ld(qb, 0))
+	neg := b.Sub(b.Const(0), x)
+	bit := b.AndI(b.SrlI(b.Or(x, neg), 63), 1)
+	b.MovTo(nz, b.Add(nz, bit))
+	b.MovTo(qa, b.AddI(qa, 8))
+	b.MovTo(qb, b.AddI(qb, 8))
+	b.MovTo(w, b.AddI(w, 1))
+	b.BltI(w, width, inner)
+	b.Continue()
+	b.MovTo(total, b.Add(total, nz))
+	b.MovTo(jj, b.AddI(jj, 1))
+	b.BltI(jj, cubes, mid)
+	b.Continue()
+	b.MovTo(ii, b.AddI(ii, 1))
+	b.BltI(ii, cubes-1, outer)
+	b.Continue()
+	b.Ret(total)
+	return p
+}
+
+// ---------------------------------------------------------------- yacc ---
+
+// buildYacc is a table-driven shift/reduce stack automaton (yacc's parser
+// skeleton): per token, an action lookup dispatching to shift (push) or a
+// called reduce step that pops and consults a goto table.
+func buildYacc() *ir.Program {
+	const (
+		nStates = 12
+		nToks   = 6
+		nRules  = 8
+		nInput  = 6144
+		stackSz = 256
+	)
+	p := ir.NewProgram()
+	action := p.AddGlobal("action", nStates*nToks*8)
+	gotoTab := p.AddGlobal("gototab", nStates*nRules*8)
+	ruleLen := p.AddGlobal("rulelen", nRules*8)
+	inputG := p.AddGlobal("yinput", nInput*8)
+	stackG := p.AddGlobal("ystack", stackSz*8)
+	depthG := p.AddGlobal("ydepth", 8)
+
+	rng := lcg(0x79616363)
+	act := make([]int64, nStates*nToks)
+	for i := range act {
+		switch rng.intn(3) {
+		case 0:
+			act[i] = rng.intn(nStates) + 1 // shift to state-1
+		case 1:
+			act[i] = -(rng.intn(nRules) + 1) // reduce
+		default:
+			act[i] = 0 // error
+		}
+	}
+	action.InitI = act
+	gt := make([]int64, nStates*nRules)
+	for i := range gt {
+		gt[i] = rng.intn(nStates)
+	}
+	gotoTab.InitI = gt
+	rl := make([]int64, nRules)
+	for i := range rl {
+		rl[i] = rng.intn(3) + 1
+	}
+	ruleLen.InitI = rl
+	in := make([]int64, nInput)
+	for i := range in {
+		in[i] = rng.intn(nToks)
+	}
+	inputG.InitI = in
+
+	// reduce(rule): pop ruleLen[rule] entries, return goto[base][rule].
+	rd := ir.NewFunc(p, "reduce", 1, 0)
+	rule := rd.Param(0)
+	dgr := rd.Addr(depthG, 0)
+	sgr := rd.Addr(stackG, 0)
+	rlb := rd.Addr(ruleLen, 0)
+	gtb := rd.Addr(gotoTab, 0)
+	ln := rd.Ld(rd.Add(rlb, rd.SllI(rule, 3)), 0)
+	d := rd.Ld(dgr, 0)
+	nd := rd.Sub(d, ln)
+	under := rd.NewBlock()
+	rd.BltI(nd, 1, under)
+	rd.Continue()
+	rd.St(nd, dgr, 0)
+	base := rd.Ld(rd.Add(sgr, rd.SllI(rd.SubI(nd, 1), 3)), 0)
+	ns := rd.Ld(rd.Add(gtb, rd.SllI(rd.Add(rd.MulI(base, nRules), rule), 3)), 0)
+	rd.Ret(ns)
+	rd.SetBlock(under)
+	rd.St(rd.Const(1), dgr, 0)
+	rd.Ret(rd.Const(0))
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	ab := b.Addr(action, 0)
+	ib := b.Addr(inputG, 0)
+	sgb := b.Addr(stackG, 0)
+	dgb := b.Addr(depthG, 0)
+	b.St(b.Const(1), dgb, 0)
+	b.St(b.Const(0), sgb, 0)
+	state := b.Const(0)
+	shifts := b.Const(0)
+	reduces := b.Const(0)
+	errs := b.Const(0)
+	i := b.Const(0)
+
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	doShift := b.NewBlock()
+	doReduce := b.NewBlock()
+	step := b.NewBlock()
+	tok := b.Ld(b.Add(ib, b.SllI(i, 3)), 0)
+	act2 := b.Ld(b.Add(ab, b.SllI(b.Add(b.MulI(state, nToks), tok), 3)), 0)
+	b.BgtI(act2, 0, doShift)
+	b.Continue()
+	b.BltI(act2, 0, doReduce)
+	b.Continue() // error path
+	b.MovTo(errs, b.AddI(errs, 1))
+	b.MovTo(state, b.Const(0))
+	b.Br(step)
+
+	b.SetBlock(doShift)
+	b.MovTo(state, b.SubI(act2, 1))
+	dS := b.Ld(dgb, 0)
+	capB := b.NewBlock()
+	b.BgeI(dS, stackSz, capB)
+	b.Continue()
+	b.St(state, b.Add(sgb, b.SllI(dS, 3)), 0)
+	b.St(b.AddI(dS, 1), dgb, 0)
+	b.MovTo(shifts, b.AddI(shifts, 1))
+	b.Br(step)
+	b.SetBlock(capB)
+	b.St(b.Const(1), dgb, 0)
+	b.Br(step)
+
+	b.SetBlock(doReduce)
+	rr := b.Sub(b.Const(0), act2)
+	b.MovTo(state, b.Call("reduce", b.SubI(rr, 1)))
+	b.MovTo(reduces, b.AddI(reduces, 1))
+	b.Br(step)
+
+	b.SetBlock(step)
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, nInput, loop)
+	b.Continue()
+	b.Ret(b.Add(b.Add(b.MulI(shifts, 3), b.MulI(reduces, 5)), b.Add(errs, state)))
+	return p
+}

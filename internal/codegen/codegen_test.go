@@ -1,0 +1,238 @@
+package codegen
+
+import (
+	"testing"
+
+	"regconn/internal/abi"
+	"regconn/internal/core"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+	"regconn/internal/regalloc"
+)
+
+func buildPressureProg(width int) *ir.Program {
+	p := ir.NewProgram()
+	g := p.AddGlobal("g", int64(width)*8)
+	b := ir.NewFunc(p, "main", 0, 0)
+	base := b.Addr(g, 0)
+	var vs []isa.Reg
+	for k := 0; k < width; k++ {
+		vs = append(vs, b.Ld(base, int64(k)*8))
+	}
+	acc := b.Const(0)
+	for _, v := range vs {
+		b.MovTo(acc, b.Add(acc, v))
+	}
+	b.Ret(acc)
+	return p
+}
+
+func lower(t *testing.T, p *ir.Program, mode regalloc.Mode, m int, model core.Model, combine bool) *MProg {
+	t.Helper()
+	if err := ir.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	total := m
+	if mode == regalloc.RC || mode == regalloc.Unlimited {
+		total = 256
+	}
+	conv := abi.New(m, total, 16, maxOf(total, 16))
+	pa := regalloc.Allocate(p, mode, conv, 0)
+	mp, err := Lower(p, pa, Config{Conv: conv, Mode: mode, Model: model, CombineConnects: combine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestRCLoweringInsertsConnects(t *testing.T) {
+	mp := lower(t, buildPressureProg(20), regalloc.RC, 8, core.WriteResetReadUpdate, true)
+	mf := mp.FindFunc("main")
+	if mf.ConnectCount == 0 {
+		t.Fatal("no connects inserted under pressure")
+	}
+	if mf.SpillCount != 0 {
+		t.Fatalf("RC lowering spilled %d ops", mf.SpillCount)
+	}
+	// All connect operands must be in range: index < m, phys < 256.
+	for i := range mf.Code {
+		in := &mf.Code[i]
+		for _, pr := range in.ConnectPairs() {
+			if pr.Idx >= 8 {
+				t.Errorf("connect index %d out of range", pr.Idx)
+			}
+			if pr.Phys >= 256 {
+				t.Errorf("connect phys %d out of range", pr.Phys)
+			}
+		}
+	}
+}
+
+func TestRCConnectWindowsAreSpillTemps(t *testing.T) {
+	conv := abi.New(8, 256, 16, 256)
+	temps := map[uint16]bool{}
+	for _, s := range conv.Int.SpillTemps {
+		temps[uint16(s)] = true
+	}
+	mp := lower(t, buildPressureProg(20), regalloc.RC, 8, core.WriteResetReadUpdate, true)
+	mf := mp.FindFunc("main")
+	for i := range mf.Code {
+		in := &mf.Code[i]
+		if in.CClass == isa.ClassInt {
+			for _, pr := range in.ConnectPairs() {
+				if !temps[pr.Idx] {
+					t.Errorf("connect window r%d is not a reserved spill temp", pr.Idx)
+				}
+			}
+		}
+	}
+}
+
+func TestSpillLoweringUsesTemps(t *testing.T) {
+	mp := lower(t, buildPressureProg(20), regalloc.Spill, 8, core.WriteResetReadUpdate, false)
+	mf := mp.FindFunc("main")
+	if mf.SpillCount == 0 {
+		t.Fatal("no spill code under pressure at 8 registers")
+	}
+	if mf.ConnectCount != 0 {
+		t.Fatal("spill mode emitted connects")
+	}
+	if mf.FrameSize == 0 {
+		t.Fatal("spilling needs a frame")
+	}
+}
+
+func TestCombinedConnectsReduceCount(t *testing.T) {
+	comb := lower(t, buildPressureProg(20), regalloc.RC, 8, core.WriteResetReadUpdate, true)
+	single := lower(t, buildPressureProg(20), regalloc.RC, 8, core.WriteResetReadUpdate, false)
+	c1 := comb.FindFunc("main").ConnectCount
+	c2 := single.FindFunc("main").ConnectCount
+	if c1 >= c2 {
+		t.Errorf("combined connects (%d) should be fewer than single (%d)", c1, c2)
+	}
+	// Single mode must only use single-pair opcodes.
+	for i := range single.FindFunc("main").Code {
+		op := single.FindFunc("main").Code[i].Op
+		if op == isa.CONUU || op == isa.CONDU || op == isa.CONDD {
+			t.Errorf("combined opcode %v in single mode", op)
+		}
+	}
+}
+
+// TestModelConnectCounts verifies §2.3's qualitative ordering on a
+// read-after-write pattern: model 3 (read update) needs the fewest
+// connects, model 4 (full reset) the most.
+func TestModelConnectCounts(t *testing.T) {
+	counts := map[core.Model]int{}
+	for _, model := range []core.Model{core.NoReset, core.WriteReset, core.WriteResetReadUpdate, core.ReadWriteReset} {
+		mp := lower(t, buildPressureProg(20), regalloc.RC, 8, model, true)
+		counts[model] = mp.FindFunc("main").ConnectCount
+	}
+	if counts[core.WriteResetReadUpdate] > counts[core.ReadWriteReset] {
+		t.Errorf("model 3 (%d connects) should need no more than model 4 (%d)",
+			counts[core.WriteResetReadUpdate], counts[core.ReadWriteReset])
+	}
+	t.Logf("connects by model: %v", counts)
+}
+
+func TestStartFunction(t *testing.T) {
+	mp := lower(t, buildPressureProg(4), regalloc.Unlimited, 64, core.WriteResetReadUpdate, true)
+	start := mp.FindFunc("__start")
+	if start == nil || len(start.Code) != 2 {
+		t.Fatal("missing __start")
+	}
+	if start.Code[0].Op != isa.CALL || start.Code[0].Sym != "main" || start.Code[1].Op != isa.HALT {
+		t.Errorf("__start = %v", start.Code)
+	}
+	if mp.StaticSize() < 4 {
+		t.Error("static size wrong")
+	}
+}
+
+func TestLowerRejectsMissingMain(t *testing.T) {
+	p := ir.NewProgram()
+	f := ir.NewFunc(p, "notmain", 0, 0)
+	f.RetVoid()
+	conv := abi.New(8, 8, 16, 16)
+	pa := regalloc.Allocate(p, regalloc.Spill, conv, 0)
+	if _, err := Lower(p, pa, Config{Conv: conv, Mode: regalloc.Spill}); err == nil {
+		t.Fatal("expected error for missing main")
+	}
+}
+
+func TestAnnotationsResolvePhysicalRegs(t *testing.T) {
+	mp := lower(t, buildPressureProg(20), regalloc.RC, 8, core.WriteResetReadUpdate, true)
+	mf := mp.FindFunc("main")
+	if len(mf.Ann) != len(mf.Code) {
+		t.Fatalf("annotations %d != code %d", len(mf.Ann), len(mf.Code))
+	}
+	sawExt := false
+	for i := range mf.Code {
+		in, ann := &mf.Code[i], &mf.Ann[i]
+		if d := in.Def(); d.Valid() && !in.Op.IsConnect() {
+			if ann.PDst == NoPhys {
+				t.Errorf("%d: %v has no resolved destination", i, in)
+			}
+			if ann.PDst >= 8 && d.Class == isa.ClassInt {
+				sawExt = true
+				// The encoded index must still fit the core file.
+				if d.N >= 8 {
+					t.Errorf("%d: %v encodes index %d >= m", i, in, d.N)
+				}
+			}
+		}
+	}
+	if !sawExt {
+		t.Error("no extended-register destinations annotated")
+	}
+}
+
+func TestMemAnnotations(t *testing.T) {
+	mp := lower(t, buildPressureProg(8), regalloc.Unlimited, 64, core.WriteResetReadUpdate, true)
+	mf := mp.FindFunc("main")
+	globals := 0
+	for i := range mf.Code {
+		in, ann := &mf.Code[i], &mf.Ann[i]
+		if in.Op != isa.LD {
+			continue
+		}
+		if ann.MemRootKind == RootGlobal && ann.MemOffKnown {
+			globals++
+		}
+	}
+	if globals < 8 {
+		t.Errorf("only %d loads have global provenance, want >= 8", globals)
+	}
+}
+
+func TestCallReachability(t *testing.T) {
+	p := ir.NewProgram()
+	fc := ir.NewFunc(p, "c", 0, 0)
+	fc.RetVoid()
+	fb := ir.NewFunc(p, "b", 0, 0)
+	fb.CallVoid("c")
+	fb.RetVoid()
+	fa := ir.NewFunc(p, "a", 0, 0)
+	fa.CallVoid("b")
+	fa.RetVoid()
+	frec := ir.NewFunc(p, "r", 0, 0)
+	frec.CallVoid("r")
+	frec.RetVoid()
+	reach := callReachability(p)
+	if !reach["a"]["c"] || reach["c"]["a"] {
+		t.Error("transitive reachability wrong")
+	}
+	if !reach["r"]["r"] {
+		t.Error("self recursion not detected")
+	}
+	if reach["b"]["a"] {
+		t.Error("spurious back edge")
+	}
+}

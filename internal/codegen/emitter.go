@@ -1,0 +1,285 @@
+package codegen
+
+import (
+	"fmt"
+
+	"regconn/internal/core"
+	"regconn/internal/isa"
+	"regconn/internal/regalloc"
+)
+
+// emitter appends machine instructions for one function, maintaining the
+// compile-time emulation of the register mapping table (paper §3). The
+// emulator state is reset at block boundaries and calls, where the runtime
+// table's window contents are unknown; allocated core registers are never
+// the target of connects, so their home mapping is a global invariant and
+// per-block emulation is sound.
+type emitter struct {
+	cfg Config
+	mf  *MFunc
+
+	// RC emulation state (nil tables when Mode != RC).
+	tabInt, tabFP *core.MapTable
+	lruInt, lruFP []int // window indices, least recently used first
+
+	busy    map[isa.Reg]bool // windows/temps claimed by the current instruction
+	pending []pendingConnect
+	rrInt   int // round-robin cursors (WindowRoundRobin)
+	rrFP    int
+
+	// spDelta is how far SP currently sits below the frame base
+	// (non-zero only inside a call's argument-push window).
+	spDelta int64
+}
+
+type pendingConnect struct {
+	class isa.RegClass
+	idx   int
+	phys  int
+	def   bool
+}
+
+func newEmitter(cfg Config, mf *MFunc) *emitter {
+	e := &emitter{cfg: cfg, mf: mf, busy: map[isa.Reg]bool{}}
+	if cfg.Mode == regalloc.RC {
+		e.tabInt = core.NewMapTable(cfg.Model, cfg.Conv.Int.Core, cfg.Conv.Int.Total)
+		e.tabFP = core.NewMapTable(cfg.Model, cfg.Conv.FP.Core, cfg.Conv.FP.Total)
+		e.lruInt = append([]int(nil), cfg.Conv.Int.SpillTemps...)
+		e.lruFP = append([]int(nil), cfg.Conv.FP.SpillTemps...)
+	}
+	return e
+}
+
+func (e *emitter) table(class isa.RegClass) *core.MapTable {
+	if class == isa.ClassFloat {
+		return e.tabFP
+	}
+	return e.tabInt
+}
+
+func (e *emitter) windows(class isa.RegClass) *[]int {
+	if class == isa.ClassFloat {
+		return &e.lruFP
+	}
+	return &e.lruInt
+}
+
+// resetTables forgets all emulated connection state (block entry; after
+// CALL, which resets the hardware table too).
+func (e *emitter) resetTables() {
+	if e.tabInt != nil {
+		e.tabInt.Reset()
+		e.tabFP.Reset()
+	}
+}
+
+// beginInstr starts lowering a new source-level operation.
+func (e *emitter) beginInstr() {
+	if len(e.pending) != 0 {
+		panic("codegen: pending connects not flushed")
+	}
+	clear(e.busy)
+}
+
+// emit appends one machine instruction with its annotation.
+func (e *emitter) emit(in isa.Instr, ann Annot) {
+	e.mf.Code = append(e.mf.Code, in)
+	e.mf.Ann = append(e.mf.Ann, ann)
+}
+
+// useIdx returns the map index through which physical register phys can be
+// read, queueing a connect-use if needed. Core registers are addressed
+// directly (home mapping invariant).
+func (e *emitter) useIdx(class isa.RegClass, phys int) int {
+	cv := e.cfg.Conv.Of(class)
+	if e.cfg.Mode != regalloc.RC || !cv.IsExtended(phys) {
+		// Unlimited mode addresses the whole file directly (identity map);
+		// core registers are always at home.
+		return phys
+	}
+	tab := e.table(class)
+	win := e.windows(class)
+	for _, w := range *win {
+		if tab.ReadPhys(w) == phys {
+			e.touch(class, w)
+			e.busy[isa.Reg{Class: class, N: w}] = true
+			return w
+		}
+	}
+	w := e.pickWindow(class)
+	tab.ConnectUse(w, phys)
+	e.pending = append(e.pending, pendingConnect{class, w, phys, false})
+	return w
+}
+
+// defIdx returns the map index through which phys can be written, queueing
+// a connect-def if needed.
+func (e *emitter) defIdx(class isa.RegClass, phys int) int {
+	cv := e.cfg.Conv.Of(class)
+	if e.cfg.Mode != regalloc.RC || !cv.IsExtended(phys) {
+		return phys
+	}
+	tab := e.table(class)
+	win := e.windows(class)
+	for _, w := range *win {
+		if tab.WritePhys(w) == phys {
+			// Reusable only under models that do not auto-reset the
+			// write map; the table reflects the model, so a match here
+			// is always sound.
+			e.touch(class, w)
+			e.busy[isa.Reg{Class: class, N: w}] = true
+			return w
+		}
+	}
+	w := e.pickWindow(class)
+	tab.ConnectDef(w, phys)
+	e.pending = append(e.pending, pendingConnect{class, w, phys, true})
+	return w
+}
+
+// pickWindow selects a connect window under the configured policy. The
+// four reserved spill temporaries serve as windows in RC mode, so at least
+// one is always free (an instruction claims at most three).
+func (e *emitter) pickWindow(class isa.RegClass) int {
+	win := e.windows(class)
+	switch e.cfg.Windows {
+	case WindowRoundRobin:
+		cur := e.rrCursor(class)
+		n := len(*win)
+		for k := 0; k < n; k++ {
+			w := (*win)[(*cur+k)%n]
+			if !e.busy[isa.Reg{Class: class, N: w}] {
+				*cur = (*cur + k + 1) % n
+				e.busy[isa.Reg{Class: class, N: w}] = true
+				return w
+			}
+		}
+	case WindowFirstFree:
+		lo := append([]int(nil), *win...)
+		sortInts(lo)
+		for _, w := range lo {
+			if !e.busy[isa.Reg{Class: class, N: w}] {
+				e.busy[isa.Reg{Class: class, N: w}] = true
+				return w
+			}
+		}
+	default: // WindowLRU
+		for _, w := range *win {
+			if !e.busy[isa.Reg{Class: class, N: w}] {
+				e.touch(class, w)
+				e.busy[isa.Reg{Class: class, N: w}] = true
+				return w
+			}
+		}
+	}
+	panic(fmt.Sprintf("codegen: out of connect windows (class %v)", class))
+}
+
+func (e *emitter) rrCursor(class isa.RegClass) *int {
+	if class == isa.ClassFloat {
+		return &e.rrFP
+	}
+	return &e.rrInt
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// touch moves window w to most-recently-used position.
+func (e *emitter) touch(class isa.RegClass, w int) {
+	win := e.windows(class)
+	for i, x := range *win {
+		if x == w {
+			copy((*win)[i:], (*win)[i+1:])
+			(*win)[len(*win)-1] = w
+			return
+		}
+	}
+}
+
+// takeTemp claims a reserved spill temporary for the current instruction
+// (Spill mode; in RC mode spills only occur past 256 registers).
+func (e *emitter) takeTemp(class isa.RegClass) int {
+	cv := e.cfg.Conv.Of(class)
+	for _, t := range cv.SpillTemps {
+		if !e.busy[isa.Reg{Class: class, N: t}] {
+			e.busy[isa.Reg{Class: class, N: t}] = true
+			return t
+		}
+	}
+	panic(fmt.Sprintf("codegen: out of spill temporaries (class %v)", class))
+}
+
+// flushConnects emits the queued connect instructions for the current
+// operation, pairing them into combined connects when enabled.
+func (e *emitter) flushConnects() {
+	if len(e.pending) == 0 {
+		return
+	}
+	// Group by class (a combined connect addresses one mapping table).
+	for _, class := range []isa.RegClass{isa.ClassInt, isa.ClassFloat} {
+		var group []pendingConnect
+		for _, p := range e.pending {
+			if p.class == class {
+				group = append(group, p)
+			}
+		}
+		// Defs first so def+use pairs combine into CONDU.
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				if group[j].def && !group[i].def {
+					group[i], group[j] = group[j], group[i]
+				}
+			}
+		}
+		for len(group) > 0 {
+			if e.cfg.CombineConnects && len(group) >= 2 {
+				a, b := group[0], group[1]
+				group = group[2:]
+				var op isa.Op
+				switch {
+				case a.def && b.def:
+					op = isa.CONDD
+				case a.def && !b.def:
+					op = isa.CONDU
+				default:
+					op = isa.CONUU
+				}
+				e.emit(isa.Instr{
+					Op:     op,
+					CIdx:   [2]uint16{uint16(a.idx), uint16(b.idx)},
+					CPhys:  [2]uint16{uint16(a.phys), uint16(b.phys)},
+					CClass: class,
+				}, Annot{PDst: NoPhys, PA: NoPhys, PB: NoPhys})
+			} else {
+				a := group[0]
+				group = group[1:]
+				op := isa.CONUSE
+				if a.def {
+					op = isa.CONDEF
+				}
+				e.emit(isa.Instr{
+					Op:     op,
+					CIdx:   [2]uint16{uint16(a.idx)},
+					CPhys:  [2]uint16{uint16(a.phys)},
+					CClass: class,
+				}, Annot{PDst: NoPhys, PA: NoPhys, PB: NoPhys})
+			}
+			e.mf.ConnectCount++
+		}
+	}
+	e.pending = e.pending[:0]
+}
+
+// noteWrite applies the automatic-reset side effect after a write through
+// idx (mirrors the hardware).
+func (e *emitter) noteWrite(class isa.RegClass, idx int) {
+	if tab := e.table(class); tab != nil {
+		tab.NoteWrite(idx)
+	}
+}

@@ -1,0 +1,106 @@
+package codegen
+
+import (
+	"testing"
+
+	"regconn/internal/abi"
+	"regconn/internal/core"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+	"regconn/internal/regalloc"
+)
+
+// buildFPPressure creates more live FP values than a 16-entry file holds,
+// across a call with an FP parameter and FP return.
+func buildFPPressure(width int) *ir.Program {
+	p := ir.NewProgram()
+	g := p.AddGlobal("fg", int64(width)*8)
+	fh := ir.NewFunc(p, "fhalf", 0, 1)
+	fh.Ret(fh.FMul(fh.Param(0), fh.FConst(0.5)))
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	base := b.Addr(g, 0)
+	var vs []isa.Reg
+	for k := 0; k < width; k++ {
+		vs = append(vs, b.FLd(base, int64(k)*8))
+	}
+	h := b.FCall("fhalf", vs[0])
+	acc := b.FMov(h)
+	for _, v := range vs {
+		b.MovTo(acc, b.FAdd(acc, v))
+	}
+	b.Ret(b.FToI(acc))
+	return p
+}
+
+func TestFPSpillPath(t *testing.T) {
+	mp := lower(t, buildFPPressure(24), regalloc.Spill, 16, core.WriteResetReadUpdate, false)
+	mf := mp.FindFunc("main")
+	if mf.SpillCount == 0 {
+		t.Fatal("24 live FP values in a 16-entry file must spill")
+	}
+	// FP spill traffic uses FLD/FST through SP.
+	flds, fsts := 0, 0
+	for i := range mf.Code {
+		switch mf.Code[i].Op {
+		case isa.FLD:
+			if mf.Code[i].A.N == isa.RegSP {
+				flds++
+			}
+		case isa.FST:
+			if mf.Code[i].A.N == isa.RegSP {
+				fsts++
+			}
+		}
+	}
+	if flds == 0 || fsts == 0 {
+		t.Errorf("FP spill loads/stores = %d/%d", flds, fsts)
+	}
+}
+
+func TestFPExtendedPath(t *testing.T) {
+	mp := lower(t, buildFPPressure(24), regalloc.RC, 16, core.WriteResetReadUpdate, true)
+	mf := mp.FindFunc("main")
+	if mf.SpillCount != 0 {
+		t.Fatalf("RC mode spilled %d FP ops", mf.SpillCount)
+	}
+	fpConnects := 0
+	for i := range mf.Code {
+		if mf.Code[i].Op.IsConnect() && mf.Code[i].CClass == isa.ClassFloat {
+			fpConnects++
+		}
+	}
+	if fpConnects == 0 {
+		t.Fatal("no FP connects under FP pressure")
+	}
+	// The FP value live across the call must be saved/restored.
+	if mf.SaveRestoreCount == 0 {
+		t.Error("extended FP values live across the call need caller save/restore")
+	}
+}
+
+func TestWindowPolicies(t *testing.T) {
+	for _, pol := range []WindowPolicy{WindowLRU, WindowRoundRobin, WindowFirstFree} {
+		p := buildFPPressure(24)
+		if err := ir.Verify(p); err != nil {
+			t.Fatal(err)
+		}
+		conv := convFor(16)
+		pa := regalloc.Allocate(p, regalloc.RC, conv, 0)
+		mp, err := Lower(p, pa, Config{Conv: conv, Mode: regalloc.RC,
+			Model: core.WriteResetReadUpdate, CombineConnects: true, Windows: pol})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if mp.FindFunc("main").ConnectCount == 0 {
+			t.Errorf("%v: no connects", pol)
+		}
+		if pol.String() == "policy?" {
+			t.Errorf("missing String for %d", pol)
+		}
+	}
+}
+
+func convFor(m int) *abi.Conventions {
+	return abi.New(64, 256, m, 256)
+}

@@ -1,0 +1,299 @@
+package codegen
+
+import (
+	"fmt"
+
+	"regconn/internal/abi"
+	"regconn/internal/analysis"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+	"regconn/internal/regalloc"
+)
+
+// Lower translates the allocated program to machine code. It appends a
+// synthetic "__start" function (call main, halt) and returns the machine
+// program. The program must contain a parameterless "main".
+func Lower(p *ir.Program, pa *regalloc.ProgramAssignment, cfg Config) (*MProg, error) {
+	if f := p.Func("main"); f == nil || len(f.Params) != 0 {
+		return nil, fmt.Errorf("codegen: program needs a parameterless main")
+	}
+	gidx := globalIndex(p)
+	reach := callReachability(p)
+	mp := &MProg{Entry: "__start", IR: p}
+	start := &MFunc{Name: "__start"}
+	start.Code = []isa.Instr{
+		{Op: isa.CALL, Sym: "main"},
+		{Op: isa.HALT},
+	}
+	start.Ann = []Annot{
+		{PDst: NoPhys, PA: NoPhys, PB: NoPhys},
+		{PDst: NoPhys, PA: NoPhys, PB: NoPhys},
+	}
+	mp.Funcs = append(mp.Funcs, start)
+	for _, f := range p.Funcs {
+		mf, err := lowerFunc(f, pa.ByFunc[f], cfg, gidx, reach)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: %s: %w", f.Name, err)
+		}
+		mp.Funcs = append(mp.Funcs, mf)
+	}
+	return mp, nil
+}
+
+// callReachability returns, per function name, the set of functions
+// transitively reachable through calls. A call from F to G is recursive —
+// requiring caller saves even on the idealized unlimited-register machine,
+// whose register assignment is only disjoint across *distinct* functions —
+// when F is reachable from G.
+func callReachability(p *ir.Program) map[string]map[string]bool {
+	direct := map[string]map[string]bool{}
+	for _, f := range p.Funcs {
+		set := map[string]bool{}
+		for _, b := range f.Blocks {
+			for j := range b.Instrs {
+				if b.Instrs[j].Op == isa.CALL {
+					set[b.Instrs[j].Sym] = true
+				}
+			}
+		}
+		direct[f.Name] = set
+	}
+	reach := map[string]map[string]bool{}
+	for name := range direct {
+		seen := map[string]bool{}
+		stack := []string{name}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for callee := range direct[cur] {
+				if !seen[callee] {
+					seen[callee] = true
+					stack = append(stack, callee)
+				}
+			}
+		}
+		reach[name] = seen
+	}
+	return reach
+}
+
+// lowerer carries per-function lowering state.
+type lowerer struct {
+	f     *ir.Func
+	a     *regalloc.Assignment
+	cfg   Config
+	e     *emitter
+	mf    *MFunc
+	gidx  map[string]int32
+	ch    *chains
+	reach map[string]map[string]bool
+
+	// Frame layout (offsets from SP after the prologue):
+	calleeSlotInt map[int]int64 // callee-save int reg -> frame offset
+	calleeSlotFP  map[int]int64
+	spillBase     int64 // first spill slot offset
+	extSlot       map[isa.Reg]int64
+	frameSize     int64
+
+	// extLiveAcross[callSiteID] lists ext-allocated vregs live across it.
+	extLiveAcross map[*isa.Instr][]isa.Reg
+
+	blockStart []int
+	fixups     []fixup
+}
+
+type fixup struct {
+	codeIdx int
+	irBlock int
+}
+
+func lowerFunc(f *ir.Func, a *regalloc.Assignment, cfg Config, gidx map[string]int32, reach map[string]map[string]bool) (*MFunc, error) {
+	if a == nil {
+		return nil, fmt.Errorf("no assignment")
+	}
+	mf := &MFunc{Name: f.Name}
+	lw := &lowerer{
+		f: f, a: a, cfg: cfg, mf: mf, gidx: gidx, reach: reach,
+		ch:            buildChains(f),
+		calleeSlotInt: map[int]int64{},
+		calleeSlotFP:  map[int]int64{},
+		extSlot:       map[isa.Reg]int64{},
+		extLiveAcross: map[*isa.Instr][]isa.Reg{},
+		blockStart:    make([]int, len(f.Blocks)),
+	}
+	lw.e = newEmitter(cfg, mf)
+	lw.layoutFrame()
+	lw.prologue()
+	for bi, b := range f.Blocks {
+		lw.blockStart[bi] = len(mf.Code)
+		lw.e.resetTables() // block boundary: runtime window state unknown
+		for j := range b.Instrs {
+			if err := lw.lowerInstr(b, &b.Instrs[j]); err != nil {
+				return nil, fmt.Errorf(".T%d[%d] %v: %w", bi, j, &b.Instrs[j], err)
+			}
+		}
+	}
+	// Resolve branch targets to code offsets.
+	for _, fx := range lw.fixups {
+		mf.Code[fx.codeIdx].Target = lw.blockStart[fx.irBlock]
+	}
+	return mf, nil
+}
+
+// layoutFrame computes frame offsets. Layout (from SP upward after the
+// prologue): callee-save area, spill slots, extended save slots.
+func (lw *lowerer) layoutFrame() {
+	off := int64(0)
+	for _, c := range lw.a.UsedCalleeSaveInt {
+		lw.calleeSlotInt[c] = off
+		off += abi.WordSize
+	}
+	for _, c := range lw.a.UsedCalleeSaveFP {
+		lw.calleeSlotFP[c] = off
+		off += abi.WordSize
+	}
+	lw.spillBase = off
+	off += int64(lw.a.SpillSlots) * abi.WordSize
+
+	// Extended registers live across calls need caller save slots.
+	cfgAnalysis := analysis.BuildCFG(lw.f)
+	lv := analysis.ComputeLiveness(lw.f, cfgAnalysis)
+	ids := lv.IDs
+	for bi, b := range lw.f.Blocks {
+		lv.ForEachLivePoint(lw.f, bi, func(j int, liveAfter analysis.BitSet) {
+			in := &b.Instrs[j]
+			if in.Op != isa.CALL {
+				return
+			}
+			var acc []isa.Reg
+			recursive := lw.reach[in.Sym][lw.f.Name]
+			liveAfter.ForEach(func(id int) {
+				r := ids.Reg(id)
+				if d := in.Def(); d.Valid() && d == r {
+					return // defined by the call itself
+				}
+				loc, ok := lw.a.Loc[r]
+				if !ok || loc.Kind != regalloc.LocReg {
+					return
+				}
+				switch {
+				case lw.cfg.Mode == regalloc.RC && lw.cfg.Conv.Of(r.Class).IsExtended(loc.N):
+					// Extended registers are caller-save (Figure 9).
+					acc = append(acc, r)
+				case lw.cfg.Mode == regalloc.Unlimited && recursive:
+					// The idealized machine's disjoint assignment only
+					// holds across distinct functions; recursion needs
+					// real caller saves.
+					acc = append(acc, r)
+				}
+			})
+			lw.extLiveAcross[in] = acc
+			for _, r := range acc {
+				if _, ok := lw.extSlot[r]; !ok {
+					lw.extSlot[r] = off
+					off += abi.WordSize
+				}
+			}
+		})
+	}
+	lw.frameSize = off
+	lw.mf.FrameSize = off
+}
+
+func (lw *lowerer) spillOff(slot int) int64 {
+	return lw.spillBase + int64(slot)*abi.WordSize
+}
+
+// argSlotOff returns the frame offset of incoming argument i.
+func (lw *lowerer) argSlotOff(i int) int64 {
+	return lw.frameSize + abi.RetAddrWords*abi.WordSize + int64(i)*abi.WordSize
+}
+
+const spReg = isa.RegSP
+
+func stackAnn(off int64) Annot {
+	return Annot{
+		PDst: NoPhys, PA: spReg, PB: NoPhys,
+		MemRootKind: RootStack, MemRoot: 0, MemRootPhys: NoPhys,
+		MemOff: off, MemOffKnown: true,
+	}
+}
+
+// prologue emits frame setup, callee-save stores, and parameter loads.
+func (lw *lowerer) prologue() {
+	e := lw.e
+	if lw.frameSize > 0 {
+		e.beginInstr()
+		e.emit(isa.Instr{Op: isa.SUB, Dst: isa.IntReg(spReg), A: isa.IntReg(spReg), Imm: lw.frameSize, UseImm: true},
+			Annot{PDst: spReg, PA: spReg, PB: NoPhys})
+	}
+	for _, c := range lw.a.UsedCalleeSaveInt {
+		e.beginInstr()
+		ann := stackAnn(lw.calleeSlotInt[c])
+		ann.PB = int32(c)
+		e.emit(isa.Instr{Op: isa.ST, A: isa.IntReg(spReg), B: isa.IntReg(c), Imm: lw.calleeSlotInt[c]}, ann)
+	}
+	for _, c := range lw.a.UsedCalleeSaveFP {
+		e.beginInstr()
+		ann := stackAnn(lw.calleeSlotFP[c])
+		ann.PB = int32(c)
+		e.emit(isa.Instr{Op: isa.FST, A: isa.IntReg(spReg), B: isa.FloatReg(c), Imm: lw.calleeSlotFP[c]}, ann)
+	}
+	// Parameter loads.
+	for i, p := range lw.f.Params {
+		loc, ok := lw.a.Loc[p]
+		if !ok {
+			continue // unreferenced parameter
+		}
+		off := lw.argSlotOff(i)
+		switch loc.Kind {
+		case regalloc.LocReg:
+			lw.loadWord(p.Class, loc.N, spReg, off, stackAnn(off))
+		case regalloc.LocSpill:
+			e.beginInstr()
+			t := e.takeTemp(p.Class)
+			op, sop := isa.LD, isa.ST
+			if p.Class == isa.ClassFloat {
+				op, sop = isa.FLD, isa.FST
+			}
+			ann := stackAnn(off)
+			ann.PDst = int32(t)
+			e.emit(isa.Instr{Op: op, Dst: isa.Reg{Class: p.Class, N: t}, A: isa.IntReg(spReg), Imm: off}, ann)
+			e.noteWrite(p.Class, t)
+			sann := stackAnn(lw.spillOff(loc.N))
+			sann.PB = int32(t)
+			e.emit(isa.Instr{Op: sop, A: isa.IntReg(spReg), B: isa.Reg{Class: p.Class, N: t}, Imm: lw.spillOff(loc.N)}, sann)
+			lw.mf.SpillCount++
+		}
+	}
+}
+
+// loadWord emits a load of one word into physical register phys (handling
+// extended destinations via connect windows).
+func (lw *lowerer) loadWord(class isa.RegClass, phys, base int, off int64, ann Annot) {
+	e := lw.e
+	e.beginInstr()
+	idx := e.defIdx(class, phys)
+	e.flushConnects()
+	op := isa.LD
+	if class == isa.ClassFloat {
+		op = isa.FLD
+	}
+	ann.PDst = int32(phys)
+	e.emit(isa.Instr{Op: op, Dst: isa.Reg{Class: class, N: idx}, A: isa.IntReg(base), Imm: off}, ann)
+	e.noteWrite(class, idx)
+}
+
+// storeWord emits a store of physical register phys to base+off.
+func (lw *lowerer) storeWord(class isa.RegClass, phys, base int, off int64, ann Annot) {
+	e := lw.e
+	e.beginInstr()
+	idx := e.useIdx(class, phys)
+	e.flushConnects()
+	op := isa.ST
+	if class == isa.ClassFloat {
+		op = isa.FST
+	}
+	ann.PB = int32(phys)
+	e.emit(isa.Instr{Op: op, A: isa.IntReg(base), B: isa.Reg{Class: class, N: idx}, Imm: off}, ann)
+}

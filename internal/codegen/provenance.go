@@ -1,0 +1,94 @@
+package codegen
+
+import (
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// Memory disambiguation works on (root, offset) facts: an access's address
+// is root + offset where the chain from root to the base register passes
+// only through single-definition registers (so the fact is flow-
+// insensitively sound). Two accesses are independent when their roots are
+// provably distinct objects (different globals, global vs stack) or share
+// the same root register value with different offsets. Sharing "the same
+// root register value" is only certain if no definition of the root's
+// physical register occurs between the two instructions — a check the
+// scheduler performs within its region (see package sched).
+
+// chains precomputes per-virtual-register single-definition facts.
+type chains struct {
+	defCount []int
+	defInstr []*isa.Instr // the unique defining instruction when defCount==1
+}
+
+func buildChains(f *ir.Func) *chains {
+	c := &chains{
+		defCount: make([]int, f.NextInt),
+		defInstr: make([]*isa.Instr, f.NextInt),
+	}
+	for _, b := range f.Blocks {
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			d := in.Def()
+			if d.Valid() && d.Class == isa.ClassInt {
+				c.defCount[d.N]++
+				c.defInstr[d.N] = in
+			}
+		}
+	}
+	// Parameters are defined at entry (count as a definition).
+	for _, p := range f.Params {
+		if p.Class == isa.ClassInt {
+			c.defCount[p.N]++
+			c.defInstr[p.N] = nil
+		}
+	}
+	return c
+}
+
+// addrProv resolves the provenance of base+off for a memory access.
+// globalIdx maps global names to dense ids.
+func (c *chains) addrProv(base isa.Reg, off int64, globalIdx map[string]int32) (kind RootKind, root int32, totalOff int64, known bool, rootVReg isa.Reg) {
+	r := base
+	total := off
+	for steps := 0; steps < 64; steps++ {
+		if r.N >= len(c.defCount) || c.defCount[r.N] != 1 || c.defInstr[r.N] == nil {
+			// Multiple or unknown definitions: the register itself is the
+			// root; the accumulated offset is still exact relative to it.
+			return RootOpaque, int32(r.N), total, true, r
+		}
+		in := c.defInstr[r.N]
+		switch {
+		case in.Op == isa.LGA:
+			gi, ok := globalIdx[in.Sym]
+			if !ok {
+				return RootUnknown, 0, 0, false, isa.Reg{}
+			}
+			return RootGlobal, gi, total + in.Imm, true, isa.Reg{}
+		case in.Op == isa.MOV:
+			r = in.A
+		case in.Op == isa.ADD && in.UseImm:
+			total += in.Imm
+			r = in.A
+		case in.Op == isa.SUB && in.UseImm:
+			total -= in.Imm
+			r = in.A
+		case in.Op == isa.MOVI:
+			// Absolute address: not produced by well-formed programs for
+			// memory bases; treat as unknown.
+			return RootUnknown, 0, 0, false, isa.Reg{}
+		default:
+			return RootOpaque, int32(r.N), total, true, r
+		}
+	}
+	return RootUnknown, 0, 0, false, isa.Reg{}
+}
+
+// globalIndex builds the dense global-name index for a program.
+func globalIndex(p *ir.Program) map[string]int32 {
+	m := make(map[string]int32, len(p.Globals))
+	for i, g := range p.Globals {
+		m[g.Name] = int32(i)
+	}
+	return m
+}

@@ -1,0 +1,135 @@
+// Package codegen lowers allocated IR to machine code: it rewrites virtual
+// registers to physical map indices, inserts spill code (without-RC) or
+// connect instructions (with-RC, paper §3), expands the calling convention,
+// and emits prologue/epilogue including caller save/restore of extended
+// registers around calls (§4.1, the black bars of Figure 9).
+//
+// The with-RC path drives a compile-time core.MapTable — the same hardware
+// model the simulator executes — as the "emulation of the register mapping
+// table" the paper describes in §3. Because the emulator's table has
+// exactly the machine's semantics (including the automatic-reset model's
+// side effects), the generated connect placement is correct by
+// construction for every RC model.
+package codegen
+
+import (
+	"regconn/internal/abi"
+	"regconn/internal/core"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+	"regconn/internal/regalloc"
+)
+
+// Config selects the lowering strategy.
+type Config struct {
+	Conv  *abi.Conventions
+	Mode  regalloc.Mode
+	Model core.Model // RC automatic-reset model (RC mode only)
+
+	// CombineConnects enables the two-pair connect instructions
+	// (connect-use-use / def-use / def-def); the paper's experiments use
+	// them (footnote 1). When false, only single-pair connects are
+	// emitted (Ablation B).
+	CombineConnects bool
+
+	// Windows selects how the code generator picks the map entry for an
+	// extended-register access — §3 notes the choice is arbitrary for
+	// correctness but matters for the artificial dependences it creates.
+	Windows WindowPolicy
+}
+
+// WindowPolicy is the connect-window selection strategy.
+type WindowPolicy uint8
+
+const (
+	// WindowLRU evicts the least-recently-used window (default): reuses
+	// cached connections and spreads map-entry dependences.
+	WindowLRU WindowPolicy = iota
+	// WindowRoundRobin cycles through the windows regardless of use.
+	WindowRoundRobin
+	// WindowFirstFree always picks the lowest-numbered free window,
+	// serializing accesses through one map entry.
+	WindowFirstFree
+)
+
+func (w WindowPolicy) String() string {
+	switch w {
+	case WindowLRU:
+		return "lru"
+	case WindowRoundRobin:
+		return "round-robin"
+	case WindowFirstFree:
+		return "first-free"
+	}
+	return "policy?"
+}
+
+// RootKind classifies a memory address's provenance for the scheduler's
+// alias analysis.
+type RootKind uint8
+
+const (
+	RootUnknown RootKind = iota
+	RootGlobal           // a named global; Root is the global's index
+	RootStack            // frame-relative (codegen-inserted spill/arg traffic)
+	RootOpaque           // some register value; Root is a virtual reg id
+)
+
+// Annot carries compiler-known facts about one machine instruction for the
+// scheduler: resolved physical registers (the map indices in the
+// instruction are not the truth under RC) and memory provenance.
+type Annot struct {
+	PDst int32 // physical destination register, -1 if none
+	PA   int32 // physical first source, -1 if none
+	PB   int32 // physical second source, -1 if none
+
+	MemRootKind RootKind
+	MemRoot     int32 // global index / virtual reg id
+	MemRootPhys int32 // physical register holding the root value (RootOpaque), else -1
+	MemOff      int64 // byte offset from the root
+	MemOffKnown bool
+}
+
+// NoPhys marks an absent physical operand.
+const NoPhys = -1
+
+// MFunc is one lowered machine function. Branch targets in Code are local
+// instruction indices; the loader (package machine) resolves them and CALL
+// symbols to absolute addresses.
+type MFunc struct {
+	Name      string
+	Code      []isa.Instr
+	Ann       []Annot
+	FrameSize int64
+
+	// Static instruction counts for the Figure 9 code-size series.
+	ConnectCount     int // connect instructions inserted
+	SaveRestoreCount int // extended-register save/restore around calls
+	SpillCount       int // spill loads/stores (without-RC)
+}
+
+// MProg is a lowered machine program.
+type MProg struct {
+	Funcs []*MFunc
+	Entry string // start function (calls main, then halts)
+	IR    *ir.Program
+}
+
+// FindFunc returns the machine function with the given name, or nil.
+func (mp *MProg) FindFunc(name string) *MFunc {
+	for _, f := range mp.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// StaticSize returns the total static instruction count of the program.
+func (mp *MProg) StaticSize() int {
+	n := 0
+	for _, f := range mp.Funcs {
+		n += len(f.Code)
+	}
+	return n
+}

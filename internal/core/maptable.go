@@ -1,0 +1,224 @@
+// Package core implements the paper's primary contribution: the register
+// mapping table that realizes Register Connection (RC).
+//
+// The base architecture addresses m registers per class; the extended
+// architecture provides n > m physical registers. Every register operand is
+// an index into an m-entry mapping table whose entries each hold a *read
+// map* and a *write map* (paper §2.1): source operands are redirected
+// through the read map, destinations through the write map. The connect
+// instructions (§2.2) rewrite map entries; the four automatic-reset models
+// (§2.3, Figure 3) additionally adjust the maps as a side effect of every
+// register write. CALL/RET reset the table to home locations (§4.1), and an
+// enable flag lets trap handlers bypass the table entirely (§4.3).
+package core
+
+import "fmt"
+
+// Model selects one of the four automatic register-connection models of
+// paper §2.3 (Figure 3). All models alter only the mapping entry of the
+// destination index, and only as a side effect of a register write.
+type Model uint8
+
+const (
+	// NoReset (model 1): the mapping table changes only via explicit
+	// connect instructions.
+	NoReset Model = iota + 1
+
+	// WriteReset (model 2): after a write through index i, the write map
+	// of i resets to the home location. Reading the written value still
+	// requires an explicit connect-use.
+	WriteReset
+
+	// WriteResetReadUpdate (model 3, the model evaluated in the paper):
+	// after a write through index i, the read map of i is set to the old
+	// write map (so subsequent reads see the written value) and the write
+	// map resets to the home location.
+	WriteResetReadUpdate
+
+	// ReadWriteReset (model 4): after a write through index i, both maps
+	// of i reset to the home location.
+	ReadWriteReset
+)
+
+func (m Model) String() string {
+	switch m {
+	case NoReset:
+		return "no-reset"
+	case WriteReset:
+		return "write-reset"
+	case WriteResetReadUpdate:
+		return "write-reset+read-update"
+	case ReadWriteReset:
+		return "read/write-reset"
+	}
+	return fmt.Sprintf("model(%d)", uint8(m))
+}
+
+// Valid reports whether m is one of the four defined models.
+func (m Model) Valid() bool { return m >= NoReset && m <= ReadWriteReset }
+
+// MapTable is the register mapping table for one register class. The zero
+// value is not usable; construct with NewMapTable.
+type MapTable struct {
+	model   Model
+	m       int // addressable indices (core registers)
+	n       int // physical registers, n >= m
+	read    []uint16
+	write   []uint16
+	enabled bool
+}
+
+// NewMapTable returns a table with m addressable indices over n physical
+// registers, all entries at their home locations, mapping enabled, using
+// the given automatic-reset model. It panics if the geometry is invalid:
+// the table is hardware, and a malformed machine is a programming error.
+func NewMapTable(model Model, m, n int) *MapTable {
+	if !model.Valid() {
+		panic(fmt.Sprintf("core: invalid model %d", model))
+	}
+	if m <= 0 || n < m || n > 1<<16 {
+		panic(fmt.Sprintf("core: invalid geometry m=%d n=%d", m, n))
+	}
+	t := &MapTable{model: model, m: m, n: n,
+		read: make([]uint16, m), write: make([]uint16, m), enabled: true}
+	t.Reset()
+	return t
+}
+
+// Model returns the automatic-reset model the table was built with.
+func (t *MapTable) Model() Model { return t.model }
+
+// Core returns m, the number of addressable indices (core registers).
+func (t *MapTable) Core() int { return t.m }
+
+// Phys returns n, the total number of physical registers.
+func (t *MapTable) Phys() int { return t.n }
+
+// Reset restores every entry to its home location (read i -> i,
+// write i -> i). Hardware performs this at power-up and on CALL/RET
+// (paper §4.1).
+func (t *MapTable) Reset() {
+	for i := range t.read {
+		t.read[i] = uint16(i)
+		t.write[i] = uint16(i)
+	}
+}
+
+// Enabled reports whether mapping is enabled. When disabled (trap/interrupt
+// entry, §4.3), all accesses go directly to the core registers.
+func (t *MapTable) Enabled() bool { return t.enabled }
+
+// SetEnabled sets the register-map enable flag of the processor status word.
+func (t *MapTable) SetEnabled(on bool) { t.enabled = on }
+
+// ConnectUse sets the read map of idx to phys: all subsequent reads through
+// idx are redirected to phys (connect-use, §2.2).
+func (t *MapTable) ConnectUse(idx, phys int) {
+	t.check(idx, phys)
+	t.read[idx] = uint16(phys)
+}
+
+// ConnectDef sets the write map of idx to phys: all subsequent writes
+// through idx are redirected to phys (connect-def, §2.2).
+func (t *MapTable) ConnectDef(idx, phys int) {
+	t.check(idx, phys)
+	t.write[idx] = uint16(phys)
+}
+
+// ReadPhys returns the physical register accessed when idx is used as a
+// source operand.
+func (t *MapTable) ReadPhys(idx int) int {
+	t.checkIdx(idx)
+	if !t.enabled {
+		return idx
+	}
+	return int(t.read[idx])
+}
+
+// WritePhys returns the physical register accessed when idx is used as a
+// destination operand. It does not apply the automatic reset; call
+// NoteWrite once the write has architecturally happened.
+func (t *MapTable) WritePhys(idx int) int {
+	t.checkIdx(idx)
+	if !t.enabled {
+		return idx
+	}
+	return int(t.write[idx])
+}
+
+// NoteWrite applies the automatic-reset side effect of a completed register
+// write through idx, per the table's model (§2.3). It returns the physical
+// register the write went to.
+func (t *MapTable) NoteWrite(idx int) int {
+	t.checkIdx(idx)
+	if !t.enabled {
+		return idx
+	}
+	phys := t.write[idx]
+	switch t.model {
+	case NoReset:
+		// maps unchanged
+	case WriteReset:
+		t.write[idx] = uint16(idx)
+	case WriteResetReadUpdate:
+		t.read[idx] = phys
+		t.write[idx] = uint16(idx)
+	case ReadWriteReset:
+		t.read[idx] = uint16(idx)
+		t.write[idx] = uint16(idx)
+	}
+	return int(phys)
+}
+
+// ReadMap and WriteMap return copies of the current maps (for context
+// switching, §4.2, and for tests).
+func (t *MapTable) ReadMap() []uint16  { return append([]uint16(nil), t.read...) }
+func (t *MapTable) WriteMap() []uint16 { return append([]uint16(nil), t.write...) }
+
+// AtHome reports whether every entry of both maps is at its home location.
+func (t *MapTable) AtHome() bool {
+	for i := range t.read {
+		if t.read[i] != uint16(i) || t.write[i] != uint16(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Context is the saved connection state of one mapping table, the extra
+// process state an RC-aware operating system preserves across context
+// switches (paper §4.2).
+type Context struct {
+	Read, Write []uint16
+	Enabled     bool
+}
+
+// SaveContext captures the connection state.
+func (t *MapTable) SaveContext() Context {
+	return Context{Read: t.ReadMap(), Write: t.WriteMap(), Enabled: t.enabled}
+}
+
+// RestoreContext restores connection state saved by SaveContext. It panics
+// if the context geometry does not match the table.
+func (t *MapTable) RestoreContext(c Context) {
+	if len(c.Read) != t.m || len(c.Write) != t.m {
+		panic(fmt.Sprintf("core: context geometry %d/%d does not match table m=%d",
+			len(c.Read), len(c.Write), t.m))
+	}
+	copy(t.read, c.Read)
+	copy(t.write, c.Write)
+	t.enabled = c.Enabled
+}
+
+func (t *MapTable) checkIdx(idx int) {
+	if idx < 0 || idx >= t.m {
+		panic(fmt.Sprintf("core: map index %d out of range [0,%d)", idx, t.m))
+	}
+}
+
+func (t *MapTable) check(idx, phys int) {
+	t.checkIdx(idx)
+	if phys < 0 || phys >= t.n {
+		panic(fmt.Sprintf("core: physical register %d out of range [0,%d)", phys, t.n))
+	}
+}

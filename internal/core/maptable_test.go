@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMapTableStartsAtHome(t *testing.T) {
+	tab := NewMapTable(WriteResetReadUpdate, 8, 256)
+	if !tab.AtHome() {
+		t.Fatal("fresh table not at home")
+	}
+	for i := 0; i < 8; i++ {
+		if tab.ReadPhys(i) != i || tab.WritePhys(i) != i {
+			t.Errorf("index %d not at home", i)
+		}
+	}
+	if tab.Core() != 8 || tab.Phys() != 256 {
+		t.Errorf("geometry = %d/%d", tab.Core(), tab.Phys())
+	}
+}
+
+func TestConnectUseDef(t *testing.T) {
+	tab := NewMapTable(NoReset, 4, 12)
+	tab.ConnectUse(2, 10)
+	tab.ConnectDef(3, 7)
+	if tab.ReadPhys(2) != 10 {
+		t.Errorf("read map 2 = %d, want 10", tab.ReadPhys(2))
+	}
+	if tab.WritePhys(3) != 7 {
+		t.Errorf("write map 3 = %d, want 7", tab.WritePhys(3))
+	}
+	// Paper Figure 2: connects redirect an add's operands.
+	// connect_use ri2,rp10; connect_use ri3,rp7 (as def there);
+	// reads via 2 go to 10, write via 3 goes to 7.
+	if tab.ReadPhys(0) != 0 || tab.WritePhys(2) != 2 {
+		t.Error("unrelated entries must stay at home")
+	}
+}
+
+// TestModelSemantics encodes Figure 3 of the paper: the state of the map
+// entry after "write via Rix" under each model, starting from
+// read=a, write=b (both diverted).
+func TestModelSemantics(t *testing.T) {
+	const (
+		idx  = 1
+		a    = 9  // initial read map
+		b    = 10 // initial write map
+		home = idx
+	)
+	cases := []struct {
+		model               Model
+		wantRead, wantWrite int
+	}{
+		{NoReset, a, b},
+		{WriteReset, a, home},
+		{WriteResetReadUpdate, b, home},
+		{ReadWriteReset, home, home},
+	}
+	for _, c := range cases {
+		tab := NewMapTable(c.model, 4, 16)
+		tab.ConnectUse(idx, a)
+		tab.ConnectDef(idx, b)
+		phys := tab.NoteWrite(idx)
+		if phys != b {
+			t.Errorf("%v: write went to %d, want %d", c.model, phys, b)
+		}
+		if got := tab.ReadPhys(idx); got != c.wantRead {
+			t.Errorf("%v: read map after write = %d, want %d", c.model, got, c.wantRead)
+		}
+		if got := tab.WritePhys(idx); got != c.wantWrite {
+			t.Errorf("%v: write map after write = %d, want %d", c.model, got, c.wantWrite)
+		}
+	}
+}
+
+// TestModel3PaperExample reproduces the code sequence of paper §3: after a
+// connect-def and a write, reads see the written location without an extra
+// connect-use.
+func TestModel3PaperExample(t *testing.T) {
+	tab := NewMapTable(WriteResetReadUpdate, 8, 256)
+	// connect_use Ri6,Rp9 ; (1) Ri2 += Ri6
+	tab.ConnectUse(6, 9)
+	if tab.ReadPhys(6) != 9 {
+		t.Fatal("Ri6 reads must reach Rp9")
+	}
+	tab.NoteWrite(2) // instruction 1 writes Ri2 (home)
+	// connect_def Ri7,Rp10 ; (2) Ri7 = Ri3 + 1
+	tab.ConnectDef(7, 10)
+	if got := tab.WritePhys(7); got != 10 {
+		t.Fatalf("Ri7 write map = %d, want 10", got)
+	}
+	tab.NoteWrite(7)
+	// (3) Ri4 = Ri7 + Ri5: no connect-use needed — the read map of Ri7
+	// was set to Rp10 by the write side effect.
+	if got := tab.ReadPhys(7); got != 10 {
+		t.Errorf("Ri7 read map after write = %d, want 10 (model 3 side effect)", got)
+	}
+	if got := tab.WritePhys(7); got != 7 {
+		t.Errorf("Ri7 write map after write = %d, want home 7", got)
+	}
+}
+
+func TestResetAndCALLSemantics(t *testing.T) {
+	tab := NewMapTable(WriteResetReadUpdate, 8, 64)
+	tab.ConnectUse(5, 30)
+	tab.ConnectDef(6, 31)
+	if tab.AtHome() {
+		t.Fatal("table should be diverted")
+	}
+	tab.Reset() // jsr/rts behaviour, paper §4.1
+	if !tab.AtHome() {
+		t.Fatal("reset did not restore home mapping")
+	}
+}
+
+func TestEnableFlagBypassesMap(t *testing.T) {
+	tab := NewMapTable(WriteResetReadUpdate, 8, 64)
+	tab.ConnectUse(3, 40)
+	tab.SetEnabled(false) // trap entry, paper §4.3
+	if tab.ReadPhys(3) != 3 {
+		t.Error("disabled map must read core registers directly")
+	}
+	if tab.NoteWrite(3) != 3 {
+		t.Error("disabled map must write core registers directly")
+	}
+	tab.SetEnabled(true) // return from exception restores the PSW
+	if tab.ReadPhys(3) != 40 {
+		t.Error("re-enabled map lost connection state")
+	}
+}
+
+func TestContextSaveRestore(t *testing.T) {
+	tab := NewMapTable(NoReset, 8, 64)
+	tab.ConnectUse(2, 20)
+	tab.ConnectDef(4, 21)
+	ctx := tab.SaveContext()
+	tab.Reset()
+	tab.ConnectUse(2, 33)
+	tab.RestoreContext(ctx)
+	if tab.ReadPhys(2) != 20 || tab.WritePhys(4) != 21 {
+		t.Error("context restore did not reproduce connection state")
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("bad model", func() { NewMapTable(Model(9), 8, 64) })
+	mustPanic("n<m", func() { NewMapTable(NoReset, 8, 4) })
+	mustPanic("m=0", func() { NewMapTable(NoReset, 0, 4) })
+	tab := NewMapTable(NoReset, 8, 64)
+	mustPanic("idx range", func() { tab.ReadPhys(8) })
+	mustPanic("phys range", func() { tab.ConnectUse(0, 64) })
+	mustPanic("ctx geometry", func() { tab.RestoreContext(Context{Read: make([]uint16, 4), Write: make([]uint16, 4)}) })
+}
+
+// Property: under any sequence of connects and writes, (1) every map entry
+// stays within [0, n); (2) with the map disabled accesses are identity;
+// (3) Reset always restores home; (4) upward compatibility — a trace with
+// no connects on models 2-4 keeps the table at home forever (an original-
+// architecture binary behaves as if there were no extended registers).
+func TestQuickMapInvariants(t *testing.T) {
+	f := func(seed int64, modelSel uint8, ops []uint8) bool {
+		model := Model(modelSel%4 + 1)
+		const m, n = 8, 64
+		tab := NewMapTable(model, m, n)
+		rng := rand.New(rand.NewSource(seed))
+		for _, o := range ops {
+			idx := rng.Intn(m)
+			phys := rng.Intn(n)
+			switch o % 3 {
+			case 0:
+				tab.ConnectUse(idx, phys)
+			case 1:
+				tab.ConnectDef(idx, phys)
+			case 2:
+				tab.NoteWrite(idx)
+			}
+			for i := 0; i < m; i++ {
+				if r := tab.ReadPhys(i); r < 0 || r >= n {
+					return false
+				}
+				if w := tab.WritePhys(i); w < 0 || w >= n {
+					return false
+				}
+			}
+		}
+		tab.Reset()
+		return tab.AtHome()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUpwardCompatibility(t *testing.T) {
+	// A binary compiled for the original architecture executes no connect
+	// instructions; under every model, writes must keep all maps at home.
+	f := func(writes []uint8) bool {
+		for _, model := range []Model{NoReset, WriteReset, WriteResetReadUpdate, ReadWriteReset} {
+			tab := NewMapTable(model, 8, 256)
+			for _, w := range writes {
+				idx := int(w) % 8
+				if tab.NoteWrite(idx) != idx {
+					return false
+				}
+				if !tab.AtHome() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	for _, m := range []Model{NoReset, WriteReset, WriteResetReadUpdate, ReadWriteReset} {
+		if !m.Valid() {
+			t.Errorf("%v invalid", m)
+		}
+		if m.String() == "" {
+			t.Errorf("model %d has empty name", m)
+		}
+	}
+	if Model(0).Valid() || Model(5).Valid() {
+		t.Error("invalid models accepted")
+	}
+}

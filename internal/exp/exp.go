@@ -1,0 +1,311 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (§5.3): Figure 7 (unlimited-register speedups by issue rate), Figure 8
+// (speedup vs core register count), Figure 9 (code-size increase), Figures
+// 10/11 (speedup vs issue rate at 2- and 4-cycle load latency), Figure 12
+// (RC implementation scenarios), Figure 13 (memory channels vs RC), plus
+// Table 1 (latencies) and two ablations (§2.2 combined connects, §2.3
+// automatic-reset models). Each experiment returns a Table whose rows are
+// benchmarks and whose columns are the paper's series.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"regconn"
+	"regconn/internal/bench"
+)
+
+// Result is one simulated data point.
+type Result struct {
+	Cycles   int64
+	Instrs   int64
+	Connects int64
+	Growth   float64 // fractional code-size increase (Figure 9)
+	SaveRest float64 // save/restore share of growth (Figure 9 black bar)
+}
+
+// Runner executes benchmark/architecture pairs with memoization — the
+// baseline run of each benchmark is shared by every figure.
+type Runner struct {
+	mu    sync.Mutex
+	cache map[string]*Result
+
+	// Benchmarks restricts the suite (nil = all twelve).
+	Benchmarks []bench.Benchmark
+}
+
+// NewRunner returns a Runner over the full suite.
+func NewRunner() *Runner {
+	return &Runner{cache: map[string]*Result{}, Benchmarks: bench.All()}
+}
+
+// NewQuickRunner returns a Runner over a reduced suite (one call-heavy
+// integer, one loop integer, one FP benchmark) for fast smoke runs.
+func NewQuickRunner() *Runner {
+	r := NewRunner()
+	var keep []bench.Benchmark
+	for _, b := range bench.All() {
+		switch b.Name {
+		case "cpp", "espresso", "matrix300":
+			keep = append(keep, b)
+		}
+	}
+	r.Benchmarks = keep
+	return r
+}
+
+func key(name string, a regconn.Arch) string {
+	return fmt.Sprintf("%s/%+v", name, a)
+}
+
+// Run builds and simulates one benchmark under one architecture, verifying
+// the result against the interpreter oracle.
+func (r *Runner) Run(bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
+	k := key(bm.Name, arch)
+	r.mu.Lock()
+	if c, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return c, nil
+	}
+	r.mu.Unlock()
+
+	ex, err := regconn.Build(bm.Build(), arch)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", bm.Name, err)
+	}
+	res, err := ex.Verify()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", bm.Name, err)
+	}
+	if res.RetInt != bm.Expect {
+		return nil, fmt.Errorf("%s: checksum %d, want %d", bm.Name, res.RetInt, bm.Expect)
+	}
+	out := &Result{
+		Cycles:   res.Cycles,
+		Instrs:   res.Instrs,
+		Connects: res.Connects,
+		Growth:   ex.CodeGrowth(),
+		SaveRest: ex.SaveRestoreGrowth(),
+	}
+	r.mu.Lock()
+	r.cache[k] = out
+	r.mu.Unlock()
+	return out, nil
+}
+
+// BaselineCycles returns the speedup denominator of §5.3 for one
+// benchmark: a single-issue processor with unlimited registers and
+// conventional scalar optimization.
+func (r *Runner) BaselineCycles(bm bench.Benchmark) (int64, error) {
+	res, err := r.Run(bm, regconn.Baseline())
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+// Speedup runs the benchmark under arch and returns baseline/arch cycles.
+func (r *Runner) Speedup(bm bench.Benchmark, arch regconn.Arch) (float64, error) {
+	base, err := r.BaselineCycles(bm)
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.Run(bm, arch)
+	if err != nil {
+		return 0, err
+	}
+	return float64(base) / float64(res.Cycles), nil
+}
+
+// archFor applies the paper's per-class convention (§5.2): integer
+// benchmarks vary the integer core with a fixed 64-entry FP file; FP
+// benchmarks vary the FP core with a fixed 64-entry integer file.
+func archFor(bm bench.Benchmark, core int, base regconn.Arch) regconn.Arch {
+	if bm.FP {
+		base.FPCore = core
+		base.IntCore = 64
+	} else {
+		base.IntCore = core
+		base.FPCore = 64
+	}
+	return base
+}
+
+// IntCores and FPCores are the experimental register-file sizes of §5.2.
+var (
+	IntCores = []int{8, 16, 24, 32, 64}
+	FPCores  = []int{16, 32, 48, 64, 128}
+)
+
+// coresFor returns the core-size axis for a benchmark's class.
+func coresFor(bm bench.Benchmark) []int {
+	if bm.FP {
+		return FPCores
+	}
+	return IntCores
+}
+
+// Table is one reproduced table/figure.
+type Table struct {
+	ID    string // "fig8", "table1", ...
+	Title string
+	Cols  []string
+	Rows  []Row
+	Notes []string
+}
+
+// Row is one table line.
+type Row struct {
+	Name string
+	Vals []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(name string, vals ...float64) {
+	t.Rows = append(t.Rows, Row{name, vals})
+}
+
+// AddMeanRow appends a geometric-mean summary row over the current rows.
+func (t *Table) AddMeanRow() {
+	if len(t.Rows) == 0 {
+		return
+	}
+	n := len(t.Rows[0].Vals)
+	vals := make([]float64, n)
+	for c := 0; c < n; c++ {
+		logSum, cnt := 0.0, 0
+		for _, r := range t.Rows {
+			if c < len(r.Vals) && r.Vals[c] > 0 {
+				logSum += math.Log(r.Vals[c])
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			vals[c] = math.Exp(logSum / float64(cnt))
+		}
+	}
+	t.Rows = append(t.Rows, Row{"geomean", vals})
+}
+
+// CSV renders the table as comma-separated values (header row first) for
+// plotting tools.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("benchmark")
+	for _, c := range t.Cols {
+		sb.WriteByte(',')
+		sb.WriteString(c)
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		sb.WriteString(r.Name)
+		for _, v := range r.Vals {
+			fmt.Fprintf(&sb, ",%.4f", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Format renders the table as aligned ASCII text.
+func (t *Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	w := 8
+	for _, c := range t.Cols {
+		if len(c)+2 > w {
+			w = len(c) + 2
+		}
+	}
+	nameW := 10
+	for _, r := range t.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", nameW+2, "benchmark")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&sb, "%*s", w, c)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", nameW+2+w*len(t.Cols)))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-*s", nameW+2, r.Name)
+		for _, v := range r.Vals {
+			fmt.Fprintf(&sb, "%*.2f", w, v)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Experiments lists every reproducible experiment by id.
+func Experiments() []string {
+	return []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "models", "combined", "windows", "os", "pressure", "accum"}
+}
+
+// Generate dispatches on an experiment id.
+func (r *Runner) Generate(id string) ([]*Table, error) {
+	switch id {
+	case "table1":
+		return []*Table{Table1()}, nil
+	case "fig7":
+		t, err := r.Figure7()
+		return []*Table{t}, err
+	case "fig8":
+		return r.Figure8()
+	case "fig9":
+		return r.Figure9()
+	case "fig10":
+		t, err := r.Figure10()
+		return []*Table{t}, err
+	case "fig11":
+		t, err := r.Figure11()
+		return []*Table{t}, err
+	case "fig12":
+		t, err := r.Figure12()
+		return []*Table{t}, err
+	case "fig13":
+		t, err := r.Figure13()
+		return []*Table{t}, err
+	case "models":
+		t, err := r.AblationModels()
+		return []*Table{t}, err
+	case "combined":
+		t, err := r.AblationCombined()
+		return []*Table{t}, err
+	case "windows":
+		t, err := r.AblationWindows()
+		return []*Table{t}, err
+	case "os":
+		t, err := r.AblationOS()
+		return []*Table{t}, err
+	case "pressure":
+		t, err := r.AblationPressure()
+		return []*Table{t}, err
+	case "accum":
+		t, err := r.AblationAccum()
+		return []*Table{t}, err
+	}
+	ids := strings.Join(Experiments(), ", ")
+	return nil, fmt.Errorf("exp: unknown experiment %q (have: %s)", id, ids)
+}
+
+// sortedBench returns the runner's suite in stable order.
+func (r *Runner) sortedBench() []bench.Benchmark {
+	out := append([]bench.Benchmark(nil), r.Benchmarks...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].FP != out[j].FP {
+			return !out[i].FP
+		}
+		return false // preserve suite order within class
+	})
+	return out
+}

@@ -1,0 +1,353 @@
+package exp
+
+import (
+	"fmt"
+
+	"regconn"
+	"regconn/internal/core"
+	"regconn/internal/isa"
+)
+
+// Table1 reproduces the instruction-latency table (configuration, not
+// measurement).
+func Table1() *Table {
+	l := isa.DefaultLatencies(2)
+	t := &Table{
+		ID:    "table1",
+		Title: "Instruction latencies",
+		Cols:  []string{"latency"},
+		Notes: []string{"memory load latency is the experimental variable: 2 or 4 cycles",
+			"branch is 1 cycle; the 1-slot cost is modeled by static prediction + misprediction flush"},
+	}
+	t.AddRow("INT ALU", float64(l.IntALU))
+	t.AddRow("INT multiply", float64(l.IntMul))
+	t.AddRow("INT divide", float64(l.IntDiv))
+	t.AddRow("FP ALU", float64(l.FPALU))
+	t.AddRow("FP conversion", float64(l.FPConv))
+	t.AddRow("FP multiply", float64(l.FPMul))
+	t.AddRow("FP divide", float64(l.FPDiv))
+	t.AddRow("branch", float64(l.Branch))
+	t.AddRow("memory load", 2)
+	t.AddRow("memory store", float64(l.Store))
+	return t
+}
+
+// Figure7 reproduces the unlimited-register speedups for issue rates
+// 1/2/4/8 with the paper's default memory channels.
+func (r *Runner) Figure7() (*Table, error) {
+	issues := []int{1, 2, 4, 8}
+	t := &Table{
+		ID:    "fig7",
+		Title: "Speedup, unlimited registers, varying issue rate and memory channels",
+		Cols:  []string{"1-issue", "2-issue", "4-issue", "8-issue"},
+		Notes: []string{"2 memory channels for 1/2/4-issue, 4 for 8-issue (§5.2)",
+			"baseline: 1-issue, unlimited registers, scalar optimization only"},
+	}
+	for _, bm := range r.sortedBench() {
+		var vals []float64
+		for _, is := range issues {
+			s, err := r.Speedup(bm, regconn.Arch{Issue: is, LoadLatency: 2, Mode: regconn.Unlimited})
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, s)
+		}
+		t.AddRow(bm.Name, vals...)
+	}
+	t.AddMeanRow()
+	return t, nil
+}
+
+// Figure8 reproduces speedup vs core register count for a 4-issue
+// processor with 2-cycle loads: without-RC and with-RC per size, with the
+// unlimited-register speedup as the dotted-line reference.
+func (r *Runner) Figure8() ([]*Table, error) {
+	var tables []*Table
+	for _, bm := range r.sortedBench() {
+		cores := coresFor(bm)
+		t := &Table{
+			ID:    "fig8",
+			Title: fmt.Sprintf("Speedup vs core registers, 4-issue, 2-cycle load — %s (%s)", bm.Name, bm.Paper),
+			Cols:  []string{"without-RC", "with-RC"},
+		}
+		for _, m := range cores {
+			base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true}
+			noRC, err := r.Speedup(bm, archFor(bm, m, withMode(base, regconn.WithoutRC)))
+			if err != nil {
+				return nil, err
+			}
+			rc, err := r.Speedup(bm, archFor(bm, m, withMode(base, regconn.WithRC)))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%s/m=%d", bm.Name, m), noRC, rc)
+		}
+		unl, err := r.Speedup(bm, regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.Unlimited})
+		if err != nil {
+			return nil, err
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("unlimited-register speedup (dotted line): %.2f", unl))
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Figure9 reproduces the percentage code-size increase due to register
+// allocation for the Figure 8 grid; the with-RC save/restore share is the
+// black portion of the paper's bars.
+func (r *Runner) Figure9() ([]*Table, error) {
+	var tables []*Table
+	for _, bm := range r.sortedBench() {
+		cores := coresFor(bm)
+		t := &Table{
+			ID:    "fig9",
+			Title: fmt.Sprintf("%% code-size increase after allocation — %s (%s)", bm.Name, bm.Paper),
+			Cols:  []string{"without-RC%", "with-RC%", "save/rest%"},
+		}
+		for _, m := range cores {
+			base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true}
+			noRC, err := r.Run(bm, archFor(bm, m, withMode(base, regconn.WithoutRC)))
+			if err != nil {
+				return nil, err
+			}
+			rc, err := r.Run(bm, archFor(bm, m, withMode(base, regconn.WithRC)))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%s/m=%d", bm.Name, m),
+				noRC.Growth*100, rc.Growth*100, rc.SaveRest*100)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// figure1011 is the shared shape of Figures 10 and 11: 16 core integer /
+// 32 core FP registers, issue rates 2/4/8, at the given load latency.
+func (r *Runner) figure1011(id string, load int) (*Table, error) {
+	t := &Table{
+		ID:    id,
+		Title: fmt.Sprintf("Speedup, %d-cycle load, 16 int / 32 fp cores, varying issue rate", load),
+		Cols:  []string{"2/noRC", "2/RC", "4/noRC", "4/RC", "8/noRC", "8/RC", "unlim-4"},
+	}
+	for _, bm := range r.sortedBench() {
+		var vals []float64
+		core := 16
+		if bm.FP {
+			core = 32
+		}
+		for _, is := range []int{2, 4, 8} {
+			base := regconn.Arch{Issue: is, LoadLatency: load, CombineConnects: true}
+			noRC, err := r.Speedup(bm, archFor(bm, core, withMode(base, regconn.WithoutRC)))
+			if err != nil {
+				return nil, err
+			}
+			rc, err := r.Speedup(bm, archFor(bm, core, withMode(base, regconn.WithRC)))
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, noRC, rc)
+		}
+		unl, err := r.Speedup(bm, regconn.Arch{Issue: 4, LoadLatency: load, Mode: regconn.Unlimited})
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, unl)
+		t.AddRow(bm.Name, vals...)
+	}
+	t.AddMeanRow()
+	return t, nil
+}
+
+// Figure10 is the 2-cycle-load issue-rate sweep.
+func (r *Runner) Figure10() (*Table, error) { return r.figure1011("fig10", 2) }
+
+// Figure11 is the 4-cycle-load issue-rate sweep.
+func (r *Runner) Figure11() (*Table, error) { return r.figure1011("fig11", 4) }
+
+// Figure12 compares the four RC implementation scenarios: zero-cycle
+// connects, zero-cycle plus an extra decode stage, one-cycle connects, and
+// one-cycle plus the extra stage.
+func (r *Runner) Figure12() (*Table, error) {
+	t := &Table{
+		ID:    "fig12",
+		Title: "Speedup by RC implementation scenario, 4-issue, 2-cycle load, 16/32 cores",
+		Cols:  []string{"0cy", "0cy+stage", "1cy", "1cy+stage", "without-RC"},
+	}
+	scenarios := []struct {
+		lat   int
+		stage bool
+	}{{0, false}, {0, true}, {1, false}, {1, true}}
+	for _, bm := range r.sortedBench() {
+		core := 16
+		if bm.FP {
+			core = 32
+		}
+		var vals []float64
+		for _, sc := range scenarios {
+			arch := regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC,
+				CombineConnects: true, ConnectLatency: sc.lat, ExtraDecodeStage: sc.stage}
+			s, err := r.Speedup(bm, archFor(bm, core, arch))
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, s)
+		}
+		noRC, err := r.Speedup(bm, archFor(bm, core,
+			regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.WithoutRC}))
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, noRC)
+		t.AddRow(bm.Name, vals...)
+	}
+	t.AddMeanRow()
+	return t, nil
+}
+
+// Figure13 compares the gain from doubling memory channels (2 to 4)
+// against the gain from adding RC, for a 4-issue processor at both load
+// latencies.
+func (r *Runner) Figure13() (*Table, error) {
+	t := &Table{
+		ID:    "fig13",
+		Title: "Speedup: memory channels vs RC, 4-issue, 2- and 4-cycle load, 16/32 cores",
+		Cols:  []string{"L2/no/2ch", "L2/no/4ch", "L2/RC/2ch", "L4/no/2ch", "L4/no/4ch", "L4/RC/2ch"},
+		Notes: []string{"paper's comparison: the without-RC model gains less from 2->4 channels than from adding RC at 2 channels"},
+	}
+	for _, bm := range r.sortedBench() {
+		core := 16
+		if bm.FP {
+			core = 32
+		}
+		var vals []float64
+		for _, load := range []int{2, 4} {
+			for _, cfg := range []struct {
+				mode regconn.RegMode
+				ch   int
+			}{{regconn.WithoutRC, 2}, {regconn.WithoutRC, 4}, {regconn.WithRC, 2}} {
+				arch := regconn.Arch{Issue: 4, LoadLatency: load, MemChannels: cfg.ch,
+					Mode: cfg.mode, CombineConnects: true}
+				s, err := r.Speedup(bm, archFor(bm, core, arch))
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, s)
+			}
+		}
+		t.AddRow(bm.Name, vals...)
+	}
+	t.AddMeanRow()
+	return t, nil
+}
+
+// AblationModels compares the four automatic-reset models of §2.3 under
+// identical pressure: speedup and dynamic connect counts.
+func (r *Runner) AblationModels() (*Table, error) {
+	t := &Table{
+		ID:    "models",
+		Title: "RC automatic-reset models (§2.3): speedup | dynamic connects (millions x0.01)",
+		Cols:  []string{"m1", "m2", "m3", "m4", "m1-con", "m2-con", "m3-con", "m4-con"},
+		Notes: []string{"model 3 (write reset + read update) is the paper's choice"},
+	}
+	for _, bm := range r.sortedBench() {
+		core := 16
+		if bm.FP {
+			core = 32
+		}
+		var speed, conns []float64
+		for model := 1; model <= 4; model++ {
+			arch := regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC,
+				CombineConnects: true, Model: modelOf(model)}
+			arch = archFor(bm, core, arch)
+			s, err := r.Speedup(bm, arch)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.Run(bm, arch)
+			if err != nil {
+				return nil, err
+			}
+			speed = append(speed, s)
+			conns = append(conns, float64(res.Connects)/10000)
+		}
+		t.AddRow(bm.Name, append(speed, conns...)...)
+	}
+	return t, nil
+}
+
+// AblationCombined compares combined (two-pair) connect instructions
+// against single-pair connects (§2.2, footnote 1).
+func (r *Runner) AblationCombined() (*Table, error) {
+	t := &Table{
+		ID:    "combined",
+		Title: "Combined vs single connect instructions (§2.2)",
+		Cols:  []string{"combined", "single", "comb-con", "sing-con"},
+	}
+	for _, bm := range r.sortedBench() {
+		core := 16
+		if bm.FP {
+			core = 32
+		}
+		var vals []float64
+		var cons []float64
+		for _, combine := range []bool{true, false} {
+			arch := archFor(bm, core, regconn.Arch{Issue: 4, LoadLatency: 2,
+				Mode: regconn.WithRC, CombineConnects: combine})
+			s, err := r.Speedup(bm, arch)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.Run(bm, arch)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, s)
+			cons = append(cons, float64(res.Connects)/10000)
+		}
+		t.AddRow(bm.Name, append(vals, cons...)...)
+	}
+	return t, nil
+}
+
+// AblationWindows compares connect-window selection policies (§3: the map
+// entry used to access an extended register is arbitrary for correctness
+// but shapes the artificial dependences and the connect count).
+func (r *Runner) AblationWindows() (*Table, error) {
+	t := &Table{
+		ID:    "windows",
+		Title: "Connect-window policy (§3): speedup | dynamic connects (x0.01M), 4-issue, 16/32 cores",
+		Cols:  []string{"lru", "rrobin", "first", "lru-con", "rrobin-con", "first-con"},
+	}
+	policies := []regconn.WindowPolicy{regconn.WindowLRU, regconn.WindowRoundRobin, regconn.WindowFirstFree}
+	for _, bm := range r.sortedBench() {
+		core := 16
+		if bm.FP {
+			core = 32
+		}
+		var speed, cons []float64
+		for _, pol := range policies {
+			arch := archFor(bm, core, regconn.Arch{Issue: 4, LoadLatency: 2,
+				Mode: regconn.WithRC, CombineConnects: true, Windows: pol})
+			s, err := r.Speedup(bm, arch)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.Run(bm, arch)
+			if err != nil {
+				return nil, err
+			}
+			speed = append(speed, s)
+			cons = append(cons, float64(res.Connects)/10000)
+		}
+		t.AddRow(bm.Name, append(speed, cons...)...)
+	}
+	return t, nil
+}
+
+func withMode(a regconn.Arch, m regconn.RegMode) regconn.Arch {
+	a.Mode = m
+	return a
+}
+
+func modelOf(n int) core.Model { return core.Model(n) }

@@ -1,0 +1,198 @@
+package ilp
+
+import (
+	"regconn/internal/analysis"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// Accumulator variable expansion (an IMPACT transformation the paper's
+// compiler applied alongside unrolling). A reduction
+//
+//	t = a OP x ; a = t            (OP associative: ADD or FADD)
+//
+// serializes the unrolled copies through a's dependence chain — three
+// cycles per iteration for FADD. Expansion gives copy k its own partial
+// accumulator a_k (initialized to zero in a preheader the loop's entries
+// are redirected through) and merges the partials into a on every exit
+// path. Re-entering the loop passes through the preheader again, so the
+// partials restart cleanly.
+//
+// Floating-point expansion reassociates the reduction. The interpreter
+// oracle runs on the transformed IR, so verification is unaffected; the
+// benchmark checksums stay exact because their FP values are dyadic
+// rationals (see DESIGN.md).
+
+// accumInfo describes one expandable accumulator in a chain-loop body.
+type accumInfo struct {
+	a      isa.Reg // the pinned accumulator
+	op     isa.Op  // ADD or FADD
+	opIdx  int     // body index of "t = a OP x"
+	movIdx int     // body index of "a = t"
+	aFirst bool    // accumulator is the OP's first operand
+	extras []isa.Reg
+}
+
+// findAccumulators locates expandable reductions: a pinned, defined in the
+// body only by the OP/MOV pair, and read in the body only by the OP.
+func findAccumulators(f *ir.Func, body []isa.Instr, term *isa.Instr, pinned analysis.BitSet, ids *analysis.RegIDs) []accumInfo {
+	var out []accumInfo
+	var buf [4]isa.Reg
+	for mi := range body {
+		mov := &body[mi]
+		if mov.Op != isa.MOV && mov.Op != isa.FMOV {
+			continue
+		}
+		a, t := mov.Dst, mov.A
+		if !pinned.Has(ids.ID(a)) {
+			continue
+		}
+		// Find t's definition: a OP x with matching class, register
+		// operands, before the MOV.
+		oi := -1
+		aFirst := false
+		for j := 0; j < mi; j++ {
+			in := &body[j]
+			if d := in.Def(); d.Valid() && d == t {
+				ok := (in.Op == isa.ADD || in.Op == isa.FADD) && !in.UseImm &&
+					(in.A == a) != (in.B == a) // exactly one operand is a
+				if ok {
+					oi, aFirst = j, in.A == a
+				} else {
+					oi = -2
+				}
+			}
+		}
+		if oi < 0 {
+			continue
+		}
+		if !validateAccum(body, term, a, t, oi, mi) {
+			continue
+		}
+		_ = buf
+		out = append(out, accumInfo{a: a, op: body[oi].Op, opIdx: oi, movIdx: mi, aFirst: aFirst})
+	}
+	return out
+}
+
+// validateAccum checks the use/def constraints for a and t across the
+// whole body and the terminator.
+func validateAccum(body []isa.Instr, term *isa.Instr, a, t isa.Reg, opIdx, movIdx int) bool {
+	var buf [4]isa.Reg
+	check := func(j int, in *isa.Instr) bool {
+		for _, u := range in.Uses(buf[:0]) {
+			switch u {
+			case a:
+				if j != opIdx {
+					return false
+				}
+			case t:
+				if j != movIdx {
+					return false
+				}
+			}
+		}
+		if d := in.Def(); d.Valid() && (d == a || d == t) {
+			if !(j == opIdx || j == movIdx) {
+				return false
+			}
+		}
+		return true
+	}
+	for j := range body {
+		if !check(j, &body[j]) {
+			return false
+		}
+	}
+	return check(-1, term)
+}
+
+// expander carries accumulator-expansion state through one unroll.
+type expander struct {
+	accs   []accumInfo
+	factor int
+}
+
+func newExpander(f *ir.Func, body []isa.Instr, term *isa.Instr, pinned analysis.BitSet, ids *analysis.RegIDs, factor int, fullChain bool) *expander {
+	// Expansion needs the preheader to dominate every path into the
+	// chain; with a cold remainder re-entering the header per iteration
+	// (trace-formed prefix chains), that does not hold, so expand only
+	// full-chain loops.
+	if !fullChain || factor <= 1 {
+		return &expander{}
+	}
+	accs := findAccumulators(f, body, term, pinned, ids)
+	for i := range accs {
+		for k := 1; k < factor; k++ {
+			var nr isa.Reg
+			if accs[i].a.Class == isa.ClassFloat {
+				nr = f.NewFloat()
+			} else {
+				nr = f.NewInt()
+			}
+			accs[i].extras = append(accs[i].extras, nr)
+		}
+	}
+	return &expander{accs: accs, factor: factor}
+}
+
+// active reports whether any accumulator is being expanded.
+func (ex *expander) active() bool { return len(ex.accs) > 0 }
+
+// rewrite redirects copy k's accumulator OP/MOV pair to partial a_k.
+func (ex *expander) rewrite(in *isa.Instr, j, k int) {
+	if k == 0 {
+		return
+	}
+	for _, ac := range ex.accs {
+		part := ac.extras[k-1]
+		switch j {
+		case ac.opIdx:
+			if ac.aFirst {
+				in.A = part
+			} else {
+				in.B = part
+			}
+		case ac.movIdx:
+			in.Dst = part
+		}
+	}
+}
+
+// preheader returns the partial-initialization instructions.
+func (ex *expander) preheader() []isa.Instr {
+	var out []isa.Instr
+	for _, ac := range ex.accs {
+		for _, part := range ac.extras {
+			if part.Class == isa.ClassFloat {
+				out = append(out, isa.Instr{Op: isa.FMOVI, Dst: part}) // +0.0
+			} else {
+				out = append(out, isa.Instr{Op: isa.MOVI, Dst: part})
+			}
+		}
+	}
+	return out
+}
+
+// mergeInstrs returns the code folding the partials back into each
+// accumulator (used on every exit path).
+func (ex *expander) mergeInstrs(f *ir.Func) []isa.Instr {
+	var out []isa.Instr
+	for _, ac := range ex.accs {
+		for _, part := range ac.extras {
+			var t isa.Reg
+			mov := isa.MOV
+			if ac.a.Class == isa.ClassFloat {
+				t = f.NewFloat()
+				mov = isa.FMOV
+			} else {
+				t = f.NewInt()
+			}
+			out = append(out,
+				isa.Instr{Op: ac.op, Dst: t, A: ac.a, B: part},
+				isa.Instr{Op: mov, Dst: ac.a, A: t},
+			)
+		}
+	}
+	return out
+}

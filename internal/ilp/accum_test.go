@@ -1,0 +1,131 @@
+package ilp
+
+import (
+	"testing"
+
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+	"regconn/internal/opt"
+)
+
+// buildReduction sums f(i) over a counted loop: the canonical accumulator.
+func buildReduction(n int64, fp bool) *ir.Program {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "main", 0, 0)
+	i := b.Const(0)
+	if fp {
+		acc := b.FConst(0)
+		x := b.FConst(0.25)
+		loop := b.NewBlock()
+		b.Br(loop)
+		b.SetBlock(loop)
+		b.MovTo(acc, b.FAdd(acc, x))
+		b.MovTo(x, b.FAdd(x, b.FConst(0.25)))
+		b.MovTo(i, b.AddI(i, 1))
+		b.Blt(i, b.Const(n), loop)
+		b.Continue()
+		b.Ret(b.FToI(b.FMul(acc, b.FConst(4))))
+		return p
+	}
+	acc := b.Const(0)
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.MovTo(acc, b.Add(acc, b.Mul(i, i)))
+	b.MovTo(i, b.AddI(i, 1))
+	b.Blt(i, b.Const(n), loop)
+	b.Continue()
+	b.Ret(acc)
+	return p
+}
+
+func TestAccumExpansionSemantics(t *testing.T) {
+	for _, fp := range []bool{false, true} {
+		// FP values are dyadic rationals, so reassociation stays exact.
+		for _, n := range []int64{1, 2, 3, 4, 5, 7, 8, 9, 31, 32, 33, 100} {
+			for _, factor := range []int{2, 4, 8} {
+				want := run(t, buildReduction(n, fp))
+				p := buildReduction(n, fp)
+				opt.Classical(p)
+				Transform(p, factor, true)
+				if err := ir.Verify(p); err != nil {
+					t.Fatalf("fp=%v n=%d u=%d: %v", fp, n, factor, err)
+				}
+				if got := run(t, p); got != want {
+					t.Errorf("fp=%v n=%d unroll=%d: got %d, want %d", fp, n, factor, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAccumExpansionBreaksChain verifies the structural effect: with
+// expansion, the unrolled body carries `factor` distinct accumulator
+// registers instead of one.
+func TestAccumExpansionBreaksChain(t *testing.T) {
+	count := func(expand bool) int {
+		p := buildReduction(64, true)
+		opt.Classical(p)
+		Transform(p, 4, expand)
+		// Count distinct FMOV destinations (accumulator write-backs).
+		dsts := map[isa.Reg]bool{}
+		for _, b := range p.Func("main").Blocks {
+			for j := range b.Instrs {
+				if b.Instrs[j].Op == isa.FMOV {
+					dsts[b.Instrs[j].Dst] = true
+				}
+			}
+		}
+		return len(dsts)
+	}
+	off := count(false)
+	on := count(true)
+	if on <= off {
+		t.Errorf("expansion did not split the accumulator: %d -> %d distinct write-backs", off, on)
+	}
+}
+
+// TestAccumExpansionWithSideExitMerges exercises merge blocks on a chain
+// loop whose side exit fires mid-stream.
+func TestAccumExpansionWithSideExitMerges(t *testing.T) {
+	build := func(stop int64) *ir.Program {
+		p := ir.NewProgram()
+		g := p.AddGlobal("a", 256*8)
+		init := make([]int64, 256)
+		for i := range init {
+			init[i] = int64(i)
+		}
+		g.InitI = init
+		b := ir.NewFunc(p, "main", 0, 0)
+		ptr := b.Addr(g, 0)
+		acc := b.Const(0)
+		i := b.Const(0)
+		loop := b.NewBlock()
+		b.Br(loop)
+		b.SetBlock(loop)
+		out := b.NewBlock()
+		v := b.Ld(ptr, 0)
+		b.Bgt(v, b.Const(stop), out) // side exit: accumulator must merge
+		b.Continue()
+		b.MovTo(acc, b.Add(acc, v))
+		b.MovTo(ptr, b.AddI(ptr, 8))
+		b.MovTo(i, b.AddI(i, 1))
+		b.BltI(i, 200, loop)
+		b.Continue()
+		b.Ret(acc)
+		b.SetBlock(out)
+		b.Ret(b.Sub(acc, i))
+		return p
+	}
+	for _, stop := range []int64{0, 1, 5, 38, 39, 40, 41, 199, 500} {
+		want := run(t, build(stop))
+		for _, factor := range []int{2, 4, 8} {
+			p := build(stop)
+			opt.Classical(p)
+			Transform(p, factor, true)
+			if got := run(t, p); got != want {
+				t.Errorf("stop=%d unroll=%d: got %d, want %d", stop, factor, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package ilp
+
+import (
+	"testing"
+
+	"regconn/internal/interp"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+	"regconn/internal/opt"
+)
+
+// buildCounted returns sum-of-i*i over [0,n) as a canonical single-block
+// bottom-test loop, plus the builder.
+func buildCounted(n int64) *ir.Program {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "main", 0, 0)
+	s := b.Const(0)
+	i := b.Const(0)
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.MovTo(s, b.Add(s, b.Mul(i, i)))
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, n, loop)
+	b.Continue()
+	b.Ret(s)
+	return p
+}
+
+func run(t *testing.T, p *ir.Program) int64 {
+	t.Helper()
+	if err := ir.Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	res, err := interp.Run(p, "main", nil, interp.Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Ret
+}
+
+func TestUnrollPreservesSemantics(t *testing.T) {
+	// Trip counts around the unroll factor boundaries matter most.
+	for _, n := range []int64{1, 2, 3, 4, 5, 7, 8, 9, 16, 100, 101, 102, 103} {
+		for _, factor := range []int{2, 4, 8} {
+			p := buildCounted(n)
+			want := run(t, p)
+			p2 := buildCounted(n)
+			opt.Classical(p2)
+			Transform(p2, factor, false)
+			if err := ir.Verify(p2); err != nil {
+				t.Fatalf("n=%d u=%d verify: %v", n, factor, err)
+			}
+			if got := run(t, p2); got != want {
+				t.Errorf("n=%d unroll=%d: got %d, want %d", n, factor, got, want)
+			}
+		}
+	}
+}
+
+func TestUnrollCreatesSideExits(t *testing.T) {
+	p := buildCounted(100)
+	opt.Classical(p)
+	before := p.Func("main").NumInstrs()
+	Transform(p, 4, false)
+	f := p.Func("main")
+	if f.NumInstrs() <= before*2 {
+		t.Errorf("unroll did not expand code: %d -> %d", before, f.NumInstrs())
+	}
+	// Count conditional branches: 3 side exits + 1 back edge.
+	branches := 0
+	for _, b := range f.Blocks {
+		for j := range b.Instrs {
+			if b.Instrs[j].Op.IsCondBranch() {
+				branches++
+			}
+		}
+	}
+	if branches != 4 {
+		t.Errorf("cond branches = %d, want 4 (3 side exits + back edge)\n%s", branches, f)
+	}
+}
+
+func TestUnrollRenamesTemporaries(t *testing.T) {
+	p := buildCounted(64)
+	opt.Classical(p)
+	before := p.Func("main").NextInt
+	Transform(p, 4, false)
+	after := p.Func("main").NextInt
+	if after <= before {
+		t.Errorf("renaming created no fresh registers: %d -> %d", before, after)
+	}
+}
+
+func TestUnrollSkipsMultiBlockLoops(t *testing.T) {
+	// A loop with an if inside is not a single-block loop.
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "main", 0, 0)
+	s := b.Const(0)
+	i := b.Const(0)
+	head := b.NewBlock()
+	b.Br(head)
+	b.SetBlock(head)
+	odd := b.NewBlock()
+	latch := b.NewBlock()
+	b.CondBrI(isa.BNE, b.AndI(i, 1), 0, odd)
+	b.Continue()
+	b.MovTo(s, b.Add(s, i))
+	b.Br(latch)
+	b.SetBlock(odd)
+	b.MovTo(s, b.Sub(s, i))
+	b.Br(latch)
+	b.SetBlock(latch)
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, 50, head)
+	b.Continue()
+	b.Ret(s)
+
+	want := run(t, p)
+	nblocks := len(p.Func("main").Blocks)
+	Transform(p, 4, false)
+	if len(p.Func("main").Blocks) != nblocks {
+		t.Error("multi-block loop should not be unrolled")
+	}
+	if got := run(t, p); got != want {
+		t.Errorf("semantics changed: %d vs %d", got, want)
+	}
+}
+
+func TestUnrollFactorFor(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 4: 4, 8: 8, 16: 8}
+	for issue, want := range cases {
+		if got := UnrollFactorFor(issue); got != want {
+			t.Errorf("UnrollFactorFor(%d) = %d, want %d", issue, got, want)
+		}
+	}
+}
+
+func TestInvertBranch(t *testing.T) {
+	cases := []struct{ in, want isa.Op }{
+		{isa.BEQ, isa.BNE}, {isa.BNE, isa.BEQ},
+		{isa.BLT, isa.BGE}, {isa.BGE, isa.BLT},
+		{isa.BLE, isa.BGT}, {isa.BGT, isa.BLE},
+		{isa.FBEQ, isa.FBNE}, {isa.FBNE, isa.FBEQ},
+	}
+	for _, c := range cases {
+		out, ok := invertBranch(isa.Instr{Op: c.in})
+		if !ok || out.Op != c.want {
+			t.Errorf("invert(%v) = %v", c.in, out.Op)
+		}
+	}
+	// FP inequalities swap operands.
+	in := isa.Instr{Op: isa.FBLT, A: isa.FloatReg(1), B: isa.FloatReg(2)}
+	out, ok := invertBranch(in)
+	if !ok || out.Op != isa.FBLE || out.A != in.B || out.B != in.A {
+		t.Errorf("invert(fblt a,b) = %v %v %v", out.Op, out.A, out.B)
+	}
+	if _, ok := invertBranch(isa.Instr{Op: isa.BR}); ok {
+		t.Error("BR must not invert")
+	}
+}
+
+// TestUnrollFPLoop checks the FP side-exit inversion end to end.
+func TestUnrollFPLoop(t *testing.T) {
+	build := func() *ir.Program {
+		p := ir.NewProgram()
+		b := ir.NewFunc(p, "main", 0, 0)
+		acc := b.FConst(0)
+		x := b.FConst(0)
+		lim := b.FConst(37.5)
+		loop := b.NewBlock()
+		b.Br(loop)
+		b.SetBlock(loop)
+		b.MovTo(acc, b.FAdd(acc, x))
+		b.MovTo(x, b.FAdd(x, b.FConst(0.5)))
+		b.FBlt(x, lim, loop)
+		b.Continue()
+		b.Ret(b.FToI(acc))
+		return p
+	}
+	p := build()
+	want := run(t, p)
+	p2 := build()
+	opt.Classical(p2)
+	Transform(p2, 4, false)
+	if got := run(t, p2); got != want {
+		t.Errorf("FP unroll changed semantics: %d vs %d", got, want)
+	}
+}

@@ -1,0 +1,164 @@
+package ilp
+
+import (
+	"regconn/internal/analysis"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// Induction-pointer rewriting. A pointer that is bumped by a constant each
+// iteration (p = p + c) and used only as a memory base serializes the
+// unrolled copies through its bump chain. When such a pointer is found,
+// the unroller folds per-copy deltas into the memory displacement fields
+// and emits a single combined bump (p += c*factor) at the bottom of the
+// unrolled body, leaving the copies' memory accesses independent — the
+// address-code restructuring IMPACT's loop unrolling performed.
+//
+// A pointer qualifies when:
+//   - its only definition in the body is the pair "t = ADD p, #c" followed
+//     by "MOV p, t" (what the builder's MovTo(p, AddI(p, c)) produces),
+//   - the bump temporary t has no other use,
+//   - every other use of p is as the base register of a load or store, and
+//   - p is not live at the loop's side exits (the combined bump happens
+//     only at the bottom, so mid-body exits would observe a stale p).
+type bumpInfo struct {
+	p      isa.Reg
+	t      isa.Reg
+	c      int64
+	addIdx int
+	movIdx int
+}
+
+// findBumps analyzes a single-block loop body (terminator excluded) and
+// returns the qualifying induction pointers.
+func findBumps(body []isa.Instr, term *isa.Instr, pinned analysis.BitSet, liveAtExit analysis.BitSet, ids *analysis.RegIDs) []bumpInfo {
+	// Candidate pairs: ADD t,p,#c ... MOV p,t.
+	var out []bumpInfo
+	for mi := range body {
+		mov := &body[mi]
+		if mov.Op != isa.MOV || mov.Dst.Class != isa.ClassInt {
+			continue
+		}
+		p, t := mov.Dst, mov.A
+		if p.N >= ids.NumInt || !pinned.Has(ids.ID(p)) {
+			continue
+		}
+		if liveAtExit.Has(ids.ID(p)) {
+			continue
+		}
+		// Find t's definition: must be ADD t, p, #c before the MOV.
+		ai := -1
+		for j := 0; j < mi; j++ {
+			in := &body[j]
+			if d := in.Def(); d.Valid() && d == t {
+				if in.Op == isa.ADD && in.UseImm && in.A == p {
+					ai = j
+				} else {
+					ai = -2
+				}
+			}
+		}
+		if ai < 0 {
+			continue
+		}
+		if !validateBump(body, term, p, t, ai, mi) {
+			continue
+		}
+		out = append(out, bumpInfo{p: p, t: t, c: body[ai].Imm, addIdx: ai, movIdx: mi})
+	}
+	return out
+}
+
+// validateBump checks the use constraints for p and t.
+func validateBump(body []isa.Instr, term *isa.Instr, p, t isa.Reg, addIdx, movIdx int) bool {
+	var buf [4]isa.Reg
+	usesOK := func(j int, in *isa.Instr) bool {
+		for _, u := range in.Uses(buf[:0]) {
+			switch u {
+			case p:
+				switch {
+				case j == addIdx: // the bump itself
+				case in.Op.IsMem() && in.A == p && in.B != p:
+					// base register use: displacement is foldable
+				default:
+					return false
+				}
+			case t:
+				if j != movIdx {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for j := range body {
+		in := &body[j]
+		// No other definitions of p or t.
+		if d := in.Def(); d.Valid() && (d == p || d == t) {
+			if !(j == addIdx || j == movIdx) {
+				return false
+			}
+		}
+		if !usesOK(j, in) {
+			return false
+		}
+	}
+	return usesOK(-1, term)
+}
+
+// bumpRewriter adjusts instruction copies during unrolling.
+type bumpRewriter struct {
+	bumps  []bumpInfo
+	factor int
+}
+
+func newBumpRewriter(body []isa.Instr, term *isa.Instr, pinned, liveAtExit analysis.BitSet, ids *analysis.RegIDs, factor int) *bumpRewriter {
+	return &bumpRewriter{bumps: findBumps(body, term, pinned, liveAtExit, ids), factor: factor}
+}
+
+// info returns the bump description for body index j, if j is part of a
+// bump pair.
+func (bw *bumpRewriter) pairAt(j int) (bumpInfo, bool) {
+	for _, b := range bw.bumps {
+		if j == b.addIdx || j == b.movIdx {
+			return b, true
+		}
+	}
+	return bumpInfo{}, false
+}
+
+// rewrite adjusts one copied instruction for copy k: memory accesses based
+// on a bump pointer get the copy's delta folded into their displacement;
+// the bump pair itself is dropped (the combined bump is emitted at the
+// bottom). It reports whether the instruction should be emitted.
+func (bw *bumpRewriter) rewrite(in *isa.Instr, j, k int) bool {
+	if _, isPair := bw.pairAt(j); isPair {
+		return false
+	}
+	if in.Op.IsMem() {
+		for _, b := range bw.bumps {
+			if in.A == b.p {
+				delta := b.c * int64(k)
+				if j > b.movIdx {
+					delta += b.c
+				}
+				in.Imm += delta
+			}
+		}
+	}
+	return true
+}
+
+// combined returns the combined bump instructions to append at the bottom
+// of the unrolled body (before the back-edge branch).
+func (bw *bumpRewriter) combined(f *ir.Func) []isa.Instr {
+	var out []isa.Instr
+	for _, b := range bw.bumps {
+		t := f.NewInt()
+		out = append(out,
+			isa.Instr{Op: isa.ADD, Dst: t, A: b.p, Imm: b.c * int64(bw.factor), UseImm: true},
+			isa.Instr{Op: isa.MOV, Dst: b.p, A: t},
+		)
+	}
+	return out
+}

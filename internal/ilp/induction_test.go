@@ -1,0 +1,136 @@
+package ilp
+
+import (
+	"testing"
+
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+	"regconn/internal/opt"
+)
+
+// buildPtrLoop sums an array through a bumped pointer — the canonical
+// induction-rewriting candidate.
+func buildPtrLoop(n int64) *ir.Program {
+	p := ir.NewProgram()
+	g := p.AddGlobal("arr", 256*8)
+	init := make([]int64, 256)
+	for i := range init {
+		init[i] = int64(i * 3)
+	}
+	g.InitI = init
+	b := ir.NewFunc(p, "main", 0, 0)
+	ptr := b.Addr(g, 0)
+	s := b.Const(0)
+	i := b.Const(0)
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.MovTo(s, b.Add(s, b.Ld(ptr, 0)))
+	b.MovTo(ptr, b.AddI(ptr, 8))
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, n, loop)
+	b.Continue()
+	b.Ret(s)
+	return p
+}
+
+func TestInductionRewriteSemantics(t *testing.T) {
+	for _, n := range []int64{1, 2, 3, 4, 5, 7, 8, 9, 63, 64, 65, 100} {
+		for _, factor := range []int{2, 4, 8} {
+			want := run(t, buildPtrLoop(n))
+			p := buildPtrLoop(n)
+			opt.Classical(p)
+			Transform(p, factor, false)
+			if err := ir.Verify(p); err != nil {
+				t.Fatalf("n=%d u=%d: %v", n, factor, err)
+			}
+			if got := run(t, p); got != want {
+				t.Errorf("n=%d unroll=%d: got %d, want %d", n, factor, got, want)
+			}
+		}
+	}
+}
+
+func TestInductionRewriteFoldsBumps(t *testing.T) {
+	p := buildPtrLoop(64)
+	opt.Classical(p)
+	Transform(p, 4, false)
+	f := p.Func("main")
+	// The unrolled copies must access distinct displacements off the same
+	// base, and the pointer must be bumped once per unrolled body (one
+	// ADD #32 instead of four ADD #8).
+	var offs []int64
+	bigBump := 0
+	smallBump := 0
+	for _, blk := range f.Blocks {
+		for j := range blk.Instrs {
+			in := &blk.Instrs[j]
+			switch {
+			case in.Op == isa.LD:
+				offs = append(offs, in.Imm)
+			case in.Op == isa.ADD && in.UseImm && in.Imm == 32:
+				bigBump++
+			case in.Op == isa.ADD && in.UseImm && in.Imm == 8:
+				smallBump++
+			}
+		}
+	}
+	if bigBump != 1 {
+		t.Errorf("combined bumps = %d, want 1\n%s", bigBump, f)
+	}
+	if smallBump != 0 {
+		t.Errorf("per-copy bumps survived: %d\n%s", smallBump, f)
+	}
+	seen := map[int64]bool{}
+	for _, o := range offs {
+		seen[o] = true
+	}
+	for _, want := range []int64{0, 8, 16, 24} {
+		if !seen[want] {
+			t.Errorf("missing folded displacement %d (got %v)", want, offs)
+		}
+	}
+}
+
+// TestInductionSkipsPointerLiveAtExit ensures the rewrite declines when
+// the pointer's side-exit value is observable.
+func TestInductionSkipsPointerLiveAtExit(t *testing.T) {
+	p := ir.NewProgram()
+	g := p.AddGlobal("arr", 256*8)
+	b := ir.NewFunc(p, "main", 0, 0)
+	ptr := b.Addr(g, 0)
+	s := b.Const(0)
+	i := b.Const(0)
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.MovTo(s, b.Add(s, b.Ld(ptr, 0)))
+	b.MovTo(ptr, b.AddI(ptr, 8))
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, 10, loop)
+	b.Continue()
+	// ptr observed after the loop: it is live at the exit.
+	b.Ret(b.Add(s, ptr))
+	want := run(t, p)
+
+	p2 := ir.NewProgram()
+	g2 := p2.AddGlobal("arr", 256*8)
+	b2 := ir.NewFunc(p2, "main", 0, 0)
+	ptr2 := b2.Addr(g2, 0)
+	s2 := b2.Const(0)
+	i2 := b2.Const(0)
+	loop2 := b2.NewBlock()
+	b2.Br(loop2)
+	b2.SetBlock(loop2)
+	b2.MovTo(s2, b2.Add(s2, b2.Ld(ptr2, 0)))
+	b2.MovTo(ptr2, b2.AddI(ptr2, 8))
+	b2.MovTo(i2, b2.AddI(i2, 1))
+	b2.BltI(i2, 10, loop2)
+	b2.Continue()
+	b2.Ret(b2.Add(s2, ptr2))
+	opt.Classical(p2)
+	Transform(p2, 4, false)
+	if got := run(t, p2); got != want {
+		t.Errorf("live-at-exit pointer mishandled: got %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,202 @@
+package ilp
+
+import (
+	"regconn/internal/analysis"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// Superblock formation via trace duplication (the technique of the
+// paper's reference [5], "The Superblock"). An innermost loop whose body
+// branches internally — a hash-probe hit/miss diamond, a shift/reduce
+// dispatch — is not a chain, so the unroller cannot touch it. Using the
+// profile, we select the likely trace through the loop and emit a fresh
+// copy of it as a chain appended to the function:
+//
+//   - each trace block's conditional branch is oriented so the likely
+//     path falls through inside the chain and the unlikely path side-exits
+//     into the ORIGINAL loop body (now the cold path);
+//   - the chain ends with a back edge to its own head;
+//   - entries into the old header and the cold path's back edges are
+//     redirected to the chain head, so every iteration restarts hot.
+//
+// Appending never shifts existing block indices, so no target remapping is
+// needed beyond the explicit redirections. The resulting chain satisfies
+// chainOf and is unrolled by the normal path on a later round.
+
+// maxTraceBlocks bounds trace length (IMPACT bounded superblock size).
+const maxTraceBlocks = 8
+
+// likelySucc returns the profile-likely successor of block bi within f,
+// and whether the edge is the block's taken edge.
+func likelySucc(f *ir.Func, bi int) (succ int, viaTaken bool, ok bool) {
+	b := f.Blocks[bi]
+	t := b.Term()
+	switch {
+	case t == nil:
+		if bi+1 < len(f.Blocks) {
+			return bi + 1, false, true
+		}
+		return 0, false, false
+	case t.Op == isa.BR:
+		return t.Target, true, true
+	case t.Op.IsCondBranch():
+		if b.Weight <= 0 {
+			return 0, false, false // no profile: cannot choose
+		}
+		if b.TakenWeight*2 >= b.Weight {
+			return t.Target, true, true
+		}
+		return bi + 1, false, true
+	default: // RET/HALT
+		return 0, false, false
+	}
+}
+
+// selectTrace picks the likely path through the loop starting at its
+// header, succeeding only if the trace closes back to the header.
+func selectTrace(f *ir.Func, l *analysis.Loop) []int {
+	trace := []int{l.Header}
+	seen := map[int]bool{l.Header: true}
+	cur := l.Header
+	for len(trace) <= maxTraceBlocks {
+		next, _, ok := likelySucc(f, cur)
+		if !ok || !l.Blocks.Has(next) {
+			return nil // trace leaves the loop: not a cyclic trace
+		}
+		if next == l.Header {
+			return trace // closed
+		}
+		if seen[next] {
+			return nil // internal cycle that is not the back edge
+		}
+		seen[next] = true
+		trace = append(trace, next)
+		cur = next
+	}
+	return nil
+}
+
+// formTrace duplicates the loop's likely trace into a chain at the end of
+// the function. It returns the chain's head block, or nil if the loop is
+// unsuitable.
+func formTrace(f *ir.Func, cfg *analysis.CFG, l *analysis.Loop, factor int) *ir.Block {
+	// Already a chain? Leave it to the unroller.
+	if _, ok := chainOf(f, cfg, l); ok {
+		return nil
+	}
+	trace := selectTrace(f, l)
+	if len(trace) < 1 {
+		return nil
+	}
+	// Size gate (the chain will later be unrolled by `factor`).
+	total := 0
+	for _, bi := range trace {
+		total += len(f.Blocks[bi].Instrs)
+	}
+	if total*factor > maxUnrolledBody {
+		return nil
+	}
+	h := l.Header
+	// Entries into the header must be redirectable: explicit branches are
+	// retargeted; a fallthrough entry needs its predecessor to accept an
+	// appended BR (i.e. to have no terminator).
+	for _, p := range cfg.Preds[h] {
+		if t := f.Blocks[p].Term(); t != nil && t.Op.IsCondBranch() && p+1 == h {
+			// Conditional fallthrough into the header: retargeting would
+			// require a trampoline that shifts indices. Bail out.
+			return nil
+		}
+	}
+
+	head := len(f.Blocks) // index of the chain's first block
+	var chain []*ir.Block
+	backEdgeBlock := false // latch needs a separate BR block
+	for pos, bi := range trace {
+		src := f.Blocks[bi]
+		nb := f.MakeBlock()
+		nb.Weight, nb.TakenWeight = src.Weight, src.TakenWeight
+		nb.Instrs = append([]isa.Instr(nil), src.Instrs...)
+		// Deep-copy call argument slices (shared otherwise).
+		for j := range nb.Instrs {
+			if len(nb.Instrs[j].Args) > 0 {
+				nb.Instrs[j].Args = append([]isa.Reg(nil), nb.Instrs[j].Args...)
+			}
+		}
+		_, viaTaken, _ := likelySucc(f, bi)
+		last := len(nb.Instrs) - 1
+		t := src.Term()
+		isLatch := pos == len(trace)-1 // likely == header
+		switch {
+		case t == nil:
+			// Fallthrough to the likely successor: inside the chain the
+			// next copy follows directly; for the latch, append an
+			// explicit back edge.
+			if isLatch {
+				nb.Instrs = append(nb.Instrs, isa.Instr{Op: isa.BR, Target: head})
+			}
+		case t.Op == isa.BR:
+			// BR to the likely successor: drop it (fallthrough in the
+			// chain) or turn it into the chain's back edge.
+			if isLatch {
+				nb.Instrs[last].Target = head
+			} else {
+				nb.Instrs = nb.Instrs[:last]
+			}
+		case t.Op.IsCondBranch():
+			br := nb.Instrs[last]
+			if viaTaken {
+				// Likely path is the taken edge: invert so the unlikely
+				// old fallthrough becomes the side exit and the likely
+				// path falls through in the chain.
+				inv, ok := invertBranch(br)
+				if !ok {
+					return nil
+				}
+				inv.Target = bi + 1 // old fallthrough block (cold)
+				inv.Pred = false
+				nb.Instrs[last] = inv
+			} else {
+				// Likely path is the fallthrough; the taken edge (cold)
+				// stays as the side exit.
+				nb.Instrs[last].Pred = false
+			}
+			if isLatch {
+				// The latch ends with a conditional side exit; the back
+				// edge goes in its own block (a conditional branch must
+				// stay a terminator), entered by fallthrough.
+				backEdgeBlock = true
+			}
+		}
+		chain = append(chain, nb)
+	}
+	if backEdgeBlock {
+		nb := f.MakeBlock()
+		nb.Weight = chain[len(chain)-1].Weight
+		nb.Instrs = []isa.Instr{{Op: isa.BR, Target: head}}
+		chain = append(chain, nb)
+	}
+	// The chain's trailing BR back edge means no fallthrough block is
+	// needed after it.
+	f.Blocks = append(f.Blocks, chain...)
+	f.Renumber()
+
+	// Redirect every entry into the old header — from outside the loop,
+	// from the cold path's back edges, and from the chain's own side
+	// exits alike — to the chain head.
+	for bi, b := range f.Blocks {
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			if (in.Op == isa.BR || in.Op.IsCondBranch()) && in.Target == h {
+				in.Target = head
+			}
+		}
+		// Fallthrough entry into the old header: append an explicit BR.
+		if bi == h-1 {
+			if t := b.Term(); t == nil {
+				b.Instrs = append(b.Instrs, isa.Instr{Op: isa.BR, Target: head})
+			}
+		}
+	}
+	return chain[0]
+}

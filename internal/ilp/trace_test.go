@@ -1,0 +1,128 @@
+package ilp
+
+import (
+	"testing"
+
+	"regconn/internal/interp"
+	"regconn/internal/ir"
+	"regconn/internal/opt"
+)
+
+// buildDiamondLoop is a cpp-style dispatch loop: a biased if/else inside
+// the body makes it a non-chain loop until trace formation duplicates the
+// hot path.
+func buildDiamondLoop(n int64) *ir.Program {
+	p := ir.NewProgram()
+	g := p.AddGlobal("dd", 256*8)
+	init := make([]int64, 256)
+	for i := range init {
+		if i%13 == 0 { // rare path
+			init[i] = 1
+		}
+	}
+	g.InitI = init
+	b := ir.NewFunc(p, "main", 0, 0)
+	base := b.Addr(g, 0)
+	s := b.Const(0)
+	i := b.Const(0)
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	rare := b.NewBlock()
+	join := b.NewBlock()
+	v := b.Ld(b.Add(base, b.SllI(b.AndI(i, 255), 3)), 0)
+	b.BneI(v, 0, rare)
+	b.Continue() // common path
+	b.MovTo(s, b.AddI(s, 3))
+	b.Br(join)
+	b.SetBlock(rare)
+	b.MovTo(s, b.Mul(s, b.Const(2)))
+	b.Br(join)
+	b.SetBlock(join)
+	b.MovTo(i, b.AddI(i, 1))
+	b.Blt(i, b.Const(n), loop)
+	b.Continue()
+	b.Ret(s)
+	return p
+}
+
+// prep runs classical optimization and a profiling pass (trace formation
+// requires edge profiles).
+func prep(t *testing.T, p *ir.Program) {
+	t.Helper()
+	opt.Classical(p)
+	if _, err := interp.Run(p, "main", nil, interp.Options{Profile: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceFormationSemantics(t *testing.T) {
+	for _, n := range []int64{1, 2, 5, 13, 14, 100, 257, 1000} {
+		for _, factor := range []int{2, 4, 8} {
+			want := run(t, buildDiamondLoop(n))
+			p := buildDiamondLoop(n)
+			prep(t, p)
+			Transform(p, factor, false)
+			if err := ir.Verify(p); err != nil {
+				t.Fatalf("n=%d u=%d: %v", n, factor, err)
+			}
+			if got := run(t, p); got != want {
+				t.Errorf("n=%d unroll=%d: got %d, want %d", n, factor, got, want)
+			}
+		}
+	}
+}
+
+func TestTraceFormationBuildsAndUnrollsChain(t *testing.T) {
+	p := buildDiamondLoop(1000)
+	prep(t, p)
+	before := p.Func("main").NumInstrs()
+	blocksBefore := len(p.Func("main").Blocks)
+	Transform(p, 4, false)
+	f := p.Func("main")
+	if f.NumInstrs() <= before {
+		t.Fatalf("no code growth: %d -> %d", before, f.NumInstrs())
+	}
+	if len(f.Blocks) <= blocksBefore {
+		t.Fatalf("no trace chain appended: %d -> %d blocks", blocksBefore, len(f.Blocks))
+	}
+	// The hot path must now execute mostly in the duplicated chain: the
+	// old header should receive only the rare iterations.
+	interpProfileAndCheck(t, p)
+}
+
+func interpProfileAndCheck(t *testing.T, p *ir.Program) {
+	t.Helper()
+	interpClear(p)
+	if _, err := interp.Run(p, "main", nil, interp.Options{Profile: true}); err != nil {
+		t.Fatal(err)
+	}
+	f := p.Func("main")
+	// Find the hottest block; it must not be one of the original loop
+	// blocks (index small) but a duplicated/unrolled one appended later.
+	hot, hotIdx := 0.0, -1
+	for i, b := range f.Blocks {
+		if b.Weight > hot {
+			hot, hotIdx = b.Weight, i
+		}
+	}
+	if hotIdx < 3 {
+		t.Errorf("hottest block is an original block (%d); trace formation ineffective\n%s", hotIdx, f)
+	}
+}
+
+func interpClear(p *ir.Program) { interp.ClearProfile(p) }
+
+// TestTraceFormationSkipsWithoutProfile ensures nothing happens when no
+// weights are available (the likely successor cannot be chosen).
+func TestTraceFormationSkipsWithoutProfile(t *testing.T) {
+	p := buildDiamondLoop(100)
+	opt.Classical(p)
+	before := p.Func("main").NumInstrs()
+	blocks := len(p.Func("main").Blocks)
+	Transform(p, 4, false)
+	f := p.Func("main")
+	if f.NumInstrs() != before || len(f.Blocks) != blocks {
+		t.Errorf("trace formation ran without a profile: %d->%d instrs", before, f.NumInstrs())
+	}
+}

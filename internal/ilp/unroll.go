@@ -1,0 +1,444 @@
+// Package ilp implements the instruction-level-parallelism transformations
+// of the paper's prototype compiler (§5.1): superblock-style loop unrolling
+// with side exits and register renaming to break false dependences among
+// the unrolled temporaries. These transformations are what create the
+// increased register pressure the RC method is designed to absorb — without
+// them, Figures 8, 10 and 11 have no pressure to show.
+package ilp
+
+import (
+	"regconn/internal/analysis"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// maxUnrolledBody caps code expansion per loop (IMPACT bounded superblock
+// growth the same way).
+const maxUnrolledBody = 512
+
+// Transform applies ILP optimization at an aggressiveness matched to the
+// target issue rate: innermost *chain loops* — a run of consecutive blocks
+// entered only at the top, leaving only through side exits, with a single
+// back edge at the bottom (single-block bottom-test loops are the simplest
+// case) — are unrolled by `factor` copies, and unrolled temporaries are
+// renamed so iterations can overlap in the scheduler. factor <= 1 is a
+// no-op.
+// Transform's expandAcc enables accumulator variable expansion (see
+// accum.go): higher ILP for reduction chains at the price of extra live
+// partials — profitable with ample registers, counterproductive under
+// pressure, which is why it is an option (and an ablation) rather than a
+// default.
+func Transform(p *ir.Program, factor int, expandAcc bool) {
+	if factor <= 1 {
+		return
+	}
+	for _, f := range p.Funcs {
+		transformFunc(f, factor, expandAcc)
+	}
+}
+
+// UnrollFactorFor returns the unroll factor the compiler uses for a given
+// issue rate (more aggressive unrolling for wider machines, as IMPACT's
+// code expansion grows with issue width).
+func UnrollFactorFor(issue int) int {
+	switch {
+	case issue >= 8:
+		return 8
+	case issue >= 4:
+		return 4
+	case issue >= 2:
+		return 2
+	default:
+		return 1
+	}
+}
+
+func transformFunc(f *ir.Func, factor int, expandAcc bool) {
+	// Unrolling restructures the CFG, so re-analyze after each loop. An
+	// unrolled loop is itself a chain loop again, so headers are marked
+	// done by block identity (stable across index shifts).
+	done := map[*ir.Block]bool{}
+	for rounds := 0; rounds < 64; rounds++ {
+		cfg := analysis.BuildCFG(f)
+		idom := cfg.Dominators()
+		loops := cfg.NaturalLoops(idom)
+		lv := analysis.ComputeLiveness(f, cfg)
+		progress := false
+		for _, l := range loops {
+			if !analysis.Innermost(l, loops) || done[f.Blocks[l.Header]] {
+				continue
+			}
+			if hdr := unrollChainLoop(f, cfg, lv, l, factor, expandAcc); hdr != nil {
+				done[hdr] = true
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			// No chain loop left to unroll: form a superblock trace from
+			// a branchy innermost loop (profile required); the new chain
+			// unrolls on the next round.
+			for _, l := range loops {
+				if !analysis.Innermost(l, loops) || done[f.Blocks[l.Header]] {
+					continue
+				}
+				if hdr := formTrace(f, cfg, l, factor); hdr != nil {
+					progress = true
+					break
+				}
+				done[f.Blocks[l.Header]] = true // unsuitable: don't retry
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// chainOf finds the loop's *chain prefix*: the longest run of consecutive
+// blocks [header, header+count) such that interior blocks are entered only
+// by fallthrough from their predecessor, mid-chain conditional branches
+// leave the chain (side exits — possibly into the loop's cold remainder),
+// and the last block ends with a back edge to the header. Additional
+// latches outside the chain (the cold path re-entering the header) are
+// allowed; the unrolled header keeps its index, so they stay correct.
+func chainOf(f *ir.Func, cfg *analysis.CFG, l *analysis.Loop) (count int, ok bool) {
+	h := l.Header
+	// Find the chain's end: the first consecutive loop block whose final
+	// instruction is a back edge to the header.
+	count = -1
+	for i := 0; h+i < len(f.Blocks) && l.Blocks.Has(h+i); i++ {
+		if i > 0 {
+			preds := cfg.Preds[h+i]
+			if len(preds) != 1 || preds[0] != h+i-1 {
+				return 0, false
+			}
+			// The single edge must be the fallthrough (an unconditional
+			// BR in the predecessor would make this block unreachable).
+			if t := f.Blocks[h+i-1].Term(); t != nil && !t.Op.IsCondBranch() {
+				return 0, false
+			}
+		}
+		blk := f.Blocks[h+i]
+		if n := len(blk.Instrs); n > 0 {
+			last := &blk.Instrs[n-1]
+			if (last.Op == isa.BR || last.Op.IsCondBranch()) && last.Target == h {
+				count = i + 1
+				break
+			}
+		}
+	}
+	if count <= 0 {
+		return 0, false
+	}
+	// Branch discipline: every branch except the final back edge must be
+	// a conditional side exit leaving the chain.
+	for i := 0; i < count; i++ {
+		blk := f.Blocks[h+i]
+		for j := range blk.Instrs {
+			in := &blk.Instrs[j]
+			if !(in.Op == isa.BR || in.Op.IsCondBranch()) {
+				continue
+			}
+			if i == count-1 && j == len(blk.Instrs)-1 {
+				continue // the back edge
+			}
+			if in.Op == isa.BR {
+				return 0, false
+			}
+			if in.Target >= h && in.Target < h+count {
+				return 0, false
+			}
+		}
+	}
+	return count, true
+}
+
+// unrollChainLoop unrolls a chain loop by `factor` copies. With a
+// conditional back edge, intermediate copies end in the inverted test (a
+// side exit to the loop's fallthrough successor); with an unconditional
+// back edge the copies concatenate directly (the mid-chain side exits are
+// the only way out). Returns the new header block, or nil if the loop did
+// not match.
+func unrollChainLoop(f *ir.Func, cfg *analysis.CFG, lv *analysis.Liveness, l *analysis.Loop, factor int, expandAcc bool) *ir.Block {
+	h := l.Header
+	count, ok := chainOf(f, cfg, l)
+	if !ok {
+		return nil
+	}
+
+	// Flatten the body: all chain instructions except the back edge.
+	var body []isa.Instr
+	for i := 0; i < count; i++ {
+		body = append(body, f.Blocks[h+i].Instrs...)
+	}
+	backBranch := body[len(body)-1]
+	body = body[:len(body)-1]
+	if len(body)*factor > maxUnrolledBody {
+		return nil
+	}
+
+	condBack := backBranch.Op.IsCondBranch()
+
+	// Profile gate: unrolling a loop that usually runs one or two
+	// iterations (hash-probe hits, early-out scans) only pays the side
+	// exits' code-expansion cost. When trip-count profile data is
+	// available, skip loops averaging fewer than three iterations per
+	// entry — the same use IMPACT made of its profiler.
+	if hdrW := f.Blocks[h].Weight; hdrW > 0 {
+		latch := f.Blocks[h+count-1]
+		back := latch.Weight
+		if condBack {
+			back = latch.TakenWeight
+		}
+		if entries := hdrW - back; entries > 0 && hdrW/entries < 3 {
+			return nil
+		}
+	}
+	var inv isa.Instr
+	if condBack {
+		var ok bool
+		inv, ok = invertBranch(backBranch)
+		if !ok {
+			return nil
+		}
+	}
+	fallExit := h + count // the loop's fallthrough successor (old index)
+	if condBack && fallExit >= len(f.Blocks) {
+		return nil
+	}
+
+	// Pinned registers keep their names in every copy: anything live into
+	// the header (loop-carried) or observable at any exit.
+	ids := lv.IDs
+	pinned := lv.LiveIn[h].Clone()
+	liveAtExits := analysis.NewBitSet(ids.Total)
+	addExit := func(target int) {
+		pinned.UnionWith(lv.LiveIn[target])
+		liveAtExits.UnionWith(lv.LiveIn[target])
+	}
+	for j := range body {
+		if body[j].Op.IsCondBranch() {
+			addExit(body[j].Target)
+		}
+	}
+	if condBack {
+		addExit(fallExit)
+	}
+
+	bw := newBumpRewriter(body, &backBranch, pinned, liveAtExits, ids, factor)
+	fullChain := l.Blocks.Count() == count
+	ex := newExpander(f, body, &backBranch, pinned, ids, factor, expandAcc && fullChain)
+
+	// Emit the copies, splitting into fresh blocks at every branch so the
+	// IR invariant (terminators only at block ends) holds. The copies
+	// lower to contiguous label-free machine code — one superblock region
+	// for the scheduler.
+	var newBlocks []*ir.Block
+	cur := f.MakeBlock()
+	newBlocks = []*ir.Block{cur}
+	cut := func() {
+		cur = f.MakeBlock()
+		newBlocks = append(newBlocks, cur)
+	}
+
+	rename := map[isa.Reg]isa.Reg{}
+	for k := 0; k < factor; k++ {
+		for j := range body {
+			in := body[j] // copy
+			// Induction pointers: fold this copy's delta into memory
+			// displacements; the pair is re-emitted combined at the end.
+			if !bw.rewrite(&in, j, k) {
+				continue
+			}
+			// Accumulators: copy k reduces into its own partial.
+			ex.rewrite(&in, j, k)
+			remap := func(r *isa.Reg) {
+				if nr, ok := rename[*r]; ok {
+					*r = nr
+				}
+			}
+			remap(&in.A)
+			if !in.UseImm {
+				remap(&in.B)
+			}
+			if len(in.Args) > 0 {
+				// The shallow instruction copy shares the Args slice
+				// with the template body; clone before remapping.
+				in.Args = append([]isa.Reg(nil), in.Args...)
+				for a := range in.Args {
+					remap(&in.Args[a])
+				}
+			}
+			if d := in.Def(); d.Valid() && inIDRange(ids, d) {
+				if !pinned.Has(ids.ID(d)) {
+					var nd isa.Reg
+					if d.Class == isa.ClassFloat {
+						nd = f.NewFloat()
+					} else {
+						nd = f.NewInt()
+					}
+					rename[d] = nd
+					in.Dst = nd
+				} else {
+					delete(rename, d)
+				}
+			}
+			isBranch := in.Op == isa.BR || in.Op.IsCondBranch()
+			cur.Instrs = append(cur.Instrs, in)
+			if isBranch {
+				cut()
+			}
+		}
+		switch {
+		case k < factor-1 && condBack:
+			// Intermediate test: leave when the loop condition fails.
+			side := inv
+			remapBranch(&side, rename)
+			side.Target = fallExit
+			cur.Instrs = append(cur.Instrs, side)
+			cut()
+		case k == factor-1:
+			cur.Instrs = append(cur.Instrs, bw.combined(f)...)
+			back := backBranch
+			remapBranch(&back, rename)
+			back.Target = h
+			cur.Instrs = append(cur.Instrs, back)
+		}
+	}
+
+	// Accumulator expansion adds a preheader (zeroing the partials) ahead
+	// of the copies and one merge block per exit target behind them; the
+	// final conditional back edge falls through into the fallExit merge.
+	copyStart := 0
+	numCopyBlocks := len(newBlocks)
+	var exitTargets []int
+	if ex.active() {
+		pre := f.MakeBlock()
+		pre.Instrs = ex.preheader()
+		newBlocks = append([]*ir.Block{pre}, newBlocks...)
+		copyStart = 1
+		seen := map[int]bool{}
+		addT := func(t int) {
+			if !seen[t] {
+				seen[t] = true
+				exitTargets = append(exitTargets, t)
+			}
+		}
+		if condBack {
+			addT(fallExit) // must be first: entered by fallthrough
+		}
+		for j := range body {
+			if body[j].Op.IsCondBranch() {
+				addT(body[j].Target)
+			}
+		}
+		for _, tgt := range exitTargets {
+			mb := f.MakeBlock()
+			mb.Instrs = append(ex.mergeInstrs(f), isa.Instr{Op: isa.BR, Target: tgt})
+			newBlocks = append(newBlocks, mb)
+		}
+	}
+
+	// Splice the new blocks over the old chain and remap every branch
+	// target from the old index space: targets below the loop are
+	// unchanged, targets at/after its old end shift by the growth, the
+	// back edge target h maps to itself (the first new block).
+	grow := len(newBlocks) - count
+	blocks := make([]*ir.Block, 0, len(f.Blocks)+grow)
+	blocks = append(blocks, f.Blocks[:h]...)
+	blocks = append(blocks, newBlocks...)
+	blocks = append(blocks, f.Blocks[h+count:]...)
+	f.Blocks = blocks
+	f.Renumber()
+	for _, bb := range f.Blocks {
+		for j := range bb.Instrs {
+			in := &bb.Instrs[j]
+			if (in.Op == isa.BR || in.Op.IsCondBranch()) && in.Target >= h+count {
+				in.Target += grow
+			}
+		}
+	}
+	if ex.active() {
+		// Route the copies' exits through the merge blocks and the back
+		// edge past the preheader (entries from outside still reach the
+		// preheader at h and restart the partials).
+		mergeIdx := map[int]int{} // shifted exit target -> merge block index
+		mergeBase := h + copyStart + numCopyBlocks
+		for mi, tgt := range exitTargets {
+			if tgt >= h+count {
+				tgt += grow
+			}
+			mergeIdx[tgt] = mergeBase + mi
+		}
+		for bi := h + copyStart; bi < mergeBase; bi++ {
+			for j := range f.Blocks[bi].Instrs {
+				in := &f.Blocks[bi].Instrs[j]
+				if !(in.Op == isa.BR || in.Op.IsCondBranch()) {
+					continue
+				}
+				if in.Target == h {
+					in.Target = h + copyStart // back edge skips the preheader
+				} else if gi, ok := mergeIdx[in.Target]; ok {
+					in.Target = gi
+				}
+			}
+		}
+	}
+	// New blocks' side exits were emitted in old indexing too and were
+	// remapped by the pass above (their targets are outside [h, h+count)).
+	return newBlocks[copyStart]
+}
+
+// inIDRange reports whether r existed when the liveness pass numbered the
+// registers (registers created during unrolling are outside the pinned
+// set's universe).
+func inIDRange(ids *analysis.RegIDs, r isa.Reg) bool {
+	if r.Class == isa.ClassFloat {
+		return r.N < ids.Total-ids.NumInt
+	}
+	return r.N < ids.NumInt
+}
+
+func remapBranch(in *isa.Instr, rename map[isa.Reg]isa.Reg) {
+	if nr, ok := rename[in.A]; ok {
+		in.A = nr
+	}
+	if !in.UseImm {
+		if nr, ok := rename[in.B]; ok {
+			in.B = nr
+		}
+	}
+}
+
+// invertBranch returns a branch with the opposite condition and the same
+// operands (FP inverses swap operands: !(a<b) == (b<=a)).
+func invertBranch(in isa.Instr) (isa.Instr, bool) {
+	switch in.Op {
+	case isa.BEQ:
+		in.Op = isa.BNE
+	case isa.BNE:
+		in.Op = isa.BEQ
+	case isa.BLT:
+		in.Op = isa.BGE
+	case isa.BGE:
+		in.Op = isa.BLT
+	case isa.BLE:
+		in.Op = isa.BGT
+	case isa.BGT:
+		in.Op = isa.BLE
+	case isa.FBEQ:
+		in.Op = isa.FBNE
+	case isa.FBNE:
+		in.Op = isa.FBEQ
+	case isa.FBLT:
+		in.Op = isa.FBLE
+		in.A, in.B = in.B, in.A
+	case isa.FBLE:
+		in.Op = isa.FBLT
+		in.A, in.B = in.B, in.A
+	default:
+		return in, false
+	}
+	return in, true
+}

@@ -1,0 +1,215 @@
+package interp
+
+import (
+	"testing"
+
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+type irReg = isa.Reg
+
+// TestKitchenSinkIntOps exercises every integer operation of the builder
+// against values computed in Go.
+func TestKitchenSinkIntOps(t *testing.T) {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "main", 0, 0)
+	x := b.Const(-40)
+	y := b.Const(12)
+
+	type ck struct {
+		name string
+		reg  isa.Reg
+		want int64
+	}
+	var checks []ck
+	add := func(name string, r isa.Reg, want int64) {
+		checks = append(checks, ck{name, r, want})
+	}
+	add("add", b.Add(x, y), -28)
+	add("addi", b.AddI(x, 2), -38)
+	add("sub", b.Sub(x, y), -52)
+	add("subi", b.SubI(y, 2), 10)
+	add("mul", b.Mul(x, y), -480)
+	add("muli", b.MulI(y, 3), 36)
+	add("div", b.Div(x, y), -3)
+	add("divi", b.DivI(x, 4), -10)
+	add("rem", b.Rem(x, y), -4)
+	add("remi", b.RemI(y, 5), 2)
+	add("and", b.And(x, y), int64(-40)&12)
+	add("andi", b.AndI(x, 0xff), int64(-40)&0xff)
+	add("or", b.Or(x, y), int64(-40)|12)
+	add("ori", b.OrI(y, 1), 13)
+	add("xor", b.Xor(x, y), int64(-40)^12)
+	add("xori", b.XorI(y, 5), 9)
+	add("sll", b.Sll(y, b.Const(2)), 48)
+	add("slli", b.SllI(y, 3), 96)
+	add("srli", b.SrlI(b.Const(64), 2), 16)
+	add("srai", b.SraI(x, 2), -10)
+	add("slt", b.Slt(x, y), 1)
+	add("slti", b.SltI(y, 5), 0)
+	add("mov", b.Mov(y), 12)
+
+	// Sum a weighted combination so every value is architecturally used.
+	total := b.Const(0)
+	var want int64
+	for i, c := range checks {
+		w := int64(i + 1)
+		b.MovTo(total, b.Add(total, b.MulI(c.reg, w)))
+		want += c.want * w
+	}
+	b.Ret(total)
+	if err := ir.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, "main", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != want {
+		t.Fatalf("kitchen sink = %d, want %d", res.Ret, want)
+	}
+}
+
+// TestKitchenSinkFPOps exercises the floating-point builder surface.
+func TestKitchenSinkFPOps(t *testing.T) {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "main", 0, 0)
+	a := b.FConst(2.5)
+	c := b.FConst(-1.25)
+	sum := b.FAdd(a, c)        // 1.25
+	diff := b.FSub(a, c)       // 3.75
+	prod := b.FMul(a, c)       // -3.125
+	quot := b.FDiv(a, c)       // -2.0
+	neg := b.FNeg(c)           // 1.25
+	abs := b.FAbs(c)           // 1.25
+	cp := b.FMov(abs)          // 1.25
+	conv := b.IToF(b.Const(3)) // 3.0
+	// total = (1.25+3.75-3.125-2.0+1.25+1.25+1.25+3.0) * 16 = 5.375*16 = 86
+	t1 := b.FAdd(sum, diff)
+	t2 := b.FAdd(prod, quot)
+	t3 := b.FAdd(neg, cp)
+	t4 := b.FAdd(t3, conv)
+	total := b.FAdd(b.FAdd(t1, t2), t4)
+	b.Ret(b.FToI(b.FMul(total, b.FConst(16))))
+	if err := ir.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, "main", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 86 {
+		t.Fatalf("fp kitchen sink = %d, want 86", res.Ret)
+	}
+}
+
+// TestFPBranches covers the FP compare-branch family.
+func TestFPBranches(t *testing.T) {
+	cases := []struct {
+		build func(b *ir.Builder, x, y irReg, tgt *ir.Block)
+		taken bool
+	}{
+		{func(b *ir.Builder, x, y irReg, tgt *ir.Block) { b.FBeq(x, x, tgt) }, true},
+		{func(b *ir.Builder, x, y irReg, tgt *ir.Block) { b.FBeq(x, y, tgt) }, false},
+		{func(b *ir.Builder, x, y irReg, tgt *ir.Block) { b.FBne(x, y, tgt) }, true},
+		{func(b *ir.Builder, x, y irReg, tgt *ir.Block) { b.FBlt(x, y, tgt) }, true},
+		{func(b *ir.Builder, x, y irReg, tgt *ir.Block) { b.FBlt(y, x, tgt) }, false},
+		{func(b *ir.Builder, x, y irReg, tgt *ir.Block) { b.FBle(x, x, tgt) }, true},
+	}
+	for i, c := range cases {
+		p := ir.NewProgram()
+		b := ir.NewFunc(p, "main", 0, 0)
+		x := b.FConst(1.0)
+		y := b.FConst(2.0)
+		tgt := b.NewBlock()
+		c.build(b, x, y, tgt)
+		b.Continue()
+		b.Ret(b.Const(0))
+		b.SetBlock(tgt)
+		b.Ret(b.Const(1))
+		res, err := Run(p, "main", nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(0)
+		if c.taken {
+			want = 1
+		}
+		if res.Ret != want {
+			t.Errorf("case %d: taken = %d, want %d", i, res.Ret, want)
+		}
+	}
+}
+
+// TestIntBranchesImmediate covers the immediate compare-branch family.
+func TestIntBranchesImmediate(t *testing.T) {
+	type mk func(b *ir.Builder, x irReg, k int64, tgt *ir.Block)
+	cases := []struct {
+		build mk
+		x, k  int64
+		taken bool
+	}{
+		{func(b *ir.Builder, x irReg, k int64, t *ir.Block) { b.BeqI(x, k, t) }, 5, 5, true},
+		{func(b *ir.Builder, x irReg, k int64, t *ir.Block) { b.BneI(x, k, t) }, 5, 5, false},
+		{func(b *ir.Builder, x irReg, k int64, t *ir.Block) { b.BltI(x, k, t) }, 4, 5, true},
+		{func(b *ir.Builder, x irReg, k int64, t *ir.Block) { b.BleI(x, k, t) }, 5, 5, true},
+		{func(b *ir.Builder, x irReg, k int64, t *ir.Block) { b.BgtI(x, k, t) }, 5, 5, false},
+		{func(b *ir.Builder, x irReg, k int64, t *ir.Block) { b.BgeI(x, k, t) }, 5, 5, true},
+		{func(b *ir.Builder, x irReg, k int64, t *ir.Block) { b.Bgt(x, b.Const(k), t) }, 9, 5, true},
+		{func(b *ir.Builder, x irReg, k int64, t *ir.Block) { b.Bge(x, b.Const(k), t) }, 4, 5, false},
+		{func(b *ir.Builder, x irReg, k int64, t *ir.Block) { b.Ble(x, b.Const(k), t) }, 4, 5, true},
+		{func(b *ir.Builder, x irReg, k int64, t *ir.Block) { b.Bne(x, b.Const(k), t) }, 4, 5, true},
+	}
+	for i, c := range cases {
+		p := ir.NewProgram()
+		b := ir.NewFunc(p, "main", 0, 0)
+		x := b.Const(c.x)
+		tgt := b.NewBlock()
+		c.build(b, x, c.k, tgt)
+		b.Continue()
+		b.Ret(b.Const(0))
+		b.SetBlock(tgt)
+		b.Ret(b.Const(1))
+		res, err := Run(p, "main", nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(0)
+		if c.taken {
+			want = 1
+		}
+		if res.Ret != want {
+			t.Errorf("case %d: taken = %d, want %d", i, res.Ret, want)
+		}
+	}
+}
+
+// TestCallVarieties covers FCall, CallVoid and float returns.
+func TestCallVarieties(t *testing.T) {
+	p := ir.NewProgram()
+	g := p.AddGlobal("out", 8)
+	// fhalf(f) = f * 0.5 (float param, float result)
+	fh := ir.NewFunc(p, "fhalf", 0, 1)
+	fh.Ret(fh.FMul(fh.Param(0), fh.FConst(0.5)))
+	// store9() writes 9 to the global (void)
+	sv := ir.NewFunc(p, "store9", 0, 0)
+	sv.St(sv.Const(9), sv.Addr(g, 0), 0)
+	sv.RetVoid()
+
+	b := ir.NewFunc(p, "main", 0, 0)
+	b.CallVoid("store9")
+	half := b.FCall("fhalf", b.FConst(7.0))            // 3.5
+	v := b.Ld(b.Addr(g, 0), 0)                         // 9
+	b.Ret(b.Add(v, b.FToI(b.FMul(half, b.FConst(2))))) // 9 + 7 = 16
+	if err := ir.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, "main", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 16 {
+		t.Fatalf("calls = %d, want 16", res.Ret)
+	}
+}

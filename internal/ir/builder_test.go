@@ -1,0 +1,115 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"regconn/internal/isa"
+)
+
+// TestBuilderSurface touches every emit helper and verifies the result —
+// both coverage for the builder and living documentation of the API.
+func TestBuilderSurface(t *testing.T) {
+	p := NewProgram()
+	g := p.AddGlobal("data", 128)
+	callee := NewFunc(p, "callee", 1, 1)
+	callee.Ret(callee.Param(0))
+
+	b := NewFunc(p, "main", 0, 0)
+	x := b.Const(6)
+	y := b.Const(3)
+	f1 := b.FConst(2.0)
+	f2 := b.FConst(0.5)
+
+	ints := []isa.Reg{
+		b.Add(x, y), b.AddI(x, 1), b.Sub(x, y), b.SubI(x, 1),
+		b.Mul(x, y), b.MulI(x, 2), b.Div(x, y), b.DivI(x, 2),
+		b.Rem(x, y), b.RemI(x, 4), b.And(x, y), b.AndI(x, 7),
+		b.Or(x, y), b.OrI(x, 8), b.Xor(x, y), b.XorI(x, 5),
+		b.Sll(x, y), b.SllI(x, 2), b.SrlI(x, 1), b.SraI(x, 1),
+		b.Slt(x, y), b.SltI(x, 10), b.Mov(x),
+	}
+	floats := []isa.Reg{
+		b.FAdd(f1, f2), b.FSub(f1, f2), b.FMul(f1, f2), b.FDiv(f1, f2),
+		b.FNeg(f1), b.FAbs(f2), b.FMov(f1), b.IToF(x),
+	}
+	base := b.Addr(g, 0)
+	b.St(x, base, 0)
+	b.FSt(f1, base, 8)
+	lv := b.Ld(base, 0)
+	fv := b.FLd(base, 8)
+	b.MovTo(x, lv)
+	b.MovTo(f1, fv)
+	r := b.Call("callee", x, f1)
+	b.CallVoid("callee", x, f1)
+	fr := b.FCall("callee", x, f1)
+	_ = fr
+
+	// Control flow: every conditional helper gets a target.
+	done := b.NewBlock()
+	for _, emit := range []func(*Block){
+		func(t2 *Block) { b.Beq(x, y, t2) }, func(t2 *Block) { b.Bne(x, y, t2) },
+		func(t2 *Block) { b.Blt(x, y, t2) }, func(t2 *Block) { b.Ble(x, y, t2) },
+		func(t2 *Block) { b.Bgt(x, y, t2) }, func(t2 *Block) { b.Bge(x, y, t2) },
+		func(t2 *Block) { b.BeqI(x, 1, t2) }, func(t2 *Block) { b.BneI(x, 1, t2) },
+		func(t2 *Block) { b.BltI(x, 1, t2) }, func(t2 *Block) { b.BleI(x, 1, t2) },
+		func(t2 *Block) { b.BgtI(x, 1, t2) }, func(t2 *Block) { b.BgeI(x, 1, t2) },
+		func(t2 *Block) { b.FBeq(f1, f2, t2) }, func(t2 *Block) { b.FBne(f1, f2, t2) },
+		func(t2 *Block) { b.FBlt(f1, f2, t2) }, func(t2 *Block) { b.FBle(f1, f2, t2) },
+	} {
+		emit(done)
+		b.Continue()
+	}
+	sum := b.Const(0)
+	for _, v := range ints {
+		b.MovTo(sum, b.Add(sum, v))
+	}
+	for _, v := range floats {
+		b.MovTo(sum, b.Add(sum, b.FToI(v)))
+	}
+	b.MovTo(sum, b.Add(sum, r))
+	b.Br(done)
+	b.SetBlock(done)
+	b.Ret(sum)
+
+	if err := Verify(p); err != nil {
+		t.Fatalf("builder produced invalid IR: %v", err)
+	}
+	if got := b.Block(); got != done {
+		t.Error("Block() should report the insertion point")
+	}
+	text := p.String()
+	for _, want := range []string{"func main()", "fadd", "cvtif", "call callee"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("print missing %q", want)
+		}
+	}
+}
+
+func TestFuncHelpers(t *testing.T) {
+	p := NewProgram()
+	b := NewFunc(p, "f", 2, 1)
+	if len(b.F.Params) != 3 || b.Param(2).Class != isa.ClassFloat {
+		t.Fatal("params wrong")
+	}
+	nb := b.F.MakeBlock()
+	if nb.Func() != b.F || nb.Index != -1 {
+		t.Error("MakeBlock linkage wrong")
+	}
+	b.RetVoid()
+	if b.F.Entry() != b.F.Blocks[0] {
+		t.Error("Entry wrong")
+	}
+	if n := b.F.NumInstrs(); n != 1 {
+		t.Errorf("NumInstrs = %d", n)
+	}
+	if p.Func("f") != b.F || p.Func("nope") != nil {
+		t.Error("Func lookup wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate function should panic")
+		}
+	}()
+	NewFunc(p, "f", 0, 0)
+}

@@ -1,0 +1,207 @@
+// Package ir defines the compiler's intermediate representation: functions
+// of basic blocks holding isa.Instr instructions over unbounded virtual
+// registers. The IR is directly executable (package interp), which provides
+// both profiling and a correctness oracle for every compiled configuration.
+//
+// Control-flow convention: a conditional branch transfers to its Target
+// block when taken and falls through to the next block in Blocks order when
+// not taken. An unconditional BR transfers to Target. A block whose last
+// instruction is not a terminator falls through to the next block. RET and
+// HALT end control flow.
+//
+// Definite assignment: every register use must be dominated by a
+// definition (or be a parameter). Reading a register that is undefined on
+// some path is undefined behaviour — the interpreter happens to read zero,
+// but compiled code reads whatever the assigned physical register holds.
+package ir
+
+import (
+	"fmt"
+
+	"regconn/internal/isa"
+)
+
+// Program is a whole compilation unit: functions plus global data.
+type Program struct {
+	Funcs   []*Func
+	Globals []*Global
+
+	byName map[string]*Func
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{byName: make(map[string]*Func)}
+}
+
+// Func looks up a function by name, returning nil if absent.
+func (p *Program) Func(name string) *Func {
+	if p.byName == nil {
+		p.byName = make(map[string]*Func)
+		for _, f := range p.Funcs {
+			p.byName[f.Name] = f
+		}
+	}
+	return p.byName[name]
+}
+
+// AddFunc appends a function; duplicate names are a programming error.
+func (p *Program) AddFunc(f *Func) {
+	if p.Func(f.Name) != nil {
+		panic(fmt.Sprintf("ir: duplicate function %q", f.Name))
+	}
+	p.Funcs = append(p.Funcs, f)
+	p.byName[f.Name] = f
+}
+
+// Global is one named data object. Size is in bytes (multiple of 8); at
+// most one of InitI/InitF provides initial words, the remainder is zeroed.
+type Global struct {
+	Name  string
+	Size  int64
+	InitI []int64
+	InitF []float64
+}
+
+// Words returns the global's size in 8-byte words.
+func (g *Global) Words() int64 { return g.Size / 8 }
+
+// AddGlobal appends a global data object and returns it. Size is rounded up
+// to a multiple of 8 bytes.
+func (p *Program) AddGlobal(name string, size int64) *Global {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			panic(fmt.Sprintf("ir: duplicate global %q", name))
+		}
+	}
+	g := &Global{Name: name, Size: (size + 7) &^ 7}
+	p.Globals = append(p.Globals, g)
+	return g
+}
+
+// Func is one function: an entry block (Blocks[0]), parameter registers,
+// and virtual-register counters per class.
+type Func struct {
+	Name   string
+	Params []isa.Reg // virtual registers holding incoming arguments
+	Blocks []*Block
+
+	NextInt   int // next unused integer virtual register
+	NextFloat int // next unused float virtual register
+}
+
+// NewBlock appends a fresh empty block and returns it.
+func (f *Func) NewBlock() *Block {
+	b := &Block{Index: len(f.Blocks), fn: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// MakeBlock returns a fresh block linked to f but not yet in f.Blocks;
+// callers splice it in (e.g. loop restructuring) and must Renumber.
+func (f *Func) MakeBlock() *Block { return &Block{fn: f, Index: -1} }
+
+// InsertBlock inserts a fresh empty block at index pos, shifting later
+// blocks down, and returns it. Branch targets are not adjusted; callers
+// must remap them.
+func (f *Func) InsertBlock(pos int) *Block {
+	nb := &Block{fn: f}
+	f.Blocks = append(f.Blocks, nil)
+	copy(f.Blocks[pos+1:], f.Blocks[pos:])
+	f.Blocks[pos] = nb
+	f.Renumber()
+	return nb
+}
+
+// NewInt allocates a fresh integer virtual register.
+func (f *Func) NewInt() isa.Reg {
+	r := isa.IntReg(f.NextInt)
+	f.NextInt++
+	return r
+}
+
+// NewFloat allocates a fresh floating-point virtual register.
+func (f *Func) NewFloat() isa.Reg {
+	r := isa.FloatReg(f.NextFloat)
+	f.NextFloat++
+	return r
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// Renumber rebuilds Block.Index after structural edits. Branch targets are
+// block pointers' indices, so callers must fix Target fields themselves (or
+// use the editing helpers in packages opt/ilp, which do).
+func (f *Func) Renumber() {
+	for i, b := range f.Blocks {
+		b.Index = i
+	}
+}
+
+// NumInstrs returns the static instruction count of the function.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Block is a basic block.
+type Block struct {
+	Index  int
+	Instrs []isa.Instr
+
+	// Weight is the profiled execution count of the block; TakenWeight is
+	// the profiled count of the terminating conditional branch being
+	// taken. Zero before profiling.
+	Weight      float64
+	TakenWeight float64
+
+	fn *Func
+}
+
+// Func returns the block's containing function.
+func (b *Block) Func() *Func { return b.fn }
+
+// Term returns a pointer to the block's final instruction if it is a
+// terminator, else nil (fallthrough block).
+func (b *Block) Term() *isa.Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := &b.Instrs[len(b.Instrs)-1]
+	if last.Op.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Succs returns the indices of the block's successor blocks in the
+// containing function, in (taken, fallthrough) order for conditional
+// branches.
+func (b *Block) Succs() []int {
+	t := b.Term()
+	next := b.Index + 1
+	hasNext := next < len(b.fn.Blocks)
+	switch {
+	case t == nil:
+		if hasNext {
+			return []int{next}
+		}
+		return nil
+	case t.Op == isa.BR:
+		return []int{t.Target}
+	case t.Op.IsCondBranch():
+		if hasNext {
+			return []int{t.Target, next}
+		}
+		return []int{t.Target}
+	default: // RET, HALT
+		return nil
+	}
+}
+
+// Append adds an instruction to the end of the block.
+func (b *Block) Append(in isa.Instr) { b.Instrs = append(b.Instrs, in) }

@@ -1,0 +1,173 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"regconn/internal/isa"
+)
+
+// buildLoopSum constructs: func sum(n) { s=0; i=0; do { s+=i; i++ } while (i<n); return s }
+func buildLoopSum(p *Program) *Builder {
+	b := NewFunc(p, "sum", 1, 0)
+	n := b.Param(0)
+	s := b.Const(0)
+	i := b.Const(0)
+	body := b.NewBlock()
+	b.Br(body)
+	b.SetBlock(body)
+	s2 := b.Add(s, i)
+	i2 := b.AddI(i, 1)
+	// Loop carried: write back via MOVs to keep single registers.
+	b.Block().Append(isa.Instr{Op: isa.MOV, Dst: s, A: s2})
+	b.Block().Append(isa.Instr{Op: isa.MOV, Dst: i, A: i2})
+	b.Blt(i, n, body)
+	exit := b.NewBlock()
+	b.SetBlock(exit)
+	b.Ret(s)
+	return b
+}
+
+func TestBuilderAndVerify(t *testing.T) {
+	p := NewProgram()
+	buildLoopSum(p)
+	if err := Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	f := p.Func("sum")
+	if f == nil || len(f.Blocks) != 3 {
+		t.Fatalf("unexpected function shape: %v", f)
+	}
+}
+
+func TestVerifyCatchesBadTarget(t *testing.T) {
+	p := NewProgram()
+	b := NewFunc(p, "f", 0, 0)
+	b.Block().Append(isa.Instr{Op: isa.BR, Target: 99})
+	if err := Verify(p); err == nil {
+		t.Fatal("expected bad-target error")
+	}
+}
+
+func TestVerifyCatchesClassMismatch(t *testing.T) {
+	p := NewProgram()
+	b := NewFunc(p, "f", 0, 0)
+	x := b.Const(1)
+	// Abuse: FADD with integer registers.
+	b.Block().Append(isa.Instr{Op: isa.FADD, Dst: x, A: x, B: x})
+	b.Ret(x)
+	if err := Verify(p); err == nil {
+		t.Fatal("expected class mismatch error")
+	}
+}
+
+func TestVerifyCatchesFallOffEnd(t *testing.T) {
+	p := NewProgram()
+	b := NewFunc(p, "f", 0, 0)
+	b.Const(1) // no terminator
+	if err := Verify(p); err == nil {
+		t.Fatal("expected fall-off-end error")
+	}
+}
+
+func TestVerifyCatchesUnknownCallee(t *testing.T) {
+	p := NewProgram()
+	b := NewFunc(p, "f", 0, 0)
+	r := b.Call("nosuch")
+	b.Ret(r)
+	if err := Verify(p); err == nil {
+		t.Fatal("expected unknown-callee error")
+	}
+}
+
+func TestVerifyCatchesConnectInIR(t *testing.T) {
+	p := NewProgram()
+	b := NewFunc(p, "f", 0, 0)
+	b.Block().Append(isa.Instr{Op: isa.CONUSE})
+	b.RetVoid()
+	if err := Verify(p); err == nil {
+		t.Fatal("expected connect-in-IR error")
+	}
+}
+
+func TestVerifyArgCount(t *testing.T) {
+	p := NewProgram()
+	callee := NewFunc(p, "g", 2, 0)
+	callee.Ret(callee.Param(0))
+	b := NewFunc(p, "f", 0, 0)
+	x := b.Const(1)
+	r := b.Call("g", x) // wrong arity
+	b.Ret(r)
+	if err := Verify(p); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestSuccs(t *testing.T) {
+	p := NewProgram()
+	buildLoopSum(p)
+	f := p.Func("sum")
+	// entry -> body (BR)
+	if s := f.Blocks[0].Succs(); len(s) != 1 || s[0] != 1 {
+		t.Errorf("entry succs = %v", s)
+	}
+	// body -> (body taken, exit fallthrough)
+	if s := f.Blocks[1].Succs(); len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Errorf("body succs = %v", s)
+	}
+	// exit (RET) -> none
+	if s := f.Blocks[2].Succs(); len(s) != 0 {
+		t.Errorf("exit succs = %v", s)
+	}
+}
+
+func TestInsertBlock(t *testing.T) {
+	p := NewProgram()
+	buildLoopSum(p)
+	f := p.Func("sum")
+	nb := f.InsertBlock(1)
+	if f.Blocks[1] != nb || nb.Index != 1 || f.Blocks[2].Index != 2 {
+		t.Fatal("insert did not renumber")
+	}
+	if nb.Func() != f {
+		t.Fatal("inserted block not linked to function")
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	p := NewProgram()
+	g := p.AddGlobal("tbl", 100) // rounds to 104
+	if g.Size != 104 || g.Words() != 13 {
+		t.Errorf("size = %d words = %d", g.Size, g.Words())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate global should panic")
+		}
+	}()
+	p.AddGlobal("tbl", 8)
+}
+
+func TestPrint(t *testing.T) {
+	p := NewProgram()
+	p.AddGlobal("data", 64)
+	buildLoopSum(p)
+	s := p.String()
+	for _, want := range []string{".global data 64", "func sum(r0):", ".T0:", "blt", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printout missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEmitIntoTerminatedBlockPanics(t *testing.T) {
+	p := NewProgram()
+	b := NewFunc(p, "f", 0, 0)
+	b.RetVoid()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b.Const(1)
+}

@@ -1,0 +1,42 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the whole program as readable assembly-like text.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, ".global %s %d\n", g.Name, g.Size)
+	}
+	for _, f := range p.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\nfunc %s(", f.Name)
+	for i, r := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(r.String())
+	}
+	sb.WriteString("):\n")
+	for _, b := range f.Blocks {
+		if b.Weight > 0 {
+			fmt.Fprintf(&sb, ".T%d:  ; weight=%.0f\n", b.Index, b.Weight)
+		} else {
+			fmt.Fprintf(&sb, ".T%d:\n", b.Index)
+		}
+		for i := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", b.Instrs[i].String())
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,199 @@
+package ir
+
+import (
+	"fmt"
+
+	"regconn/internal/isa"
+)
+
+// Verify checks structural invariants of the program's IR form: register
+// classes match opcodes, branch targets exist, virtual register numbers are
+// in range, call targets resolve, terminators are sane. It returns the
+// first violation found.
+func Verify(p *Program) error {
+	for _, f := range p.Funcs {
+		if err := verifyFunc(p, f); err != nil {
+			return fmt.Errorf("func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(p *Program, f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	for i, b := range f.Blocks {
+		if b.Index != i {
+			return fmt.Errorf("block %d has stale index %d", i, b.Index)
+		}
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			if err := verifyInstr(p, f, in); err != nil {
+				return fmt.Errorf(".T%d[%d] %v: %w", i, j, in, err)
+			}
+			if in.Op.IsTerminator() && j != len(b.Instrs)-1 {
+				return fmt.Errorf(".T%d[%d]: terminator %v not at block end", i, j, in.Op)
+			}
+		}
+	}
+	// The last block must not fall off the end of the function.
+	last := f.Blocks[len(f.Blocks)-1]
+	if t := last.Term(); t == nil || t.Op.IsCondBranch() {
+		return fmt.Errorf("last block .T%d falls through past function end", last.Index)
+	}
+	return nil
+}
+
+func verifyInstr(p *Program, f *Func, in *isa.Instr) error {
+	checkReg := func(r isa.Reg, want isa.RegClass, what string) error {
+		if r.Class != want {
+			return fmt.Errorf("%s has class %v, want %v", what, r.Class, want)
+		}
+		max := f.NextInt
+		if want == isa.ClassFloat {
+			max = f.NextFloat
+		}
+		if r.N < 0 || r.N >= max {
+			return fmt.Errorf("%s register %v out of range [0,%d)", what, r, max)
+		}
+		return nil
+	}
+	checkTarget := func() error {
+		if in.Target < 0 || in.Target >= len(f.Blocks) {
+			return fmt.Errorf("branch target %d out of range", in.Target)
+		}
+		return nil
+	}
+
+	switch in.Op {
+	case isa.NOP, isa.HALT:
+		return nil
+	case isa.MOVI, isa.LGA:
+		if in.Op == isa.LGA && findGlobal(p, in.Sym) == nil {
+			return fmt.Errorf("unknown global %q", in.Sym)
+		}
+		return checkReg(in.Dst, isa.ClassInt, "dst")
+	case isa.FMOVI:
+		return checkReg(in.Dst, isa.ClassFloat, "dst")
+	case isa.MOV, isa.SLT:
+		if err := checkReg(in.Dst, isa.ClassInt, "dst"); err != nil {
+			return err
+		}
+		if in.Op == isa.MOV {
+			return checkReg(in.A, isa.ClassInt, "src")
+		}
+		fallthrough
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR, isa.XOR,
+		isa.SLL, isa.SRL, isa.SRA:
+		if err := checkReg(in.Dst, isa.ClassInt, "dst"); err != nil {
+			return err
+		}
+		if err := checkReg(in.A, isa.ClassInt, "srcA"); err != nil {
+			return err
+		}
+		if !in.UseImm {
+			return checkReg(in.B, isa.ClassInt, "srcB")
+		}
+		return nil
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
+		if err := checkReg(in.Dst, isa.ClassFloat, "dst"); err != nil {
+			return err
+		}
+		if err := checkReg(in.A, isa.ClassFloat, "srcA"); err != nil {
+			return err
+		}
+		return checkReg(in.B, isa.ClassFloat, "srcB")
+	case isa.FMOV, isa.FNEG, isa.FABS:
+		if err := checkReg(in.Dst, isa.ClassFloat, "dst"); err != nil {
+			return err
+		}
+		return checkReg(in.A, isa.ClassFloat, "src")
+	case isa.CVTIF:
+		if err := checkReg(in.Dst, isa.ClassFloat, "dst"); err != nil {
+			return err
+		}
+		return checkReg(in.A, isa.ClassInt, "src")
+	case isa.CVTFI:
+		if err := checkReg(in.Dst, isa.ClassInt, "dst"); err != nil {
+			return err
+		}
+		return checkReg(in.A, isa.ClassFloat, "src")
+	case isa.LD:
+		if err := checkReg(in.Dst, isa.ClassInt, "dst"); err != nil {
+			return err
+		}
+		return checkReg(in.A, isa.ClassInt, "base")
+	case isa.FLD:
+		if err := checkReg(in.Dst, isa.ClassFloat, "dst"); err != nil {
+			return err
+		}
+		return checkReg(in.A, isa.ClassInt, "base")
+	case isa.ST:
+		if err := checkReg(in.A, isa.ClassInt, "base"); err != nil {
+			return err
+		}
+		return checkReg(in.B, isa.ClassInt, "val")
+	case isa.FST:
+		if err := checkReg(in.A, isa.ClassInt, "base"); err != nil {
+			return err
+		}
+		return checkReg(in.B, isa.ClassFloat, "val")
+	case isa.BR:
+		return checkTarget()
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE:
+		if err := checkReg(in.A, isa.ClassInt, "srcA"); err != nil {
+			return err
+		}
+		if !in.UseImm {
+			if err := checkReg(in.B, isa.ClassInt, "srcB"); err != nil {
+				return err
+			}
+		}
+		return checkTarget()
+	case isa.FBEQ, isa.FBNE, isa.FBLT, isa.FBLE:
+		if err := checkReg(in.A, isa.ClassFloat, "srcA"); err != nil {
+			return err
+		}
+		if err := checkReg(in.B, isa.ClassFloat, "srcB"); err != nil {
+			return err
+		}
+		return checkTarget()
+	case isa.CALL:
+		callee := p.Func(in.Sym)
+		if callee == nil {
+			return fmt.Errorf("unknown callee %q", in.Sym)
+		}
+		if len(in.Args) != len(callee.Params) {
+			return fmt.Errorf("callee %q takes %d args, got %d", in.Sym, len(callee.Params), len(in.Args))
+		}
+		for i, a := range in.Args {
+			if err := checkReg(a, callee.Params[i].Class, fmt.Sprintf("arg%d", i)); err != nil {
+				return err
+			}
+		}
+		if in.Dst.Valid() {
+			if err := checkReg(in.Dst, in.Dst.Class, "dst"); err != nil {
+				return err
+			}
+		}
+		return nil
+	case isa.RET:
+		if in.A.Valid() {
+			return checkReg(in.A, in.A.Class, "value")
+		}
+		return nil
+	case isa.CONUSE, isa.CONDEF, isa.CONUU, isa.CONDU, isa.CONDD:
+		return fmt.Errorf("connect instructions are not valid in IR form (inserted by codegen)")
+	}
+	return fmt.Errorf("unknown opcode %v", in.Op)
+}
+
+func findGlobal(p *Program, name string) *Global {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}

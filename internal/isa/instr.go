@@ -1,0 +1,207 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Instr is one instruction. Which fields are meaningful depends on Op; see
+// the opcode comments in op.go. The struct doubles as compiler IR (virtual
+// registers, Target = block index, CALL carries Args) and machine code
+// (physical map indices, Target = instruction address, CALL lowered to the
+// stack convention).
+type Instr struct {
+	Op  Op
+	Dst Reg // destination register (also the compare "fa" slot is A)
+	A   Reg // first source
+	B   Reg // second source (ignored when UseImm)
+
+	// Imm is the second-source immediate (when UseImm), the load/store
+	// displacement, the MOVI constant, the FMOVI bit pattern, or the LGA
+	// offset.
+	Imm    int64
+	UseImm bool
+
+	// Target is the branch destination: a block index in IR form, an
+	// absolute instruction address in machine form.
+	Target int
+
+	// Sym is the callee name for CALL or the global symbol for LGA.
+	Sym string
+
+	// Args holds the argument registers of an IR-level CALL. Lowering
+	// replaces them with explicit stack stores; machine-level CALLs have
+	// no Args.
+	Args []Reg
+
+	// Connect operands: (map index, physical register) pairs. CONUSE and
+	// CONDEF use pair 0 only. CClass tells which register file's mapping
+	// table the connect addresses.
+	CIdx   [2]uint16
+	CPhys  [2]uint16
+	CClass RegClass
+
+	// Pred is the static branch prediction attached by the compiler from
+	// profile data: true = predicted taken. Meaningful for conditional
+	// branches only.
+	Pred bool
+}
+
+// FImm returns the FMOVI immediate as a float64.
+func (in *Instr) FImm() float64 { return math.Float64frombits(uint64(in.Imm)) }
+
+// SetFImm stores a float64 immediate into Imm.
+func (in *Instr) SetFImm(f float64) { in.Imm = int64(math.Float64bits(f)) }
+
+// Uses appends the registers read by the instruction to dst and returns it.
+// Connect instructions read no data registers (their operands are
+// immediates); IR-level CALL reads its Args.
+func (in *Instr) Uses(dst []Reg) []Reg {
+	switch in.Op {
+	case NOP, MOVI, FMOVI, LGA, BR, HALT, CONUSE, CONDEF, CONUU, CONDU, CONDD:
+		return dst
+	case LD, FLD:
+		return append(dst, in.A)
+	case ST, FST:
+		return append(dst, in.A, in.B)
+	case MOV, FMOV, FNEG, FABS, CVTIF, CVTFI:
+		return append(dst, in.A)
+	case RET:
+		if in.A.Valid() {
+			return append(dst, in.A)
+		}
+		return dst
+	case CALL:
+		return append(dst, in.Args...)
+	case FBEQ, FBNE, FBLT, FBLE:
+		return append(dst, in.A, in.B)
+	case BEQ, BNE, BLT, BLE, BGT, BGE:
+		dst = append(dst, in.A)
+		if !in.UseImm {
+			dst = append(dst, in.B)
+		}
+		return dst
+	default: // three-address ALU/FP ops
+		dst = append(dst, in.A)
+		if !in.UseImm && in.B.Valid() {
+			dst = append(dst, in.B)
+		}
+		return dst
+	}
+}
+
+// Def returns the register written by the instruction, or an invalid Reg.
+func (in *Instr) Def() Reg {
+	switch in.Op {
+	case ST, FST, BR, BEQ, BNE, BLT, BLE, BGT, BGE, FBEQ, FBNE, FBLT, FBLE,
+		NOP, HALT, RET, CONUSE, CONDEF, CONUU, CONDU, CONDD:
+		return Reg{}
+	case CALL:
+		return in.Dst // may be invalid for void calls
+	default:
+		return in.Dst
+	}
+}
+
+// ConnectPairs returns the (index, phys, isDef) triples of a connect
+// instruction in operand order. It returns nil for non-connects.
+func (in *Instr) ConnectPairs() []ConnectPair {
+	switch in.Op {
+	case CONUSE:
+		return []ConnectPair{{in.CIdx[0], in.CPhys[0], false}}
+	case CONDEF:
+		return []ConnectPair{{in.CIdx[0], in.CPhys[0], true}}
+	case CONUU:
+		return []ConnectPair{{in.CIdx[0], in.CPhys[0], false}, {in.CIdx[1], in.CPhys[1], false}}
+	case CONDU:
+		return []ConnectPair{{in.CIdx[0], in.CPhys[0], true}, {in.CIdx[1], in.CPhys[1], false}}
+	case CONDD:
+		return []ConnectPair{{in.CIdx[0], in.CPhys[0], true}, {in.CIdx[1], in.CPhys[1], true}}
+	}
+	return nil
+}
+
+// ConnectPair is one (map index, physical register) connect operand.
+type ConnectPair struct {
+	Idx  uint16
+	Phys uint16
+	Def  bool // true: updates the write map; false: the read map
+}
+
+// String renders the instruction in assembly-like form. Branch targets are
+// rendered as ".T<n>" (block index or address, per form).
+func (in *Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	arg := func(s string) {
+		if strings.HasSuffix(b.String(), in.Op.String()) {
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(s)
+	}
+	src2 := func() string {
+		if in.UseImm {
+			return fmt.Sprintf("#%d", in.Imm)
+		}
+		return in.B.String()
+	}
+	switch in.Op {
+	case NOP, HALT:
+	case MOVI:
+		arg(in.Dst.String())
+		arg(fmt.Sprintf("#%d", in.Imm))
+	case FMOVI:
+		arg(in.Dst.String())
+		arg(fmt.Sprintf("#%g", in.FImm()))
+	case LGA:
+		arg(in.Dst.String())
+		arg(fmt.Sprintf("%s+%d", in.Sym, in.Imm))
+	case MOV, FMOV, FNEG, FABS, CVTIF, CVTFI:
+		arg(in.Dst.String())
+		arg(in.A.String())
+	case LD, FLD:
+		arg(in.Dst.String())
+		arg(fmt.Sprintf("%d(%s)", in.Imm, in.A))
+	case ST, FST:
+		arg(in.B.String())
+		arg(fmt.Sprintf("%d(%s)", in.Imm, in.A))
+	case BR:
+		arg(fmt.Sprintf(".T%d", in.Target))
+	case BEQ, BNE, BLT, BLE, BGT, BGE:
+		arg(in.A.String())
+		arg(src2())
+		arg(fmt.Sprintf(".T%d", in.Target))
+	case FBEQ, FBNE, FBLT, FBLE:
+		arg(in.A.String())
+		arg(in.B.String())
+		arg(fmt.Sprintf(".T%d", in.Target))
+	case CALL:
+		arg(in.Sym)
+		if in.Dst.Valid() {
+			arg("-> " + in.Dst.String())
+		}
+		for _, a := range in.Args {
+			arg(a.String())
+		}
+	case RET:
+		if in.A.Valid() {
+			arg(in.A.String())
+		}
+	case CONUSE, CONDEF, CONUU, CONDU, CONDD:
+		for _, p := range in.ConnectPairs() {
+			cls := "r"
+			if in.CClass == ClassFloat {
+				cls = "f"
+			}
+			arg(fmt.Sprintf("%si%d:%sp%d", cls, p.Idx, cls, p.Phys))
+		}
+	default:
+		arg(in.Dst.String())
+		arg(in.A.String())
+		arg(src2())
+	}
+	return b.String()
+}

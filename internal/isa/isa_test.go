@@ -1,0 +1,150 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStringsAndKinds(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+	cases := []struct {
+		op   Op
+		kind Kind
+	}{
+		{ADD, KindIntALU}, {MUL, KindIntMul}, {DIV, KindIntDiv},
+		{FADD, KindFPALU}, {FMUL, KindFPMul}, {FDIV, KindFPDiv},
+		{CVTIF, KindFPConv}, {LD, KindLoad}, {FST, KindStore},
+		{BEQ, KindBranch}, {CALL, KindCall}, {CONUU, KindConnect},
+	}
+	for _, c := range cases {
+		if c.op.Kind() != c.kind {
+			t.Errorf("%v kind = %v, want %v", c.op, c.op.Kind(), c.kind)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !BR.IsBranch() || !BEQ.IsCondBranch() || BR.IsCondBranch() {
+		t.Error("branch predicates wrong")
+	}
+	if !LD.IsMem() || !FST.IsMem() || ADD.IsMem() || CALL.IsMem() {
+		t.Error("IsMem wrong")
+	}
+	for _, op := range []Op{CONUSE, CONDEF, CONUU, CONDU, CONDD} {
+		if !op.IsConnect() {
+			t.Errorf("%v should be connect", op)
+		}
+	}
+	for _, op := range []Op{BR, BEQ, RET, HALT} {
+		if !op.IsTerminator() {
+			t.Errorf("%v should terminate a block", op)
+		}
+	}
+	if CALL.IsTerminator() || ADD.IsTerminator() {
+		t.Error("non-terminators misclassified")
+	}
+}
+
+func TestUsesDefs(t *testing.T) {
+	r := func(n int) Reg { return IntReg(n) }
+	fr := func(n int) Reg { return FloatReg(n) }
+
+	cases := []struct {
+		in   Instr
+		uses []Reg
+		def  Reg
+	}{
+		{Instr{Op: ADD, Dst: r(1), A: r(2), B: r(3)}, []Reg{r(2), r(3)}, r(1)},
+		{Instr{Op: ADD, Dst: r(1), A: r(2), Imm: 5, UseImm: true}, []Reg{r(2)}, r(1)},
+		{Instr{Op: MOVI, Dst: r(1), Imm: 9}, nil, r(1)},
+		{Instr{Op: LD, Dst: r(1), A: r(2), Imm: 8}, []Reg{r(2)}, r(1)},
+		{Instr{Op: ST, A: r(2), B: r(3), Imm: 8}, []Reg{r(2), r(3)}, Reg{}},
+		{Instr{Op: FST, A: r(2), B: fr(3)}, []Reg{r(2), fr(3)}, Reg{}},
+		{Instr{Op: BEQ, A: r(1), B: r(2), Target: 3}, []Reg{r(1), r(2)}, Reg{}},
+		{Instr{Op: BEQ, A: r(1), Imm: 0, UseImm: true}, []Reg{r(1)}, Reg{}},
+		{Instr{Op: RET, A: r(4)}, []Reg{r(4)}, Reg{}},
+		{Instr{Op: RET}, nil, Reg{}},
+		{Instr{Op: CALL, Dst: r(5), Args: []Reg{r(1), fr(0)}}, []Reg{r(1), fr(0)}, r(5)},
+		{Instr{Op: CONUSE, CIdx: [2]uint16{3}, CPhys: [2]uint16{40}}, nil, Reg{}},
+		{Instr{Op: FADD, Dst: fr(0), A: fr(1), B: fr(2)}, []Reg{fr(1), fr(2)}, fr(0)},
+	}
+	for _, c := range cases {
+		got := c.in.Uses(nil)
+		if len(got) != len(c.uses) {
+			t.Errorf("%v uses = %v, want %v", c.in.Op, got, c.uses)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.uses[i] {
+				t.Errorf("%v uses = %v, want %v", c.in.Op, got, c.uses)
+			}
+		}
+		if c.in.Def() != c.def {
+			t.Errorf("%v def = %v, want %v", c.in.Op, c.in.Def(), c.def)
+		}
+	}
+}
+
+func TestConnectPairs(t *testing.T) {
+	in := Instr{Op: CONDU, CIdx: [2]uint16{3, 5}, CPhys: [2]uint16{100, 101}, CClass: ClassInt}
+	pairs := in.ConnectPairs()
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2", len(pairs))
+	}
+	if !pairs[0].Def || pairs[0].Idx != 3 || pairs[0].Phys != 100 {
+		t.Errorf("pair0 = %+v", pairs[0])
+	}
+	if pairs[1].Def || pairs[1].Idx != 5 || pairs[1].Phys != 101 {
+		t.Errorf("pair1 = %+v", pairs[1])
+	}
+	if (&Instr{Op: ADD}).ConnectPairs() != nil {
+		t.Error("non-connect should have nil pairs")
+	}
+}
+
+func TestLatenciesTable1(t *testing.T) {
+	l := DefaultLatencies(2)
+	want := map[Op]int{
+		ADD: 1, MUL: 3, DIV: 10, FADD: 3, CVTIF: 3, FMUL: 3, FDIV: 10,
+		BR: 1, LD: 2, ST: 1, CONUSE: 0,
+	}
+	for op, w := range want {
+		if got := l.Of(op); got != w {
+			t.Errorf("latency(%v) = %d, want %d", op, got, w)
+		}
+	}
+	l4 := DefaultLatencies(4)
+	if l4.Of(FLD) != 4 {
+		t.Errorf("4-cycle load config: latency(FLD) = %d", l4.Of(FLD))
+	}
+}
+
+func TestFImmRoundTrip(t *testing.T) {
+	var in Instr
+	in.SetFImm(3.5)
+	if in.FImm() != 3.5 {
+		t.Errorf("FImm round trip = %v", in.FImm())
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: ADD, Dst: IntReg(1), A: IntReg(2), B: IntReg(3)}, "add r1, r2, r3"},
+		{Instr{Op: ADD, Dst: IntReg(1), A: IntReg(2), Imm: 4, UseImm: true}, "add r1, r2, #4"},
+		{Instr{Op: LD, Dst: IntReg(1), A: IntReg(2), Imm: 16}, "ld r1, 16(r2)"},
+		{Instr{Op: BEQ, A: IntReg(1), B: IntReg(0), Target: 7}, "beq r1, r0, .T7"},
+		{Instr{Op: CONUSE, CIdx: [2]uint16{6}, CPhys: [2]uint16{9}, CClass: ClassInt}, "con_use ri6:rp9"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package isa
+
+// Latencies holds the deterministic instruction latencies of the modeled
+// microarchitecture. The defaults reproduce Table 1 of the paper; Load is
+// the experimentally varied parameter (2 or 4 cycles), and Connect is 0 or
+// 1 depending on the RC implementation scenario (Figure 12).
+type Latencies struct {
+	IntALU  int
+	IntMul  int
+	IntDiv  int
+	FPALU   int
+	FPConv  int
+	FPMul   int
+	FPDiv   int
+	Branch  int
+	Load    int
+	Store   int
+	Connect int
+}
+
+// DefaultLatencies returns Table 1 with the given load latency and
+// zero-cycle connects.
+func DefaultLatencies(load int) Latencies {
+	return Latencies{
+		IntALU:  1,
+		IntMul:  3,
+		IntDiv:  10,
+		FPALU:   3,
+		FPConv:  3,
+		FPMul:   3,
+		FPDiv:   10,
+		Branch:  1,
+		Load:    load,
+		Store:   1,
+		Connect: 0,
+	}
+}
+
+// Of returns the latency of the opcode under this configuration. Latency is
+// the number of cycles after issue before a dependent instruction may issue
+// (1 means the result is available to instructions issuing the next cycle).
+func (l Latencies) Of(op Op) int {
+	switch op.Kind() {
+	case KindIntALU:
+		return l.IntALU
+	case KindIntMul:
+		return l.IntMul
+	case KindIntDiv:
+		return l.IntDiv
+	case KindFPALU:
+		return l.FPALU
+	case KindFPConv:
+		return l.FPConv
+	case KindFPMul:
+		return l.FPMul
+	case KindFPDiv:
+		return l.FPDiv
+	case KindLoad:
+		return l.Load
+	case KindStore:
+		return l.Store
+	case KindBranch, KindCall:
+		return l.Branch
+	case KindConnect:
+		return l.Connect
+	}
+	return 1
+}

@@ -1,0 +1,224 @@
+// Package isa defines the instruction set architecture used throughout the
+// repository: a MIPS-R2000-like three-address instruction set extended with
+// general compare-and-branch opcodes (as in the paper's experimental setup,
+// §5.2) and with the register-connection instructions of §2.2.
+//
+// The same Instr type is used at two levels:
+//
+//   - as compiler IR, where register operands are virtual registers
+//     (unbounded numbering per class), and
+//   - as machine code, where register operands are physical map indices
+//     (after register allocation) and branch targets are instruction
+//     addresses.
+//
+// Sharing the representation keeps lowering honest: the compiler can only
+// emit what the machine can execute.
+package isa
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. The comments give the assembly shape; "rd" is a destination
+// register, "ra"/"rb" source registers, "imm" a 64-bit immediate.
+const (
+	NOP Op = iota
+
+	// Integer ALU (latency: IntALU).
+	ADD // rd = ra + rb|imm
+	SUB // rd = ra - rb|imm
+	AND // rd = ra & rb|imm
+	OR  // rd = ra | rb|imm
+	XOR // rd = ra ^ rb|imm
+	SLL // rd = ra << rb|imm
+	SRL // rd = uint(ra) >> rb|imm
+	SRA // rd = ra >> rb|imm
+	SLT // rd = 1 if ra < rb|imm else 0
+	MOV // rd = ra
+
+	// Integer multiply / divide.
+	MUL // rd = ra * rb|imm        (latency: IntMul)
+	DIV // rd = ra / rb|imm        (latency: IntDiv)
+	REM // rd = ra % rb|imm        (latency: IntDiv)
+
+	// Immediate / address formation (latency: IntALU).
+	MOVI // rd = imm
+	LGA  // rd = address of global Sym (+ imm)
+
+	// Memory (latency: Load / Store). Addresses are byte addresses; all
+	// accesses move one 8-byte word.
+	LD  // rd = mem[ra + imm]      (integer)
+	ST  // mem[ra + imm] = rb      (integer; rb in the B slot)
+	FLD // fd = mem[ra + imm]      (float dest, integer base)
+	FST // mem[ra + imm] = fb      (float source in B slot, integer base)
+
+	// Floating point (latency: FPALU / FPMul / FPDiv / FPConv).
+	FADD  // fd = fa + fb
+	FSUB  // fd = fa - fb
+	FMUL  // fd = fa * fb
+	FDIV  // fd = fa / fb
+	FMOV  // fd = fa
+	FMOVI // fd = float64frombits(imm)
+	FNEG  // fd = -fa
+	FABS  // fd = |fa|
+	CVTIF // fd = float64(ra)      (int source)
+	CVTFI // rd = int64(fa)        (float source; truncates)
+
+	// Control (latency: Branch). In IR form Target is a block index; in
+	// machine form it is an absolute instruction address.
+	BR   // goto Target
+	BEQ  // if ra == rb|imm goto Target
+	BNE  // if ra != rb|imm goto Target
+	BLT  // if ra <  rb|imm goto Target
+	BLE  // if ra <= rb|imm goto Target
+	BGT  // if ra >  rb|imm goto Target
+	BGE  // if ra >= rb|imm goto Target
+	FBEQ // if fa == fb goto Target
+	FBNE // if fa != fb goto Target
+	FBLT // if fa <  fb goto Target
+	FBLE // if fa <= fb goto Target
+
+	// Procedure linkage. CALL pushes the return address on the stack and
+	// jumps to Sym; RET pops and returns. Both reset the register mapping
+	// table to home locations (paper §4.1). In IR form CALL carries
+	// explicit Args and an optional result in Dst; lowering expands these
+	// into the stack-based calling convention.
+	CALL
+	RET
+
+	// Register connection (paper §2.2). Operands are (map index, physical
+	// register) pairs carried as immediates in CIdx/CPhys; connects never
+	// read or write data registers. The single-pair forms are CONUSE and
+	// CONDEF; the combined two-pair forms are CONUU (use,use),
+	// CONDU (def,use) and CONDD (def,def) — footnote 1 of the paper says
+	// the combined forms are what the experiments use.
+	CONUSE // read-map[CIdx0] = CPhys0
+	CONDEF // write-map[CIdx0] = CPhys0
+	CONUU  // read-map[CIdx0] = CPhys0;  read-map[CIdx1] = CPhys1
+	CONDU  // write-map[CIdx0] = CPhys0; read-map[CIdx1] = CPhys1
+	CONDD  // write-map[CIdx0] = CPhys0; write-map[CIdx1] = CPhys1
+
+	// HALT stops simulation; the interpreter treats falling off main the
+	// same way.
+	HALT
+
+	numOps
+)
+
+// Kind classifies opcodes by the functional-unit/latency class they occupy.
+type Kind uint8
+
+// Functional-unit classes (paper Table 1).
+const (
+	KindNop Kind = iota
+	KindIntALU
+	KindIntMul
+	KindIntDiv
+	KindFPALU
+	KindFPMul
+	KindFPDiv
+	KindFPConv
+	KindLoad
+	KindStore
+	KindBranch
+	KindCall
+	KindConnect
+	KindHalt
+)
+
+type opInfo struct {
+	name string
+	kind Kind
+}
+
+var opTable = [numOps]opInfo{
+	NOP:    {"nop", KindNop},
+	ADD:    {"add", KindIntALU},
+	SUB:    {"sub", KindIntALU},
+	AND:    {"and", KindIntALU},
+	OR:     {"or", KindIntALU},
+	XOR:    {"xor", KindIntALU},
+	SLL:    {"sll", KindIntALU},
+	SRL:    {"srl", KindIntALU},
+	SRA:    {"sra", KindIntALU},
+	SLT:    {"slt", KindIntALU},
+	MOV:    {"mov", KindIntALU},
+	MUL:    {"mul", KindIntMul},
+	DIV:    {"div", KindIntDiv},
+	REM:    {"rem", KindIntDiv},
+	MOVI:   {"movi", KindIntALU},
+	LGA:    {"lga", KindIntALU},
+	LD:     {"ld", KindLoad},
+	ST:     {"st", KindStore},
+	FLD:    {"fld", KindLoad},
+	FST:    {"fst", KindStore},
+	FADD:   {"fadd", KindFPALU},
+	FSUB:   {"fsub", KindFPALU},
+	FMUL:   {"fmul", KindFPMul},
+	FDIV:   {"fdiv", KindFPDiv},
+	FMOV:   {"fmov", KindFPALU},
+	FMOVI:  {"fmovi", KindFPALU},
+	FNEG:   {"fneg", KindFPALU},
+	FABS:   {"fabs", KindFPALU},
+	CVTIF:  {"cvtif", KindFPConv},
+	CVTFI:  {"cvtfi", KindFPConv},
+	BR:     {"br", KindBranch},
+	BEQ:    {"beq", KindBranch},
+	BNE:    {"bne", KindBranch},
+	BLT:    {"blt", KindBranch},
+	BLE:    {"ble", KindBranch},
+	BGT:    {"bgt", KindBranch},
+	BGE:    {"bge", KindBranch},
+	FBEQ:   {"fbeq", KindBranch},
+	FBNE:   {"fbne", KindBranch},
+	FBLT:   {"fblt", KindBranch},
+	FBLE:   {"fble", KindBranch},
+	CALL:   {"call", KindCall},
+	RET:    {"ret", KindCall},
+	CONUSE: {"con_use", KindConnect},
+	CONDEF: {"con_def", KindConnect},
+	CONUU:  {"con_uu", KindConnect},
+	CONDU:  {"con_du", KindConnect},
+	CONDD:  {"con_dd", KindConnect},
+	HALT:   {"halt", KindHalt},
+}
+
+// String returns the assembly mnemonic for the opcode.
+func (op Op) String() string {
+	if int(op) < len(opTable) && opTable[op].name != "" {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Kind reports the functional-unit class of the opcode.
+func (op Op) Kind() Kind {
+	if int(op) < len(opTable) {
+		return opTable[op].kind
+	}
+	return KindNop
+}
+
+// IsBranch reports whether op is a conditional or unconditional branch
+// (excluding CALL/RET, which are classified as KindCall).
+func (op Op) IsBranch() bool { return op.Kind() == KindBranch }
+
+// IsCondBranch reports whether op is a conditional branch.
+func (op Op) IsCondBranch() bool { return op.Kind() == KindBranch && op != BR }
+
+// IsMem reports whether op accesses memory (loads and stores only; CALL/RET
+// touch the stack but are modeled on the branch path, not a memory channel).
+func (op Op) IsMem() bool { k := op.Kind(); return k == KindLoad || k == KindStore }
+
+// IsConnect reports whether op is one of the register-connection opcodes.
+func (op Op) IsConnect() bool { return op.Kind() == KindConnect }
+
+// IsTerminator reports whether op ends a basic block.
+func (op Op) IsTerminator() bool {
+	switch op.Kind() {
+	case KindBranch, KindHalt:
+		return true
+	}
+	return op == RET
+}

@@ -1,0 +1,69 @@
+// Package machine is the execution-driven simulator: a generic in-order
+// superscalar processor with CRAY-1-style register interlocking, the
+// deterministic latencies of Table 1, a configurable number of memory
+// channels, and the register-connection hardware of §2 (mapping table with
+// read/write maps, zero- or one-cycle connects, the four automatic-reset
+// models, map reset on CALL/RET, and an optional extra decode stage).
+// Functional execution and timing run together, so every simulated
+// configuration also validates against the IR interpreter's output.
+package machine
+
+import (
+	"fmt"
+
+	"regconn/internal/codegen"
+	"regconn/internal/isa"
+	"regconn/internal/mem"
+)
+
+// Image is a loaded (linked) machine program.
+type Image struct {
+	Code      []isa.Instr
+	FuncStart map[string]int
+	Entry     int
+	Layout    mem.Layout
+	Prog      *codegen.MProg
+}
+
+// Load links a machine program: functions are concatenated, local branch
+// targets become absolute instruction addresses, CALL symbols resolve to
+// entry addresses, and LGA pseudo-instructions become absolute MOVIs.
+func Load(mp *codegen.MProg) (*Image, error) {
+	img := &Image{FuncStart: map[string]int{}, Prog: mp}
+	img.Layout = mem.ComputeLayout(mp.IR)
+	for _, f := range mp.Funcs {
+		img.FuncStart[f.Name] = len(img.Code)
+		for i := range f.Code {
+			in := f.Code[i]
+			if in.Op == isa.BR || in.Op.IsCondBranch() {
+				in.Target += img.FuncStart[f.Name]
+			}
+			img.Code = append(img.Code, in)
+		}
+	}
+	for i := range img.Code {
+		in := &img.Code[i]
+		switch in.Op {
+		case isa.CALL:
+			start, ok := img.FuncStart[in.Sym]
+			if !ok {
+				return nil, fmt.Errorf("machine: unresolved call target %q", in.Sym)
+			}
+			in.Target = start
+		case isa.LGA:
+			base, ok := img.Layout[in.Sym]
+			if !ok {
+				return nil, fmt.Errorf("machine: unresolved global %q", in.Sym)
+			}
+			in.Op = isa.MOVI
+			in.Imm += base
+			in.Sym = ""
+		}
+	}
+	entry, ok := img.FuncStart[mp.Entry]
+	if !ok {
+		return nil, fmt.Errorf("machine: no entry function %q", mp.Entry)
+	}
+	img.Entry = entry
+	return img, nil
+}

@@ -1,0 +1,355 @@
+package machine
+
+import (
+	"testing"
+
+	"regconn/internal/codegen"
+	"regconn/internal/core"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// asm assembles a raw machine function (no compiler involved) so timing
+// behaviours can be probed instruction by instruction.
+func asm(code ...isa.Instr) *Image {
+	mp := &codegen.MProg{Entry: "t", IR: ir.NewProgram()}
+	mf := &codegen.MFunc{Name: "t", Code: code, Ann: make([]codegen.Annot, len(code))}
+	mp.Funcs = append(mp.Funcs, mf)
+	img, err := Load(mp)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+func cfg1() Config {
+	c := DefaultConfig()
+	c.IssueRate = 1
+	return c
+}
+
+func run(t *testing.T, img *Image, c Config) *Result {
+	t.Helper()
+	res, err := Run(img, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func movi(dst int, v int64) isa.Instr { return isa.Instr{Op: isa.MOVI, Dst: isa.IntReg(dst), Imm: v} }
+func addi(dst, a int, v int64) isa.Instr {
+	return isa.Instr{Op: isa.ADD, Dst: isa.IntReg(dst), A: isa.IntReg(a), Imm: v, UseImm: true}
+}
+func add(dst, a, b int) isa.Instr {
+	return isa.Instr{Op: isa.ADD, Dst: isa.IntReg(dst), A: isa.IntReg(a), B: isa.IntReg(b)}
+}
+func halt() isa.Instr { return isa.Instr{Op: isa.HALT} }
+
+func TestOpMixAccounting(t *testing.T) {
+	img := asm(
+		movi(2, 64), // aligned base address
+		addi(2, 2, 8),
+		isa.Instr{Op: isa.MUL, Dst: isa.IntReg(3), A: isa.IntReg(2), Imm: 2, UseImm: true},
+		isa.Instr{Op: isa.ST, A: isa.IntReg(2), B: isa.IntReg(3), Imm: 0},
+		isa.Instr{Op: isa.LD, Dst: isa.IntReg(4), A: isa.IntReg(2), Imm: 0},
+		halt(),
+	)
+	res := run(t, img, cfg1())
+	if res.MixOf(isa.KindIntALU) != 2 || res.MixOf(isa.KindIntMul) != 1 ||
+		res.MixOf(isa.KindLoad) != 1 || res.MixOf(isa.KindStore) != 1 {
+		t.Errorf("op mix wrong: alu=%d mul=%d ld=%d st=%d",
+			res.MixOf(isa.KindIntALU), res.MixOf(isa.KindIntMul),
+			res.MixOf(isa.KindLoad), res.MixOf(isa.KindStore))
+	}
+	total := int64(0)
+	for k := isa.Kind(0); k < 16; k++ {
+		total += res.MixOf(k)
+	}
+	if total != res.Instrs {
+		t.Errorf("mix total %d != instrs %d", total, res.Instrs)
+	}
+}
+
+func TestFunctionalALU(t *testing.T) {
+	img := asm(
+		movi(2, 20),
+		addi(2, 2, 22),
+		halt(),
+	)
+	res := run(t, img, cfg1())
+	if res.RetInt != 42 {
+		t.Errorf("r2 = %d, want 42", res.RetInt)
+	}
+	if res.Instrs != 2 { // HALT itself does not issue
+		t.Errorf("instrs = %d", res.Instrs)
+	}
+}
+
+func TestZeroRegister(t *testing.T) {
+	img := asm(
+		movi(0, 99), // write to r0 is dropped
+		add(2, 0, 0),
+		halt(),
+	)
+	res := run(t, img, cfg1())
+	if res.RetInt != 0 {
+		t.Errorf("r0 writable: r2 = %d", res.RetInt)
+	}
+}
+
+func TestInterlockStallsOnLoadLatency(t *testing.T) {
+	// ld r3 <- mem; add r2 = r3+1 immediately: 4-cycle load must stall
+	// longer than 2-cycle.
+	prog := []isa.Instr{
+		movi(3, 64),
+		{Op: isa.ST, A: isa.IntReg(3), B: isa.IntReg(3), Imm: 0},
+		{Op: isa.LD, Dst: isa.IntReg(4), A: isa.IntReg(3), Imm: 0},
+		addi(2, 4, 0),
+		halt(),
+	}
+	c2 := cfg1()
+	c2.Lat = isa.DefaultLatencies(2)
+	r2 := run(t, asm(prog...), c2)
+	c4 := cfg1()
+	c4.Lat = isa.DefaultLatencies(4)
+	r4 := run(t, asm(prog...), c4)
+	if r4.Cycles != r2.Cycles+2 {
+		t.Errorf("load-latency interlock: 2cy=%d 4cy=%d", r2.Cycles, r4.Cycles)
+	}
+	if r2.RetInt != 64 || r4.RetInt != 64 {
+		t.Error("functional result wrong")
+	}
+	if r2.StallData == 0 {
+		t.Error("expected data stalls")
+	}
+}
+
+func TestSuperscalarIssuesParallel(t *testing.T) {
+	// Four independent MOVIs: 1 cycle at 4-issue (+1 for HALT detection),
+	// 4 cycles at 1-issue.
+	prog := []isa.Instr{movi(2, 1), movi(3, 2), movi(4, 3), movi(5, 4), halt()}
+	c1 := cfg1()
+	r1 := run(t, asm(prog...), c1)
+	c4 := DefaultConfig()
+	r4 := run(t, asm(prog...), c4)
+	if r4.Cycles >= r1.Cycles {
+		t.Errorf("4-issue (%d cycles) not faster than 1-issue (%d)", r4.Cycles, r1.Cycles)
+	}
+}
+
+func TestMemChannelLimit(t *testing.T) {
+	// Eight independent stores at 4-issue: 2 channels need twice the
+	// cycles 4 channels do.
+	prog := []isa.Instr{movi(3, 64)}
+	for k := int64(0); k < 8; k++ {
+		prog = append(prog, isa.Instr{Op: isa.ST, A: isa.IntReg(3), B: isa.IntReg(3), Imm: k * 8})
+	}
+	prog = append(prog, halt())
+	c2 := DefaultConfig()
+	c2.MemChannels = 2
+	r2 := run(t, asm(prog...), c2)
+	c4 := DefaultConfig()
+	c4.MemChannels = 4
+	r4 := run(t, asm(prog...), c4)
+	if r4.Cycles >= r2.Cycles {
+		t.Errorf("4 channels (%d) not faster than 2 (%d)", r4.Cycles, r2.Cycles)
+	}
+}
+
+// TestZeroCycleConnect reproduces §2.4: a connect and its consumer issued
+// in the same cycle work under zero-cycle latency; one-cycle latency
+// inserts a stall.
+func TestZeroCycleConnect(t *testing.T) {
+	prog := []isa.Instr{
+		movi(2, 5), // r2 = 5 (home)
+		// connect-def ri3 -> rp10, then write 7 through ri3.
+		{Op: isa.CONDEF, CIdx: [2]uint16{3}, CPhys: [2]uint16{10}, CClass: isa.ClassInt},
+		movi(3, 7), // lands in rp10 (model 3: read map r3 -> rp10)
+		// read back via ri3: model-3 side effect redirected the read map.
+		add(2, 3, 0),
+		halt(),
+	}
+	mk := func(connLat int) Config {
+		c := DefaultConfig()
+		c.IntCore, c.IntTotal = 8, 16
+		c.FPCore, c.FPTotal = 8, 16
+		c.ConnectLatency = connLat
+		c.Lat.Connect = connLat
+		return c
+	}
+	r0 := run(t, asm(prog...), mk(0))
+	if r0.RetInt != 7 {
+		t.Fatalf("RC redirect failed: r2 = %d, want 7", r0.RetInt)
+	}
+	r1 := run(t, asm(prog...), mk(1))
+	if r1.RetInt != 7 {
+		t.Fatalf("1-cycle connect broke semantics: %d", r1.RetInt)
+	}
+	if r1.Cycles <= r0.Cycles {
+		t.Errorf("1-cycle connects (%d cy) should be slower than 0-cycle (%d cy)", r1.Cycles, r0.Cycles)
+	}
+	if r0.Connects != 1 {
+		t.Errorf("connects counted = %d", r0.Connects)
+	}
+}
+
+// TestCallResetsMap reproduces §4.1: CALL resets the mapping table so the
+// callee sees home mappings.
+func TestCallResetsMap(t *testing.T) {
+	mp := &codegen.MProg{Entry: "t", IR: ir.NewProgram()}
+	main := &codegen.MFunc{Name: "t"}
+	main.Code = []isa.Instr{
+		{Op: isa.CONUSE, CIdx: [2]uint16{3}, CPhys: [2]uint16{12}, CClass: isa.ClassInt},
+		movi(4, 1), // keep something in flight
+		{Op: isa.CALL, Sym: "leaf"},
+		halt(), // r2 from leaf
+	}
+	main.Ann = make([]codegen.Annot, len(main.Code))
+	leaf := &codegen.MFunc{Name: "leaf"}
+	leaf.Code = []isa.Instr{
+		movi(3, 55),  // write via home r3 (map was reset)
+		add(2, 3, 0), // read r3: must be 55, not rp12's garbage
+		{Op: isa.RET},
+	}
+	leaf.Ann = make([]codegen.Annot, len(leaf.Code))
+	mp.Funcs = []*codegen.MFunc{main, leaf}
+	img, err := Load(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultConfig()
+	c.IntCore, c.IntTotal = 8, 16
+	c.FPCore, c.FPTotal = 8, 16
+	res := run(t, img, c)
+	if res.RetInt != 55 {
+		t.Errorf("callee saw stale map: r2 = %d, want 55", res.RetInt)
+	}
+}
+
+func TestMispredictPenaltyAndExtraStage(t *testing.T) {
+	// A branch with Pred=false that is taken mispredicts.
+	prog := []isa.Instr{
+		movi(2, 1),
+		{Op: isa.BEQ, A: isa.IntReg(2), Imm: 1, UseImm: true, Target: 3, Pred: false},
+		movi(2, 99), // skipped
+		halt(),
+	}
+	c := DefaultConfig()
+	base := run(t, asm(prog...), c)
+	if base.Mispredicts != 1 {
+		t.Fatalf("mispredicts = %d", base.Mispredicts)
+	}
+	cs := c
+	cs.ExtraDecodeStage = true
+	stage := run(t, asm(prog...), cs)
+	if stage.Cycles != base.Cycles+1 {
+		t.Errorf("extra stage penalty: %d vs %d cycles", stage.Cycles, base.Cycles)
+	}
+	// Correct prediction avoids the penalty entirely.
+	progOK := append([]isa.Instr(nil), prog...)
+	progOK[1].Pred = true
+	ok := run(t, asm(progOK...), c)
+	if ok.Cycles >= base.Cycles {
+		t.Errorf("predicted branch (%d cy) not cheaper than mispredicted (%d cy)", ok.Cycles, base.Cycles)
+	}
+	if ok.RetInt != 1 || base.RetInt != 1 {
+		t.Error("branch semantics wrong")
+	}
+}
+
+func TestCallPushesReturnAddress(t *testing.T) {
+	mp := &codegen.MProg{Entry: "t", IR: ir.NewProgram()}
+	main := &codegen.MFunc{Name: "t"}
+	main.Code = []isa.Instr{
+		{Op: isa.CALL, Sym: "f"},
+		addi(2, 2, 1), // after return: r2 = 10+1
+		halt(),
+	}
+	main.Ann = make([]codegen.Annot, len(main.Code))
+	f := &codegen.MFunc{Name: "f", Code: []isa.Instr{movi(2, 10), {Op: isa.RET}}}
+	f.Ann = make([]codegen.Annot, len(f.Code))
+	mp.Funcs = []*codegen.MFunc{main, f}
+	img, err := Load(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, img, DefaultConfig())
+	if res.RetInt != 11 {
+		t.Errorf("call/ret broken: r2 = %d, want 11", res.RetInt)
+	}
+}
+
+func TestCycleLimit(t *testing.T) {
+	img := asm(
+		isa.Instr{Op: isa.BR, Target: 0},
+	)
+	c := DefaultConfig()
+	c.MaxCycles = 1000
+	if _, err := Run(img, c); err == nil {
+		t.Fatal("expected cycle-limit error")
+	}
+}
+
+func TestDivideByZeroError(t *testing.T) {
+	img := asm(
+		movi(3, 0),
+		isa.Instr{Op: isa.DIV, Dst: isa.IntReg(2), A: isa.IntReg(3), B: isa.IntReg(3)},
+		halt(),
+	)
+	if _, err := Run(img, DefaultConfig()); err == nil {
+		t.Fatal("expected divide error")
+	}
+}
+
+func TestLoadRejectsUnknownCall(t *testing.T) {
+	mp := &codegen.MProg{Entry: "t", IR: ir.NewProgram()}
+	mf := &codegen.MFunc{Name: "t", Code: []isa.Instr{{Op: isa.CALL, Sym: "ghost"}}}
+	mf.Ann = make([]codegen.Annot, 1)
+	mp.Funcs = []*codegen.MFunc{mf}
+	if _, err := Load(mp); err == nil {
+		t.Fatal("expected unresolved-call error")
+	}
+}
+
+func TestFloatPath(t *testing.T) {
+	fa := isa.Instr{Op: isa.FMOVI, Dst: isa.FloatReg(3)}
+	fa.SetFImm(2.5)
+	fb := isa.Instr{Op: isa.FMOVI, Dst: isa.FloatReg(4)}
+	fb.SetFImm(4.0)
+	img := asm(
+		fa, fb,
+		isa.Instr{Op: isa.FMUL, Dst: isa.FloatReg(5), A: isa.FloatReg(3), B: isa.FloatReg(4)},
+		isa.Instr{Op: isa.CVTFI, Dst: isa.IntReg(2), A: isa.FloatReg(5)},
+		halt(),
+	)
+	res := run(t, img, DefaultConfig())
+	if res.RetInt != 10 {
+		t.Errorf("fp path: r2 = %d, want 10", res.RetInt)
+	}
+}
+
+func TestModelOneRequiresExplicitReconnect(t *testing.T) {
+	// Under model 1 (no reset) a write through a diverted write map does
+	// NOT update the read map: the read still sees the home register.
+	prog := []isa.Instr{
+		movi(3, 5), // home r3 = 5
+		{Op: isa.CONDEF, CIdx: [2]uint16{3}, CPhys: [2]uint16{10}, CClass: isa.ClassInt},
+		movi(3, 7), // goes to rp10
+		add(2, 3, 0),
+		halt(),
+	}
+	c := DefaultConfig()
+	c.IntCore, c.IntTotal = 8, 16
+	c.FPCore, c.FPTotal = 8, 16
+	c.Model = core.NoReset
+	res := run(t, asm(prog...), c)
+	if res.RetInt != 5 {
+		t.Errorf("model 1 read map should stay home: r2 = %d, want 5", res.RetInt)
+	}
+	c.Model = core.WriteResetReadUpdate
+	res3 := run(t, asm(prog...), c)
+	if res3.RetInt != 7 {
+		t.Errorf("model 3 read map should follow the write: r2 = %d, want 7", res3.RetInt)
+	}
+}

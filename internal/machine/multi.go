@@ -1,0 +1,194 @@
+package machine
+
+import (
+	"fmt"
+
+	"regconn/internal/core"
+	"regconn/internal/isa"
+	"regconn/internal/mem"
+)
+
+// Multiprogrammed execution (paper §4.2, made functional rather than a
+// cost model): several processes time-share ONE physical register file and
+// mapping table. At each quantum boundary the "operating system" saves the
+// outgoing process's architectural state into its process control block
+// and restores the incoming one's. FullSave preserves core registers,
+// extended registers, and the connection state — the paper's requirement
+// for RC-extended processes. CoreOnlySave models a pre-RC operating system
+// that saves only the core registers: original-architecture binaries still
+// run correctly, and RC-extended binaries are silently corrupted — exactly
+// the hazard §4.2's process-status-word flag exists to prevent.
+
+// SaveMode selects the context-switch strategy.
+type SaveMode uint8
+
+const (
+	// FullSave switches core + extended registers + mapping-table state.
+	FullSave SaveMode = iota
+	// CoreOnlySave switches only the core registers (a pre-RC OS).
+	CoreOnlySave
+)
+
+// pcb is one process's saved architectural state.
+type pcb struct {
+	ri   []int64
+	rf   []float64
+	ctxI core.Context
+	ctxF core.Context
+}
+
+// MultiResult reports a multiprogrammed run.
+type MultiResult struct {
+	Results      []*Result // per process, in input order
+	Switches     int64
+	SwitchCycles int64 // total context-switch overhead charged
+	Cycles       int64 // global cycles including switch overhead
+}
+
+// RunMultiprogrammed time-slices the images on one machine with the given
+// quantum. Processes have private memories (separate address spaces) but
+// share the physical register file and mapping table, so correctness
+// depends on the OS's save mode.
+func RunMultiprogrammed(imgs []*Image, cfg Config, quantum int64, mode SaveMode) (res *MultiResult, err error) {
+	if len(imgs) == 0 || quantum <= 0 {
+		return nil, fmt.Errorf("machine: need processes and a positive quantum")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = defaultMaxCycles
+	}
+	if cfg.MemSize == 0 {
+		cfg.MemSize = mem.DefaultSize
+	}
+	if !cfg.Model.Valid() {
+		cfg.Model = core.WriteResetReadUpdate
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*mem.Fault); ok {
+				res, err = nil, f
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	// The shared physical machine.
+	ri := make([]int64, cfg.IntTotal)
+	rf := make([]float64, cfg.FPTotal)
+	rdyI := make([]int64, cfg.IntTotal)
+	rdyF := make([]int64, cfg.FPTotal)
+	tabI := core.NewMapTable(cfg.Model, cfg.IntCore, cfg.IntTotal)
+	tabF := core.NewMapTable(cfg.Model, cfg.FPCore, cfg.FPTotal)
+
+	procs := make([]*simState, len(imgs))
+	pcbs := make([]*pcb, len(imgs))
+	halted := make([]bool, len(imgs))
+	for i, img := range imgs {
+		m := mem.InitImage(img.Prog.IR, img.Layout, cfg.MemSize)
+		procs[i] = &simState{
+			img: img, cfg: cfg, mem: m,
+			ri: ri, rf: rf, rdyI: rdyI, rdyF: rdyF,
+			tabI: tabI, tabF: tabF,
+			lcI: make([]int64, cfg.IntCore), lcF: make([]int64, cfg.FPCore),
+			res: &Result{Mem: m, Layout: img.Layout},
+			pc:  img.Entry,
+		}
+		for k := range procs[i].lcI {
+			procs[i].lcI[k] = -1
+		}
+		for k := range procs[i].lcF {
+			procs[i].lcF[k] = -1
+		}
+		// Fresh PCB: zeroed registers, home mapping, entry SP.
+		p := &pcb{
+			ri: make([]int64, cfg.IntTotal),
+			rf: make([]float64, cfg.FPTotal),
+		}
+		p.ri[isa.RegSP] = m.StackTop()
+		fresh := core.NewMapTable(cfg.Model, cfg.IntCore, cfg.IntTotal)
+		p.ctxI = fresh.SaveContext()
+		freshF := core.NewMapTable(cfg.Model, cfg.FPCore, cfg.FPTotal)
+		p.ctxF = freshF.SaveContext()
+		pcbs[i] = p
+	}
+
+	saveWords := int64(cfg.IntCore + cfg.FPCore)
+	if mode == FullSave {
+		saveWords += int64(cfg.IntTotal - cfg.IntCore + cfg.FPTotal - cfg.FPCore)
+		saveWords += int64(2*cfg.IntCore + 2*cfg.FPCore) // both maps
+	}
+	switchCost := 2 * ((saveWords + int64(cfg.MemChannels) - 1) / int64(cfg.MemChannels))
+
+	save := func(i int) {
+		p := pcbs[i]
+		switch mode {
+		case FullSave:
+			copy(p.ri, ri)
+			copy(p.rf, rf)
+			p.ctxI = tabI.SaveContext()
+			p.ctxF = tabF.SaveContext()
+		case CoreOnlySave:
+			copy(p.ri[:cfg.IntCore], ri[:cfg.IntCore])
+			copy(p.rf[:cfg.FPCore], rf[:cfg.FPCore])
+			// Connection state is neither saved nor restored.
+		}
+	}
+	restore := func(i int, at int64) {
+		p := pcbs[i]
+		switch mode {
+		case FullSave:
+			copy(ri, p.ri)
+			copy(rf, p.rf)
+			tabI.RestoreContext(p.ctxI)
+			tabF.RestoreContext(p.ctxF)
+		case CoreOnlySave:
+			copy(ri[:cfg.IntCore], p.ri[:cfg.IntCore])
+			copy(rf[:cfg.FPCore], p.rf[:cfg.FPCore])
+		}
+		// The pipeline drains across a switch.
+		for k := range rdyI {
+			rdyI[k] = at
+		}
+		for k := range rdyF {
+			rdyF[k] = at
+		}
+	}
+
+	out := &MultiResult{Results: make([]*Result, len(imgs))}
+	clock := int64(0)
+	remaining := len(imgs)
+	for remaining > 0 {
+		progress := false
+		for i, s := range procs {
+			if halted[i] {
+				continue
+			}
+			restore(i, clock)
+			s.cycle = clock
+			h, err := s.runUntil(clock + quantum)
+			if err != nil {
+				return nil, fmt.Errorf("process %d: %w", i, err)
+			}
+			clock = s.cycle
+			if h {
+				halted[i] = true
+				remaining--
+				s.res.RetInt = ri[2]
+				out.Results[i] = s.res
+			}
+			save(i)
+			out.Switches++
+			out.SwitchCycles += switchCost
+			clock += switchCost
+			progress = true
+			if clock > cfg.MaxCycles {
+				return nil, fmt.Errorf("%w (multiprogrammed)", ErrCycleLimit)
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	out.Cycles = clock
+	return out, nil
+}

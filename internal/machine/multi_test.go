@@ -1,0 +1,119 @@
+package machine
+
+import (
+	"testing"
+
+	"regconn/internal/isa"
+)
+
+// rcProg keeps a value in extended register rp100 across a long spin, then
+// returns it — correct only if the OS preserves extended state across
+// context switches.
+func rcProg(val int64, spin int64) *Image {
+	return asm(
+		isa.Instr{Op: isa.CONDEF, CIdx: [2]uint16{3}, CPhys: [2]uint16{100}, CClass: isa.ClassInt},
+		movi(3, val), // into rp100; model 3 re-points the read map
+		movi(4, 0),
+		addi(4, 4, 1), // pc 3
+		isa.Instr{Op: isa.BLT, A: isa.IntReg(4), Imm: spin, UseImm: true, Target: 3, Pred: true},
+		add(2, 3, 0), // read back through the diverted map entry
+		halt(),
+	)
+}
+
+// coreProg uses only core registers.
+func coreProg(spin int64) *Image {
+	return asm(
+		movi(2, 0),
+		movi(4, 0),
+		addi(2, 2, 2), // pc 2
+		addi(4, 4, 1),
+		isa.Instr{Op: isa.BLT, A: isa.IntReg(4), Imm: spin, UseImm: true, Target: 2, Pred: true},
+		halt(),
+	)
+}
+
+func multiCfg() Config {
+	c := DefaultConfig()
+	c.IntCore, c.IntTotal = 16, 256
+	c.FPCore, c.FPTotal = 16, 256
+	return c
+}
+
+// TestMultiprogrammedFullSave: two RC processes that both use rp100 with
+// different values, plus a core-only process; under the full save mode
+// everyone computes correctly despite sharing one register file.
+func TestMultiprogrammedFullSave(t *testing.T) {
+	imgs := []*Image{rcProg(111, 2000), rcProg(222, 2000), coreProg(2000)}
+	res, err := RunMultiprogrammed(imgs, multiCfg(), 300, FullSave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches < 3 {
+		t.Fatalf("only %d switches", res.Switches)
+	}
+	if got := res.Results[0].RetInt; got != 111 {
+		t.Errorf("process 0 = %d, want 111", got)
+	}
+	if got := res.Results[1].RetInt; got != 222 {
+		t.Errorf("process 1 = %d, want 222", got)
+	}
+	if got := res.Results[2].RetInt; got != 4000 {
+		t.Errorf("process 2 = %d, want 4000", got)
+	}
+	if res.SwitchCycles == 0 || res.Cycles <= 2000 {
+		t.Errorf("accounting wrong: %+v", res)
+	}
+}
+
+// TestMultiprogrammedCoreOnlyCorruptsRC demonstrates §4.2's hazard: a
+// pre-RC operating system that saves only core registers corrupts
+// RC-extended processes (they share rp100) while core-only processes
+// still work.
+func TestMultiprogrammedCoreOnlyCorruptsRC(t *testing.T) {
+	imgs := []*Image{rcProg(111, 2000), rcProg(222, 2000), coreProg(2000)}
+	res, err := RunMultiprogrammed(imgs, multiCfg(), 300, CoreOnlySave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The core-only process is unaffected.
+	if got := res.Results[2].RetInt; got != 4000 {
+		t.Errorf("core-only process = %d, want 4000", got)
+	}
+	// At least one RC process observes the other's rp100 value: process
+	// 0 wrote 111 into rp100 early, then process 1 overwrote it with 222
+	// before process 0 read it back.
+	if res.Results[0].RetInt == 111 && res.Results[1].RetInt == 222 {
+		t.Error("core-only switching unexpectedly preserved extended state " +
+			"(the §4.2 hazard should be observable)")
+	}
+}
+
+// TestMultiprogrammedFullSaveCostsMore: the full save moves more state, so
+// its per-switch overhead exceeds the core-only save's.
+func TestMultiprogrammedFullSaveCostsMore(t *testing.T) {
+	imgs := []*Image{coreProg(1500), coreProg(1500)}
+	full, err := RunMultiprogrammed(imgs, multiCfg(), 300, FullSave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs2 := []*Image{coreProg(1500), coreProg(1500)}
+	coreOnly, err := RunMultiprogrammed(imgs2, multiCfg(), 300, CoreOnlySave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFull := float64(full.SwitchCycles) / float64(full.Switches)
+	perCore := float64(coreOnly.SwitchCycles) / float64(coreOnly.Switches)
+	if perFull <= perCore {
+		t.Errorf("full save %.1f cy/switch should exceed core-only %.1f", perFull, perCore)
+	}
+}
+
+func TestMultiprogrammedValidation(t *testing.T) {
+	if _, err := RunMultiprogrammed(nil, multiCfg(), 100, FullSave); err == nil {
+		t.Error("expected error for no processes")
+	}
+	if _, err := RunMultiprogrammed([]*Image{coreProg(10)}, multiCfg(), 0, FullSave); err == nil {
+		t.Error("expected error for zero quantum")
+	}
+}

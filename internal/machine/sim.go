@@ -1,0 +1,526 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"regconn/internal/core"
+	"regconn/internal/isa"
+	"regconn/internal/mem"
+)
+
+// Config describes one simulated machine (the experimental variables of
+// §5.2: issue rate, memory channels, load latency, core register counts,
+// RC support and its implementation scenario).
+type Config struct {
+	IssueRate   int
+	MemChannels int
+	Lat         isa.Latencies
+
+	IntCore, IntTotal int // m and n for the integer file
+	FPCore, FPTotal   int
+	Model             core.Model
+
+	// ConnectLatency 0 models the forwarding implementation of §2.4
+	// (connects affect same-cycle instructions); 1 models the simpler
+	// implementation where dependent instructions wait a cycle.
+	ConnectLatency int
+
+	// ExtraDecodeStage adds the pipeline stage of Figure 12's
+	// "additional pipeline stage" scenarios: the branch misprediction
+	// penalty grows by one cycle.
+	ExtraDecodeStage bool
+
+	// Trap enables periodic interrupts / context switches (§4.2–4.3).
+	Trap TrapConfig
+
+	// Trace, when non-nil, receives a per-cycle issue log for the first
+	// TraceCycles cycles (0 = no limit): one line per cycle listing the
+	// instructions issued with their resolved physical operands.
+	Trace       io.Writer
+	TraceCycles int64
+
+	MemSize   int64
+	MaxCycles int64
+}
+
+// basePenalty is the front-end refill cost of a mispredicted branch for the
+// four-stage pipeline of Figure 4 (fetch + decode refill).
+const basePenalty = 2
+
+// DefaultConfig returns the paper's center configuration: 4-issue, two
+// memory channels, 2-cycle loads, model-3 RC with zero-cycle connects.
+func DefaultConfig() Config {
+	return Config{
+		IssueRate:   4,
+		MemChannels: 2,
+		Lat:         isa.DefaultLatencies(2),
+		IntCore:     64, IntTotal: 64,
+		FPCore: 64, FPTotal: 64,
+		Model: core.WriteResetReadUpdate,
+	}
+}
+
+// Result reports one simulation.
+type Result struct {
+	Cycles      int64
+	Instrs      int64 // dynamic instructions issued
+	Connects    int64 // dynamic connect instructions
+	MemOps      int64
+	Mispredicts int64
+	RetInt      int64 // integer return value of main (r2 at halt)
+	Mem         *mem.Memory
+	Layout      mem.Layout
+
+	// Stall cycle attribution (a cycle with no issue at all).
+	StallData   int64
+	StallMem    int64
+	StallConn   int64
+	StallBranch int64
+
+	// Interrupt accounting (Config.Trap).
+	Traps         int64
+	TrapOverheads int64 // cycles spent in handlers / context switches
+
+	// OpMix counts dynamic instructions by functional-unit class.
+	OpMix [16]int64
+}
+
+// MixOf returns the dynamic count for a functional-unit class.
+func (r *Result) MixOf(k isa.Kind) int64 { return r.OpMix[k] }
+
+// IPC returns instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instrs) / float64(r.Cycles)
+}
+
+// ErrCycleLimit reports that simulation exceeded Config.MaxCycles.
+var ErrCycleLimit = errors.New("machine: cycle limit exceeded")
+
+const defaultMaxCycles = int64(1) << 34
+
+// Run simulates the image to completion (HALT) and returns the result.
+func Run(img *Image, cfg Config) (res *Result, err error) {
+	if cfg.IssueRate <= 0 || cfg.MemChannels <= 0 {
+		return nil, fmt.Errorf("machine: invalid config issue=%d channels=%d", cfg.IssueRate, cfg.MemChannels)
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = defaultMaxCycles
+	}
+	if cfg.MemSize == 0 {
+		cfg.MemSize = mem.DefaultSize
+	}
+	if !cfg.Model.Valid() {
+		cfg.Model = core.WriteResetReadUpdate
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*mem.Fault); ok {
+				res, err = nil, f
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	m := mem.InitImage(img.Prog.IR, img.Layout, cfg.MemSize)
+	s := &simState{
+		img:  img,
+		cfg:  cfg,
+		mem:  m,
+		ri:   make([]int64, cfg.IntTotal),
+		rf:   make([]float64, cfg.FPTotal),
+		rdyI: make([]int64, cfg.IntTotal),
+		rdyF: make([]int64, cfg.FPTotal),
+		tabI: core.NewMapTable(cfg.Model, cfg.IntCore, cfg.IntTotal),
+		tabF: core.NewMapTable(cfg.Model, cfg.FPCore, cfg.FPTotal),
+		lcI:  make([]int64, cfg.IntCore),
+		lcF:  make([]int64, cfg.FPCore),
+		res:  &Result{Mem: m, Layout: img.Layout},
+	}
+	for i := range s.lcI {
+		s.lcI[i] = -1
+	}
+	for i := range s.lcF {
+		s.lcF[i] = -1
+	}
+	s.ri[isa.RegSP] = m.StackTop()
+	s.pc = img.Entry
+	s.nextTrap = cfg.Trap.Interval
+	halted, err := s.runUntil(cfg.MaxCycles)
+	if err != nil {
+		return nil, err
+	}
+	if !halted {
+		return nil, fmt.Errorf("%w at pc=%d", ErrCycleLimit, s.pc)
+	}
+	s.res.RetInt = s.ri[2]
+	return s.res, nil
+}
+
+type simState struct {
+	img *Image
+	cfg Config
+	mem *mem.Memory
+
+	pc   int
+	ri   []int64
+	rf   []float64
+	rdyI []int64 // cycle at which the register's value is available
+	rdyF []int64
+	tabI *core.MapTable
+	tabF *core.MapTable
+	lcI  []int64 // cycle of the last connect touching this int map entry
+	lcF  []int64
+
+	cycle    int64
+	nextTrap int64
+
+	res *Result
+}
+
+// stall reasons for attribution.
+type stallReason uint8
+
+const (
+	stallNone stallReason = iota
+	stallData
+	stallMem
+	stallConn
+)
+
+// runUntil simulates until HALT or the global cycle reaches stopAt,
+// whichever comes first, reporting whether the program halted. State
+// persists across calls so multiprogramming can interleave processes.
+func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
+	cfg := s.cfg
+	penalty := int64(basePenalty)
+	if cfg.ExtraDecodeStage {
+		penalty++
+	}
+	for {
+		cycle := s.cycle
+		if cycle >= stopAt {
+			return false, nil
+		}
+		if cfg.Trap.Interval > 0 && cycle >= s.nextTrap {
+			ov := s.trapOverhead()
+			cycle += ov
+			s.res.Traps++
+			s.res.TrapOverheads += ov
+			s.nextTrap = cycle + cfg.Trap.Interval
+		}
+		issued := 0
+		memUsed := 0
+		var firstStall stallReason
+		branchRedirect := false
+		var traceLine []string
+		tracing := cfg.Trace != nil && (cfg.TraceCycles == 0 || cycle < cfg.TraceCycles)
+		for issued < cfg.IssueRate {
+			in := &s.img.Code[s.pc]
+			if in.Op == isa.HALT {
+				if tracing {
+					fmt.Fprintf(cfg.Trace, "%8d  halt\n", cycle)
+				}
+				s.cycle = cycle + 1
+				s.res.Cycles = s.cycle
+				return true, nil
+			}
+			ok, reason := s.canIssue(in, cycle, memUsed)
+			if !ok {
+				if issued == 0 {
+					firstStall = reason
+				}
+				break
+			}
+			if tracing {
+				traceLine = append(traceLine, fmt.Sprintf("%d:%s", s.pc, in.String()))
+			}
+			next, mispredict, err := s.execute(in, cycle)
+			if err != nil {
+				return false, err
+			}
+			issued++
+			s.res.Instrs++
+			s.res.OpMix[in.Op.Kind()]++
+			if in.Op.IsMem() {
+				memUsed++
+				s.res.MemOps++
+			}
+			if in.Op.IsConnect() {
+				s.res.Connects++
+			}
+			s.pc = next
+			if mispredict {
+				s.res.Mispredicts++
+				cycle += penalty
+				branchRedirect = true
+				break
+			}
+		}
+		if issued == 0 && !branchRedirect {
+			switch firstStall {
+			case stallData:
+				s.res.StallData++
+			case stallMem:
+				s.res.StallMem++
+			case stallConn:
+				s.res.StallConn++
+			}
+		}
+		if tracing {
+			if issued == 0 {
+				stall := map[stallReason]string{stallData: "data", stallMem: "mem", stallConn: "connect"}[firstStall]
+				fmt.Fprintf(cfg.Trace, "%8d  (stall: %s)\n", cycle, stall)
+			} else {
+				fmt.Fprintf(cfg.Trace, "%8d  %s\n", cycle, strings.Join(traceLine, " | "))
+			}
+		}
+		s.cycle = cycle + 1
+	}
+}
+
+// canIssue applies the in-order issue interlocks: source operands ready
+// (CRAY-1 style), destination not pending (scoreboard WAW), a free memory
+// channel for loads/stores, and — under 1-cycle connect latency — no
+// same-cycle connect on a referenced map entry.
+func (s *simState) canIssue(in *isa.Instr, cycle int64, memUsed int) (bool, stallReason) {
+	if in.Op.IsMem() && memUsed >= s.cfg.MemChannels {
+		return false, stallMem
+	}
+	// Map-entry connect-latency interlock.
+	if s.cfg.ConnectLatency > 0 {
+		check := func(r isa.Reg) bool {
+			lc := s.lcI
+			if r.Class == isa.ClassFloat {
+				lc = s.lcF
+			}
+			return lc[r.N] < cycle
+		}
+		if d := in.Def(); d.Valid() && !check(d) {
+			return false, stallConn
+		}
+		for _, u := range in.Uses(nil) {
+			if !check(u) {
+				return false, stallConn
+			}
+		}
+	}
+	// Source readiness through the mapping table.
+	srcReady := func(r isa.Reg) bool {
+		if r.Class == isa.ClassFloat {
+			return s.rdyF[s.tabF.ReadPhys(r.N)] <= cycle
+		}
+		p := s.tabI.ReadPhys(r.N)
+		if p == isa.RegZero {
+			return true
+		}
+		return s.rdyI[p] <= cycle
+	}
+	var buf [3]isa.Reg
+	for _, u := range in.Uses(buf[:0]) {
+		if !srcReady(u) {
+			return false, stallData
+		}
+	}
+	if d := in.Def(); d.Valid() {
+		if d.Class == isa.ClassFloat {
+			if s.rdyF[s.tabF.WritePhys(d.N)] > cycle {
+				return false, stallData
+			}
+		} else if p := s.tabI.WritePhys(d.N); p != isa.RegZero && s.rdyI[p] > cycle {
+			return false, stallData
+		}
+	}
+	return true, stallNone
+}
+
+// execute performs the instruction functionally and updates timing state.
+// It returns the next pc and whether a branch mispredicted.
+func (s *simState) execute(in *isa.Instr, cycle int64) (int, bool, error) {
+	cfg := &s.cfg
+	lat := int64(cfg.Lat.Of(in.Op))
+	next := s.pc + 1
+
+	readI := func(r isa.Reg) int64 {
+		p := s.tabI.ReadPhys(r.N)
+		if p == isa.RegZero {
+			return 0
+		}
+		return s.ri[p]
+	}
+	readF := func(r isa.Reg) float64 { return s.rf[s.tabF.ReadPhys(r.N)] }
+	writeI := func(r isa.Reg, v int64) {
+		p := s.tabI.NoteWrite(r.N)
+		if p == isa.RegZero {
+			return
+		}
+		s.ri[p] = v
+		s.rdyI[p] = cycle + lat
+	}
+	writeF := func(r isa.Reg, v float64) {
+		p := s.tabF.NoteWrite(r.N)
+		s.rf[p] = v
+		s.rdyF[p] = cycle + lat
+	}
+	src2 := func() int64 {
+		if in.UseImm {
+			return in.Imm
+		}
+		return readI(in.B)
+	}
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.ADD:
+		writeI(in.Dst, readI(in.A)+src2())
+	case isa.SUB:
+		writeI(in.Dst, readI(in.A)-src2())
+	case isa.MUL:
+		writeI(in.Dst, readI(in.A)*src2())
+	case isa.DIV:
+		d := src2()
+		if d == 0 {
+			return 0, false, fmt.Errorf("machine: divide by zero at pc=%d", s.pc)
+		}
+		writeI(in.Dst, readI(in.A)/d)
+	case isa.REM:
+		d := src2()
+		if d == 0 {
+			return 0, false, fmt.Errorf("machine: rem by zero at pc=%d", s.pc)
+		}
+		writeI(in.Dst, readI(in.A)%d)
+	case isa.AND:
+		writeI(in.Dst, readI(in.A)&src2())
+	case isa.OR:
+		writeI(in.Dst, readI(in.A)|src2())
+	case isa.XOR:
+		writeI(in.Dst, readI(in.A)^src2())
+	case isa.SLL:
+		writeI(in.Dst, readI(in.A)<<uint64(src2()&63))
+	case isa.SRL:
+		writeI(in.Dst, int64(uint64(readI(in.A))>>uint64(src2()&63)))
+	case isa.SRA:
+		writeI(in.Dst, readI(in.A)>>uint64(src2()&63))
+	case isa.SLT:
+		if readI(in.A) < src2() {
+			writeI(in.Dst, 1)
+		} else {
+			writeI(in.Dst, 0)
+		}
+	case isa.MOV:
+		writeI(in.Dst, readI(in.A))
+	case isa.MOVI:
+		writeI(in.Dst, in.Imm)
+	case isa.LD:
+		writeI(in.Dst, s.mem.LoadI(readI(in.A)+in.Imm))
+	case isa.ST:
+		s.mem.StoreI(readI(in.A)+in.Imm, readI(in.B))
+	case isa.FLD:
+		writeF(in.Dst, s.mem.LoadF(readI(in.A)+in.Imm))
+	case isa.FST:
+		s.mem.StoreF(readI(in.A)+in.Imm, readF(in.B))
+	case isa.FADD:
+		writeF(in.Dst, readF(in.A)+readF(in.B))
+	case isa.FSUB:
+		writeF(in.Dst, readF(in.A)-readF(in.B))
+	case isa.FMUL:
+		writeF(in.Dst, readF(in.A)*readF(in.B))
+	case isa.FDIV:
+		writeF(in.Dst, readF(in.A)/readF(in.B))
+	case isa.FMOV:
+		writeF(in.Dst, readF(in.A))
+	case isa.FMOVI:
+		writeF(in.Dst, in.FImm())
+	case isa.FNEG:
+		writeF(in.Dst, -readF(in.A))
+	case isa.FABS:
+		writeF(in.Dst, math.Abs(readF(in.A)))
+	case isa.CVTIF:
+		writeF(in.Dst, float64(readI(in.A)))
+	case isa.CVTFI:
+		writeI(in.Dst, int64(readF(in.A)))
+	case isa.BR:
+		next = in.Target
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE:
+		taken := intTaken(in.Op, readI(in.A), src2())
+		if taken {
+			next = in.Target
+		}
+		return next, taken != in.Pred, nil
+	case isa.FBEQ, isa.FBNE, isa.FBLT, isa.FBLE:
+		taken := fpTaken(in.Op, readF(in.A), readF(in.B))
+		if taken {
+			next = in.Target
+		}
+		return next, taken != in.Pred, nil
+	case isa.CALL:
+		sp := s.ri[isa.RegSP] - 8
+		s.mem.StoreI(sp, int64(s.pc+1))
+		s.ri[isa.RegSP] = sp
+		s.tabI.Reset()
+		s.tabF.Reset()
+		next = in.Target
+	case isa.RET:
+		sp := s.ri[isa.RegSP]
+		next = int(s.mem.LoadI(sp))
+		s.ri[isa.RegSP] = sp + 8
+		s.tabI.Reset()
+		s.tabF.Reset()
+	case isa.CONUSE, isa.CONDEF, isa.CONUU, isa.CONDU, isa.CONDD:
+		tab, lc := s.tabI, s.lcI
+		if in.CClass == isa.ClassFloat {
+			tab, lc = s.tabF, s.lcF
+		}
+		for _, p := range in.ConnectPairs() {
+			if p.Def {
+				tab.ConnectDef(int(p.Idx), int(p.Phys))
+			} else {
+				tab.ConnectUse(int(p.Idx), int(p.Phys))
+			}
+			lc[p.Idx] = cycle
+		}
+	default:
+		return 0, false, fmt.Errorf("machine: cannot execute %v at pc=%d", in.Op, s.pc)
+	}
+	return next, false, nil
+}
+
+func intTaken(op isa.Op, a, b int64) bool {
+	switch op {
+	case isa.BEQ:
+		return a == b
+	case isa.BNE:
+		return a != b
+	case isa.BLT:
+		return a < b
+	case isa.BLE:
+		return a <= b
+	case isa.BGT:
+		return a > b
+	case isa.BGE:
+		return a >= b
+	}
+	return false
+}
+
+func fpTaken(op isa.Op, a, b float64) bool {
+	switch op {
+	case isa.FBEQ:
+		return a == b
+	case isa.FBNE:
+		return a != b
+	case isa.FBLT:
+		return a < b
+	case isa.FBLE:
+		return a <= b
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package machine
+
+import (
+	"testing"
+
+	"regconn/internal/isa"
+)
+
+// trapProg is a long-enough loop for interrupts to fire repeatedly.
+func trapProg() []isa.Instr {
+	return []isa.Instr{
+		movi(2, 0),
+		movi(3, 0),
+		addi(2, 2, 1), // loop body (pc 2)
+		addi(3, 3, 1),
+		{Op: isa.BLT, A: isa.IntReg(3), Imm: 5000, UseImm: true, Target: 2, Pred: true},
+		halt(),
+	}
+}
+
+func TestTrapsAreTransparent(t *testing.T) {
+	c := DefaultConfig()
+	c.IntCore, c.IntTotal = 16, 256
+	c.FPCore, c.FPTotal = 16, 256
+	base := run(t, asm(trapProg()...), c)
+
+	c.Trap = TrapConfig{Interval: 500, HandlerCycles: 20, HandlerRegs: 4, UseEnableFlag: true}
+	trapped := run(t, asm(trapProg()...), c)
+	if trapped.RetInt != base.RetInt {
+		t.Fatalf("traps changed architectural state: %d vs %d", trapped.RetInt, base.RetInt)
+	}
+	if trapped.Traps == 0 || trapped.TrapOverheads == 0 {
+		t.Fatalf("no traps fired: %+v", trapped)
+	}
+	if trapped.Cycles != base.Cycles+trapped.TrapOverheads {
+		t.Errorf("overhead accounting: %d != %d + %d", trapped.Cycles, base.Cycles, trapped.TrapOverheads)
+	}
+}
+
+func TestEnableFlagCheaperThanNaiveHandler(t *testing.T) {
+	c := DefaultConfig()
+	c.Trap = TrapConfig{Interval: 500, HandlerCycles: 10, HandlerRegs: 8, UseEnableFlag: true}
+	flag := run(t, asm(trapProg()...), c)
+	c.Trap.UseEnableFlag = false
+	naive := run(t, asm(trapProg()...), c)
+	if flag.TrapOverheads >= naive.TrapOverheads {
+		t.Errorf("enable flag (%d) should be cheaper than naive bookkeeping (%d)",
+			flag.TrapOverheads, naive.TrapOverheads)
+	}
+	if flag.RetInt != naive.RetInt {
+		t.Error("handler strategy changed program result")
+	}
+}
+
+func TestContextSwitchPSWFlag(t *testing.T) {
+	mk := func(programUsesRC, pswFlag bool) *Result {
+		c := DefaultConfig()
+		c.IntCore, c.IntTotal = 16, 256
+		c.FPCore, c.FPTotal = 16, 256
+		c.Trap = TrapConfig{Interval: 1000, ContextSwitch: true,
+			PSWFlag: pswFlag, ProgramUsesRC: programUsesRC}
+		return run(t, asm(trapProg()...), c)
+	}
+	origFlag := mk(false, true) // original-arch process, smart OS
+	rcFlag := mk(true, true)    // RC process: full state either way
+	origNoFlag := mk(false, false)
+	if origFlag.TrapOverheads >= rcFlag.TrapOverheads {
+		t.Errorf("core-only switch (%d) should be cheaper than full RC switch (%d)",
+			origFlag.TrapOverheads, rcFlag.TrapOverheads)
+	}
+	if origFlag.TrapOverheads >= origNoFlag.TrapOverheads {
+		t.Errorf("PSW flag (%d) should beat the conservative OS (%d)",
+			origFlag.TrapOverheads, origNoFlag.TrapOverheads)
+	}
+	for _, r := range []*Result{origFlag, rcFlag, origNoFlag} {
+		if r.RetInt != 5000 {
+			t.Errorf("context switches corrupted state: %d", r.RetInt)
+		}
+	}
+}
+
+func TestContextSwitchPreservesConnections(t *testing.T) {
+	// A diverted map entry must survive a context switch (§4.2's whole
+	// point): connect, loop with switches, then read through the entry.
+	prog := []isa.Instr{
+		{Op: isa.CONDEF, CIdx: [2]uint16{3}, CPhys: [2]uint16{100}, CClass: isa.ClassInt},
+		movi(3, 77), // into rp100; model 3 sets read map
+		movi(4, 0),
+		addi(4, 4, 1), // pc 3: spin to attract context switches
+		{Op: isa.BLT, A: isa.IntReg(4), Imm: 3000, UseImm: true, Target: 3, Pred: true},
+		add(2, 3, 0), // read through the diverted entry
+		halt(),
+	}
+	c := DefaultConfig()
+	c.IntCore, c.IntTotal = 16, 256
+	c.FPCore, c.FPTotal = 16, 256
+	c.Trap = TrapConfig{Interval: 400, ContextSwitch: true, PSWFlag: true, ProgramUsesRC: true}
+	res := run(t, asm(prog...), c)
+	if res.Traps == 0 {
+		t.Fatal("no switches fired")
+	}
+	if res.RetInt != 77 {
+		t.Errorf("connection state lost across context switch: r2 = %d, want 77", res.RetInt)
+	}
+}

@@ -1,0 +1,111 @@
+// Package mem provides the flat, deterministic memory image shared by the
+// IR interpreter and the machine simulator. The paper assumes a 100% cache
+// hit rate (§5.3), so memory is modeled as a fixed-latency word store; the
+// latency itself lives in the timing model, not here.
+//
+// Layout: globals are placed consecutively from GlobalBase; the stack
+// occupies the top of the address space and grows down. All accesses move
+// aligned 8-byte words.
+package mem
+
+import (
+	"fmt"
+	"math"
+
+	"regconn/internal/ir"
+)
+
+// GlobalBase is the address of the first global data object.
+const GlobalBase = 1 << 12
+
+// DefaultSize is the default memory image size in bytes (16 MiB).
+const DefaultSize = 1 << 24
+
+// Memory is a byte-addressed, word-accessed memory image.
+type Memory struct {
+	words []int64
+}
+
+// New returns a zeroed memory of the given size in bytes (rounded up to a
+// word multiple).
+func New(size int64) *Memory {
+	return &Memory{words: make([]int64, (size+7)/8)}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int64 { return int64(len(m.words)) * 8 }
+
+// StackTop returns the initial stack pointer (just past the highest word).
+func (m *Memory) StackTop() int64 { return m.Size() }
+
+func (m *Memory) index(addr int64) int64 {
+	if addr%8 != 0 {
+		panic(&Fault{Addr: addr, Reason: "unaligned access"})
+	}
+	w := addr / 8
+	if w < 0 || w >= int64(len(m.words)) {
+		panic(&Fault{Addr: addr, Reason: "out of range"})
+	}
+	return w
+}
+
+// LoadI loads an integer word; StoreI stores one.
+func (m *Memory) LoadI(addr int64) int64 { return m.words[m.index(addr)] }
+func (m *Memory) StoreI(addr, v int64)   { m.words[m.index(addr)] = v }
+
+// LoadF and StoreF view the word as a float64 bit pattern.
+func (m *Memory) LoadF(addr int64) float64 { return math.Float64frombits(uint64(m.LoadI(addr))) }
+func (m *Memory) StoreF(addr int64, v float64) {
+	m.StoreI(addr, int64(math.Float64bits(v)))
+}
+
+// Fault is a memory access violation. The interpreter and simulator convert
+// it into an execution error.
+type Fault struct {
+	Addr   int64
+	Reason string
+}
+
+func (f *Fault) Error() string { return fmt.Sprintf("memory fault at %#x: %s", f.Addr, f.Reason) }
+
+// Layout maps each global name to its assigned address.
+type Layout map[string]int64
+
+// ComputeLayout assigns consecutive addresses from GlobalBase to the
+// program's globals.
+func ComputeLayout(p *ir.Program) Layout {
+	l := make(Layout, len(p.Globals))
+	addr := int64(GlobalBase)
+	for _, g := range p.Globals {
+		l[g.Name] = addr
+		addr += g.Size
+	}
+	return l
+}
+
+// DataEnd returns the first address past the global data section.
+func (l Layout) DataEnd(p *ir.Program) int64 {
+	end := int64(GlobalBase)
+	for _, g := range p.Globals {
+		if a := l[g.Name] + g.Size; a > end {
+			end = a
+		}
+	}
+	return end
+}
+
+// InitImage builds a fresh memory image of the given size with the
+// program's globals initialized at their layout addresses.
+func InitImage(p *ir.Program, l Layout, size int64) *Memory {
+	m := New(size)
+	for _, g := range p.Globals {
+		base := l[g.Name]
+		for i, v := range g.InitI {
+			m.StoreI(base+int64(i)*8, v)
+		}
+		for i, v := range g.InitF {
+			m.StoreF(base+int64(i)*8, v)
+		}
+	}
+	return m
+}

@@ -1,0 +1,146 @@
+package opt
+
+import (
+	"regconn/internal/analysis"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// CleanCFG removes unreachable blocks, threads jumps through empty
+// BR-only blocks, and merges straight-line block pairs. It reports whether
+// anything changed.
+func CleanCFG(f *ir.Func) bool {
+	changed := false
+	for {
+		step := false
+		if threadJumps(f) {
+			step = true
+		}
+		if removeUnreachable(f) {
+			step = true
+		}
+		if mergeAdjacent(f) {
+			step = true
+		}
+		if dropRedundantBR(f) {
+			step = true
+		}
+		if !step {
+			return changed
+		}
+		changed = true
+	}
+}
+
+// threadJumps retargets branches that jump to a block containing only an
+// unconditional BR.
+func threadJumps(f *ir.Func) bool {
+	changed := false
+	finalTarget := func(t int) int {
+		seen := map[int]bool{}
+		for {
+			b := f.Blocks[t]
+			if seen[t] || len(b.Instrs) != 1 || b.Instrs[0].Op != isa.BR {
+				return t
+			}
+			seen[t] = true
+			t = b.Instrs[0].Target
+		}
+	}
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || !(t.Op == isa.BR || t.Op.IsCondBranch()) {
+			continue
+		}
+		if ft := finalTarget(t.Target); ft != t.Target {
+			t.Target = ft
+			changed = true
+		}
+	}
+	return changed
+}
+
+// removeUnreachable deletes blocks not reachable from the entry.
+func removeUnreachable(f *ir.Func) bool {
+	cfg := analysis.BuildCFG(f)
+	reach := cfg.Reachable()
+	if reach.Count() == len(f.Blocks) {
+		return false
+	}
+	// Unreachable blocks are never fallthrough successors of reachable
+	// ones, so deleting them and compacting preserves all implicit edges.
+	remap := make([]int, len(f.Blocks))
+	var kept []*ir.Block
+	for i, b := range f.Blocks {
+		if reach.Has(i) {
+			remap[i] = len(kept)
+			kept = append(kept, b)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for _, b := range kept {
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			if in.Op == isa.BR || in.Op.IsCondBranch() {
+				in.Target = remap[in.Target]
+			}
+		}
+	}
+	f.Blocks = kept
+	f.Renumber()
+	return true
+}
+
+// mergeAdjacent merges block pairs (p, p+1) where p ends in BR to p+1 or
+// falls through to it, and p+1 has no other predecessors and is not a
+// branch target of p itself. Deleting p+1 keeps all other fallthrough
+// adjacency intact.
+func mergeAdjacent(f *ir.Func) bool {
+	cfg := analysis.BuildCFG(f)
+	for p := 0; p+1 < len(f.Blocks); p++ {
+		b := f.Blocks[p]
+		nxt := f.Blocks[p+1]
+		preds := cfg.Preds[p+1]
+		if len(preds) != 1 || preds[0] != p {
+			continue
+		}
+		t := b.Term()
+		switch {
+		case t == nil:
+			// fallthrough into nxt: splice directly
+		case t.Op == isa.BR && t.Target == p+1:
+			b.Instrs = b.Instrs[:len(b.Instrs)-1]
+		default:
+			continue
+		}
+		b.Instrs = append(b.Instrs, nxt.Instrs...)
+		// Delete block p+1, shifting the rest up.
+		f.Blocks = append(f.Blocks[:p+1], f.Blocks[p+2:]...)
+		f.Renumber()
+		for _, bb := range f.Blocks {
+			for j := range bb.Instrs {
+				in := &bb.Instrs[j]
+				if in.Op == isa.BR || in.Op.IsCondBranch() {
+					if in.Target > p {
+						in.Target--
+					}
+				}
+			}
+		}
+		return true // CFG changed; caller loops
+	}
+	return false
+}
+
+// dropRedundantBR removes a BR whose target is the next block.
+func dropRedundantBR(f *ir.Func) bool {
+	changed := false
+	for i, b := range f.Blocks {
+		if t := b.Term(); t != nil && t.Op == isa.BR && t.Target == i+1 {
+			b.Instrs = b.Instrs[:len(b.Instrs)-1]
+			changed = true
+		}
+	}
+	return changed
+}

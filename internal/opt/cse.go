@@ -1,0 +1,132 @@
+package opt
+
+import (
+	"fmt"
+
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// CSE performs local common-subexpression elimination: within each block, a
+// pure instruction that recomputes an available expression is replaced by a
+// copy from the earlier result. Loads participate until a store or call
+// invalidates memory. It reports whether anything changed.
+func CSE(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		if cseBlock(b) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func cseBlock(b *ir.Block) bool {
+	avail := map[string]isa.Reg{}    // expression key -> register holding it
+	exprOf := map[isa.Reg][]string{} // defining register -> keys to kill
+	changed := false
+	kill := func(r isa.Reg) {
+		for _, k := range exprOf[r] {
+			delete(avail, k)
+		}
+		delete(exprOf, r)
+		// Also kill expressions that *use* r.
+		for k, v := range avail {
+			if usesReg(k, r) {
+				delete(avail, k)
+				_ = v
+			}
+		}
+	}
+	killLoads := func() {
+		for k := range avail {
+			if len(k) > 3 && (k[:3] == "ld/" || k[:4] == "fld/") {
+				delete(avail, k)
+			}
+		}
+	}
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		key, pure := exprKey(in)
+		if pure {
+			if prev, ok := avail[key]; ok && prev.Class == in.Dst.Class {
+				op := isa.MOV
+				if in.Dst.Class == isa.ClassFloat {
+					op = isa.FMOV
+				}
+				*in = isa.Instr{Op: op, Dst: in.Dst, A: prev}
+				changed = true
+				if d := in.Def(); d.Valid() {
+					kill(d)
+				}
+				continue
+			}
+		}
+		switch in.Op {
+		case isa.ST, isa.FST:
+			killLoads()
+		case isa.CALL:
+			killLoads()
+		}
+		if d := in.Def(); d.Valid() {
+			kill(d)
+			if pure {
+				avail[key] = d
+				exprOf[d] = append(exprOf[d], key)
+			}
+		}
+	}
+	return changed
+}
+
+// exprKey builds a value-numbering key for instructions worth sharing.
+// The key embeds register operands as "c<class>n<num>" tokens so usesReg
+// can later invalidate dependent expressions.
+func exprKey(in *isa.Instr) (string, bool) {
+	switch in.Op {
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR, isa.XOR,
+		isa.SLL, isa.SRL, isa.SRA, isa.SLT,
+		isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.CVTIF, isa.CVTFI,
+		isa.LGA, isa.MOVI, isa.FMOVI:
+		b := ""
+		if in.UseImm {
+			b = fmt.Sprintf("#%d", in.Imm)
+		} else if in.B.Valid() {
+			b = regTok(in.B)
+		}
+		imm := ""
+		if in.Op == isa.MOVI || in.Op == isa.FMOVI || in.Op == isa.LGA {
+			imm = fmt.Sprintf("#%d/%s", in.Imm, in.Sym)
+		}
+		return fmt.Sprintf("%d/%s/%s%s", in.Op, regTok(in.A), b, imm), true
+	case isa.LD:
+		return fmt.Sprintf("ld/%s/%d", regTok(in.A), in.Imm), true
+	case isa.FLD:
+		return fmt.Sprintf("fld/%s/%d", regTok(in.A), in.Imm), true
+	}
+	return "", false
+}
+
+func regTok(r isa.Reg) string {
+	if !r.Valid() {
+		return "_"
+	}
+	return fmt.Sprintf("c%dn%d", r.Class, r.N)
+}
+
+func usesReg(key string, r isa.Reg) bool {
+	tok := regTok(r)
+	// Token boundaries in keys are '/', so search for "/<tok>/" patterns
+	// including at segment ends.
+	for i := 0; i+len(tok) <= len(key); i++ {
+		if key[i:i+len(tok)] == tok {
+			before := i == 0 || key[i-1] == '/'
+			afterIdx := i + len(tok)
+			after := afterIdx == len(key) || key[afterIdx] == '/' || key[afterIdx] == '#'
+			if before && after {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package opt
+
+import (
+	"regconn/internal/analysis"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// DCE removes pure instructions whose results are dead, using global
+// liveness. It reports whether anything changed.
+func DCE(f *ir.Func) bool {
+	cfg := analysis.BuildCFG(f)
+	lv := analysis.ComputeLiveness(f, cfg)
+	changed := false
+	for bi, b := range f.Blocks {
+		dead := make([]bool, len(b.Instrs))
+		lv.ForEachLivePoint(f, bi, func(j int, liveAfter analysis.BitSet) {
+			in := &b.Instrs[j]
+			if !isPure(in.Op) && in.Op != isa.NOP {
+				return
+			}
+			if in.Op == isa.NOP {
+				dead[j] = true
+				return
+			}
+			d := in.Def()
+			if d.Valid() && !liveAfter.Has(lv.IDs.ID(d)) {
+				dead[j] = true
+			}
+		})
+		// Note: ForEachLivePoint walks backwards updating the live set
+		// using the original instructions; removing an instruction whose
+		// result is dead can expose more dead code, which the caller's
+		// fixpoint loop picks up on the next round.
+		out := b.Instrs[:0]
+		for j := range b.Instrs {
+			if dead[j] {
+				changed = true
+				continue
+			}
+			out = append(out, b.Instrs[j])
+		}
+		b.Instrs = out
+	}
+	return changed
+}
+
+// isPure reports whether op has no side effects beyond writing its
+// destination register (so it is removable when the destination is dead).
+// DIV/REM can trap and are kept.
+func isPure(op isa.Op) bool {
+	switch op {
+	case isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR,
+		isa.SLL, isa.SRL, isa.SRA, isa.SLT, isa.MOV, isa.MOVI, isa.LGA,
+		isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FMOV, isa.FMOVI,
+		isa.FNEG, isa.FABS, isa.CVTIF, isa.CVTFI, isa.LD, isa.FLD:
+		return true
+	}
+	return false
+}

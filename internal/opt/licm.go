@@ -1,0 +1,193 @@
+package opt
+
+import (
+	"regconn/internal/analysis"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// LICM hoists loop-invariant computations into a preheader, innermost
+// loops first. Instructions eligible for hoisting are pure, non-trapping
+// (DIV/REM are excluded), have invariant operands, are the only definition
+// of their destination in the loop, and satisfy the standard safety
+// conditions on liveness at the header and the loop exits. Loads are
+// hoisted only from loops that contain no stores or calls.
+func LICM(f *ir.Func) bool {
+	changed := false
+	for {
+		cfg := analysis.BuildCFG(f)
+		idom := cfg.Dominators()
+		loops := cfg.NaturalLoops(idom)
+		hoisted := false
+		// Innermost-first: process deepest loops before their parents.
+		for i := len(loops) - 1; i >= 0; i-- {
+			if hoistLoop(f, cfg, idom, loops[i]) {
+				hoisted = true
+				break // CFG changed (preheader inserted); recompute
+			}
+		}
+		if !hoisted {
+			return changed
+		}
+		changed = true
+	}
+}
+
+func hoistLoop(f *ir.Func, cfg *analysis.CFG, idom []int, l *analysis.Loop) bool {
+	lv := analysis.ComputeLiveness(f, cfg)
+	ids := lv.IDs
+
+	// Count definitions of each register inside the loop and whether the
+	// loop has any memory-clobbering operations.
+	defCount := map[int]int{}
+	memClobber := false
+	l.Blocks.ForEach(func(bi int) {
+		for j := range f.Blocks[bi].Instrs {
+			in := &f.Blocks[bi].Instrs[j]
+			if d := in.Def(); d.Valid() {
+				defCount[ids.ID(d)]++
+			}
+			switch in.Op {
+			case isa.ST, isa.FST, isa.CALL:
+				memClobber = true
+			}
+		}
+	})
+
+	exits := l.Exits(cfg)
+
+	var scratch []isa.Reg
+	type cand struct{ block, idx int }
+	var toHoist []cand
+	hoistedDefs := analysis.NewBitSet(ids.Total)
+
+	invariantReg := func(r isa.Reg) bool {
+		id := ids.ID(r)
+		return defCount[id] == 0 || hoistedDefs.Has(id)
+	}
+
+	// Iterate to a fixpoint so chains of invariants hoist together.
+	for again := true; again; {
+		again = false
+		l.Blocks.ForEach(func(bi int) {
+			for j := range f.Blocks[bi].Instrs {
+				in := &f.Blocks[bi].Instrs[j]
+				if !isPure(in.Op) || in.Op == isa.MOV || in.Op == isa.FMOV {
+					// MOVs are left for copy propagation.
+					continue
+				}
+				if (in.Op == isa.LD || in.Op == isa.FLD) && memClobber {
+					continue
+				}
+				d := in.Def()
+				if !d.Valid() {
+					continue
+				}
+				did := ids.ID(d)
+				if hoistedDefs.Has(did) || defCount[did] != 1 {
+					continue
+				}
+				scratch = in.Uses(scratch[:0])
+				ok := true
+				for _, u := range scratch {
+					if !invariantReg(u) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				// Safety: no use-before-def across the back edge.
+				if lv.LiveIn[l.Header].Has(did) {
+					continue
+				}
+				// Safety at exits: value dead at the exit target unless the
+				// defining block dominates the exit source.
+				for _, e := range exits {
+					if lv.LiveIn[e[1]].Has(did) && !analysis.Dominates(idom, bi, e[0]) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				hoistedDefs.Add(did)
+				toHoist = append(toHoist, cand{bi, j})
+				again = true
+			}
+		})
+	}
+	if len(toHoist) == 0 {
+		return false
+	}
+
+	// Build the preheader at the header's layout position; the header and
+	// everything after shift down by one.
+	pre := insertBlockBefore(f, l.Header)
+	for _, c := range toHoist {
+		// Block indices from before insertion shift by one if >= header.
+		bi := c.block
+		if bi >= l.Header {
+			bi++
+		}
+		pre.Append(f.Blocks[bi].Instrs[c.idx])
+		f.Blocks[bi].Instrs[c.idx].Op = isa.NOP
+	}
+	// Strip the NOPs left behind.
+	l.Blocks.ForEach(func(old int) {
+		bi := old
+		if bi >= l.Header {
+			bi++
+		}
+		b := f.Blocks[bi]
+		out := b.Instrs[:0]
+		for k := range b.Instrs {
+			if b.Instrs[k].Op != isa.NOP {
+				out = append(out, b.Instrs[k])
+			}
+		}
+		b.Instrs = out
+	})
+	// Entry edges must enter the preheader; back edges keep targeting the
+	// header. insertBlockBefore already redirected branch targets >= pos
+	// (+1); branches to the old header position now point at the
+	// preheader, which is correct for entry edges but wrong for latches.
+	newHeader := l.Header + 1
+	l.Blocks.ForEach(func(old int) {
+		bi := old
+		if bi >= l.Header {
+			bi++
+		}
+		for j := range f.Blocks[bi].Instrs {
+			in := &f.Blocks[bi].Instrs[j]
+			if (in.Op == isa.BR || in.Op.IsCondBranch()) && in.Target == l.Header {
+				in.Target = newHeader
+			}
+		}
+	})
+	return true
+}
+
+// insertBlockBefore inserts a fresh block at index pos. Branch targets are
+// adjusted so that control flow is unchanged: targets >= pos+1 (blocks that
+// shifted) are incremented; targets == pos still reach the same
+// instructions because the new block falls through to the shifted original.
+func insertBlockBefore(f *ir.Func, pos int) *ir.Block {
+	nb := f.InsertBlock(pos)
+	for _, b := range f.Blocks {
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			if in.Op == isa.BR || in.Op.IsCondBranch() {
+				if in.Target > pos {
+					in.Target++
+				}
+				// Target == pos: falls to the new block, which falls
+				// through to the shifted original -> same semantics.
+				// Callers decide whether those edges should retarget.
+			}
+		}
+	}
+	return nb
+}

@@ -1,0 +1,251 @@
+package opt
+
+import (
+	"testing"
+
+	"regconn/internal/interp"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// run executes the program's entry function and returns its result.
+func run(t *testing.T, p *ir.Program, entry string, args ...int64) int64 {
+	t.Helper()
+	if err := ir.Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	res, err := interp.Run(p, entry, args, interp.Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Ret
+}
+
+func countOps(f *ir.Func, op isa.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestConstantFolding(t *testing.T) {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "f", 0, 0)
+	x := b.Const(6)
+	y := b.Const(7)
+	z := b.Mul(x, y)
+	w := b.AddI(z, 8)
+	b.Ret(w)
+
+	before := run(t, p, "f")
+	Classical(p)
+	after := run(t, p, "f")
+	if before != after || after != 50 {
+		t.Fatalf("results differ: %d vs %d", before, after)
+	}
+	f := p.Func("f")
+	// Everything folds to a single MOVI + RET.
+	if got := f.NumInstrs(); got > 2 {
+		t.Errorf("instruction count after folding = %d, want <= 2\n%s", got, f)
+	}
+}
+
+func TestStrengthReduction(t *testing.T) {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "f", 1, 0)
+	b.Ret(b.MulI(b.Param(0), 8))
+	Classical(p)
+	f := p.Func("f")
+	if countOps(f, isa.MUL) != 0 {
+		t.Errorf("MUL by 8 not strength-reduced:\n%s", f)
+	}
+	if countOps(f, isa.SLL) != 1 {
+		t.Errorf("expected SLL:\n%s", f)
+	}
+	if got := run(t, p, "f", 5); got != 40 {
+		t.Errorf("f(5) = %d, want 40", got)
+	}
+}
+
+func TestCopyPropagationAndDCE(t *testing.T) {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "f", 1, 0)
+	x := b.Param(0)
+	c1 := b.Mov(x)
+	c2 := b.Mov(c1)
+	dead := b.AddI(c2, 99) // dead
+	_ = dead
+	b.Ret(b.AddI(c2, 1))
+	Classical(p)
+	f := p.Func("f")
+	if countOps(f, isa.MOV) != 0 {
+		t.Errorf("copies not propagated away:\n%s", f)
+	}
+	if got := run(t, p, "f", 10); got != 11 {
+		t.Errorf("f(10) = %d", got)
+	}
+}
+
+func TestCSEEliminatesRecomputation(t *testing.T) {
+	p := ir.NewProgram()
+	g := p.AddGlobal("g", 8)
+	b := ir.NewFunc(p, "f", 2, 0)
+	x, y := b.Param(0), b.Param(1)
+	a1 := b.Add(x, y)
+	a2 := b.Add(x, y) // same expression
+	base := b.Addr(g, 0)
+	b.St(a1, base, 0)
+	v1 := b.Ld(base, 0)
+	v2 := b.Ld(base, 0) // redundant load
+	b.Ret(b.Add(b.Add(a2, v1), v2))
+	Classical(p)
+	f := p.Func("f")
+	if countOps(f, isa.LD) != 1 {
+		t.Errorf("redundant load survived:\n%s", f)
+	}
+	if got := run(t, p, "f", 2, 3); got != 15 {
+		t.Errorf("f(2,3) = %d, want 15", got)
+	}
+}
+
+func TestCSELoadKilledByStore(t *testing.T) {
+	p := ir.NewProgram()
+	g := p.AddGlobal("g", 16)
+	b := ir.NewFunc(p, "f", 1, 0)
+	base := b.Addr(g, 0)
+	v1 := b.Ld(base, 0)
+	b.St(b.Param(0), base, 0) // may alias: kills availability
+	v2 := b.Ld(base, 0)
+	b.Ret(b.Add(v1, v2))
+	Classical(p)
+	f := p.Func("f")
+	if countOps(f, isa.LD) != 2 {
+		t.Errorf("load past a store was wrongly CSEd:\n%s", f)
+	}
+	if got := run(t, p, "f", 9); got != 9 {
+		t.Errorf("f(9) = %d, want 9 (0 + 9)", got)
+	}
+}
+
+func TestBranchFolding(t *testing.T) {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "f", 0, 0)
+	c := b.Const(5)
+	dead := b.NewBlock()
+	live := b.NewBlock()
+	b.BgtI(c, 3, live) // always taken
+	b.SetBlock(dead)
+	b.Ret(b.Const(111))
+	b.SetBlock(live)
+	b.Ret(b.Const(222))
+
+	if got := run(t, p, "f"); got != 222 {
+		t.Fatalf("before: %d", got)
+	}
+	Classical(p)
+	if got := run(t, p, "f"); got != 222 {
+		t.Fatalf("after: %d", got)
+	}
+	f := p.Func("f")
+	if len(f.Blocks) != 1 {
+		t.Errorf("expected everything folded into one block:\n%s", f)
+	}
+}
+
+func TestLICMHoistsInvariant(t *testing.T) {
+	p := ir.NewProgram()
+	b := ir.NewFunc(p, "f", 2, 0)
+	n, k := b.Param(0), b.Param(1)
+	s := b.Const(0)
+	i := b.Const(0)
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	inv := b.Mul(k, k) // loop-invariant multiply
+	b.MovTo(s, b.Add(s, inv))
+	b.MovTo(i, b.AddI(i, 1))
+	b.Blt(i, n, loop)
+	exit := b.NewBlock()
+	b.SetBlock(exit)
+	b.Ret(s)
+
+	want := run(t, p, "f", 10, 3)
+	Classical(p)
+	got := run(t, p, "f", 10, 3)
+	if want != got || got != 90 {
+		t.Fatalf("LICM changed semantics: %d vs %d", want, got)
+	}
+	// The MUL must now execute once per call, not once per iteration.
+	f := p.Func("f")
+	interp.ClearProfile(p)
+	if _, err := interp.Run(p, "f", []int64{10, 3}, interp.Options{Profile: true}); err != nil {
+		t.Fatal(err)
+	}
+	mulWeight := 0.0
+	for _, blk := range f.Blocks {
+		for j := range blk.Instrs {
+			if blk.Instrs[j].Op == isa.MUL || (blk.Instrs[j].Op == isa.SLL && blk.Instrs[j].A == k) {
+				mulWeight = blk.Weight
+			}
+		}
+	}
+	if mulWeight > 1 {
+		t.Errorf("invariant executes %v times, want 1:\n%s", mulWeight, f)
+	}
+}
+
+func TestLICMRespectsMemoryClobber(t *testing.T) {
+	p := ir.NewProgram()
+	g := p.AddGlobal("g", 8)
+	g.InitI = []int64{1}
+	b := ir.NewFunc(p, "f", 1, 0)
+	n := b.Param(0)
+	base := b.Addr(g, 0)
+	s := b.Const(0)
+	i := b.Const(0)
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	v := b.Ld(base, 0) // NOT invariant: the store below changes it
+	b.St(b.AddI(v, 1), base, 0)
+	b.MovTo(s, b.Add(s, v))
+	b.MovTo(i, b.AddI(i, 1))
+	b.Blt(i, n, loop)
+	exit := b.NewBlock()
+	b.SetBlock(exit)
+	b.Ret(s)
+
+	want := run(t, p, "f", 4) // 1+2+3+4 = 10
+	Classical(p)
+	got := run(t, p, "f", 4)
+	if want != got || got != 10 {
+		t.Fatalf("load hoisted past store: %d vs %d", want, got)
+	}
+}
+
+func TestOptPreservesFib(t *testing.T) {
+	p := ir.NewProgram()
+	fb := ir.NewFunc(p, "fib", 1, 0)
+	n := fb.Param(0)
+	base := fb.NewBlock()
+	rec := fb.NewBlock()
+	fb.BgtI(n, 1, rec)
+	fb.SetBlock(base)
+	fb.Ret(n)
+	fb.SetBlock(rec)
+	a := fb.Call("fib", fb.SubI(n, 1))
+	c := fb.Call("fib", fb.SubI(n, 2))
+	fb.Ret(fb.Add(a, c))
+
+	want := run(t, p, "fib", 12)
+	Classical(p)
+	got := run(t, p, "fib", 12)
+	if want != got || got != 144 {
+		t.Fatalf("fib broken by opts: %d vs %d", want, got)
+	}
+}

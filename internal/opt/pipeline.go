@@ -1,0 +1,39 @@
+package opt
+
+import "regconn/internal/ir"
+
+// Classical runs the full classical optimization pipeline on every function
+// of the program: iterated {simplify, CSE, DCE, CFG cleanup} to a fixpoint,
+// then loop-invariant code motion, then a final cleanup round. This is the
+// "conventional compiler scalar optimization" level used for the paper's
+// baseline (§5.3) and the foundation under the ILP transformations.
+func Classical(p *ir.Program) {
+	for _, f := range p.Funcs {
+		classicalFunc(f)
+	}
+}
+
+func classicalFunc(f *ir.Func) {
+	const maxRounds = 20
+	fix := func() {
+		for i := 0; i < maxRounds; i++ {
+			changed := Simplify(f)
+			if CSE(f) {
+				changed = true
+			}
+			if DCE(f) {
+				changed = true
+			}
+			if CleanCFG(f) {
+				changed = true
+			}
+			if !changed {
+				return
+			}
+		}
+	}
+	fix()
+	if LICM(f) {
+		fix()
+	}
+}

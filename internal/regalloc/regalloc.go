@@ -1,0 +1,447 @@
+// Package regalloc assigns virtual registers to physical registers. It
+// implements the paper's allocation strategy (§3, §5.1): profile-weighted
+// priority graph coloring that places the most important variables in core
+// registers and the rest in extended registers (with RC) or memory
+// (without RC). The actual rewriting — spill code, connect insertion,
+// save/restore around calls — is performed by package codegen from the
+// Assignment this package produces.
+package regalloc
+
+import (
+	"sort"
+
+	"regconn/internal/abi"
+	"regconn/internal/analysis"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// Mode selects the allocation strategy.
+type Mode uint8
+
+const (
+	// Unlimited models the paper's idealized machine: every virtual
+	// register gets its own physical register, disjoint across functions,
+	// so there are no spills and no save/restore.
+	Unlimited Mode = iota
+	// Spill is the without-RC model: only the allocatable core registers
+	// are available; the rest of the variables live in memory.
+	Spill
+	// RC is the with-RC model: core registers first, then extended
+	// registers, memory only if even the extended section overflows.
+	RC
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Unlimited:
+		return "unlimited"
+	case Spill:
+		return "without-RC"
+	case RC:
+		return "with-RC"
+	}
+	return "mode?"
+}
+
+// LocKind tells where a virtual register lives.
+type LocKind uint8
+
+const (
+	LocNone  LocKind = iota // never referenced
+	LocReg                  // physical register (core or extended)
+	LocSpill                // stack frame slot
+)
+
+// Location is the assigned home of one virtual register.
+type Location struct {
+	Kind LocKind
+	N    int // physical register number, or frame slot index
+}
+
+// Assignment is the allocation result for one function.
+type Assignment struct {
+	F    *ir.Func
+	Mode Mode
+	Conv *abi.Conventions
+
+	// Loc maps every referenced virtual register to its location.
+	Loc map[isa.Reg]Location
+
+	// SpillSlots is the number of frame slots used for spilled registers
+	// (each 8 bytes; slots are shared across classes by index).
+	SpillSlots int
+
+	// LiveAcrossCall marks virtual registers live across at least one
+	// call site (these may not occupy caller-save core registers; in
+	// extended registers they require caller save/restore).
+	LiveAcrossCall map[isa.Reg]bool
+
+	// UsedCalleeSave lists, per class, the callee-save core registers the
+	// function was assigned (prologue must preserve them).
+	UsedCalleeSaveInt []int
+	UsedCalleeSaveFP  []int
+
+	// MaxLiveInt/MaxLiveFP record the maximum number of simultaneously
+	// live virtual registers per class (register-pressure statistic).
+	MaxLiveInt int
+	MaxLiveFP  int
+}
+
+// ProgramAssignment carries per-function assignments plus the program-wide
+// physical register demand (for sizing the Unlimited machine).
+type ProgramAssignment struct {
+	ByFunc      map[*ir.Func]*Assignment
+	NeedInt     int // physical integer registers required
+	NeedFP      int
+	TotalSpills int // across functions: number of vregs sent to memory
+}
+
+// DefaultWindow is the default scheduling-overlap window (see Allocate).
+const DefaultWindow = 32
+
+// Allocate runs allocation over the whole program. window is the
+// prepass-scheduling overlap horizon in instructions: registers defined
+// within `window` instructions of each other inside one scheduling region
+// are treated as simultaneously live (pass 0 for DefaultWindow). Wider
+// machines schedule across more instructions, so callers scale the window
+// with issue width.
+func Allocate(p *ir.Program, mode Mode, conv *abi.Conventions, window int) *ProgramAssignment {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	pa := &ProgramAssignment{
+		ByFunc:  map[*ir.Func]*Assignment{},
+		NeedInt: conv.Int.Total,
+		NeedFP:  conv.FP.Total,
+	}
+	// Unlimited mode hands out globally disjoint registers, starting past
+	// r0 (zero), r1 (SP) and r2/f2 (return values, clobbered by calls).
+	nextInt, nextFP := 3, 3
+	for _, f := range p.Funcs {
+		a := allocateFunc(f, mode, conv, window, &nextInt, &nextFP)
+		pa.ByFunc[f] = a
+		for _, loc := range a.Loc {
+			if loc.Kind == LocSpill {
+				pa.TotalSpills++
+			}
+		}
+	}
+	if mode == Unlimited {
+		pa.NeedInt, pa.NeedFP = nextInt, nextFP
+	}
+	return pa
+}
+
+type liveRange struct {
+	reg      isa.Reg
+	id       int
+	priority float64 // profile-weighted reference count
+	neigh    map[int]bool
+}
+
+func allocateFunc(f *ir.Func, mode Mode, conv *abi.Conventions, window int, nextInt, nextFP *int) *Assignment {
+	a := &Assignment{
+		F:              f,
+		Mode:           mode,
+		Conv:           conv,
+		Loc:            map[isa.Reg]Location{},
+		LiveAcrossCall: map[isa.Reg]bool{},
+	}
+	cfg := analysis.BuildCFG(f)
+	lv := analysis.ComputeLiveness(f, cfg)
+	ids := lv.IDs
+
+	referenced := make([]bool, ids.Total)
+	priority := make([]float64, ids.Total)
+	liveAcross := make([]bool, ids.Total)
+
+	// Interference graph and statistics.
+	adj := make([]map[int]bool, ids.Total)
+	addEdge := func(x, y int) {
+		if x == y {
+			return
+		}
+		if adj[x] == nil {
+			adj[x] = map[int]bool{}
+		}
+		if adj[y] == nil {
+			adj[y] = map[int]bool{}
+		}
+		adj[x][y] = true
+		adj[y][x] = true
+	}
+	sameClass := func(x, y int) bool {
+		return (x < ids.NumInt) == (y < ids.NumInt)
+	}
+
+	var scratch []isa.Reg
+	for bi, b := range f.Blocks {
+		w := b.Weight
+		if w <= 0 {
+			w = 1
+		}
+		lv.ForEachLivePoint(f, bi, func(j int, liveAfter analysis.BitSet) {
+			in := &b.Instrs[j]
+			// Reference counting for priorities.
+			scratch = in.Uses(scratch[:0])
+			for _, r := range scratch {
+				id := ids.ID(r)
+				referenced[id] = true
+				priority[id] += w
+			}
+			d := in.Def()
+			if d.Valid() {
+				did := ids.ID(d)
+				referenced[did] = true
+				priority[did] += w
+				// The def interferes with everything live after it
+				// (same class), including copy sources — we do not
+				// implement move coalescing here.
+				liveAfter.ForEach(func(o int) {
+					if sameClass(did, o) {
+						addEdge(did, o)
+					}
+				})
+			}
+			if in.Op == isa.CALL {
+				liveAfter.ForEach(func(o int) {
+					// Live after the call and not defined by it:
+					// lives across.
+					if d.Valid() && o == ids.ID(d) {
+						return
+					}
+					liveAcross[o] = true
+				})
+			}
+			// Pressure statistics.
+			ni, nf := 0, 0
+			liveAfter.ForEach(func(o int) {
+				if o < ids.NumInt {
+					ni++
+				} else {
+					nf++
+				}
+			})
+			if ni > a.MaxLiveInt {
+				a.MaxLiveInt = ni
+			}
+			if nf > a.MaxLiveFP {
+				a.MaxLiveFP = nf
+			}
+		})
+	}
+	// Prepass-scheduling pressure model: IMPACT schedules before
+	// allocating, which overlaps the lifetimes of independent operations;
+	// the allocator then sees them as simultaneously live. We reproduce
+	// that by making all registers *defined* within one scheduling region
+	// interfere, so the scheduler (which runs after allocation here) is
+	// free to overlap them — this is what makes ILP optimization
+	// "increase the register requirement of programs" (paper §1).
+	// A region is a maximal fallthrough chain of blocks (a superblock),
+	// matching the machine scheduler's notion of a region.
+	if mode != Unlimited {
+		type posDef struct {
+			id  int
+			pos int
+		}
+		var live []posDef
+		pos := 0
+		reset := func() { live = live[:0] }
+		for bi, b := range f.Blocks {
+			// A block entered by anything other than fallthrough from its
+			// predecessor starts a new region.
+			preds := cfg.Preds[bi]
+			fallthroughOnly := len(preds) == 1 && preds[0] == bi-1
+			if fallthroughOnly {
+				if t := f.Blocks[bi-1].Term(); t != nil && !t.Op.IsCondBranch() {
+					fallthroughOnly = false
+				}
+			}
+			if !fallthroughOnly {
+				reset()
+			}
+			for j := range b.Instrs {
+				pos++
+				d := b.Instrs[j].Def()
+				if !d.Valid() {
+					continue
+				}
+				id := ids.ID(d)
+				// Drop defs that slid out of the window.
+				keep := live[:0]
+				for _, pd := range live {
+					if pos-pd.pos <= window {
+						keep = append(keep, pd)
+					}
+				}
+				live = keep
+				for _, pd := range live {
+					if sameClass(id, pd.id) {
+						addEdge(id, pd.id)
+					}
+				}
+				live = append(live, posDef{id, pos})
+			}
+		}
+	}
+
+	// Parameters are live-in at entry: they interfere with each other.
+	for i, p1 := range f.Params {
+		referenced[ids.ID(p1)] = true
+		for _, p2 := range f.Params[i+1:] {
+			if p1.Class == p2.Class {
+				addEdge(ids.ID(p1), ids.ID(p2))
+			}
+		}
+		// ...and with everything live-in at the entry block.
+		lv.LiveIn[0].ForEach(func(o int) {
+			if sameClass(ids.ID(p1), o) {
+				addEdge(ids.ID(p1), o)
+			}
+		})
+	}
+
+	for id := 0; id < ids.Total; id++ {
+		if liveAcross[id] {
+			a.LiveAcrossCall[ids.Reg(id)] = true
+		}
+	}
+
+	if mode == Unlimited {
+		// Return-value preference: call results and returned values that
+		// are not live across calls sit directly in r2/f2, avoiding the
+		// result-move (first-fit coloring gets this by accident in the
+		// limited modes; the ideal machine should not be penalized).
+		rvUsers := map[isa.RegClass][]int{}
+		tryRV := func(r isa.Reg) {
+			id := ids.ID(r)
+			if !referenced[id] || liveAcross[id] {
+				return
+			}
+			if _, done := a.Loc[r]; done {
+				return
+			}
+			for _, o := range rvUsers[r.Class] {
+				if adj[id][o] {
+					return
+				}
+			}
+			rvUsers[r.Class] = append(rvUsers[r.Class], id)
+			a.Loc[r] = Location{LocReg, 2}
+		}
+		for _, b := range f.Blocks {
+			for j := range b.Instrs {
+				in := &b.Instrs[j]
+				switch in.Op {
+				case isa.CALL:
+					if in.Dst.Valid() {
+						tryRV(in.Dst)
+					}
+				case isa.RET:
+					if in.A.Valid() {
+						tryRV(in.A)
+					}
+				}
+			}
+		}
+		for id := 0; id < ids.Total; id++ {
+			if !referenced[id] {
+				continue
+			}
+			r := ids.Reg(id)
+			if _, done := a.Loc[r]; done {
+				continue
+			}
+			if r.Class == isa.ClassInt {
+				a.Loc[r] = Location{LocReg, *nextInt}
+				*nextInt++
+			} else {
+				a.Loc[r] = Location{LocReg, *nextFP}
+				*nextFP++
+			}
+		}
+		return a
+	}
+
+	// Priority coloring: highest profile-weighted reference count first.
+	order := make([]int, 0, ids.Total)
+	for id := 0; id < ids.Total; id++ {
+		if referenced[id] {
+			order = append(order, id)
+		}
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if priority[order[x]] != priority[order[y]] {
+			return priority[order[x]] > priority[order[y]]
+		}
+		return order[x] < order[y]
+	})
+
+	colored := map[int]int{} // reg id -> phys
+	spillSlot := map[int]int{}
+	usedCalleeSave := map[isa.RegClass]map[int]bool{
+		isa.ClassInt:   {},
+		isa.ClassFloat: {},
+	}
+	for _, id := range order {
+		r := ids.Reg(id)
+		cv := conv.Of(r.Class)
+		// Colors already taken by interfering neighbours.
+		taken := map[int]bool{}
+		for o := range adj[id] {
+			if c, ok := colored[o]; ok {
+				taken[c] = true
+			}
+		}
+		phys := -1
+		// Core registers first, preferring callee-save for values live
+		// across calls (caller-save core is forbidden for them).
+		if liveAcross[id] {
+			for _, c := range cv.Allocatable {
+				if cv.CalleeSave[c] && !taken[c] {
+					phys = c
+					break
+				}
+			}
+		} else {
+			for _, c := range cv.Allocatable {
+				if !taken[c] {
+					phys = c
+					break
+				}
+			}
+		}
+		// Extended section (RC mode only).
+		if phys == -1 && mode == RC {
+			for c := cv.Core; c < cv.Total; c++ {
+				if !taken[c] {
+					phys = c
+					break
+				}
+			}
+		}
+		if phys == -1 {
+			// Spill to memory.
+			slot := a.SpillSlots
+			a.SpillSlots++
+			spillSlot[id] = slot
+			a.Loc[r] = Location{LocSpill, slot}
+			continue
+		}
+		colored[id] = phys
+		a.Loc[r] = Location{LocReg, phys}
+		if cv.CalleeSave[phys] {
+			usedCalleeSave[r.Class][phys] = true
+		}
+	}
+	for c := range usedCalleeSave[isa.ClassInt] {
+		a.UsedCalleeSaveInt = append(a.UsedCalleeSaveInt, c)
+	}
+	for c := range usedCalleeSave[isa.ClassFloat] {
+		a.UsedCalleeSaveFP = append(a.UsedCalleeSaveFP, c)
+	}
+	sort.Ints(a.UsedCalleeSaveInt)
+	sort.Ints(a.UsedCalleeSaveFP)
+	return a
+}

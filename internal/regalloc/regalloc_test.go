@@ -1,0 +1,305 @@
+package regalloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"regconn/internal/abi"
+	"regconn/internal/analysis"
+	"regconn/internal/interp"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+func conv(intCore, total int) *abi.Conventions {
+	fpTotal := total
+	if fpTotal < 16 {
+		fpTotal = 16
+	}
+	return abi.New(intCore, total, 16, fpTotal)
+}
+
+// buildPressure returns a program with `width` simultaneously live integer
+// values (loads), optionally across a call.
+func buildPressure(width int, acrossCall bool) *ir.Program {
+	p := ir.NewProgram()
+	g := p.AddGlobal("g", int64(width)*8)
+	if acrossCall {
+		id := ir.NewFunc(p, "id", 1, 0)
+		id.Ret(id.Param(0))
+	}
+	b := ir.NewFunc(p, "main", 0, 0)
+	base := b.Addr(g, 0)
+	var vs []isa.Reg
+	for k := 0; k < width; k++ {
+		vs = append(vs, b.Ld(base, int64(k)*8))
+	}
+	acc := b.Const(0)
+	if acrossCall {
+		acc = b.Call("id", b.Const(1))
+	}
+	for _, v := range vs {
+		b.MovTo(acc, b.Add(acc, v))
+	}
+	b.Ret(acc)
+	return p
+}
+
+// checkNoInterferingShare asserts the fundamental allocation invariant: two
+// simultaneously live virtual registers never share a physical register or
+// spill slot.
+func checkNoInterferingShare(t *testing.T, f *ir.Func, a *Assignment) {
+	t.Helper()
+	cfg := analysis.BuildCFG(f)
+	lv := analysis.ComputeLiveness(f, cfg)
+	ids := lv.IDs
+	for bi := range f.Blocks {
+		lv.ForEachLivePoint(f, bi, func(j int, liveAfter analysis.BitSet) {
+			in := &f.Blocks[bi].Instrs[j]
+			d := in.Def()
+			if !d.Valid() {
+				return
+			}
+			dloc, ok := a.Loc[d]
+			if !ok {
+				return
+			}
+			liveAfter.ForEach(func(o int) {
+				or := ids.Reg(o)
+				if or == d || or.Class != d.Class {
+					return
+				}
+				oloc, ok := a.Loc[or]
+				if !ok {
+					return
+				}
+				if oloc.Kind == dloc.Kind && oloc.N == dloc.N {
+					t.Errorf("block %d instr %d: %v and %v share %v/%d while both live",
+						bi, j, d, or, dloc.Kind, dloc.N)
+				}
+			})
+		})
+	}
+}
+
+func TestSpillModeUnderPressure(t *testing.T) {
+	p := buildPressure(20, false)
+	if err := ir.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	cv := conv(8, 8)
+	pa := Allocate(p, Spill, cv, 0)
+	a := pa.ByFunc[p.Func("main")]
+	if a.SpillSlots == 0 {
+		t.Error("20 live values in 2 allocatable registers must spill")
+	}
+	checkNoInterferingShare(t, p.Func("main"), a)
+	// No allocation to reserved registers.
+	for r, loc := range a.Loc {
+		if loc.Kind != LocReg {
+			continue
+		}
+		if r.Class == isa.ClassInt && (loc.N == isa.RegZero || loc.N == isa.RegSP) {
+			t.Errorf("%v allocated to reserved r%d", r, loc.N)
+		}
+		for _, s := range cv.Of(r.Class).SpillTemps {
+			if loc.N == s {
+				t.Errorf("%v allocated to spill temp %d", r, loc.N)
+			}
+		}
+	}
+}
+
+func TestRCModeUsesExtended(t *testing.T) {
+	p := buildPressure(20, false)
+	cv := conv(8, 256)
+	pa := Allocate(p, RC, cv, 0)
+	a := pa.ByFunc[p.Func("main")]
+	if a.SpillSlots != 0 {
+		t.Errorf("RC mode spilled %d slots with 248 extended registers free", a.SpillSlots)
+	}
+	ext := 0
+	for r, loc := range a.Loc {
+		if loc.Kind == LocReg && r.Class == isa.ClassInt && cv.Int.IsExtended(loc.N) {
+			ext++
+		}
+	}
+	if ext == 0 {
+		t.Error("RC mode used no extended registers under pressure")
+	}
+	checkNoInterferingShare(t, p.Func("main"), a)
+}
+
+func TestLiveAcrossCallAvoidsCallerSave(t *testing.T) {
+	p := buildPressure(6, true)
+	cv := conv(16, 16)
+	pa := Allocate(p, Spill, cv, 0)
+	a := pa.ByFunc[p.Func("main")]
+	for r := range a.LiveAcrossCall {
+		loc := a.Loc[r]
+		if loc.Kind == LocReg && cv.Of(r.Class).CallerSave[loc.N] {
+			t.Errorf("%v live across call in caller-save r%d", r, loc.N)
+		}
+	}
+	if len(a.LiveAcrossCall) == 0 {
+		t.Error("expected live-across-call registers")
+	}
+}
+
+func TestUnlimitedDisjointAcrossFunctions(t *testing.T) {
+	p := buildPressure(6, true)
+	pa := Allocate(p, Unlimited, conv(64, 64), 0)
+	seen := map[[2]int]string{} // (classBit, phys) -> func
+	for _, f := range p.Funcs {
+		a := pa.ByFunc[f]
+		if a.SpillSlots != 0 {
+			t.Errorf("%s: unlimited mode spilled", f.Name)
+		}
+		for r, loc := range a.Loc {
+			if loc.Kind != LocReg || loc.N == 2 {
+				continue // r2/f2 are the shared return registers
+			}
+			key := [2]int{int(r.Class), loc.N}
+			if owner, ok := seen[key]; ok && owner != f.Name {
+				t.Errorf("register %v shared between %s and %s", key, owner, f.Name)
+			}
+			seen[key] = f.Name
+		}
+	}
+}
+
+func TestPriorityFavorsHotRegisters(t *testing.T) {
+	// A register referenced in a hot loop must get a core register ahead
+	// of registers referenced once.
+	p := ir.NewProgram()
+	g := p.AddGlobal("g", 80)
+	b := ir.NewFunc(p, "main", 0, 0)
+	base := b.Addr(g, 0)
+	cold1 := b.Ld(base, 0)
+	cold2 := b.Ld(base, 8)
+	hot := b.Const(0)
+	i := b.Const(0)
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.MovTo(hot, b.AddI(hot, 7))
+	b.MovTo(i, b.AddI(i, 1))
+	b.BltI(i, 1000, loop)
+	b.Continue()
+	b.Ret(b.Add(hot, b.Add(cold1, cold2)))
+	if err := ir.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.Run(p, "main", nil, interp.Options{Profile: true}); err != nil {
+		t.Fatal(err)
+	}
+	cv := conv(8, 256)
+	pa := Allocate(p, RC, cv, 0)
+	a := pa.ByFunc[p.Func("main")]
+	hotLoc := a.Loc[hot]
+	if hotLoc.Kind != LocReg || cv.Int.IsExtended(hotLoc.N) {
+		t.Errorf("hot register placed at %+v, want core register", hotLoc)
+	}
+}
+
+// TestPressureWindowScalesDemand pins the prepass-scheduling model: a
+// straight-line stream of independent short-lived values colors into a few
+// registers under a narrow window and demands many more under a wide one.
+func TestPressureWindowScalesDemand(t *testing.T) {
+	build := func() *ir.Program {
+		p := ir.NewProgram()
+		g := p.AddGlobal("g", 8)
+		b := ir.NewFunc(p, "main", 0, 0)
+		base := b.Addr(g, 0)
+		acc := b.Const(0)
+		for k := 0; k < 64; k++ {
+			v := b.Ld(base, 0) // short-lived: consumed immediately
+			b.MovTo(acc, b.Add(acc, v))
+		}
+		b.Ret(acc)
+		return p
+	}
+	demand := func(window int) int {
+		p := build()
+		pa := Allocate(p, RC, conv(16, 256), window)
+		a := pa.ByFunc[p.Func("main")]
+		regs := map[int]bool{}
+		for r, loc := range a.Loc {
+			if r.Class == isa.ClassInt && loc.Kind == LocReg {
+				regs[loc.N] = true
+			}
+		}
+		return len(regs)
+	}
+	narrow := demand(4)
+	wide := demand(96)
+	if wide <= narrow {
+		t.Errorf("window 96 demand (%d) should exceed window 4 demand (%d)", wide, narrow)
+	}
+	if wide < 30 {
+		t.Errorf("wide-window demand = %d, expected the region's values to overlap", wide)
+	}
+}
+
+func TestMaxLiveStatistic(t *testing.T) {
+	p := buildPressure(20, false)
+	pa := Allocate(p, RC, conv(8, 256), 0)
+	a := pa.ByFunc[p.Func("main")]
+	if a.MaxLiveInt < 20 {
+		t.Errorf("MaxLiveInt = %d, want >= 20", a.MaxLiveInt)
+	}
+}
+
+// Property: allocation never assigns two interfering registers the same
+// location, for random straight-line programs.
+func TestQuickAllocationInvariant(t *testing.T) {
+	f := func(ops []uint8, width uint8) bool {
+		w := int(width%16) + 2
+		p := ir.NewProgram()
+		g := p.AddGlobal("g", int64(w+1)*8)
+		b := ir.NewFunc(p, "main", 0, 0)
+		base := b.Addr(g, 0)
+		regs := []isa.Reg{b.Const(1)}
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				regs = append(regs, b.Ld(base, int64(op%uint8(w))*8))
+			case 1:
+				if len(regs) >= 2 {
+					regs = append(regs, b.Add(regs[len(regs)-1], regs[len(regs)-2]))
+				}
+			case 2:
+				regs = append(regs, b.Const(int64(op)))
+			case 3:
+				if len(regs) >= 1 {
+					b.St(regs[len(regs)-1], base, int64(op%uint8(w))*8)
+				}
+			}
+		}
+		acc := b.Const(0)
+		for _, r := range regs {
+			b.MovTo(acc, b.Add(acc, r))
+		}
+		b.Ret(acc)
+		if err := ir.Verify(p); err != nil {
+			return false
+		}
+		for _, mode := range []Mode{Spill, RC} {
+			pa := Allocate(p, mode, conv(8, 256), 0)
+			a := pa.ByFunc[p.Func("main")]
+			bad := false
+			tt := &testing.T{}
+			checkNoInterferingShare(tt, p.Func("main"), a)
+			if tt.Failed() {
+				bad = true
+			}
+			if bad {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package sched implements superblock-style list scheduling on lowered
+// machine code. The paper's code scheduler (§5.1) exploits the zero-cycle
+// latency of connect instructions and hides spill latency; this scheduler
+// reproduces that role:
+//
+//   - regions are maximal single-entry instruction runs (side exits
+//     allowed), so unrolled loop bodies schedule as one superblock;
+//   - data dependences use the *resolved physical registers* recorded by
+//     codegen (the map indices in the instructions are not the truth under
+//     RC);
+//   - each mapping-table entry is an architectural resource: connects
+//     write it, instructions that reference the index read it, and
+//     register writes touch it (the automatic-reset side effect), which
+//     orders connects against their consumers with the configured connect
+//     latency (0 or 1);
+//   - instructions may speculate upward across side-exit branches only if
+//     they are restartable (no stores, traps, connects, control) and their
+//     destination is dead at the exit target — general speculation as in
+//     IMPACT's superblock scheduling.
+package sched
+
+import (
+	"regconn/internal/abi"
+	"regconn/internal/analysis"
+	"regconn/internal/codegen"
+	"regconn/internal/isa"
+)
+
+// Config carries the machine resources the scheduler targets.
+type Config struct {
+	Issue          int
+	MemChannels    int
+	Lat            isa.Latencies
+	Conv           *abi.Conventions
+	ConnectLatency int
+
+	// UnlimitedMode marks the idealized machine: functions own disjoint
+	// register ranges, so calls clobber only the return-value registers.
+	UnlimitedMode bool
+}
+
+// physID densely numbers physical registers across both classes for one
+// function: integers [0, nInt), floats [nInt, nInt+nFP).
+type physID struct {
+	nInt, nFP int
+}
+
+func (p physID) id(class isa.RegClass, phys int32) int {
+	if class == isa.ClassFloat {
+		return p.nInt + int(phys)
+	}
+	return int(phys)
+}
+
+func (p physID) total() int { return p.nInt + p.nFP }
+
+// newPhysID sizes the dense space from the function's annotations (the
+// Unlimited machine can exceed the nominal conventions).
+func newPhysID(mf *codegen.MFunc, cfg Config) physID {
+	nInt, nFP := cfg.Conv.Int.Total, cfg.Conv.FP.Total
+	grow := func(class isa.RegClass, phys int32) {
+		if phys == codegen.NoPhys {
+			return
+		}
+		if class == isa.ClassFloat {
+			if int(phys) >= nFP {
+				nFP = int(phys) + 1
+			}
+		} else if int(phys) >= nInt {
+			nInt = int(phys) + 1
+		}
+	}
+	for i := range mf.Code {
+		in, ann := &mf.Code[i], &mf.Ann[i]
+		grow(in.Dst.Class, ann.PDst)
+		grow(in.A.Class, ann.PA)
+		grow(in.B.Class, ann.PB)
+	}
+	return physID{nInt, nFP}
+}
+
+// instrUses appends the dense phys ids read by instruction i to dst.
+func instrUses(in *isa.Instr, ann *codegen.Annot, ids physID, cfg Config, dst []int) []int {
+	add := func(class isa.RegClass, phys int32) []int {
+		if phys == codegen.NoPhys {
+			return dst
+		}
+		if class == isa.ClassInt && phys == isa.RegZero {
+			return dst // the zero register is a constant
+		}
+		return append(dst, ids.id(class, phys))
+	}
+	switch in.Op {
+	case isa.CALL:
+		return append(dst, ids.id(isa.ClassInt, isa.RegSP))
+	case isa.RET:
+		dst = append(dst, ids.id(isa.ClassInt, isa.RegSP))
+		dst = append(dst, ids.id(isa.ClassInt, 2), ids.id(isa.ClassFloat, 2))
+		if !cfg.UnlimitedMode {
+			for c := range cfg.Conv.Int.CalleeSave {
+				dst = append(dst, ids.id(isa.ClassInt, int32(c)))
+			}
+			for c := range cfg.Conv.FP.CalleeSave {
+				dst = append(dst, ids.id(isa.ClassFloat, int32(c)))
+			}
+		}
+		return dst
+	}
+	// Ann.PA/PB are set exactly when the instruction reads that slot.
+	if ann.PA != codegen.NoPhys {
+		dst = add(in.A.Class, ann.PA)
+	}
+	if ann.PB != codegen.NoPhys {
+		dst = add(in.B.Class, ann.PB)
+	}
+	return dst
+}
+
+// instrDefs appends the dense phys ids written by instruction i.
+func instrDefs(in *isa.Instr, ann *codegen.Annot, ids physID, cfg Config, dst []int) []int {
+	if in.Op == isa.CALL {
+		// Return-value registers are always clobbered.
+		dst = append(dst, ids.id(isa.ClassInt, 2), ids.id(isa.ClassFloat, 2))
+		if cfg.UnlimitedMode {
+			return dst
+		}
+		// Caller-save core and the whole extended section die.
+		for c := range cfg.Conv.Int.CallerSave {
+			dst = append(dst, ids.id(isa.ClassInt, int32(c)))
+		}
+		for c := range cfg.Conv.FP.CallerSave {
+			dst = append(dst, ids.id(isa.ClassFloat, int32(c)))
+		}
+		for p := cfg.Conv.Int.Core; p < cfg.Conv.Int.Total; p++ {
+			dst = append(dst, ids.id(isa.ClassInt, int32(p)))
+		}
+		for p := cfg.Conv.FP.Core; p < cfg.Conv.FP.Total; p++ {
+			dst = append(dst, ids.id(isa.ClassFloat, int32(p)))
+		}
+		// Spill temporaries / connect windows are scratch.
+		for _, t := range cfg.Conv.Int.SpillTemps {
+			dst = append(dst, ids.id(isa.ClassInt, int32(t)))
+		}
+		for _, t := range cfg.Conv.FP.SpillTemps {
+			dst = append(dst, ids.id(isa.ClassFloat, int32(t)))
+		}
+		return dst
+	}
+	if ann.PDst != codegen.NoPhys {
+		if !(in.Dst.Class == isa.ClassInt && ann.PDst == isa.RegZero) {
+			dst = append(dst, ids.id(in.Dst.Class, ann.PDst))
+		}
+	}
+	return dst
+}
+
+// liveness computes live-in sets at every instruction-block boundary of the
+// machine function and returns liveAt: for each code index that is a
+// branch-target label, the set of phys ids live there.
+func liveness(mf *codegen.MFunc, ids physID, cfg Config) map[int]analysis.BitSet {
+	n := len(mf.Code)
+	// Block starts: entry, branch targets, instruction after control flow.
+	isStart := make([]bool, n+1)
+	isStart[0] = true
+	for i := range mf.Code {
+		in := &mf.Code[i]
+		switch {
+		case in.Op == isa.BR || in.Op.IsCondBranch():
+			isStart[in.Target] = true
+			isStart[i+1] = true
+		case in.Op == isa.RET || in.Op == isa.HALT:
+			isStart[i+1] = true
+		}
+	}
+	var starts []int
+	blockOf := make([]int, n)
+	cur := -1
+	for i := 0; i < n; i++ {
+		if isStart[i] {
+			cur++
+			starts = append(starts, i)
+		}
+		blockOf[i] = cur
+	}
+	nb := len(starts)
+	end := func(b int) int {
+		if b+1 < nb {
+			return starts[b+1]
+		}
+		return n
+	}
+	succs := make([][]int, nb)
+	for b := 0; b < nb; b++ {
+		last := end(b) - 1
+		if last < starts[b] {
+			continue
+		}
+		in := &mf.Code[last]
+		switch {
+		case in.Op == isa.BR:
+			succs[b] = []int{blockOf[in.Target]}
+		case in.Op.IsCondBranch():
+			succs[b] = append(succs[b], blockOf[in.Target])
+			if last+1 < n {
+				succs[b] = append(succs[b], blockOf[last+1])
+			}
+		case in.Op == isa.RET || in.Op == isa.HALT:
+			// no successors
+		default:
+			if last+1 < n {
+				succs[b] = []int{blockOf[last+1]}
+			}
+		}
+	}
+
+	liveIn := make([]analysis.BitSet, nb)
+	liveOut := make([]analysis.BitSet, nb)
+	for b := range liveIn {
+		liveIn[b] = analysis.NewBitSet(ids.total())
+		liveOut[b] = analysis.NewBitSet(ids.total())
+	}
+	var scratch []int
+	for changed := true; changed; {
+		changed = false
+		for b := nb - 1; b >= 0; b-- {
+			out := liveOut[b]
+			for _, s := range succs[b] {
+				if out.UnionWith(liveIn[s]) {
+					changed = true
+				}
+			}
+			live := out.Clone()
+			for i := end(b) - 1; i >= starts[b]; i-- {
+				in, ann := &mf.Code[i], &mf.Ann[i]
+				scratch = instrDefs(in, ann, ids, cfg, scratch[:0])
+				for _, d := range scratch {
+					live.Remove(d)
+				}
+				scratch = instrUses(in, ann, ids, cfg, scratch[:0])
+				for _, u := range scratch {
+					live.Add(u)
+				}
+			}
+			if !live.Equal(liveIn[b]) {
+				liveIn[b].Copy(live)
+				changed = true
+			}
+		}
+	}
+
+	liveAt := map[int]analysis.BitSet{}
+	for i := range mf.Code {
+		in := &mf.Code[i]
+		if in.Op == isa.BR || in.Op.IsCondBranch() {
+			liveAt[in.Target] = liveIn[blockOf[in.Target]]
+		}
+	}
+	return liveAt
+}

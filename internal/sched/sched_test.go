@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"testing"
+
+	"regconn/internal/abi"
+	"regconn/internal/codegen"
+	"regconn/internal/isa"
+)
+
+func cfg(issue int) Config {
+	return Config{
+		Issue:       issue,
+		MemChannels: 2,
+		Lat:         isa.DefaultLatencies(2),
+		Conv:        abi.New(16, 256, 16, 256),
+	}
+}
+
+// mk builds a machine function from (instr, annot) pairs.
+type pair struct {
+	in  isa.Instr
+	ann codegen.Annot
+}
+
+func mk(ps ...pair) *codegen.MFunc {
+	mf := &codegen.MFunc{Name: "t"}
+	for _, p := range ps {
+		mf.Code = append(mf.Code, p.in)
+		mf.Ann = append(mf.Ann, p.ann)
+	}
+	return mf
+}
+
+func ann(dst, a, b int32) codegen.Annot {
+	return codegen.Annot{PDst: dst, PA: a, PB: b}
+}
+
+func movi(dst int, v int64) pair {
+	return pair{isa.Instr{Op: isa.MOVI, Dst: isa.IntReg(dst), Imm: v}, ann(int32(dst), codegen.NoPhys, codegen.NoPhys)}
+}
+
+func add(dst, a, b int) pair {
+	return pair{isa.Instr{Op: isa.ADD, Dst: isa.IntReg(dst), A: isa.IntReg(a), B: isa.IntReg(b)},
+		ann(int32(dst), int32(a), int32(b))}
+}
+
+func halt() pair {
+	return pair{isa.Instr{Op: isa.HALT}, ann(codegen.NoPhys, codegen.NoPhys, codegen.NoPhys)}
+}
+
+func ops(mf *codegen.MFunc) []isa.Op {
+	var out []isa.Op
+	for i := range mf.Code {
+		out = append(out, mf.Code[i].Op)
+	}
+	return out
+}
+
+func TestPreservesDataDependences(t *testing.T) {
+	// r4 = r2+r3 must stay after both MOVIs; the independent MOVI r5 may
+	// move anywhere.
+	mf := mk(
+		movi(2, 1),
+		movi(3, 2),
+		add(4, 2, 3),
+		movi(5, 9),
+		halt(),
+	)
+	Schedule(mf, cfg(4))
+	pos := map[isa.Op][]int{}
+	dstPos := map[int]int{}
+	for i := range mf.Code {
+		pos[mf.Code[i].Op] = append(pos[mf.Code[i].Op], i)
+		if d := mf.Code[i].Def(); d.Valid() {
+			dstPos[d.N] = i
+		}
+	}
+	if dstPos[4] < dstPos[2] || dstPos[4] < dstPos[3] {
+		t.Errorf("ADD scheduled before its inputs: %v", ops(mf))
+	}
+	if mf.Code[len(mf.Code)-1].Op != isa.HALT {
+		t.Errorf("HALT not last: %v", ops(mf))
+	}
+}
+
+func TestHidesLoadLatency(t *testing.T) {
+	// ld r2; add r4 = r2+r2; independent movi chain. A good schedule puts
+	// independent work between the load and its use.
+	ld := pair{isa.Instr{Op: isa.LD, Dst: isa.IntReg(2), A: isa.IntReg(1)},
+		codegen.Annot{PDst: 2, PA: 1, PB: codegen.NoPhys, MemRootKind: codegen.RootStack, MemOffKnown: true}}
+	mf := mk(
+		ld,
+		add(4, 2, 2),
+		movi(5, 1),
+		movi(6, 2),
+		halt(),
+	)
+	Schedule(mf, cfg(1))
+	// The use of r2 must not directly follow the load when independent
+	// work exists (1-issue, 2-cycle load: one filler slot wanted).
+	var ldAt, useAt int
+	for i := range mf.Code {
+		if mf.Code[i].Op == isa.LD {
+			ldAt = i
+		}
+		if mf.Code[i].Op == isa.ADD {
+			useAt = i
+		}
+	}
+	if useAt == ldAt+1 {
+		t.Errorf("load latency not hidden: %v", ops(mf))
+	}
+}
+
+func TestStoreLoadNotReorderedWhenAliasing(t *testing.T) {
+	st := pair{isa.Instr{Op: isa.ST, A: isa.IntReg(3), B: isa.IntReg(2), Imm: 0},
+		codegen.Annot{PDst: codegen.NoPhys, PA: 3, PB: 2,
+			MemRootKind: codegen.RootGlobal, MemRoot: 0, MemOff: 0, MemOffKnown: true}}
+	ld := pair{isa.Instr{Op: isa.LD, Dst: isa.IntReg(4), A: isa.IntReg(3), Imm: 0},
+		codegen.Annot{PDst: 4, PA: 3, PB: codegen.NoPhys,
+			MemRootKind: codegen.RootGlobal, MemRoot: 0, MemOff: 0, MemOffKnown: true}}
+	mf := mk(movi(2, 7), st, ld, halt())
+	Schedule(mf, cfg(4))
+	stAt, ldAt := -1, -1
+	for i := range mf.Code {
+		switch mf.Code[i].Op {
+		case isa.ST:
+			stAt = i
+		case isa.LD:
+			ldAt = i
+		}
+	}
+	if ldAt < stAt {
+		t.Errorf("aliasing load hoisted above store: %v", ops(mf))
+	}
+}
+
+func TestDisjointGlobalAccessesMayReorder(t *testing.T) {
+	// Store to global 0, load from global 1 with a long-latency producer
+	// feeding the store: the independent load should hoist above.
+	mulp := pair{isa.Instr{Op: isa.MUL, Dst: isa.IntReg(2), A: isa.IntReg(5), B: isa.IntReg(5)},
+		ann(2, 5, 5)}
+	st := pair{isa.Instr{Op: isa.ST, A: isa.IntReg(3), B: isa.IntReg(2), Imm: 0},
+		codegen.Annot{PDst: codegen.NoPhys, PA: 3, PB: 2,
+			MemRootKind: codegen.RootGlobal, MemRoot: 0, MemOff: 0, MemOffKnown: true}}
+	ld := pair{isa.Instr{Op: isa.LD, Dst: isa.IntReg(4), A: isa.IntReg(3), Imm: 0},
+		codegen.Annot{PDst: 4, PA: 3, PB: codegen.NoPhys,
+			MemRootKind: codegen.RootGlobal, MemRoot: 1, MemOff: 0, MemOffKnown: true}}
+	mf := mk(mulp, st, ld, halt())
+	Schedule(mf, cfg(1))
+	stAt, ldAt := -1, -1
+	for i := range mf.Code {
+		switch mf.Code[i].Op {
+		case isa.ST:
+			stAt = i
+		case isa.LD:
+			ldAt = i
+		}
+	}
+	if ldAt > stAt {
+		t.Errorf("independent load not hoisted above store: %v", ops(mf))
+	}
+}
+
+func TestConnectStaysWithConsumer(t *testing.T) {
+	// con_use ri12 -> rp100; add reads index 12. The connect must stay
+	// before the add; an independent movi may move around them.
+	con := pair{isa.Instr{Op: isa.CONUSE, CIdx: [2]uint16{12}, CPhys: [2]uint16{100}, CClass: isa.ClassInt},
+		ann(codegen.NoPhys, codegen.NoPhys, codegen.NoPhys)}
+	use := pair{isa.Instr{Op: isa.ADD, Dst: isa.IntReg(2), A: isa.IntReg(12), B: isa.IntReg(12)},
+		ann(2, 100, 100)}
+	mf := mk(movi(3, 1), con, use, halt())
+	Schedule(mf, cfg(4))
+	conAt, useAt := -1, -1
+	for i := range mf.Code {
+		switch {
+		case mf.Code[i].Op == isa.CONUSE:
+			conAt = i
+		case mf.Code[i].Op == isa.ADD:
+			useAt = i
+		}
+	}
+	if conAt > useAt {
+		t.Errorf("connect scheduled after its consumer: %v", ops(mf))
+	}
+}
+
+func TestBranchesKeepOrderAndBarrier(t *testing.T) {
+	br := pair{isa.Instr{Op: isa.BEQ, A: isa.IntReg(2), Imm: 0, UseImm: true, Target: 9},
+		ann(codegen.NoPhys, 2, codegen.NoPhys)}
+	stAfter := pair{isa.Instr{Op: isa.ST, A: isa.IntReg(3), B: isa.IntReg(2), Imm: 0},
+		codegen.Annot{PDst: codegen.NoPhys, PA: 3, PB: 2, MemRootKind: codegen.RootStack, MemOffKnown: true}}
+	mf := mk(movi(2, 0), br, stAfter, halt())
+	// Target 9 is out of range of the code; give it a real target inside.
+	mf.Code[1].Target = 3
+	Schedule(mf, cfg(4))
+	brAt, stAt := -1, -1
+	for i := range mf.Code {
+		switch mf.Code[i].Op {
+		case isa.BEQ:
+			brAt = i
+		case isa.ST:
+			stAt = i
+		}
+	}
+	if stAt < brAt {
+		t.Errorf("store hoisted above branch: %v", ops(mf))
+	}
+}
+
+func TestRegionsRespectLabels(t *testing.T) {
+	// Code: movi; movi; (label) movi; br back. The br targets index 2, so
+	// instructions must not cross that boundary.
+	mf := mk(
+		movi(2, 1),
+		movi(3, 2),
+		movi(4, 3), // label (target of br)
+		pair{isa.Instr{Op: isa.BR, Target: 2}, ann(codegen.NoPhys, codegen.NoPhys, codegen.NoPhys)},
+	)
+	Schedule(mf, cfg(4))
+	if mf.Code[2].Op != isa.MOVI || mf.Code[2].Dst.N != 4 {
+		t.Errorf("label instruction moved: %v", ops(mf))
+	}
+}
+
+func TestScheduleIsPermutation(t *testing.T) {
+	mf := mk(
+		movi(2, 1), movi(3, 2), add(4, 2, 3), add(5, 4, 2),
+		movi(6, 5), add(7, 6, 6), halt(),
+	)
+	before := len(mf.Code)
+	Schedule(mf, cfg(2))
+	if len(mf.Code) != before {
+		t.Fatalf("schedule changed instruction count: %d -> %d", before, len(mf.Code))
+	}
+	seen := map[int]bool{}
+	for i := range mf.Code {
+		if d := mf.Code[i].Def(); d.Valid() {
+			if seen[d.N] {
+				t.Fatalf("duplicate def of r%d", d.N)
+			}
+			seen[d.N] = true
+		}
+	}
+}

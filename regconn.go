@@ -1,0 +1,409 @@
+// Package regconn is the public entry point of the Register Connection
+// reproduction (Kiyohara et al., ISCA 1993). It wires the full pipeline —
+//
+//	IR → classical optimization → profiling → ILP transformation →
+//	register allocation (unlimited / spill / RC) → code generation with
+//	connect insertion → list scheduling → execution-driven simulation —
+//
+// behind two calls: Build compiles a program for an architecture
+// configuration, and Executable.Run simulates it. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the reproduced results.
+package regconn
+
+import (
+	"fmt"
+	"io"
+
+	"regconn/internal/abi"
+	"regconn/internal/analysis"
+	"regconn/internal/codegen"
+	"regconn/internal/core"
+	"regconn/internal/ilp"
+	"regconn/internal/interp"
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+	"regconn/internal/machine"
+	"regconn/internal/mem"
+	"regconn/internal/opt"
+	"regconn/internal/regalloc"
+	"regconn/internal/sched"
+)
+
+// RegMode selects the register model of an experiment.
+type RegMode uint8
+
+const (
+	// Unlimited gives every virtual register its own physical register
+	// (the paper's idealized dotted lines and the 1-issue baseline).
+	Unlimited RegMode = iota
+	// WithoutRC uses only the core registers and spills the rest.
+	WithoutRC
+	// WithRC extends the core with connect-accessed extended registers
+	// for a 256-register total file (paper §5.2).
+	WithRC
+)
+
+func (m RegMode) String() string {
+	switch m {
+	case Unlimited:
+		return "unlimited"
+	case WithoutRC:
+		return "without-RC"
+	case WithRC:
+		return "with-RC"
+	}
+	return "mode?"
+}
+
+// TotalRegs is the full physical register file size under RC (paper §5.2:
+// "the register file is assumed to contain a total of 256 registers").
+const TotalRegs = 256
+
+// Arch is one experimental configuration: the paper's axes plus the
+// compiler knobs needed for the ablations.
+type Arch struct {
+	Issue       int // instructions per cycle: 1, 2, 4, 8
+	MemChannels int // memory channels (0 = paper default for the issue rate)
+	LoadLatency int // 2 or 4 cycles
+
+	IntCore int // core integer registers (8..64)
+	FPCore  int // core floating-point registers (16..128)
+
+	Mode  RegMode
+	Model core.Model // RC automatic-reset model (default: model 3)
+
+	ConnectLatency   int  // 0 or 1 (Figure 12)
+	ExtraDecodeStage bool // Figure 12
+	CombineConnects  bool // two-pair connect instructions (paper footnote 1)
+
+	// Windows selects the connect-window policy (§3 map-entry selection;
+	// see the "windows" ablation). Zero value = LRU.
+	Windows WindowPolicy
+
+	// ExpandAccumulators enables accumulator variable expansion: each
+	// unrolled copy reduces into its own partial, merged at loop exits.
+	// Raises ILP for reduction chains but also register pressure (see the
+	// "accum" ablation); off by default, as the tradeoff is negative at
+	// the paper's 16/32-register operating point.
+	ExpandAccumulators bool
+
+	// ScalarOnly disables the ILP transformations (the baseline
+	// "conventional compiler scalar optimizations" of §5.3).
+	ScalarOnly bool
+	// NoSchedule disables list scheduling (diagnostics).
+	NoSchedule bool
+
+	// Trap enables periodic interrupts or context switches and selects
+	// the operating-system strategy for RC state (§4.2–4.3). The
+	// ProgramUsesRC bit is set automatically from Mode.
+	Trap TrapConfig
+}
+
+// DefaultMemChannels returns the paper's channel count for an issue rate:
+// two channels for 1/2/4-issue, four for 8-issue (§5.2).
+func DefaultMemChannels(issue int) int {
+	if issue >= 8 {
+		return 4
+	}
+	return 2
+}
+
+// Baseline returns the speedup denominator configuration of §5.3: a
+// single-issue processor with unlimited registers and conventional scalar
+// optimization.
+func Baseline() Arch {
+	return Arch{Issue: 1, LoadLatency: 2, Mode: Unlimited, ScalarOnly: true}
+}
+
+func (a Arch) normalize() Arch {
+	if a.MemChannels == 0 {
+		a.MemChannels = DefaultMemChannels(a.Issue)
+	}
+	if a.LoadLatency == 0 {
+		a.LoadLatency = 2
+	}
+	if a.IntCore == 0 {
+		a.IntCore = 64
+	}
+	if a.FPCore == 0 {
+		a.FPCore = 64
+	}
+	if !a.Model.Valid() {
+		a.Model = core.WriteResetReadUpdate
+	}
+	return a
+}
+
+// Executable is a compiled program bound to a machine configuration.
+type Executable struct {
+	Arch   Arch
+	Image  *machine.Image
+	MProg  *codegen.MProg
+	Alloc  *regalloc.ProgramAssignment
+	Golden *interp.Result // interpreter run of the final IR (oracle + profile)
+
+	// Static code-size statistics (Figure 9): instruction counts before
+	// and after register allocation, split by cause.
+	PreAllocSize    int
+	PostAllocSize   int
+	SpillInstrs     int
+	ConnectInstrs   int
+	SaveRestoreExts int
+
+	machineIntTotal, machineFPTotal int
+}
+
+// CodeGrowth returns the fractional code-size increase due to register
+// allocation — the Figure 9 metric. It counts exactly the instructions
+// allocation inserted (spill loads/stores, connects, extended-register
+// save/restore around calls), not the fixed calling-convention expansion,
+// relative to the pre-allocation instruction count.
+func (e *Executable) CodeGrowth() float64 {
+	if e.PreAllocSize == 0 {
+		return 0
+	}
+	return float64(e.SpillInstrs+e.ConnectInstrs+e.SaveRestoreExts) / float64(e.PreAllocSize)
+}
+
+// SaveRestoreGrowth returns the fraction of code growth attributable to
+// extended-register save/restore (the black portion of Figure 9's bars).
+func (e *Executable) SaveRestoreGrowth() float64 {
+	if e.PreAllocSize == 0 {
+		return 0
+	}
+	return float64(e.SaveRestoreExts) / float64(e.PreAllocSize)
+}
+
+// Build compiles the program for the architecture. The program is mutated
+// (optimized in place); build each experiment from a fresh copy — package
+// bench constructs a fresh program per call for exactly this reason.
+func Build(p *ir.Program, arch Arch) (*Executable, error) {
+	arch = arch.normalize()
+	if err := ir.Verify(p); err != nil {
+		return nil, fmt.Errorf("regconn: verify: %w", err)
+	}
+	for _, f := range p.Funcs {
+		if err := analysis.CheckDefiniteAssignment(f); err != nil {
+			return nil, fmt.Errorf("regconn: %w", err)
+		}
+	}
+
+	// 1. Classical optimization (always on — §5.1: all benchmarks get
+	// full classical optimization).
+	opt.Classical(p)
+
+	// 2. ILP transformation sized to the issue rate, guided by a
+	// trip-count profile (low-trip loops are not worth unrolling).
+	if !arch.ScalarOnly {
+		interp.ClearProfile(p)
+		if _, err := interp.Run(p, "main", nil, interp.Options{Profile: true}); err != nil {
+			return nil, fmt.Errorf("regconn: pre-ILP profiling run: %w", err)
+		}
+		ilp.Transform(p, ilp.UnrollFactorFor(arch.Issue), arch.ExpandAccumulators)
+	}
+
+	// 3. Re-profile the final IR: allocator priorities, branch
+	// prediction, and the correctness oracle all come from this run.
+	interp.ClearProfile(p)
+	golden, err := interp.Run(p, "main", nil, interp.Options{Profile: true})
+	if err != nil {
+		return nil, fmt.Errorf("regconn: profiling run: %w", err)
+	}
+
+	// 4. Register allocation.
+	intTotal, fpTotal := arch.IntCore, arch.FPCore
+	mode := regalloc.Spill
+	switch arch.Mode {
+	case Unlimited:
+		mode = regalloc.Unlimited
+		intTotal, fpTotal = TotalRegs, TotalRegs // grown below to demand
+	case WithRC:
+		mode = regalloc.RC
+		intTotal, fpTotal = TotalRegs, TotalRegs
+	}
+	conv := abi.New(arch.IntCore, intTotal, arch.FPCore, fpTotal)
+	// The prepass-overlap window scales with the scheduler's reach: wider
+	// machines keep more instructions in flight (see regalloc.Allocate).
+	pa := regalloc.Allocate(p, mode, conv, 6*arch.Issue)
+	if arch.Mode == Unlimited {
+		intTotal, fpTotal = pa.NeedInt, pa.NeedFP
+		if intTotal < arch.IntCore {
+			intTotal = arch.IntCore
+		}
+		if fpTotal < arch.FPCore {
+			fpTotal = arch.FPCore
+		}
+	}
+
+	// 5. Code generation.
+	preSize := 0
+	for _, f := range p.Funcs {
+		preSize += f.NumInstrs()
+	}
+	ccfg := codegen.Config{Conv: conv, Mode: mode, Model: arch.Model,
+		CombineConnects: arch.CombineConnects, Windows: arch.Windows}
+	mp, err := codegen.Lower(p, pa, ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("regconn: %w", err)
+	}
+
+	ex := &Executable{
+		Arch:         arch,
+		MProg:        mp,
+		Alloc:        pa,
+		Golden:       golden,
+		PreAllocSize: preSize,
+	}
+	for _, f := range mp.Funcs {
+		if f.Name == mp.Entry {
+			continue
+		}
+		ex.PostAllocSize += len(f.Code)
+		ex.SpillInstrs += f.SpillCount
+		ex.ConnectInstrs += f.ConnectCount
+		ex.SaveRestoreExts += f.SaveRestoreCount
+	}
+
+	// 6. List scheduling.
+	if !arch.NoSchedule {
+		scfg := sched.Config{
+			Issue:          arch.Issue,
+			MemChannels:    arch.MemChannels,
+			Lat:            isa.DefaultLatencies(arch.LoadLatency),
+			Conv:           conv,
+			ConnectLatency: arch.ConnectLatency,
+			UnlimitedMode:  arch.Mode == Unlimited,
+		}
+		scfg.Lat.Connect = arch.ConnectLatency
+		for _, f := range mp.Funcs {
+			sched.Schedule(f, scfg)
+		}
+	}
+
+	img, err := machine.Load(mp)
+	if err != nil {
+		return nil, fmt.Errorf("regconn: %w", err)
+	}
+	ex.Image = img
+	ex.Arch.IntCore, ex.Arch.FPCore = arch.IntCore, arch.FPCore
+	// Stash machine totals for Run.
+	ex.machineIntTotal, ex.machineFPTotal = intTotal, fpTotal
+	return ex, nil
+}
+
+// Run simulates the executable and returns the machine result.
+func (e *Executable) Run() (*machine.Result, error) {
+	return e.RunWithTrace(nil, 0)
+}
+
+// RunWithTrace simulates with a per-cycle issue trace written to w for the
+// first cycles cycles (0 = unlimited).
+func (e *Executable) RunWithTrace(w io.Writer, cycles int64) (*machine.Result, error) {
+	a := e.Arch
+	lat := isa.DefaultLatencies(a.LoadLatency)
+	lat.Connect = a.ConnectLatency
+	trap := a.Trap
+	trap.ProgramUsesRC = a.Mode == WithRC
+	cfg := machine.Config{
+		IssueRate:        a.Issue,
+		MemChannels:      a.MemChannels,
+		Lat:              lat,
+		Trap:             trap,
+		IntCore:          maxInt(a.IntCore, 0),
+		IntTotal:         e.machineIntTotal,
+		FPCore:           a.FPCore,
+		FPTotal:          e.machineFPTotal,
+		Model:            a.Model,
+		ConnectLatency:   a.ConnectLatency,
+		ExtraDecodeStage: a.ExtraDecodeStage,
+		Trace:            w,
+		TraceCycles:      cycles,
+	}
+	if a.Mode == Unlimited {
+		// The mapping table is identity over the whole file.
+		cfg.IntCore = e.machineIntTotal
+		cfg.FPCore = e.machineFPTotal
+	}
+	if a.Mode == WithoutRC {
+		cfg.IntTotal, cfg.FPTotal = a.IntCore, a.FPCore
+	}
+	return machine.Run(e.Image, cfg)
+}
+
+// MultiResult reports a multiprogrammed run (see RunProcesses).
+type MultiResult = machine.MultiResult
+
+// Context-switch save strategies for RunProcesses (paper §4.2): FullSave
+// preserves extended registers and connection state; CoreOnlySave models a
+// pre-RC operating system and corrupts RC-extended processes.
+const (
+	FullSave     = machine.FullSave
+	CoreOnlySave = machine.CoreOnlySave
+)
+
+// RunProcesses time-shares the executables on one machine with the given
+// quantum, context-switching under the chosen save mode. All executables
+// must target the same architecture (the first one's machine configuration
+// is used).
+func RunProcesses(exes []*Executable, quantum int64, mode machine.SaveMode) (*MultiResult, error) {
+	if len(exes) == 0 {
+		return nil, fmt.Errorf("regconn: no processes")
+	}
+	imgs := make([]*machine.Image, len(exes))
+	for i, e := range exes {
+		if e.Arch.Issue != exes[0].Arch.Issue || e.Arch.IntCore != exes[0].Arch.IntCore ||
+			e.Arch.FPCore != exes[0].Arch.FPCore {
+			return nil, fmt.Errorf("regconn: process %d targets a different architecture", i)
+		}
+		imgs[i] = e.Image
+	}
+	e := exes[0]
+	a := e.Arch
+	lat := isa.DefaultLatencies(a.LoadLatency)
+	lat.Connect = a.ConnectLatency
+	cfg := machine.Config{
+		IssueRate:   a.Issue,
+		MemChannels: a.MemChannels,
+		Lat:         lat,
+		IntCore:     a.IntCore, IntTotal: e.machineIntTotal,
+		FPCore: a.FPCore, FPTotal: e.machineFPTotal,
+		Model:            a.Model,
+		ConnectLatency:   a.ConnectLatency,
+		ExtraDecodeStage: a.ExtraDecodeStage,
+	}
+	if a.Mode == Unlimited {
+		cfg.IntCore, cfg.FPCore = e.machineIntTotal, e.machineFPTotal
+	}
+	if a.Mode == WithoutRC {
+		cfg.IntTotal, cfg.FPTotal = a.IntCore, a.FPCore
+	}
+	return machine.RunMultiprogrammed(imgs, cfg, quantum, mode)
+}
+
+// Verify runs the executable and checks its architectural results against
+// the interpreter oracle: main's return value and the final contents of
+// the global data section must match exactly.
+func (e *Executable) Verify() (*machine.Result, error) {
+	res, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	if res.RetInt != e.Golden.Ret {
+		return res, fmt.Errorf("regconn: result mismatch: machine %d, interpreter %d", res.RetInt, e.Golden.Ret)
+	}
+	p := e.MProg.IR
+	end := e.Golden.Layout.DataEnd(p)
+	for addr := int64(mem.GlobalBase); addr < end; addr += 8 {
+		if got, want := res.Mem.LoadI(addr), e.Golden.Mem.LoadI(addr); got != want {
+			return res, fmt.Errorf("regconn: memory mismatch at %#x: machine %d, interpreter %d", addr, got, want)
+		}
+	}
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
