@@ -1,0 +1,34 @@
+# Tier-1 verification and performance tracking for the regconn repo.
+
+GO ?= go
+
+.PHONY: all build test verify bench exp clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate (see ROADMAP.md): build, vet, formatting,
+# full tests, and the data-race check on the parallel experiment runner.
+verify: build
+	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) test ./...
+	$(GO) test -race ./internal/exp/...
+
+# bench regenerates BENCH_sim.json, the tracked simulator performance
+# snapshot (figure-regeneration time and raw simulation throughput).
+bench:
+	$(GO) run ./cmd/rcbench -o BENCH_sim.json
+
+# exp regenerates every table and figure on the full suite.
+exp:
+	$(GO) run ./cmd/rcexp
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,106 @@
+// Command rcbench measures simulator performance and writes a small JSON
+// report for tracking figure-regeneration cost across changes.
+//
+// Usage:
+//
+//	rcbench [-o BENCH_sim.json] [-workers n] [-quick]
+//
+// It times the two heaviest single figures (7 and 10) and the full
+// experiment suite on fresh runners (no memoized results), and measures
+// raw simulation throughput in machine instructions per second. -quick
+// uses the reduced three-benchmark suite for everything.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"regconn"
+	"regconn/internal/exp"
+)
+
+type report struct {
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	Workers         int     `json:"workers"`
+	Quick           bool    `json:"quick_suite"`
+	Fig7Ms          float64 `json:"fig7_ms"`
+	Fig10Ms         float64 `json:"fig10_ms"`
+	FullSuiteMs     float64 `json:"full_suite_ms"`
+	SimInstrsPerSec float64 `json:"sim_instrs_per_sec"`
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_sim.json", "output JSON path (- for stdout)")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
+		quick   = flag.Bool("quick", false, "reduced three-benchmark suite")
+	)
+	flag.Parse()
+
+	newRunner := func() *exp.Runner {
+		r := exp.NewRunner()
+		if *quick {
+			r = exp.NewQuickRunner()
+		}
+		r.Workers = *workers
+		return r
+	}
+	timeIDs := func(ids ...string) float64 {
+		r := newRunner()
+		start := time.Now()
+		for _, id := range ids {
+			if _, err := r.Generate(id); err != nil {
+				fatal(err)
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / 1000
+	}
+
+	rep := report{GoMaxProcs: runtime.GOMAXPROCS(0), Workers: *workers, Quick: *quick}
+	rep.Fig7Ms = timeIDs("fig7")
+	rep.Fig10Ms = timeIDs("fig10")
+	rep.FullSuiteMs = timeIDs(exp.Experiments()...)
+
+	// Raw simulation speed on one benchmark at the paper's center
+	// configuration, the quantity that bounds full-suite experiment time.
+	tr := newRunner()
+	bm := tr.Benchmarks[0]
+	arch := regconn.Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32,
+		Mode: regconn.WithRC, CombineConnects: true}
+	start := time.Now()
+	total := int64(0)
+	const reps = 20
+	for i := 0; i < reps; i++ {
+		fresh := newRunner()
+		res, err := fresh.Run(bm, arch)
+		if err != nil {
+			fatal(err)
+		}
+		total += res.Instrs
+	}
+	rep.SimInstrsPerSec = float64(total) / time.Since(start).Seconds()
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	js = append(js, '\n')
+	if *out == "-" {
+		os.Stdout.Write(js)
+		return
+	}
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rcbench: wrote %s (fig7 %.0fms, fig10 %.0fms, suite %.0fms, %.2fM sim-instrs/s)\n",
+		*out, rep.Fig7Ms, rep.Fig10Ms, rep.FullSuiteMs, rep.SimInstrsPerSec/1e6)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcbench:", err)
+	os.Exit(1)
+}

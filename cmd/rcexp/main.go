@@ -3,11 +3,13 @@
 // Usage:
 //
 //	rcexp [-exp table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|models|combined|all]
-//	      [-quick] [-bench name]
+//	      [-quick] [-bench name] [-workers n]
 //
 // -quick restricts the suite to three representative benchmarks; -bench
-// restricts it to one. Output is aligned ASCII, one table per figure (or
-// per benchmark for the per-benchmark figures 8 and 9).
+// restricts it to one. -workers bounds the simulation worker pool (0 uses
+// all CPUs, 1 disables parallelism); tables are identical at any setting.
+// Output is aligned ASCII, one table per figure (or per benchmark for the
+// per-benchmark figures 8 and 9).
 package main
 
 import (
@@ -21,10 +23,11 @@ import (
 
 func main() {
 	var (
-		expID  = flag.String("exp", "all", "experiment id or 'all'")
-		quick  = flag.Bool("quick", false, "reduced three-benchmark suite")
-		bmName = flag.String("bench", "", "restrict to one benchmark")
-		format = flag.String("format", "text", "output format: text or csv")
+		expID   = flag.String("exp", "all", "experiment id or 'all'")
+		quick   = flag.Bool("quick", false, "reduced three-benchmark suite")
+		bmName  = flag.String("bench", "", "restrict to one benchmark")
+		format  = flag.String("format", "text", "output format: text or csv")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -32,6 +35,7 @@ func main() {
 	if *quick {
 		r = exp.NewQuickRunner()
 	}
+	r.Workers = *workers
 	if *bmName != "" {
 		bm, err := bench.ByName(*bmName)
 		if err != nil {

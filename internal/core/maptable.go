@@ -66,6 +66,15 @@ type MapTable struct {
 	read    []uint16
 	write   []uint16
 	enabled bool
+
+	// gen counts observable mapping changes: it advances only when a map
+	// entry actually changes value or the enable flag flips, so cached
+	// physical resolutions stamped with gen stay valid across the automatic
+	// resets that leave an at-home table at home (the common case for
+	// programs that never connect). off tracks how many map slots are away
+	// from their home location, making Reset free when nothing is diverted.
+	gen uint64
+	off int
 }
 
 // NewMapTable returns a table with m addressable indices over n physical
@@ -80,9 +89,51 @@ func NewMapTable(model Model, m, n int) *MapTable {
 		panic(fmt.Sprintf("core: invalid geometry m=%d n=%d", m, n))
 	}
 	t := &MapTable{model: model, m: m, n: n,
-		read: make([]uint16, m), write: make([]uint16, m), enabled: true}
-	t.Reset()
+		read: make([]uint16, m), write: make([]uint16, m), enabled: true, gen: 1}
+	for i := range t.read {
+		t.read[i] = uint16(i)
+		t.write[i] = uint16(i)
+	}
 	return t
+}
+
+// Gen returns the table's generation counter. It changes exactly when a
+// resolution through the table could change: a map entry taking a new
+// value, a reset of a diverted table, a context restore, or an enable-flag
+// flip. Callers may cache ReadPhys/WritePhys results stamped with Gen and
+// revalidate with a single comparison.
+func (t *MapTable) Gen() uint64 { return t.gen }
+
+// setRead and setWrite route every map mutation through one place so the
+// generation counter and off-home count stay exact.
+func (t *MapTable) setRead(idx int, phys uint16) {
+	old := t.read[idx]
+	if old == phys {
+		return
+	}
+	home := uint16(idx)
+	if old == home {
+		t.off++
+	} else if phys == home {
+		t.off--
+	}
+	t.read[idx] = phys
+	t.gen++
+}
+
+func (t *MapTable) setWrite(idx int, phys uint16) {
+	old := t.write[idx]
+	if old == phys {
+		return
+	}
+	home := uint16(idx)
+	if old == home {
+		t.off++
+	} else if phys == home {
+		t.off--
+	}
+	t.write[idx] = phys
+	t.gen++
 }
 
 // Model returns the automatic-reset model the table was built with.
@@ -96,12 +147,18 @@ func (t *MapTable) Phys() int { return t.n }
 
 // Reset restores every entry to its home location (read i -> i,
 // write i -> i). Hardware performs this at power-up and on CALL/RET
-// (paper §4.1).
+// (paper §4.1). A table already at home resets for free and does not
+// advance the generation counter.
 func (t *MapTable) Reset() {
+	if t.off == 0 {
+		return
+	}
 	for i := range t.read {
 		t.read[i] = uint16(i)
 		t.write[i] = uint16(i)
 	}
+	t.off = 0
+	t.gen++
 }
 
 // Enabled reports whether mapping is enabled. When disabled (trap/interrupt
@@ -109,20 +166,25 @@ func (t *MapTable) Reset() {
 func (t *MapTable) Enabled() bool { return t.enabled }
 
 // SetEnabled sets the register-map enable flag of the processor status word.
-func (t *MapTable) SetEnabled(on bool) { t.enabled = on }
+func (t *MapTable) SetEnabled(on bool) {
+	if t.enabled != on {
+		t.enabled = on
+		t.gen++
+	}
+}
 
 // ConnectUse sets the read map of idx to phys: all subsequent reads through
 // idx are redirected to phys (connect-use, §2.2).
 func (t *MapTable) ConnectUse(idx, phys int) {
 	t.check(idx, phys)
-	t.read[idx] = uint16(phys)
+	t.setRead(idx, uint16(phys))
 }
 
 // ConnectDef sets the write map of idx to phys: all subsequent writes
 // through idx are redirected to phys (connect-def, §2.2).
 func (t *MapTable) ConnectDef(idx, phys int) {
 	t.check(idx, phys)
-	t.write[idx] = uint16(phys)
+	t.setWrite(idx, uint16(phys))
 }
 
 // ReadPhys returns the physical register accessed when idx is used as a
@@ -159,13 +221,13 @@ func (t *MapTable) NoteWrite(idx int) int {
 	case NoReset:
 		// maps unchanged
 	case WriteReset:
-		t.write[idx] = uint16(idx)
+		t.setWrite(idx, uint16(idx))
 	case WriteResetReadUpdate:
-		t.read[idx] = phys
-		t.write[idx] = uint16(idx)
+		t.setRead(idx, phys)
+		t.setWrite(idx, uint16(idx))
 	case ReadWriteReset:
-		t.read[idx] = uint16(idx)
-		t.write[idx] = uint16(idx)
+		t.setRead(idx, uint16(idx))
+		t.setWrite(idx, uint16(idx))
 	}
 	return int(phys)
 }
@@ -176,14 +238,7 @@ func (t *MapTable) ReadMap() []uint16  { return append([]uint16(nil), t.read...)
 func (t *MapTable) WriteMap() []uint16 { return append([]uint16(nil), t.write...) }
 
 // AtHome reports whether every entry of both maps is at its home location.
-func (t *MapTable) AtHome() bool {
-	for i := range t.read {
-		if t.read[i] != uint16(i) || t.write[i] != uint16(i) {
-			return false
-		}
-	}
-	return true
-}
+func (t *MapTable) AtHome() bool { return t.off == 0 }
 
 // Context is the saved connection state of one mapping table, the extra
 // process state an RC-aware operating system preserves across context
@@ -208,6 +263,16 @@ func (t *MapTable) RestoreContext(c Context) {
 	copy(t.read, c.Read)
 	copy(t.write, c.Write)
 	t.enabled = c.Enabled
+	t.off = 0
+	for i := range t.read {
+		if t.read[i] != uint16(i) {
+			t.off++
+		}
+		if t.write[i] != uint16(i) {
+			t.off++
+		}
+	}
+	t.gen++
 }
 
 func (t *MapTable) checkIdx(idx int) {

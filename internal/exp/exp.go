@@ -11,6 +11,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -29,18 +30,33 @@ type Result struct {
 }
 
 // Runner executes benchmark/architecture pairs with memoization — the
-// baseline run of each benchmark is shared by every figure.
+// baseline run of each benchmark is shared by every figure. It is safe for
+// concurrent use: duplicate in-flight points collapse onto one simulation,
+// and each figure generator fans its point grid out across a bounded
+// worker pool (warm) before a deterministic sequential pass assembles the
+// table from the memoized results.
 type Runner struct {
 	mu    sync.Mutex
-	cache map[string]*Result
+	cache map[string]*cacheEntry
+
+	// Workers bounds the worker pool (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
 
 	// Benchmarks restricts the suite (nil = all twelve).
 	Benchmarks []bench.Benchmark
 }
 
+// cacheEntry is one memoized simulation; the Once collapses concurrent
+// requests for the same point onto a single execution.
+type cacheEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
 // NewRunner returns a Runner over the full suite.
 func NewRunner() *Runner {
-	return &Runner{cache: map[string]*Result{}, Benchmarks: bench.All()}
+	return &Runner{cache: map[string]*cacheEntry{}, Benchmarks: bench.All()}
 }
 
 // NewQuickRunner returns a Runner over a reduced suite (one call-heavy
@@ -63,16 +79,23 @@ func key(name string, a regconn.Arch) string {
 }
 
 // Run builds and simulates one benchmark under one architecture, verifying
-// the result against the interpreter oracle.
+// the result against the interpreter oracle. Concurrent calls for the same
+// point share one execution.
 func (r *Runner) Run(bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
 	k := key(bm.Name, arch)
 	r.mu.Lock()
-	if c, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		return c, nil
+	e, ok := r.cache[k]
+	if !ok {
+		e = &cacheEntry{}
+		r.cache[k] = e
 	}
 	r.mu.Unlock()
+	e.once.Do(func() { e.res, e.err = runPoint(bm, arch) })
+	return e.res, e.err
+}
 
+// runPoint is the uncached build+simulate+verify of one data point.
+func runPoint(bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
 	ex, err := regconn.Build(bm.Build(), arch)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", bm.Name, err)
@@ -84,17 +107,87 @@ func (r *Runner) Run(bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
 	if res.RetInt != bm.Expect {
 		return nil, fmt.Errorf("%s: checksum %d, want %d", bm.Name, res.RetInt, bm.Expect)
 	}
-	out := &Result{
+	return &Result{
 		Cycles:   res.Cycles,
 		Instrs:   res.Instrs,
 		Connects: res.Connects,
 		Growth:   ex.CodeGrowth(),
 		SaveRest: ex.SaveRestoreGrowth(),
+	}, nil
+}
+
+// point is one benchmark×architecture coordinate of a figure's grid.
+type point struct {
+	bm   bench.Benchmark
+	arch regconn.Arch
+}
+
+// workers returns the effective worker-pool size.
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
 	}
-	r.mu.Lock()
-	r.cache[k] = out
-	r.mu.Unlock()
-	return out, nil
+	return runtime.GOMAXPROCS(0)
+}
+
+// forAll runs f(i) for every i in [0, n) across the bounded worker pool.
+func (r *Runner) forAll(n int, f func(i int)) {
+	w := r.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	sem := make(chan struct{}, w)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// warm simulates the given points concurrently, populating the memo cache
+// so the figure's sequential pass — which keeps row order and error
+// reporting deterministic — hits only memoized results. Errors are left in
+// the cache for that pass to surface.
+func (r *Runner) warm(pts []point) {
+	if r.workers() <= 1 {
+		return
+	}
+	seen := make(map[string]bool, len(pts))
+	uniq := make([]point, 0, len(pts))
+	for _, p := range pts {
+		if k := key(p.bm.Name, p.arch); !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, p)
+		}
+	}
+	r.forAll(len(uniq), func(i int) { _, _ = r.Run(uniq[i].bm, uniq[i].arch) })
+}
+
+// warmSpeedups warms the points plus each benchmark's baseline (the
+// Speedup denominator).
+func (r *Runner) warmSpeedups(pts []point) {
+	withBase := make([]point, 0, len(pts)+len(r.Benchmarks))
+	seen := map[string]bool{}
+	for _, p := range pts {
+		if !seen[p.bm.Name] {
+			seen[p.bm.Name] = true
+			withBase = append(withBase, point{p.bm, regconn.Baseline()})
+		}
+		withBase = append(withBase, p)
+	}
+	r.warm(withBase)
 }
 
 // BaselineCycles returns the speedup denominator of §5.3 for one

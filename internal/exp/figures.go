@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"regconn"
+	"regconn/internal/bench"
 	"regconn/internal/core"
 	"regconn/internal/isa"
 )
@@ -43,10 +44,20 @@ func (r *Runner) Figure7() (*Table, error) {
 		Notes: []string{"2 memory channels for 1/2/4-issue, 4 for 8-issue (§5.2)",
 			"baseline: 1-issue, unlimited registers, scalar optimization only"},
 	}
+	arch := func(is int) regconn.Arch {
+		return regconn.Arch{Issue: is, LoadLatency: 2, Mode: regconn.Unlimited}
+	}
+	var pts []point
+	for _, bm := range r.sortedBench() {
+		for _, is := range issues {
+			pts = append(pts, point{bm, arch(is)})
+		}
+	}
+	r.warmSpeedups(pts)
 	for _, bm := range r.sortedBench() {
 		var vals []float64
 		for _, is := range issues {
-			s, err := r.Speedup(bm, regconn.Arch{Issue: is, LoadLatency: 2, Mode: regconn.Unlimited})
+			s, err := r.Speedup(bm, arch(is))
 			if err != nil {
 				return nil, err
 			}
@@ -62,6 +73,19 @@ func (r *Runner) Figure7() (*Table, error) {
 // processor with 2-cycle loads: without-RC and with-RC per size, with the
 // unlimited-register speedup as the dotted-line reference.
 func (r *Runner) Figure8() ([]*Table, error) {
+	grid := func(bm bench.Benchmark, m int, mode regconn.RegMode) regconn.Arch {
+		base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true}
+		return archFor(bm, m, withMode(base, mode))
+	}
+	unlArch := regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.Unlimited}
+	var pts []point
+	for _, bm := range r.sortedBench() {
+		for _, m := range coresFor(bm) {
+			pts = append(pts, point{bm, grid(bm, m, regconn.WithoutRC)}, point{bm, grid(bm, m, regconn.WithRC)})
+		}
+		pts = append(pts, point{bm, unlArch})
+	}
+	r.warmSpeedups(pts)
 	var tables []*Table
 	for _, bm := range r.sortedBench() {
 		cores := coresFor(bm)
@@ -71,18 +95,17 @@ func (r *Runner) Figure8() ([]*Table, error) {
 			Cols:  []string{"without-RC", "with-RC"},
 		}
 		for _, m := range cores {
-			base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true}
-			noRC, err := r.Speedup(bm, archFor(bm, m, withMode(base, regconn.WithoutRC)))
+			noRC, err := r.Speedup(bm, grid(bm, m, regconn.WithoutRC))
 			if err != nil {
 				return nil, err
 			}
-			rc, err := r.Speedup(bm, archFor(bm, m, withMode(base, regconn.WithRC)))
+			rc, err := r.Speedup(bm, grid(bm, m, regconn.WithRC))
 			if err != nil {
 				return nil, err
 			}
 			t.AddRow(fmt.Sprintf("%s/m=%d", bm.Name, m), noRC, rc)
 		}
-		unl, err := r.Speedup(bm, regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.Unlimited})
+		unl, err := r.Speedup(bm, unlArch)
 		if err != nil {
 			return nil, err
 		}
@@ -96,6 +119,17 @@ func (r *Runner) Figure8() ([]*Table, error) {
 // allocation for the Figure 8 grid; the with-RC save/restore share is the
 // black portion of the paper's bars.
 func (r *Runner) Figure9() ([]*Table, error) {
+	grid := func(bm bench.Benchmark, m int, mode regconn.RegMode) regconn.Arch {
+		base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true}
+		return archFor(bm, m, withMode(base, mode))
+	}
+	var pts []point
+	for _, bm := range r.sortedBench() {
+		for _, m := range coresFor(bm) {
+			pts = append(pts, point{bm, grid(bm, m, regconn.WithoutRC)}, point{bm, grid(bm, m, regconn.WithRC)})
+		}
+	}
+	r.warm(pts)
 	var tables []*Table
 	for _, bm := range r.sortedBench() {
 		cores := coresFor(bm)
@@ -105,12 +139,11 @@ func (r *Runner) Figure9() ([]*Table, error) {
 			Cols:  []string{"without-RC%", "with-RC%", "save/rest%"},
 		}
 		for _, m := range cores {
-			base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true}
-			noRC, err := r.Run(bm, archFor(bm, m, withMode(base, regconn.WithoutRC)))
+			noRC, err := r.Run(bm, grid(bm, m, regconn.WithoutRC))
 			if err != nil {
 				return nil, err
 			}
-			rc, err := r.Run(bm, archFor(bm, m, withMode(base, regconn.WithRC)))
+			rc, err := r.Run(bm, grid(bm, m, regconn.WithRC))
 			if err != nil {
 				return nil, err
 			}
@@ -130,25 +163,37 @@ func (r *Runner) figure1011(id string, load int) (*Table, error) {
 		Title: fmt.Sprintf("Speedup, %d-cycle load, 16 int / 32 fp cores, varying issue rate", load),
 		Cols:  []string{"2/noRC", "2/RC", "4/noRC", "4/RC", "8/noRC", "8/RC", "unlim-4"},
 	}
-	for _, bm := range r.sortedBench() {
-		var vals []float64
+	grid := func(bm bench.Benchmark, is int, mode regconn.RegMode) regconn.Arch {
 		core := 16
 		if bm.FP {
 			core = 32
 		}
+		base := regconn.Arch{Issue: is, LoadLatency: load, CombineConnects: true}
+		return archFor(bm, core, withMode(base, mode))
+	}
+	unlArch := regconn.Arch{Issue: 4, LoadLatency: load, Mode: regconn.Unlimited}
+	var pts []point
+	for _, bm := range r.sortedBench() {
 		for _, is := range []int{2, 4, 8} {
-			base := regconn.Arch{Issue: is, LoadLatency: load, CombineConnects: true}
-			noRC, err := r.Speedup(bm, archFor(bm, core, withMode(base, regconn.WithoutRC)))
+			pts = append(pts, point{bm, grid(bm, is, regconn.WithoutRC)}, point{bm, grid(bm, is, regconn.WithRC)})
+		}
+		pts = append(pts, point{bm, unlArch})
+	}
+	r.warmSpeedups(pts)
+	for _, bm := range r.sortedBench() {
+		var vals []float64
+		for _, is := range []int{2, 4, 8} {
+			noRC, err := r.Speedup(bm, grid(bm, is, regconn.WithoutRC))
 			if err != nil {
 				return nil, err
 			}
-			rc, err := r.Speedup(bm, archFor(bm, core, withMode(base, regconn.WithRC)))
+			rc, err := r.Speedup(bm, grid(bm, is, regconn.WithRC))
 			if err != nil {
 				return nil, err
 			}
 			vals = append(vals, noRC, rc)
 		}
-		unl, err := r.Speedup(bm, regconn.Arch{Issue: 4, LoadLatency: load, Mode: regconn.Unlimited})
+		unl, err := r.Speedup(bm, unlArch)
 		if err != nil {
 			return nil, err
 		}
@@ -178,23 +223,31 @@ func (r *Runner) Figure12() (*Table, error) {
 		lat   int
 		stage bool
 	}{{0, false}, {0, true}, {1, false}, {1, true}}
+	scArch := func(bm bench.Benchmark, lat int, stage bool) regconn.Arch {
+		return archFor(bm, core1632(bm), regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC,
+			CombineConnects: true, ConnectLatency: lat, ExtraDecodeStage: stage})
+	}
+	noArch := func(bm bench.Benchmark) regconn.Arch {
+		return archFor(bm, core1632(bm), regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.WithoutRC})
+	}
+	var pts []point
 	for _, bm := range r.sortedBench() {
-		core := 16
-		if bm.FP {
-			core = 32
+		for _, sc := range scenarios {
+			pts = append(pts, point{bm, scArch(bm, sc.lat, sc.stage)})
 		}
+		pts = append(pts, point{bm, noArch(bm)})
+	}
+	r.warmSpeedups(pts)
+	for _, bm := range r.sortedBench() {
 		var vals []float64
 		for _, sc := range scenarios {
-			arch := regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC,
-				CombineConnects: true, ConnectLatency: sc.lat, ExtraDecodeStage: sc.stage}
-			s, err := r.Speedup(bm, archFor(bm, core, arch))
+			s, err := r.Speedup(bm, scArch(bm, sc.lat, sc.stage))
 			if err != nil {
 				return nil, err
 			}
 			vals = append(vals, s)
 		}
-		noRC, err := r.Speedup(bm, archFor(bm, core,
-			regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.WithoutRC}))
+		noRC, err := r.Speedup(bm, noArch(bm))
 		if err != nil {
 			return nil, err
 		}
@@ -215,20 +268,28 @@ func (r *Runner) Figure13() (*Table, error) {
 		Cols:  []string{"L2/no/2ch", "L2/no/4ch", "L2/RC/2ch", "L4/no/2ch", "L4/no/4ch", "L4/RC/2ch"},
 		Notes: []string{"paper's comparison: the without-RC model gains less from 2->4 channels than from adding RC at 2 channels"},
 	}
+	cfgs := []struct {
+		mode regconn.RegMode
+		ch   int
+	}{{regconn.WithoutRC, 2}, {regconn.WithoutRC, 4}, {regconn.WithRC, 2}}
+	mkArch := func(bm bench.Benchmark, load int, mode regconn.RegMode, ch int) regconn.Arch {
+		return archFor(bm, core1632(bm), regconn.Arch{Issue: 4, LoadLatency: load,
+			MemChannels: ch, Mode: mode, CombineConnects: true})
+	}
+	var pts []point
 	for _, bm := range r.sortedBench() {
-		core := 16
-		if bm.FP {
-			core = 32
+		for _, load := range []int{2, 4} {
+			for _, cfg := range cfgs {
+				pts = append(pts, point{bm, mkArch(bm, load, cfg.mode, cfg.ch)})
+			}
 		}
+	}
+	r.warmSpeedups(pts)
+	for _, bm := range r.sortedBench() {
 		var vals []float64
 		for _, load := range []int{2, 4} {
-			for _, cfg := range []struct {
-				mode regconn.RegMode
-				ch   int
-			}{{regconn.WithoutRC, 2}, {regconn.WithoutRC, 4}, {regconn.WithRC, 2}} {
-				arch := regconn.Arch{Issue: 4, LoadLatency: load, MemChannels: cfg.ch,
-					Mode: cfg.mode, CombineConnects: true}
-				s, err := r.Speedup(bm, archFor(bm, core, arch))
+			for _, cfg := range cfgs {
+				s, err := r.Speedup(bm, mkArch(bm, load, cfg.mode, cfg.ch))
 				if err != nil {
 					return nil, err
 				}
@@ -250,16 +311,21 @@ func (r *Runner) AblationModels() (*Table, error) {
 		Cols:  []string{"m1", "m2", "m3", "m4", "m1-con", "m2-con", "m3-con", "m4-con"},
 		Notes: []string{"model 3 (write reset + read update) is the paper's choice"},
 	}
+	mkArch := func(bm bench.Benchmark, model int) regconn.Arch {
+		return archFor(bm, core1632(bm), regconn.Arch{Issue: 4, LoadLatency: 2,
+			Mode: regconn.WithRC, CombineConnects: true, Model: modelOf(model)})
+	}
+	var pts []point
 	for _, bm := range r.sortedBench() {
-		core := 16
-		if bm.FP {
-			core = 32
+		for model := 1; model <= 4; model++ {
+			pts = append(pts, point{bm, mkArch(bm, model)})
 		}
+	}
+	r.warmSpeedups(pts)
+	for _, bm := range r.sortedBench() {
 		var speed, conns []float64
 		for model := 1; model <= 4; model++ {
-			arch := regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC,
-				CombineConnects: true, Model: modelOf(model)}
-			arch = archFor(bm, core, arch)
+			arch := mkArch(bm, model)
 			s, err := r.Speedup(bm, arch)
 			if err != nil {
 				return nil, err
@@ -284,16 +350,20 @@ func (r *Runner) AblationCombined() (*Table, error) {
 		Title: "Combined vs single connect instructions (§2.2)",
 		Cols:  []string{"combined", "single", "comb-con", "sing-con"},
 	}
+	mkArch := func(bm bench.Benchmark, combine bool) regconn.Arch {
+		return archFor(bm, core1632(bm), regconn.Arch{Issue: 4, LoadLatency: 2,
+			Mode: regconn.WithRC, CombineConnects: combine})
+	}
+	var pts []point
 	for _, bm := range r.sortedBench() {
-		core := 16
-		if bm.FP {
-			core = 32
-		}
+		pts = append(pts, point{bm, mkArch(bm, true)}, point{bm, mkArch(bm, false)})
+	}
+	r.warmSpeedups(pts)
+	for _, bm := range r.sortedBench() {
 		var vals []float64
 		var cons []float64
 		for _, combine := range []bool{true, false} {
-			arch := archFor(bm, core, regconn.Arch{Issue: 4, LoadLatency: 2,
-				Mode: regconn.WithRC, CombineConnects: combine})
+			arch := mkArch(bm, combine)
 			s, err := r.Speedup(bm, arch)
 			if err != nil {
 				return nil, err
@@ -320,15 +390,21 @@ func (r *Runner) AblationWindows() (*Table, error) {
 		Cols:  []string{"lru", "rrobin", "first", "lru-con", "rrobin-con", "first-con"},
 	}
 	policies := []regconn.WindowPolicy{regconn.WindowLRU, regconn.WindowRoundRobin, regconn.WindowFirstFree}
+	mkArch := func(bm bench.Benchmark, pol regconn.WindowPolicy) regconn.Arch {
+		return archFor(bm, core1632(bm), regconn.Arch{Issue: 4, LoadLatency: 2,
+			Mode: regconn.WithRC, CombineConnects: true, Windows: pol})
+	}
+	var pts []point
 	for _, bm := range r.sortedBench() {
-		core := 16
-		if bm.FP {
-			core = 32
+		for _, pol := range policies {
+			pts = append(pts, point{bm, mkArch(bm, pol)})
 		}
+	}
+	r.warmSpeedups(pts)
+	for _, bm := range r.sortedBench() {
 		var speed, cons []float64
 		for _, pol := range policies {
-			arch := archFor(bm, core, regconn.Arch{Issue: 4, LoadLatency: 2,
-				Mode: regconn.WithRC, CombineConnects: true, Windows: pol})
+			arch := mkArch(bm, pol)
 			s, err := r.Speedup(bm, arch)
 			if err != nil {
 				return nil, err
@@ -348,6 +424,15 @@ func (r *Runner) AblationWindows() (*Table, error) {
 func withMode(a regconn.Arch, m regconn.RegMode) regconn.Arch {
 	a.Mode = m
 	return a
+}
+
+// core1632 is the paper's pressured operating point: 16 integer or 32
+// floating-point core registers by benchmark class.
+func core1632(bm bench.Benchmark) int {
+	if bm.FP {
+		return 32
+	}
+	return 16
 }
 
 func modelOf(n int) core.Model { return core.Model(n) }

@@ -82,18 +82,25 @@ func (r *Runner) AblationAccum() (*Table, error) {
 		Cols:  []string{"rc/off", "rc/on", "unl/off", "unl/on"},
 		Notes: []string{"expansion raises reduction ILP but also register pressure; profitable only with registers to spare"},
 	}
-	for _, bm := range r.sortedBench() {
-		core := 16
-		if bm.FP {
-			core = 32
-		}
-		var vals []float64
-		for _, cfg := range []regconn.Arch{
+	archsOf := func(bm benchLike) []regconn.Arch {
+		core := core1632(bm)
+		return []regconn.Arch{
 			archFor(bm, core, regconn.Arch{Issue: 8, LoadLatency: 2, Mode: regconn.WithRC, CombineConnects: true}),
 			archFor(bm, core, regconn.Arch{Issue: 8, LoadLatency: 2, Mode: regconn.WithRC, CombineConnects: true, ExpandAccumulators: true}),
 			{Issue: 8, LoadLatency: 2, Mode: regconn.Unlimited},
 			{Issue: 8, LoadLatency: 2, Mode: regconn.Unlimited, ExpandAccumulators: true},
-		} {
+		}
+	}
+	var pts []point
+	for _, bm := range r.sortedBench() {
+		for _, cfg := range archsOf(bm) {
+			pts = append(pts, point{bm, cfg})
+		}
+	}
+	r.warmSpeedups(pts)
+	for _, bm := range r.sortedBench() {
+		var vals []float64
+		for _, cfg := range archsOf(bm) {
 			s, err := r.Speedup(bm, cfg)
 			if err != nil {
 				return nil, err
@@ -137,11 +144,8 @@ func (r *Runner) AblationOS() (*Table, error) {
 		}
 		return 100 * float64(res.TrapOverheads) / float64(res.Cycles), nil
 	}
-	for _, bm := range r.sortedBench() {
-		core := 16
-		if bm.FP {
-			core = 32
-		}
+	archsOf := func(bm benchLike) []regconn.Arch {
+		core := core1632(bm)
 		rcArch := archFor(bm, core, regconn.Arch{Issue: 4, LoadLatency: 2,
 			Mode: regconn.WithRC, CombineConnects: true})
 		origArch := archFor(bm, core, regconn.Arch{Issue: 4, LoadLatency: 2,
@@ -156,22 +160,42 @@ func (r *Runner) AblationOS() (*Table, error) {
 				HandlerRegs: 8, UseEnableFlag: flag}
 			return base
 		}
-
-		var vals []float64
-		for _, arch := range []regconn.Arch{
+		return []regconn.Arch{
 			mkSwitch(origArch, true),
 			mkSwitch(rcArch, true),
 			mkSwitch(origArch, false),
 			mkTrap(rcArch, true),
 			mkTrap(rcArch, false),
-		} {
-			v, err := overheadPct(bm, arch)
+		}
+	}
+
+	// These points carry trap configs the memo cache never sees elsewhere,
+	// so fan the bm×arch grid out directly rather than through warm.
+	bms := r.sortedBench()
+	type job struct{ i, j int }
+	var jobs []job
+	vals := make([][]float64, len(bms))
+	errs := make([][]error, len(bms))
+	for i, bm := range bms {
+		n := len(archsOf(bm))
+		vals[i] = make([]float64, n)
+		errs[i] = make([]error, n)
+		for j := 0; j < n; j++ {
+			jobs = append(jobs, job{i, j})
+		}
+	}
+	r.forAll(len(jobs), func(k int) {
+		jb := jobs[k]
+		bm := bms[jb.i]
+		vals[jb.i][jb.j], errs[jb.i][jb.j] = overheadPct(bm, archsOf(bm)[jb.j])
+	})
+	for i, bm := range bms {
+		for _, err := range errs[i] {
 			if err != nil {
 				return nil, err
 			}
-			vals = append(vals, v)
 		}
-		t.AddRow(bm.Name, vals...)
+		t.AddRow(bm.Name, vals[i]...)
 	}
 	return t, nil
 }

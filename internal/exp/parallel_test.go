@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"regconn"
+)
+
+// TestParallelRunnerMatchesSequential: the worker-pool fan-out must be
+// invisible in the output — every table is bit-for-bit identical whether
+// points are simulated concurrently or one at a time. Run with -race to
+// also exercise the singleflight cache under contention.
+func TestParallelRunnerMatchesSequential(t *testing.T) {
+	par := NewQuickRunner()
+	par.Workers = 4
+	seq := NewQuickRunner()
+	seq.Workers = 1
+	// fig7/fig13 go through the warm prepass; os fans out directly.
+	for _, id := range []string{"fig7", "fig13", "os"} {
+		pt, err := par.Generate(id)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		st, err := seq.Generate(id)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		if !reflect.DeepEqual(pt, st) {
+			t.Errorf("%s: parallel and sequential tables differ", id)
+		}
+	}
+}
+
+// TestWarmCollapsesDuplicates: concurrent requests for one point must run
+// the simulation once (the cache is singleflight, not just memoizing).
+func TestWarmCollapsesDuplicates(t *testing.T) {
+	r := NewQuickRunner()
+	r.Workers = 8
+	bm := r.Benchmarks[0]
+	arch := regconn.Baseline()
+	pts := make([]point, 16)
+	for i := range pts {
+		pts[i] = point{bm, arch}
+	}
+	r.warm(pts)
+	r.mu.Lock()
+	n := len(r.cache)
+	r.mu.Unlock()
+	if n != 1 {
+		t.Errorf("cache holds %d entries after warming one duplicated point, want 1", n)
+	}
+}

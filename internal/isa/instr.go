@@ -105,21 +105,19 @@ func (in *Instr) Def() Reg {
 }
 
 // ConnectPairs returns the (index, phys, isDef) triples of a connect
-// instruction in operand order. It returns nil for non-connects.
+// instruction in operand order, driven by the Meta table's pair shape. It
+// returns nil for non-connects. Hot paths should prefer the pre-extracted
+// Decoded.Pairs, which does not allocate.
 func (in *Instr) ConnectPairs() []ConnectPair {
-	switch in.Op {
-	case CONUSE:
-		return []ConnectPair{{in.CIdx[0], in.CPhys[0], false}}
-	case CONDEF:
-		return []ConnectPair{{in.CIdx[0], in.CPhys[0], true}}
-	case CONUU:
-		return []ConnectPair{{in.CIdx[0], in.CPhys[0], false}, {in.CIdx[1], in.CPhys[1], false}}
-	case CONDU:
-		return []ConnectPair{{in.CIdx[0], in.CPhys[0], true}, {in.CIdx[1], in.CPhys[1], false}}
-	case CONDD:
-		return []ConnectPair{{in.CIdx[0], in.CPhys[0], true}, {in.CIdx[1], in.CPhys[1], true}}
+	m := in.Op.Meta()
+	if m.NPairs == 0 {
+		return nil
 	}
-	return nil
+	out := make([]ConnectPair, m.NPairs)
+	for i := range out {
+		out[i] = ConnectPair{in.CIdx[i], in.CPhys[i], m.PairDef[i]}
+	}
+	return out
 }
 
 // ConnectPair is one (map index, physical register) connect operand.

@@ -106,6 +106,10 @@ const (
 	numOps
 )
 
+// NumOps is the number of defined opcodes, for building dispatch tables
+// indexed by Op.
+const NumOps = int(numOps)
+
 // Kind classifies opcodes by the functional-unit/latency class they occupy.
 type Kind uint8
 
@@ -127,98 +131,143 @@ const (
 	KindHalt
 )
 
-type opInfo struct {
-	name string
-	kind Kind
+// OpMeta is the static description of one opcode: its functional-unit
+// (latency) class, classification flags, and operand roles. The table is
+// consulted once per instruction at predecode time; the simulator's hot
+// path reads the extracted Decoded form instead of re-deriving roles
+// through per-op switches.
+type OpMeta struct {
+	Name string
+	Kind Kind
+
+	// Classification flags (mirrored by the Op predicate methods).
+	Mem        bool // load or store: occupies a memory channel
+	Connect    bool // register-connection opcode
+	Branch     bool // conditional or unconditional branch (not CALL/RET)
+	CondBranch bool
+	Terminator bool // ends a basic block
+
+	// Operand roles.
+	HasDst bool // writes the Dst slot (may still be invalid, e.g. void CALL)
+	ReadsA bool // reads the A slot (for RET, only when A is valid)
+	ReadsB bool // reads the B slot
+	BImm   bool // the B slot may be replaced by an immediate (UseImm)
+
+	// Connect operand shape: number of (index, phys) pairs and whether
+	// each pair addresses the write map (def) or the read map (use).
+	NPairs  uint8
+	PairDef [2]bool
 }
 
-var opTable = [numOps]opInfo{
-	NOP:    {"nop", KindNop},
-	ADD:    {"add", KindIntALU},
-	SUB:    {"sub", KindIntALU},
-	AND:    {"and", KindIntALU},
-	OR:     {"or", KindIntALU},
-	XOR:    {"xor", KindIntALU},
-	SLL:    {"sll", KindIntALU},
-	SRL:    {"srl", KindIntALU},
-	SRA:    {"sra", KindIntALU},
-	SLT:    {"slt", KindIntALU},
-	MOV:    {"mov", KindIntALU},
-	MUL:    {"mul", KindIntMul},
-	DIV:    {"div", KindIntDiv},
-	REM:    {"rem", KindIntDiv},
-	MOVI:   {"movi", KindIntALU},
-	LGA:    {"lga", KindIntALU},
-	LD:     {"ld", KindLoad},
-	ST:     {"st", KindStore},
-	FLD:    {"fld", KindLoad},
-	FST:    {"fst", KindStore},
-	FADD:   {"fadd", KindFPALU},
-	FSUB:   {"fsub", KindFPALU},
-	FMUL:   {"fmul", KindFPMul},
-	FDIV:   {"fdiv", KindFPDiv},
-	FMOV:   {"fmov", KindFPALU},
-	FMOVI:  {"fmovi", KindFPALU},
-	FNEG:   {"fneg", KindFPALU},
-	FABS:   {"fabs", KindFPALU},
-	CVTIF:  {"cvtif", KindFPConv},
-	CVTFI:  {"cvtfi", KindFPConv},
-	BR:     {"br", KindBranch},
-	BEQ:    {"beq", KindBranch},
-	BNE:    {"bne", KindBranch},
-	BLT:    {"blt", KindBranch},
-	BLE:    {"ble", KindBranch},
-	BGT:    {"bgt", KindBranch},
-	BGE:    {"bge", KindBranch},
-	FBEQ:   {"fbeq", KindBranch},
-	FBNE:   {"fbne", KindBranch},
-	FBLT:   {"fblt", KindBranch},
-	FBLE:   {"fble", KindBranch},
-	CALL:   {"call", KindCall},
-	RET:    {"ret", KindCall},
-	CONUSE: {"con_use", KindConnect},
-	CONDEF: {"con_def", KindConnect},
-	CONUU:  {"con_uu", KindConnect},
-	CONDU:  {"con_du", KindConnect},
-	CONDD:  {"con_dd", KindConnect},
-	HALT:   {"halt", KindHalt},
+// role bundles for the Meta literal below.
+func alu3(name string, k Kind) OpMeta {
+	return OpMeta{Name: name, Kind: k, HasDst: true, ReadsA: true, ReadsB: true, BImm: true}
+}
+func alu2(name string, k Kind) OpMeta {
+	return OpMeta{Name: name, Kind: k, HasDst: true, ReadsA: true}
+}
+func fp3(name string, k Kind) OpMeta {
+	return OpMeta{Name: name, Kind: k, HasDst: true, ReadsA: true, ReadsB: true}
+}
+func brCond(name string, bImm bool) OpMeta {
+	return OpMeta{Name: name, Kind: KindBranch, ReadsA: true, ReadsB: true, BImm: bImm,
+		Branch: true, CondBranch: true, Terminator: true}
+}
+func connect(name string, pairs uint8, d0, d1 bool) OpMeta {
+	return OpMeta{Name: name, Kind: KindConnect, Connect: true,
+		NPairs: pairs, PairDef: [2]bool{d0, d1}}
+}
+
+// Meta is the static per-op metadata table.
+var Meta = [NumOps]OpMeta{
+	NOP:    {Name: "nop", Kind: KindNop},
+	ADD:    alu3("add", KindIntALU),
+	SUB:    alu3("sub", KindIntALU),
+	AND:    alu3("and", KindIntALU),
+	OR:     alu3("or", KindIntALU),
+	XOR:    alu3("xor", KindIntALU),
+	SLL:    alu3("sll", KindIntALU),
+	SRL:    alu3("srl", KindIntALU),
+	SRA:    alu3("sra", KindIntALU),
+	SLT:    alu3("slt", KindIntALU),
+	MOV:    alu2("mov", KindIntALU),
+	MUL:    alu3("mul", KindIntMul),
+	DIV:    alu3("div", KindIntDiv),
+	REM:    alu3("rem", KindIntDiv),
+	MOVI:   {Name: "movi", Kind: KindIntALU, HasDst: true},
+	LGA:    {Name: "lga", Kind: KindIntALU, HasDst: true},
+	LD:     {Name: "ld", Kind: KindLoad, Mem: true, HasDst: true, ReadsA: true},
+	ST:     {Name: "st", Kind: KindStore, Mem: true, ReadsA: true, ReadsB: true},
+	FLD:    {Name: "fld", Kind: KindLoad, Mem: true, HasDst: true, ReadsA: true},
+	FST:    {Name: "fst", Kind: KindStore, Mem: true, ReadsA: true, ReadsB: true},
+	FADD:   fp3("fadd", KindFPALU),
+	FSUB:   fp3("fsub", KindFPALU),
+	FMUL:   fp3("fmul", KindFPMul),
+	FDIV:   fp3("fdiv", KindFPDiv),
+	FMOV:   alu2("fmov", KindFPALU),
+	FMOVI:  {Name: "fmovi", Kind: KindFPALU, HasDst: true},
+	FNEG:   alu2("fneg", KindFPALU),
+	FABS:   alu2("fabs", KindFPALU),
+	CVTIF:  alu2("cvtif", KindFPConv),
+	CVTFI:  alu2("cvtfi", KindFPConv),
+	BR:     {Name: "br", Kind: KindBranch, Branch: true, Terminator: true},
+	BEQ:    brCond("beq", true),
+	BNE:    brCond("bne", true),
+	BLT:    brCond("blt", true),
+	BLE:    brCond("ble", true),
+	BGT:    brCond("bgt", true),
+	BGE:    brCond("bge", true),
+	FBEQ:   brCond("fbeq", false),
+	FBNE:   brCond("fbne", false),
+	FBLT:   brCond("fblt", false),
+	FBLE:   brCond("fble", false),
+	CALL:   {Name: "call", Kind: KindCall, HasDst: true}, // IR CALL also reads Args
+	RET:    {Name: "ret", Kind: KindCall, ReadsA: true, Terminator: true},
+	CONUSE: connect("con_use", 1, false, false),
+	CONDEF: connect("con_def", 1, true, false),
+	CONUU:  connect("con_uu", 2, false, false),
+	CONDU:  connect("con_du", 2, true, false),
+	CONDD:  connect("con_dd", 2, true, true),
+	HALT:   {Name: "halt", Kind: KindHalt, Terminator: true},
+}
+
+// Meta returns the static metadata for the opcode.
+func (op Op) Meta() *OpMeta {
+	if int(op) < NumOps {
+		return &Meta[op]
+	}
+	return &Meta[NOP]
 }
 
 // String returns the assembly mnemonic for the opcode.
 func (op Op) String() string {
-	if int(op) < len(opTable) && opTable[op].name != "" {
-		return opTable[op].name
+	if int(op) < NumOps && Meta[op].Name != "" {
+		return Meta[op].Name
 	}
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
 
 // Kind reports the functional-unit class of the opcode.
 func (op Op) Kind() Kind {
-	if int(op) < len(opTable) {
-		return opTable[op].kind
+	if int(op) < NumOps {
+		return Meta[op].Kind
 	}
 	return KindNop
 }
 
 // IsBranch reports whether op is a conditional or unconditional branch
 // (excluding CALL/RET, which are classified as KindCall).
-func (op Op) IsBranch() bool { return op.Kind() == KindBranch }
+func (op Op) IsBranch() bool { return op.Meta().Branch }
 
 // IsCondBranch reports whether op is a conditional branch.
-func (op Op) IsCondBranch() bool { return op.Kind() == KindBranch && op != BR }
+func (op Op) IsCondBranch() bool { return op.Meta().CondBranch }
 
 // IsMem reports whether op accesses memory (loads and stores only; CALL/RET
 // touch the stack but are modeled on the branch path, not a memory channel).
-func (op Op) IsMem() bool { k := op.Kind(); return k == KindLoad || k == KindStore }
+func (op Op) IsMem() bool { return op.Meta().Mem }
 
 // IsConnect reports whether op is one of the register-connection opcodes.
-func (op Op) IsConnect() bool { return op.Kind() == KindConnect }
+func (op Op) IsConnect() bool { return op.Meta().Connect }
 
 // IsTerminator reports whether op ends a basic block.
-func (op Op) IsTerminator() bool {
-	switch op.Kind() {
-	case KindBranch, KindHalt:
-		return true
-	}
-	return op == RET
-}
+func (op Op) IsTerminator() bool { return op.Meta().Terminator }

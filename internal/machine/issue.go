@@ -1,0 +1,98 @@
+package machine
+
+import "regconn/internal/isa"
+
+// Issue stage: the in-order interlocks of the simulated pipeline. Each
+// register operand is resolved through the mapping table at most once per
+// cycle — resolutions are cached per map index and stamped with the
+// table's generation counter (core.MapTable.Gen), which advances only when
+// a connect, automatic reset, context restore, or enable flip actually
+// changes a mapping. Execute (exec.go) reads the same cache, so an
+// instruction that issues resolves each operand exactly once.
+
+// physReadI returns the physical register behind a source access of
+// integer map index n.
+func (s *simState) physReadI(n int) int {
+	if g := s.tabI.Gen(); s.rStampI[n] != g {
+		s.rPhysI[n] = int32(s.tabI.ReadPhys(n))
+		s.rStampI[n] = g
+	}
+	return int(s.rPhysI[n])
+}
+
+// physWriteI returns the physical register a write through integer map
+// index n will go to (without committing the write; see simState.setI).
+func (s *simState) physWriteI(n int) int {
+	if g := s.tabI.Gen(); s.wStampI[n] != g {
+		s.wPhysI[n] = int32(s.tabI.WritePhys(n))
+		s.wStampI[n] = g
+	}
+	return int(s.wPhysI[n])
+}
+
+// physReadF and physWriteF are the floating-point file equivalents.
+func (s *simState) physReadF(n int) int {
+	if g := s.tabF.Gen(); s.rStampF[n] != g {
+		s.rPhysF[n] = int32(s.tabF.ReadPhys(n))
+		s.rStampF[n] = g
+	}
+	return int(s.rPhysF[n])
+}
+
+func (s *simState) physWriteF(n int) int {
+	if g := s.tabF.Gen(); s.wStampF[n] != g {
+		s.wPhysF[n] = int32(s.tabF.WritePhys(n))
+		s.wStampF[n] = g
+	}
+	return int(s.wPhysF[n])
+}
+
+// lastConnect returns the cycle of the last connect touching the register's
+// map entry (-1 if never).
+func (s *simState) lastConnect(r isa.Reg) int64 {
+	if r.Class == isa.ClassFloat {
+		return s.lcF[r.N]
+	}
+	return s.lcI[r.N]
+}
+
+// canIssue applies the in-order issue interlocks: source operands ready
+// (CRAY-1 style), destination not pending (scoreboard WAW), a free memory
+// channel for loads/stores, and — under 1-cycle connect latency — no
+// same-cycle connect on a referenced map entry.
+func (s *simState) canIssue(u *uop, cycle int64, memUsed int) (bool, stallReason) {
+	if u.Mem && memUsed >= s.cfg.MemChannels {
+		return false, stallMem
+	}
+	// Map-entry connect-latency interlock.
+	if s.cfg.ConnectLatency > 0 {
+		if d := u.Dst; d.Valid() && s.lastConnect(d) >= cycle {
+			return false, stallConn
+		}
+		for _, r := range u.Uses() {
+			if s.lastConnect(r) >= cycle {
+				return false, stallConn
+			}
+		}
+	}
+	// Source readiness through the mapping table.
+	for _, r := range u.Uses() {
+		if r.Class == isa.ClassFloat {
+			if s.rdyF[s.physReadF(r.N)] > cycle {
+				return false, stallData
+			}
+		} else if p := s.physReadI(r.N); p != isa.RegZero && s.rdyI[p] > cycle {
+			return false, stallData
+		}
+	}
+	if d := u.Dst; d.Valid() {
+		if d.Class == isa.ClassFloat {
+			if s.rdyF[s.physWriteF(d.N)] > cycle {
+				return false, stallData
+			}
+		} else if p := s.physWriteI(d.N); p != isa.RegZero && s.rdyI[p] > cycle {
+			return false, stallData
+		}
+	}
+	return true, stallNone
+}

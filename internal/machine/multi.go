@@ -5,7 +5,6 @@ import (
 
 	"regconn/internal/core"
 	"regconn/internal/isa"
-	"regconn/internal/mem"
 )
 
 // Multiprogrammed execution (paper §4.2, made functional rather than a
@@ -48,29 +47,16 @@ type MultiResult struct {
 // RunMultiprogrammed time-slices the images on one machine with the given
 // quantum. Processes have private memories (separate address spaces) but
 // share the physical register file and mapping table, so correctness
-// depends on the OS's save mode.
+// depends on the OS's save mode. Each process runs on the same predecoded
+// micro-op pipeline as Run.
 func RunMultiprogrammed(imgs []*Image, cfg Config, quantum int64, mode SaveMode) (res *MultiResult, err error) {
 	if len(imgs) == 0 || quantum <= 0 {
 		return nil, fmt.Errorf("machine: need processes and a positive quantum")
 	}
-	if cfg.MaxCycles == 0 {
-		cfg.MaxCycles = defaultMaxCycles
+	if err := cfg.normalize(); err != nil {
+		return nil, err
 	}
-	if cfg.MemSize == 0 {
-		cfg.MemSize = mem.DefaultSize
-	}
-	if !cfg.Model.Valid() {
-		cfg.Model = core.WriteResetReadUpdate
-	}
-	defer func() {
-		if r := recover(); r != nil {
-			if f, ok := r.(*mem.Fault); ok {
-				res, err = nil, f
-				return
-			}
-			panic(r)
-		}
-	}()
+	defer recoverFault(&res, &err)
 
 	// The shared physical machine.
 	ri := make([]int64, cfg.IntTotal)
@@ -84,27 +70,13 @@ func RunMultiprogrammed(imgs []*Image, cfg Config, quantum int64, mode SaveMode)
 	pcbs := make([]*pcb, len(imgs))
 	halted := make([]bool, len(imgs))
 	for i, img := range imgs {
-		m := mem.InitImage(img.Prog.IR, img.Layout, cfg.MemSize)
-		procs[i] = &simState{
-			img: img, cfg: cfg, mem: m,
-			ri: ri, rf: rf, rdyI: rdyI, rdyF: rdyF,
-			tabI: tabI, tabF: tabF,
-			lcI: make([]int64, cfg.IntCore), lcF: make([]int64, cfg.FPCore),
-			res: &Result{Mem: m, Layout: img.Layout},
-			pc:  img.Entry,
-		}
-		for k := range procs[i].lcI {
-			procs[i].lcI[k] = -1
-		}
-		for k := range procs[i].lcF {
-			procs[i].lcF[k] = -1
-		}
+		procs[i] = newSimState(img, cfg, ri, rf, rdyI, rdyF, tabI, tabF)
 		// Fresh PCB: zeroed registers, home mapping, entry SP.
 		p := &pcb{
 			ri: make([]int64, cfg.IntTotal),
 			rf: make([]float64, cfg.FPTotal),
 		}
-		p.ri[isa.RegSP] = m.StackTop()
+		p.ri[isa.RegSP] = procs[i].mem.StackTop()
 		fresh := core.NewMapTable(cfg.Model, cfg.IntCore, cfg.IntTotal)
 		p.ctxI = fresh.SaveContext()
 		freshF := core.NewMapTable(cfg.Model, cfg.FPCore, cfg.FPTotal)

@@ -89,6 +89,36 @@ func TestMultiprogrammedCoreOnlyCorruptsRC(t *testing.T) {
 	}
 }
 
+// TestMultiprogrammedCoreOnlySharedPhys pins down the mechanism of the
+// §4.2 corruption: without extended-state switching, both RC processes
+// literally share physical register 100, so both read back whatever value
+// the later writer left — their results collide on one of the two written
+// values. The identical workload under FullSave stays correct.
+func TestMultiprogrammedCoreOnlySharedPhys(t *testing.T) {
+	res, err := RunMultiprogrammed([]*Image{rcProg(111, 2000), rcProg(222, 2000)},
+		multiCfg(), 300, CoreOnlySave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Results[0].RetInt, res.Results[1].RetInt
+	if a != b {
+		t.Errorf("core-only: processes read different values %d / %d; "+
+			"they share one physical register and must collide", a, b)
+	}
+	if a != 111 && a != 222 {
+		t.Errorf("core-only: shared value %d is neither written value", a)
+	}
+	full, err := RunMultiprogrammed([]*Image{rcProg(111, 2000), rcProg(222, 2000)},
+		multiCfg(), 300, FullSave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Results[0].RetInt != 111 || full.Results[1].RetInt != 222 {
+		t.Errorf("full save: got %d/%d, want 111/222",
+			full.Results[0].RetInt, full.Results[1].RetInt)
+	}
+}
+
 // TestMultiprogrammedFullSaveCostsMore: the full save moves more state, so
 // its per-switch overhead exceeds the core-only save's.
 func TestMultiprogrammedFullSaveCostsMore(t *testing.T) {

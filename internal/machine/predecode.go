@@ -1,0 +1,27 @@
+package machine
+
+import "regconn/internal/isa"
+
+// Predecode stage of the simulator pipeline: the image's instructions are
+// lowered once per run into micro-ops (uops) whose operand sets, connect
+// pairs, classification flags, and result latencies are pre-extracted.
+// Issue (issue.go) and execute (exec.go) then run entirely off this form —
+// the per-cycle hot path performs no per-op switches and no allocation.
+
+// uop is one predecoded micro-op: the isa.Decoded operand/role extraction
+// plus the configuration-dependent result latency.
+type uop struct {
+	isa.Decoded
+	lat int64 // cycles until a dependent instruction may issue
+}
+
+// predecode lowers machine code to micro-ops under the run's latency
+// configuration.
+func predecode(code []isa.Instr, lat isa.Latencies) []uop {
+	us := make([]uop, len(code))
+	for i := range code {
+		us[i].Decoded = code[i].Decode()
+		us[i].lat = int64(lat.Of(us[i].Op))
+	}
+	return us
+}

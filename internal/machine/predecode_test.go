@@ -1,0 +1,71 @@
+package machine
+
+import (
+	"testing"
+
+	"regconn/internal/isa"
+)
+
+// TestPredecodeMirrorsImage: the micro-op stream is 1:1 with the image and
+// each uop carries the configuration's latency for its opcode. (Field-level
+// operand round-trip for every opcode is covered by isa.TestDecodeRoundTrip.)
+func TestPredecodeMirrorsImage(t *testing.T) {
+	img := asm(
+		movi(3, 7),
+		addi(4, 3, 1),
+		isa.Instr{Op: isa.MUL, Dst: isa.IntReg(5), A: isa.IntReg(3), B: isa.IntReg(4)},
+		isa.Instr{Op: isa.LD, Dst: isa.IntReg(6), A: isa.IntReg(1), Imm: -8},
+		isa.Instr{Op: isa.CONDEF, CIdx: [2]uint16{3}, CPhys: [2]uint16{40}, CClass: isa.ClassInt},
+		isa.Instr{Op: isa.BLT, A: isa.IntReg(4), Imm: 8, UseImm: true, Target: 1, Pred: false},
+		halt(),
+	)
+	lat := isa.DefaultLatencies(4)
+	us := predecode(img.Code, lat)
+	if len(us) != len(img.Code) {
+		t.Fatalf("predecoded %d uops from %d instructions", len(us), len(img.Code))
+	}
+	for i, u := range us {
+		in := &img.Code[i]
+		if u.Op != in.Op {
+			t.Errorf("uop %d: op %v, want %v", i, u.Op, in.Op)
+		}
+		if want := int64(lat.Of(in.Op)); u.lat != want {
+			t.Errorf("uop %d (%v): lat %d, want %d", i, in.Op, u.lat, want)
+		}
+		if u.Dst != in.Def() {
+			t.Errorf("uop %d (%v): dst %v, want %v", i, in.Op, u.Dst, in.Def())
+		}
+	}
+	// The predecoded run still executes correctly.
+	res := run(t, img, cfg1())
+	if res.Instrs == 0 || res.Cycles == 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+// TestRunMatchesSeedSemantics: a program touching ALU, memory, connects,
+// and branches produces the same architectural result at every issue rate
+// (the predecoded pipeline must not change semantics with width).
+func TestRunMatchesSeedSemantics(t *testing.T) {
+	img := asm(
+		isa.Instr{Op: isa.CONDEF, CIdx: [2]uint16{3}, CPhys: [2]uint16{80}, CClass: isa.ClassInt},
+		movi(3, 5),
+		movi(4, 0),
+		movi(5, 0),
+		add(5, 5, 3), // pc 4, loop head
+		addi(4, 4, 1),
+		isa.Instr{Op: isa.BLT, A: isa.IntReg(4), Imm: 10, UseImm: true, Target: 4, Pred: true},
+		add(2, 5, 0),
+		halt(),
+	)
+	c := DefaultConfig()
+	c.IntCore, c.IntTotal = 16, 128
+	var want int64 = 50
+	for _, issue := range []int{1, 2, 4, 8} {
+		c.IssueRate = issue
+		res := run(t, img, c)
+		if res.RetInt != want {
+			t.Errorf("issue=%d: ret %d, want %d", issue, res.RetInt, want)
+		}
+	}
+}

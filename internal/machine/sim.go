@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"strings"
 
 	"regconn/internal/core"
@@ -64,6 +63,37 @@ func DefaultConfig() Config {
 	}
 }
 
+// normalize validates the issue geometry and fills the defaults shared by
+// Run and RunMultiprogrammed, so the two entry points cannot drift.
+func (cfg *Config) normalize() error {
+	if cfg.IssueRate <= 0 || cfg.MemChannels <= 0 {
+		return fmt.Errorf("machine: invalid config issue=%d channels=%d", cfg.IssueRate, cfg.MemChannels)
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = defaultMaxCycles
+	}
+	if cfg.MemSize == 0 {
+		cfg.MemSize = mem.DefaultSize
+	}
+	if !cfg.Model.Valid() {
+		cfg.Model = core.WriteResetReadUpdate
+	}
+	return nil
+}
+
+// recoverFault converts the memory-fault panic of a wild simulated access
+// into an ordinary error return; any other panic is re-raised. Used as
+// `defer recoverFault(&res, &err)` by both simulation entry points.
+func recoverFault[T any](res **T, err *error) {
+	if r := recover(); r != nil {
+		f, ok := r.(*mem.Fault)
+		if !ok {
+			panic(r)
+		}
+		*res, *err = nil, f
+	}
+}
+
 // Result reports one simulation.
 type Result struct {
 	Cycles      int64
@@ -107,52 +137,17 @@ const defaultMaxCycles = int64(1) << 34
 
 // Run simulates the image to completion (HALT) and returns the result.
 func Run(img *Image, cfg Config) (res *Result, err error) {
-	if cfg.IssueRate <= 0 || cfg.MemChannels <= 0 {
-		return nil, fmt.Errorf("machine: invalid config issue=%d channels=%d", cfg.IssueRate, cfg.MemChannels)
+	if err := cfg.normalize(); err != nil {
+		return nil, err
 	}
-	if cfg.MaxCycles == 0 {
-		cfg.MaxCycles = defaultMaxCycles
-	}
-	if cfg.MemSize == 0 {
-		cfg.MemSize = mem.DefaultSize
-	}
-	if !cfg.Model.Valid() {
-		cfg.Model = core.WriteResetReadUpdate
-	}
+	defer recoverFault(&res, &err)
 
-	defer func() {
-		if r := recover(); r != nil {
-			if f, ok := r.(*mem.Fault); ok {
-				res, err = nil, f
-				return
-			}
-			panic(r)
-		}
-	}()
-
-	m := mem.InitImage(img.Prog.IR, img.Layout, cfg.MemSize)
-	s := &simState{
-		img:  img,
-		cfg:  cfg,
-		mem:  m,
-		ri:   make([]int64, cfg.IntTotal),
-		rf:   make([]float64, cfg.FPTotal),
-		rdyI: make([]int64, cfg.IntTotal),
-		rdyF: make([]int64, cfg.FPTotal),
-		tabI: core.NewMapTable(cfg.Model, cfg.IntCore, cfg.IntTotal),
-		tabF: core.NewMapTable(cfg.Model, cfg.FPCore, cfg.FPTotal),
-		lcI:  make([]int64, cfg.IntCore),
-		lcF:  make([]int64, cfg.FPCore),
-		res:  &Result{Mem: m, Layout: img.Layout},
-	}
-	for i := range s.lcI {
-		s.lcI[i] = -1
-	}
-	for i := range s.lcF {
-		s.lcF[i] = -1
-	}
-	s.ri[isa.RegSP] = m.StackTop()
-	s.pc = img.Entry
+	s := newSimState(img, cfg,
+		make([]int64, cfg.IntTotal), make([]float64, cfg.FPTotal),
+		make([]int64, cfg.IntTotal), make([]int64, cfg.FPTotal),
+		core.NewMapTable(cfg.Model, cfg.IntCore, cfg.IntTotal),
+		core.NewMapTable(cfg.Model, cfg.FPCore, cfg.FPTotal))
+	s.ri[isa.RegSP] = s.mem.StackTop()
 	s.nextTrap = cfg.Trap.Interval
 	halted, err := s.runUntil(cfg.MaxCycles)
 	if err != nil {
@@ -165,10 +160,15 @@ func Run(img *Image, cfg Config) (res *Result, err error) {
 	return s.res, nil
 }
 
+// simState is the execution pipeline state of one simulated process: the
+// predecoded micro-op stream, the (possibly shared) physical register file
+// and mapping tables, and the per-map-entry resolution caches stamped with
+// the tables' generation counters.
 type simState struct {
-	img *Image
-	cfg Config
-	mem *mem.Memory
+	img  *Image
+	cfg  Config
+	mem  *mem.Memory
+	code []uop // predecoded micro-ops, 1:1 with img.Code
 
 	pc   int
 	ri   []int64
@@ -180,10 +180,44 @@ type simState struct {
 	lcI  []int64 // cycle of the last connect touching this int map entry
 	lcF  []int64
 
+	// Cached physical resolutions per map index, valid while the stamp
+	// equals the owning table's generation (see issue.go).
+	rPhysI, wPhysI   []int32
+	rStampI, wStampI []uint64
+	rPhysF, wPhysF   []int32
+	rStampF, wStampF []uint64
+
 	cycle    int64
 	nextTrap int64
 
 	res *Result
+}
+
+// newSimState wires a simulator over the given (possibly shared) register
+// file and mapping tables, predecoding the image once per run.
+func newSimState(img *Image, cfg Config, ri []int64, rf []float64,
+	rdyI, rdyF []int64, tabI, tabF *core.MapTable) *simState {
+	m := mem.InitImage(img.Prog.IR, img.Layout, cfg.MemSize)
+	s := &simState{
+		img: img, cfg: cfg, mem: m,
+		code: predecode(img.Code, cfg.Lat),
+		ri:   ri, rf: rf, rdyI: rdyI, rdyF: rdyF,
+		tabI: tabI, tabF: tabF,
+		lcI: make([]int64, cfg.IntCore), lcF: make([]int64, cfg.FPCore),
+		rPhysI: make([]int32, cfg.IntCore), wPhysI: make([]int32, cfg.IntCore),
+		rStampI: make([]uint64, cfg.IntCore), wStampI: make([]uint64, cfg.IntCore),
+		rPhysF: make([]int32, cfg.FPCore), wPhysF: make([]int32, cfg.FPCore),
+		rStampF: make([]uint64, cfg.FPCore), wStampF: make([]uint64, cfg.FPCore),
+		res: &Result{Mem: m, Layout: img.Layout},
+		pc:  img.Entry,
+	}
+	for i := range s.lcI {
+		s.lcI[i] = -1
+	}
+	for i := range s.lcF {
+		s.lcF[i] = -1
+	}
+	return s
 }
 
 // stall reasons for attribution.
@@ -195,6 +229,15 @@ const (
 	stallMem
 	stallConn
 )
+
+// stallNames labels stall reasons in traces (hoisted so tracing a stall
+// cycle does not rebuild a map).
+var stallNames = [...]string{
+	stallNone: "",
+	stallData: "data",
+	stallMem:  "mem",
+	stallConn: "connect",
+}
 
 // runUntil simulates until HALT or the global cycle reaches stopAt,
 // whichever comes first, reporting whether the program halted. State
@@ -224,8 +267,8 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 		var traceLine []string
 		tracing := cfg.Trace != nil && (cfg.TraceCycles == 0 || cycle < cfg.TraceCycles)
 		for issued < cfg.IssueRate {
-			in := &s.img.Code[s.pc]
-			if in.Op == isa.HALT {
+			u := &s.code[s.pc]
+			if u.Op == isa.HALT {
 				if tracing {
 					fmt.Fprintf(cfg.Trace, "%8d  halt\n", cycle)
 				}
@@ -233,7 +276,7 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 				s.res.Cycles = s.cycle
 				return true, nil
 			}
-			ok, reason := s.canIssue(in, cycle, memUsed)
+			ok, reason := s.canIssue(u, cycle, memUsed)
 			if !ok {
 				if issued == 0 {
 					firstStall = reason
@@ -241,20 +284,20 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 				break
 			}
 			if tracing {
-				traceLine = append(traceLine, fmt.Sprintf("%d:%s", s.pc, in.String()))
+				traceLine = append(traceLine, fmt.Sprintf("%d:%s", s.pc, s.img.Code[s.pc].String()))
 			}
-			next, mispredict, err := s.execute(in, cycle)
+			next, mispredict, err := s.execute(u, cycle)
 			if err != nil {
 				return false, err
 			}
 			issued++
 			s.res.Instrs++
-			s.res.OpMix[in.Op.Kind()]++
-			if in.Op.IsMem() {
+			s.res.OpMix[u.Kind]++
+			if u.Mem {
 				memUsed++
 				s.res.MemOps++
 			}
-			if in.Op.IsConnect() {
+			if u.Connect {
 				s.res.Connects++
 			}
 			s.pc = next
@@ -277,250 +320,11 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 		}
 		if tracing {
 			if issued == 0 {
-				stall := map[stallReason]string{stallData: "data", stallMem: "mem", stallConn: "connect"}[firstStall]
-				fmt.Fprintf(cfg.Trace, "%8d  (stall: %s)\n", cycle, stall)
+				fmt.Fprintf(cfg.Trace, "%8d  (stall: %s)\n", cycle, stallNames[firstStall])
 			} else {
 				fmt.Fprintf(cfg.Trace, "%8d  %s\n", cycle, strings.Join(traceLine, " | "))
 			}
 		}
 		s.cycle = cycle + 1
 	}
-}
-
-// canIssue applies the in-order issue interlocks: source operands ready
-// (CRAY-1 style), destination not pending (scoreboard WAW), a free memory
-// channel for loads/stores, and — under 1-cycle connect latency — no
-// same-cycle connect on a referenced map entry.
-func (s *simState) canIssue(in *isa.Instr, cycle int64, memUsed int) (bool, stallReason) {
-	if in.Op.IsMem() && memUsed >= s.cfg.MemChannels {
-		return false, stallMem
-	}
-	// Map-entry connect-latency interlock.
-	if s.cfg.ConnectLatency > 0 {
-		check := func(r isa.Reg) bool {
-			lc := s.lcI
-			if r.Class == isa.ClassFloat {
-				lc = s.lcF
-			}
-			return lc[r.N] < cycle
-		}
-		if d := in.Def(); d.Valid() && !check(d) {
-			return false, stallConn
-		}
-		for _, u := range in.Uses(nil) {
-			if !check(u) {
-				return false, stallConn
-			}
-		}
-	}
-	// Source readiness through the mapping table.
-	srcReady := func(r isa.Reg) bool {
-		if r.Class == isa.ClassFloat {
-			return s.rdyF[s.tabF.ReadPhys(r.N)] <= cycle
-		}
-		p := s.tabI.ReadPhys(r.N)
-		if p == isa.RegZero {
-			return true
-		}
-		return s.rdyI[p] <= cycle
-	}
-	var buf [3]isa.Reg
-	for _, u := range in.Uses(buf[:0]) {
-		if !srcReady(u) {
-			return false, stallData
-		}
-	}
-	if d := in.Def(); d.Valid() {
-		if d.Class == isa.ClassFloat {
-			if s.rdyF[s.tabF.WritePhys(d.N)] > cycle {
-				return false, stallData
-			}
-		} else if p := s.tabI.WritePhys(d.N); p != isa.RegZero && s.rdyI[p] > cycle {
-			return false, stallData
-		}
-	}
-	return true, stallNone
-}
-
-// execute performs the instruction functionally and updates timing state.
-// It returns the next pc and whether a branch mispredicted.
-func (s *simState) execute(in *isa.Instr, cycle int64) (int, bool, error) {
-	cfg := &s.cfg
-	lat := int64(cfg.Lat.Of(in.Op))
-	next := s.pc + 1
-
-	readI := func(r isa.Reg) int64 {
-		p := s.tabI.ReadPhys(r.N)
-		if p == isa.RegZero {
-			return 0
-		}
-		return s.ri[p]
-	}
-	readF := func(r isa.Reg) float64 { return s.rf[s.tabF.ReadPhys(r.N)] }
-	writeI := func(r isa.Reg, v int64) {
-		p := s.tabI.NoteWrite(r.N)
-		if p == isa.RegZero {
-			return
-		}
-		s.ri[p] = v
-		s.rdyI[p] = cycle + lat
-	}
-	writeF := func(r isa.Reg, v float64) {
-		p := s.tabF.NoteWrite(r.N)
-		s.rf[p] = v
-		s.rdyF[p] = cycle + lat
-	}
-	src2 := func() int64 {
-		if in.UseImm {
-			return in.Imm
-		}
-		return readI(in.B)
-	}
-
-	switch in.Op {
-	case isa.NOP:
-	case isa.ADD:
-		writeI(in.Dst, readI(in.A)+src2())
-	case isa.SUB:
-		writeI(in.Dst, readI(in.A)-src2())
-	case isa.MUL:
-		writeI(in.Dst, readI(in.A)*src2())
-	case isa.DIV:
-		d := src2()
-		if d == 0 {
-			return 0, false, fmt.Errorf("machine: divide by zero at pc=%d", s.pc)
-		}
-		writeI(in.Dst, readI(in.A)/d)
-	case isa.REM:
-		d := src2()
-		if d == 0 {
-			return 0, false, fmt.Errorf("machine: rem by zero at pc=%d", s.pc)
-		}
-		writeI(in.Dst, readI(in.A)%d)
-	case isa.AND:
-		writeI(in.Dst, readI(in.A)&src2())
-	case isa.OR:
-		writeI(in.Dst, readI(in.A)|src2())
-	case isa.XOR:
-		writeI(in.Dst, readI(in.A)^src2())
-	case isa.SLL:
-		writeI(in.Dst, readI(in.A)<<uint64(src2()&63))
-	case isa.SRL:
-		writeI(in.Dst, int64(uint64(readI(in.A))>>uint64(src2()&63)))
-	case isa.SRA:
-		writeI(in.Dst, readI(in.A)>>uint64(src2()&63))
-	case isa.SLT:
-		if readI(in.A) < src2() {
-			writeI(in.Dst, 1)
-		} else {
-			writeI(in.Dst, 0)
-		}
-	case isa.MOV:
-		writeI(in.Dst, readI(in.A))
-	case isa.MOVI:
-		writeI(in.Dst, in.Imm)
-	case isa.LD:
-		writeI(in.Dst, s.mem.LoadI(readI(in.A)+in.Imm))
-	case isa.ST:
-		s.mem.StoreI(readI(in.A)+in.Imm, readI(in.B))
-	case isa.FLD:
-		writeF(in.Dst, s.mem.LoadF(readI(in.A)+in.Imm))
-	case isa.FST:
-		s.mem.StoreF(readI(in.A)+in.Imm, readF(in.B))
-	case isa.FADD:
-		writeF(in.Dst, readF(in.A)+readF(in.B))
-	case isa.FSUB:
-		writeF(in.Dst, readF(in.A)-readF(in.B))
-	case isa.FMUL:
-		writeF(in.Dst, readF(in.A)*readF(in.B))
-	case isa.FDIV:
-		writeF(in.Dst, readF(in.A)/readF(in.B))
-	case isa.FMOV:
-		writeF(in.Dst, readF(in.A))
-	case isa.FMOVI:
-		writeF(in.Dst, in.FImm())
-	case isa.FNEG:
-		writeF(in.Dst, -readF(in.A))
-	case isa.FABS:
-		writeF(in.Dst, math.Abs(readF(in.A)))
-	case isa.CVTIF:
-		writeF(in.Dst, float64(readI(in.A)))
-	case isa.CVTFI:
-		writeI(in.Dst, int64(readF(in.A)))
-	case isa.BR:
-		next = in.Target
-	case isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE:
-		taken := intTaken(in.Op, readI(in.A), src2())
-		if taken {
-			next = in.Target
-		}
-		return next, taken != in.Pred, nil
-	case isa.FBEQ, isa.FBNE, isa.FBLT, isa.FBLE:
-		taken := fpTaken(in.Op, readF(in.A), readF(in.B))
-		if taken {
-			next = in.Target
-		}
-		return next, taken != in.Pred, nil
-	case isa.CALL:
-		sp := s.ri[isa.RegSP] - 8
-		s.mem.StoreI(sp, int64(s.pc+1))
-		s.ri[isa.RegSP] = sp
-		s.tabI.Reset()
-		s.tabF.Reset()
-		next = in.Target
-	case isa.RET:
-		sp := s.ri[isa.RegSP]
-		next = int(s.mem.LoadI(sp))
-		s.ri[isa.RegSP] = sp + 8
-		s.tabI.Reset()
-		s.tabF.Reset()
-	case isa.CONUSE, isa.CONDEF, isa.CONUU, isa.CONDU, isa.CONDD:
-		tab, lc := s.tabI, s.lcI
-		if in.CClass == isa.ClassFloat {
-			tab, lc = s.tabF, s.lcF
-		}
-		for _, p := range in.ConnectPairs() {
-			if p.Def {
-				tab.ConnectDef(int(p.Idx), int(p.Phys))
-			} else {
-				tab.ConnectUse(int(p.Idx), int(p.Phys))
-			}
-			lc[p.Idx] = cycle
-		}
-	default:
-		return 0, false, fmt.Errorf("machine: cannot execute %v at pc=%d", in.Op, s.pc)
-	}
-	return next, false, nil
-}
-
-func intTaken(op isa.Op, a, b int64) bool {
-	switch op {
-	case isa.BEQ:
-		return a == b
-	case isa.BNE:
-		return a != b
-	case isa.BLT:
-		return a < b
-	case isa.BLE:
-		return a <= b
-	case isa.BGT:
-		return a > b
-	case isa.BGE:
-		return a >= b
-	}
-	return false
-}
-
-func fpTaken(op isa.Op, a, b float64) bool {
-	switch op {
-	case isa.FBEQ:
-		return a == b
-	case isa.FBNE:
-		return a != b
-	case isa.FBLT:
-		return a < b
-	case isa.FBLE:
-		return a <= b
-	}
-	return false
 }
