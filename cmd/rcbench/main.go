@@ -8,7 +8,10 @@
 // It times the two heaviest single figures (7 and 10) and the full
 // experiment suite on fresh runners (no memoized results), and measures
 // raw simulation throughput in machine instructions per second. -quick
-// uses the reduced three-benchmark suite for everything.
+// uses the reduced three-benchmark suite for everything. The report also
+// embeds the cycle-ledger statistics of the throughput benchmark at the
+// paper's center configuration (stall breakdown, issue-slot histogram,
+// map-table telemetry) so future changes can diff the attribution.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 
 	"regconn"
 	"regconn/internal/exp"
+	"regconn/internal/machine"
 )
 
 type report struct {
@@ -31,6 +35,11 @@ type report struct {
 	Fig10Ms         float64 `json:"fig10_ms"`
 	FullSuiteMs     float64 `json:"full_suite_ms"`
 	SimInstrsPerSec float64 `json:"sim_instrs_per_sec"`
+
+	// CenterBench/CenterStats pin the cycle ledger of the throughput
+	// benchmark at the center configuration.
+	CenterBench string        `json:"center_bench"`
+	CenterStats machine.Stats `json:"center_stats"`
 }
 
 func main() {
@@ -83,6 +92,21 @@ func main() {
 		total += res.Instrs
 	}
 	rep.SimInstrsPerSec = float64(total) / time.Since(start).Seconds()
+
+	// Cycle-ledger snapshot of the same point, with the invariant checked.
+	ex, err := regconn.Build(bm.Build(), arch)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := ex.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.CheckLedger(); err != nil {
+		fatal(err)
+	}
+	rep.CenterBench = bm.Name
+	rep.CenterStats = res.Stats()
 
 	js, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

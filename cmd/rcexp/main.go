@@ -3,16 +3,20 @@
 // Usage:
 //
 //	rcexp [-exp table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|models|combined|all]
-//	      [-quick] [-bench name] [-workers n]
+//	      [-quick] [-bench name] [-workers n] [-stats]
 //
 // -quick restricts the suite to three representative benchmarks; -bench
 // restricts it to one. -workers bounds the simulation worker pool (0 uses
 // all CPUs, 1 disables parallelism); tables are identical at any setting.
 // Output is aligned ASCII, one table per figure (or per benchmark for the
-// per-benchmark figures 8 and 9).
+// per-benchmark figures 8 and 9). -stats skips the tables and instead
+// emits a JSON array of per-point cycle-ledger statistics (stall
+// breakdown, issue-slot histogram, map-table telemetry) over the golden
+// benchmark×config grid, verifying the ledger invariant on every point.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +32,7 @@ func main() {
 		bmName  = flag.String("bench", "", "restrict to one benchmark")
 		format  = flag.String("format", "text", "output format: text or csv")
 		workers = flag.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
+		stats   = flag.Bool("stats", false, "emit per-point cycle-ledger statistics as JSON")
 	)
 	flag.Parse()
 
@@ -42,6 +47,19 @@ func main() {
 			fatal(err)
 		}
 		r.Benchmarks = []bench.Benchmark{bm}
+	}
+
+	if *stats {
+		pts, err := r.StatsReport()
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(pts); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	ids := []string{*expID}

@@ -7,17 +7,25 @@
 //	rcrun -bench grep [-issue 4] [-load 2] [-channels 0] [-intcore 16]
 //	      [-fpcore 32] [-mode rc|spill|unlimited] [-model 3]
 //	      [-connect-latency 0] [-extra-stage] [-no-combine] [-scalar]
+//	      [-stats]
+//
+// -stats replaces the text report with a machine-readable JSON document:
+// the full cycle ledger (stall breakdown), the per-cycle issue-slot
+// utilization histogram, and the map-table telemetry.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"regconn"
 	"regconn/internal/bench"
 	"regconn/internal/core"
 	"regconn/internal/isa"
+	"regconn/internal/machine"
 )
 
 func main() {
@@ -36,6 +44,7 @@ func main() {
 		noComb   = flag.Bool("no-combine", false, "disable combined connects")
 		scalar   = flag.Bool("scalar", false, "scalar optimization only (no ILP)")
 		trace    = flag.Int64("trace", 0, "print a per-cycle issue trace for the first N cycles")
+		stats    = flag.Bool("stats", false, "emit machine-readable JSON statistics instead of text")
 	)
 	flag.Parse()
 
@@ -90,6 +99,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := res.CheckLedger(); err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		out := struct {
+			Benchmark string        `json:"benchmark"`
+			Mode      string        `json:"mode"`
+			Stats     machine.Stats `json:"stats"`
+		}{bm.Name, arch.Mode.String(), res.Stats()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	fmt.Printf("benchmark   %s (stands in for %s)\n", bm.Name, bm.Paper)
 	fmt.Printf("arch        %d-issue, %d mem channels, %d-cycle load, %s, int=%d fp=%d\n",
@@ -106,7 +132,13 @@ func main() {
 	fmt.Printf("mispredicts %d\n", res.Mispredicts)
 	fmt.Printf("code size   %d -> %d (+%.1f%%, save/restore +%.1f%%)\n",
 		ex.PreAllocSize, ex.PostAllocSize, ex.CodeGrowth()*100, ex.SaveRestoreGrowth()*100)
-	fmt.Printf("stalls      data=%d mem=%d connect=%d\n", res.StallData, res.StallMem, res.StallConn)
+	fmt.Printf("stalls      data=%d mem=%d connect=%d branch=%d\n",
+		res.StallData, res.StallMem, res.StallConn, res.StallBranch)
+	hist := make([]string, len(res.IssueHist))
+	for k, c := range res.IssueHist {
+		hist[k] = fmt.Sprintf("%d:%d", k, c)
+	}
+	fmt.Printf("issue slots %s (cycles issuing k instructions)\n", strings.Join(hist, " "))
 	fmt.Printf("op mix      alu=%d mul=%d div=%d fp=%d load=%d store=%d branch=%d call=%d connect=%d\n",
 		res.MixOf(isa.KindIntALU), res.MixOf(isa.KindIntMul), res.MixOf(isa.KindIntDiv),
 		res.MixOf(isa.KindFPALU)+res.MixOf(isa.KindFPMul)+res.MixOf(isa.KindFPDiv)+res.MixOf(isa.KindFPConv),

@@ -57,6 +57,20 @@ func (m Model) String() string {
 // Valid reports whether m is one of the four defined models.
 func (m Model) Valid() bool { return m >= NoReset && m <= ReadWriteReset }
 
+// Stats is the telemetry of one mapping table: how often each observable
+// mutation class occurred over the table's lifetime. Counters describe the
+// physical table, not the process using it, so they accumulate across
+// context save/restore. GenAdvances is the number of generation-counter
+// advances (observable mapping changes) since construction.
+type Stats struct {
+	ConnectUses int64 `json:"connect_uses"` // explicit connect-use instructions
+	ConnectDefs int64 `json:"connect_defs"` // explicit connect-def instructions
+	AutoResets  int64 `json:"auto_resets"`  // NoteWrite side effects that changed a map entry
+	Resets      int64 `json:"resets"`       // Reset calls that found a diverted table
+	Restores    int64 `json:"restores"`     // context restores
+	GenAdvances int64 `json:"gen_advances"` // observable mapping changes
+}
+
 // MapTable is the register mapping table for one register class. The zero
 // value is not usable; construct with NewMapTable.
 type MapTable struct {
@@ -66,6 +80,7 @@ type MapTable struct {
 	read    []uint16
 	write   []uint16
 	enabled bool
+	stats   Stats
 
 	// gen counts observable mapping changes: it advances only when a map
 	// entry actually changes value or the enable flag flips, so cached
@@ -103,6 +118,13 @@ func NewMapTable(model Model, m, n int) *MapTable {
 // flip. Callers may cache ReadPhys/WritePhys results stamped with Gen and
 // revalidate with a single comparison.
 func (t *MapTable) Gen() uint64 { return t.gen }
+
+// Stats returns the table's accumulated mutation telemetry.
+func (t *MapTable) Stats() Stats {
+	s := t.stats
+	s.GenAdvances = int64(t.gen - 1) // gen starts at 1
+	return s
+}
 
 // setRead and setWrite route every map mutation through one place so the
 // generation counter and off-home count stay exact.
@@ -159,6 +181,7 @@ func (t *MapTable) Reset() {
 	}
 	t.off = 0
 	t.gen++
+	t.stats.Resets++
 }
 
 // Enabled reports whether mapping is enabled. When disabled (trap/interrupt
@@ -178,6 +201,7 @@ func (t *MapTable) SetEnabled(on bool) {
 func (t *MapTable) ConnectUse(idx, phys int) {
 	t.check(idx, phys)
 	t.setRead(idx, uint16(phys))
+	t.stats.ConnectUses++
 }
 
 // ConnectDef sets the write map of idx to phys: all subsequent writes
@@ -185,6 +209,7 @@ func (t *MapTable) ConnectUse(idx, phys int) {
 func (t *MapTable) ConnectDef(idx, phys int) {
 	t.check(idx, phys)
 	t.setWrite(idx, uint16(phys))
+	t.stats.ConnectDefs++
 }
 
 // ReadPhys returns the physical register accessed when idx is used as a
@@ -217,6 +242,7 @@ func (t *MapTable) NoteWrite(idx int) int {
 		return idx
 	}
 	phys := t.write[idx]
+	before := t.gen
 	switch t.model {
 	case NoReset:
 		// maps unchanged
@@ -228,6 +254,9 @@ func (t *MapTable) NoteWrite(idx int) int {
 	case ReadWriteReset:
 		t.setRead(idx, uint16(idx))
 		t.setWrite(idx, uint16(idx))
+	}
+	if t.gen != before {
+		t.stats.AutoResets++
 	}
 	return int(phys)
 }
@@ -263,6 +292,7 @@ func (t *MapTable) RestoreContext(c Context) {
 	copy(t.read, c.Read)
 	copy(t.write, c.Write)
 	t.enabled = c.Enabled
+	t.stats.Restores++
 	t.off = 0
 	for i := range t.read {
 		if t.read[i] != uint16(i) {

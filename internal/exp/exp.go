@@ -18,6 +18,7 @@ import (
 
 	"regconn"
 	"regconn/internal/bench"
+	"regconn/internal/machine"
 )
 
 // Result is one simulated data point.
@@ -27,6 +28,10 @@ type Result struct {
 	Connects int64
 	Growth   float64 // fractional code-size increase (Figure 9)
 	SaveRest float64 // save/restore share of growth (Figure 9 black bar)
+
+	// Stats is the full cycle-ledger export of the simulation (stall
+	// breakdown, issue-slot histogram, map-table telemetry).
+	Stats machine.Stats
 }
 
 // Runner executes benchmark/architecture pairs with memoization — the
@@ -107,12 +112,18 @@ func runPoint(bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
 	if res.RetInt != bm.Expect {
 		return nil, fmt.Errorf("%s: checksum %d, want %d", bm.Name, res.RetInt, bm.Expect)
 	}
+	// Every experiment point continuously proves the cycle ledger closes;
+	// a simulator change that loses cycles fails the whole figure.
+	if err := res.CheckLedger(); err != nil {
+		return nil, fmt.Errorf("%s: %w", bm.Name, err)
+	}
 	return &Result{
 		Cycles:   res.Cycles,
 		Instrs:   res.Instrs,
 		Connects: res.Connects,
 		Growth:   ex.CodeGrowth(),
 		SaveRest: ex.SaveRestoreGrowth(),
+		Stats:    res.Stats(),
 	}, nil
 }
 

@@ -21,73 +21,53 @@ import (
 var update = flag.Bool("update", false, "rewrite testdata/golden_center.json")
 
 type goldenPoint struct {
-	Benchmark string  `json:"benchmark"`
-	Config    string  `json:"config"`
-	Cycles    int64   `json:"cycles"`
-	Instrs    int64   `json:"instrs"`
-	Connects  int64   `json:"connects"`
-	MemOps    int64   `json:"mem_ops"`
-	Mispred   int64   `json:"mispredicts"`
-	RetInt    int64   `json:"ret_int"`
-	StallData int64   `json:"stall_data"`
-	StallMem  int64   `json:"stall_mem"`
-	StallConn int64   `json:"stall_conn"`
-	OpMix     []int64 `json:"op_mix"`
+	Benchmark   string  `json:"benchmark"`
+	Config      string  `json:"config"`
+	Cycles      int64   `json:"cycles"`
+	Instrs      int64   `json:"instrs"`
+	Connects    int64   `json:"connects"`
+	MemOps      int64   `json:"mem_ops"`
+	Mispred     int64   `json:"mispredicts"`
+	RetInt      int64   `json:"ret_int"`
+	StallData   int64   `json:"stall_data"`
+	StallMem    int64   `json:"stall_mem"`
+	StallConn   int64   `json:"stall_conn"`
+	StallBranch int64   `json:"stall_branch"`
+	OpMix       []int64 `json:"op_mix"`
 }
 
-// goldenConfigs are the architectures pinned by the golden file: the
-// paper's center point (4-issue, 2-cycle loads, 16/32 cores, model-3 RC
-// with combined connects), the spill-only and unlimited contrasts, and the
-// 1-cycle-connect scenario that exercises the connect-latency interlock.
-func goldenConfigs(bm bench.Benchmark) []struct {
-	name string
-	arch regconn.Arch
-} {
-	core := 16
-	if bm.FP {
-		core = 32
-	}
-	base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true}
-	return []struct {
-		name string
-		arch regconn.Arch
-	}{
-		{"center-rc", archFor(bm, core, withMode(base, regconn.WithRC))},
-		{"without-rc", archFor(bm, core, withMode(base, regconn.WithoutRC))},
-		{"unlimited", regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.Unlimited}},
-		{"rc-1cy-connect", archFor(bm, core, regconn.Arch{Issue: 4, LoadLatency: 2,
-			Mode: regconn.WithRC, CombineConnects: true, ConnectLatency: 1})},
-	}
-}
+// The pinned architecture grid lives in LedgerConfigs (stats.go), shared
+// with rcexp -stats and the ledger invariant tests.
 
 func collectGolden(t *testing.T) []goldenPoint {
 	t.Helper()
 	var pts []goldenPoint
 	for _, bm := range bench.All() {
-		for _, gc := range goldenConfigs(bm) {
-			ex, err := regconn.Build(bm.Build(), gc.arch)
+		for _, gc := range LedgerConfigs(bm) {
+			ex, err := regconn.Build(bm.Build(), gc.Arch)
 			if err != nil {
-				t.Fatalf("%s/%s: build: %v", bm.Name, gc.name, err)
+				t.Fatalf("%s/%s: build: %v", bm.Name, gc.Name, err)
 			}
 			res, err := ex.Run()
 			if err != nil {
-				t.Fatalf("%s/%s: run: %v", bm.Name, gc.name, err)
+				t.Fatalf("%s/%s: run: %v", bm.Name, gc.Name, err)
 			}
 			mix := make([]int64, len(res.OpMix))
 			copy(mix, res.OpMix[:])
 			pts = append(pts, goldenPoint{
-				Benchmark: bm.Name,
-				Config:    gc.name,
-				Cycles:    res.Cycles,
-				Instrs:    res.Instrs,
-				Connects:  res.Connects,
-				MemOps:    res.MemOps,
-				Mispred:   res.Mispredicts,
-				RetInt:    res.RetInt,
-				StallData: res.StallData,
-				StallMem:  res.StallMem,
-				StallConn: res.StallConn,
-				OpMix:     mix,
+				Benchmark:   bm.Name,
+				Config:      gc.Name,
+				Cycles:      res.Cycles,
+				Instrs:      res.Instrs,
+				Connects:    res.Connects,
+				MemOps:      res.MemOps,
+				Mispred:     res.Mispredicts,
+				RetInt:      res.RetInt,
+				StallData:   res.StallData,
+				StallMem:    res.StallMem,
+				StallConn:   res.StallConn,
+				StallBranch: res.StallBranch,
+				OpMix:       mix,
 			})
 		}
 	}
@@ -134,7 +114,8 @@ func TestGoldenSimulatorEquivalence(t *testing.T) {
 		}
 		if g.Cycles != w.Cycles || g.Instrs != w.Instrs || g.Connects != w.Connects ||
 			g.MemOps != w.MemOps || g.Mispred != w.Mispred || g.RetInt != w.RetInt ||
-			g.StallData != w.StallData || g.StallMem != w.StallMem || g.StallConn != w.StallConn {
+			g.StallData != w.StallData || g.StallMem != w.StallMem || g.StallConn != w.StallConn ||
+			g.StallBranch != w.StallBranch {
 			t.Errorf("%s/%s: result drifted:\n got %+v\nwant %+v", w.Benchmark, w.Config, g, w)
 			continue
 		}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+
+	"regconn"
+	"regconn/internal/bench"
+	"regconn/internal/machine"
+)
+
+// LedgerConfig is one pinned benchmark architecture of the golden grid.
+type LedgerConfig struct {
+	Name string
+	Arch regconn.Arch
+}
+
+// LedgerConfigs returns the four architectures pinned per benchmark by the
+// golden file and the ledger invariant tests: the paper's center point
+// (4-issue, 2-cycle loads, 16/32 cores, model-3 RC with combined
+// connects), the spill-only and unlimited contrasts, and the
+// 1-cycle-connect scenario that exercises the connect-latency interlock.
+func LedgerConfigs(bm bench.Benchmark) []LedgerConfig {
+	core := 16
+	if bm.FP {
+		core = 32
+	}
+	base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true}
+	return []LedgerConfig{
+		{"center-rc", archFor(bm, core, withMode(base, regconn.WithRC))},
+		{"without-rc", archFor(bm, core, withMode(base, regconn.WithoutRC))},
+		{"unlimited", regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.Unlimited}},
+		{"rc-1cy-connect", archFor(bm, core, regconn.Arch{Issue: 4, LoadLatency: 2,
+			Mode: regconn.WithRC, CombineConnects: true, ConnectLatency: 1})},
+	}
+}
+
+// PointStats is the machine-readable statistics of one golden point.
+type PointStats struct {
+	Benchmark string        `json:"benchmark"`
+	Config    string        `json:"config"`
+	Stats     machine.Stats `json:"stats"`
+}
+
+// StatsReport simulates every golden benchmark×config point of the
+// runner's suite and returns full cycle-ledger statistics per point —
+// stall breakdown, issue-slot utilization histogram, and map-table
+// telemetry — verifying the ledger invariant on each. It is the
+// machine-readable counterpart of the golden file, fanned out across the
+// runner's worker pool.
+func (r *Runner) StatsReport() ([]PointStats, error) {
+	type job struct {
+		bm bench.Benchmark
+		lc LedgerConfig
+	}
+	var jobs []job
+	for _, bm := range r.sortedBench() {
+		for _, lc := range LedgerConfigs(bm) {
+			jobs = append(jobs, job{bm, lc})
+		}
+	}
+	out := make([]PointStats, len(jobs))
+	errs := make([]error, len(jobs))
+	r.forAll(len(jobs), func(i int) {
+		jb := jobs[i]
+		ex, err := regconn.Build(jb.bm.Build(), jb.lc.Arch)
+		if err != nil {
+			errs[i] = fmt.Errorf("%s/%s: %w", jb.bm.Name, jb.lc.Name, err)
+			return
+		}
+		res, err := ex.Run()
+		if err != nil {
+			errs[i] = fmt.Errorf("%s/%s: %w", jb.bm.Name, jb.lc.Name, err)
+			return
+		}
+		if err := res.CheckLedger(); err != nil {
+			errs[i] = fmt.Errorf("%s/%s: %w", jb.bm.Name, jb.lc.Name, err)
+			return
+		}
+		out[i] = PointStats{Benchmark: jb.bm.Name, Config: jb.lc.Name, Stats: res.Stats()}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -131,6 +131,31 @@ const (
 	KindHalt
 )
 
+// kindNames labels the functional-unit classes for stats export.
+var kindNames = [...]string{
+	KindNop:     "nop",
+	KindIntALU:  "int-alu",
+	KindIntMul:  "int-mul",
+	KindIntDiv:  "int-div",
+	KindFPALU:   "fp-alu",
+	KindFPMul:   "fp-mul",
+	KindFPDiv:   "fp-div",
+	KindFPConv:  "fp-conv",
+	KindLoad:    "load",
+	KindStore:   "store",
+	KindBranch:  "branch",
+	KindCall:    "call",
+	KindConnect: "connect",
+	KindHalt:    "halt",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
 // OpMeta is the static description of one opcode: its functional-unit
 // (latency) class, classification flags, and operand roles. The table is
 // consulted once per instruction at predecode time; the simulator's hot

@@ -16,6 +16,9 @@ func (s *simState) physReadI(n int) int {
 	if g := s.tabI.Gen(); s.rStampI[n] != g {
 		s.rPhysI[n] = int32(s.tabI.ReadPhys(n))
 		s.rStampI[n] = g
+		s.res.ResolveMisses++
+	} else {
+		s.res.ResolveHits++
 	}
 	return int(s.rPhysI[n])
 }
@@ -26,6 +29,9 @@ func (s *simState) physWriteI(n int) int {
 	if g := s.tabI.Gen(); s.wStampI[n] != g {
 		s.wPhysI[n] = int32(s.tabI.WritePhys(n))
 		s.wStampI[n] = g
+		s.res.ResolveMisses++
+	} else {
+		s.res.ResolveHits++
 	}
 	return int(s.wPhysI[n])
 }
@@ -35,6 +41,9 @@ func (s *simState) physReadF(n int) int {
 	if g := s.tabF.Gen(); s.rStampF[n] != g {
 		s.rPhysF[n] = int32(s.tabF.ReadPhys(n))
 		s.rStampF[n] = g
+		s.res.ResolveMisses++
+	} else {
+		s.res.ResolveHits++
 	}
 	return int(s.rPhysF[n])
 }
@@ -43,6 +52,9 @@ func (s *simState) physWriteF(n int) int {
 	if g := s.tabF.Gen(); s.wStampF[n] != g {
 		s.wPhysF[n] = int32(s.tabF.WritePhys(n))
 		s.wStampF[n] = g
+		s.res.ResolveMisses++
+	} else {
+		s.res.ResolveHits++
 	}
 	return int(s.wPhysF[n])
 }

@@ -42,6 +42,32 @@ type MultiResult struct {
 	Switches     int64
 	SwitchCycles int64 // total context-switch overhead charged
 	Cycles       int64 // global cycles including switch overhead
+
+	// MapInt, MapFP are telemetry snapshots of the shared mapping tables
+	// (the per-process Results cannot carry them: all processes mutate the
+	// same physical tables).
+	MapInt, MapFP core.Stats
+}
+
+// CheckLedger verifies the global cycle ledger: the final clock equals
+// each process's own active cycles plus the context-switch overhead, and
+// every per-process ledger closes.
+func (m *MultiResult) CheckLedger() error {
+	var active int64
+	for i, r := range m.Results {
+		if r == nil {
+			return fmt.Errorf("machine: process %d has no result", i)
+		}
+		if err := r.CheckLedger(); err != nil {
+			return fmt.Errorf("process %d: %w", i, err)
+		}
+		active += r.ActiveCycles
+	}
+	if got := active + m.SwitchCycles; got != m.Cycles {
+		return fmt.Errorf("machine: multiprogrammed ledger does not close: active %d + switch %d = %d, want %d cycles",
+			active, m.SwitchCycles, got, m.Cycles)
+	}
+	return nil
 }
 
 // RunMultiprogrammed time-slices the images on one machine with the given
@@ -148,6 +174,12 @@ func RunMultiprogrammed(imgs []*Image, cfg Config, quantum int64, mode SaveMode)
 				s.res.RetInt = ri[2]
 				out.Results[i] = s.res
 			}
+			if remaining == 0 {
+				// The last process has halted: there is nothing to
+				// switch to, so the OS performs no save and charges no
+				// switch cost.
+				break
+			}
 			save(i)
 			out.Switches++
 			out.SwitchCycles += switchCost
@@ -162,5 +194,7 @@ func RunMultiprogrammed(imgs []*Image, cfg Config, quantum int64, mode SaveMode)
 		}
 	}
 	out.Cycles = clock
+	out.MapInt = tabI.Stats()
+	out.MapFP = tabF.Stats()
 	return out, nil
 }

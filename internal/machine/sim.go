@@ -109,14 +109,65 @@ type Result struct {
 	StallData   int64
 	StallMem    int64
 	StallConn   int64
-	StallBranch int64
+	StallBranch int64 // mispredict front-end refill penalty cycles
+
+	// HaltCycles counts the final HALT-fetch cycle when nothing issued in
+	// it (0 or 1 per program; the halt cycle is an issue cycle otherwise).
+	HaltCycles int64
+
+	// ActiveCycles is the number of cycles this process occupied the
+	// machine. Equal to Cycles for single-process runs; in a
+	// multiprogrammed run Cycles is the global clock at halt while
+	// ActiveCycles is this process's own share of it.
+	ActiveCycles int64
+
+	// IssueHist[k] counts cycles in which exactly k instructions issued
+	// (length Config.IssueRate+1): per-cycle issue-slot utilization.
+	IssueHist []int64
+
+	// Resolution-cache telemetry (issue.go): operand resolutions served
+	// from the per-map-entry cache vs recomputed through the mapping table.
+	ResolveHits   int64
+	ResolveMisses int64
 
 	// Interrupt accounting (Config.Trap).
 	Traps         int64
 	TrapOverheads int64 // cycles spent in handlers / context switches
 
+	// Map-table telemetry, captured when a single-process run completes.
+	// Multiprogrammed processes share the tables; see MultiResult.
+	MapInt, MapFP core.Stats
+
 	// OpMix counts dynamic instructions by functional-unit class.
 	OpMix [16]int64
+}
+
+// CheckLedger verifies that every cycle this process occupied the machine
+// is attributed to exactly one bucket: issue cycles (IssueHist), branch
+// penalty, and trap overhead must sum to ActiveCycles; zero-issue cycles
+// must be fully explained by the three stall reasons plus the halt cycle;
+// and the issue histogram must account for every issued instruction.
+func (r *Result) CheckLedger() error {
+	if r.IssueHist == nil {
+		return errors.New("machine: result has no issue histogram")
+	}
+	var histCycles, histInstrs int64
+	for k, c := range r.IssueHist {
+		histCycles += c
+		histInstrs += int64(k) * c
+	}
+	if got := histCycles + r.StallBranch + r.TrapOverheads; got != r.ActiveCycles {
+		return fmt.Errorf("machine: ledger does not close: issue %d + branch %d + trap %d = %d, want %d active cycles",
+			histCycles, r.StallBranch, r.TrapOverheads, got, r.ActiveCycles)
+	}
+	if got := r.StallData + r.StallMem + r.StallConn + r.HaltCycles; got != r.IssueHist[0] {
+		return fmt.Errorf("machine: zero-issue cycles unattributed: data %d + mem %d + connect %d + halt %d = %d, want %d",
+			r.StallData, r.StallMem, r.StallConn, r.HaltCycles, got, r.IssueHist[0])
+	}
+	if histInstrs != r.Instrs {
+		return fmt.Errorf("machine: issue histogram covers %d instructions, result has %d", histInstrs, r.Instrs)
+	}
+	return nil
 }
 
 // MixOf returns the dynamic count for a functional-unit class.
@@ -157,6 +208,8 @@ func Run(img *Image, cfg Config) (res *Result, err error) {
 		return nil, fmt.Errorf("%w at pc=%d", ErrCycleLimit, s.pc)
 	}
 	s.res.RetInt = s.ri[2]
+	s.res.MapInt = s.tabI.Stats()
+	s.res.MapFP = s.tabF.Stats()
 	return s.res, nil
 }
 
@@ -208,8 +261,9 @@ func newSimState(img *Image, cfg Config, ri []int64, rf []float64,
 		rStampI: make([]uint64, cfg.IntCore), wStampI: make([]uint64, cfg.IntCore),
 		rPhysF: make([]int32, cfg.FPCore), wPhysF: make([]int32, cfg.FPCore),
 		rStampF: make([]uint64, cfg.FPCore), wStampF: make([]uint64, cfg.FPCore),
-		res: &Result{Mem: m, Layout: img.Layout},
-		pc:  img.Entry,
+		res: &Result{Mem: m, Layout: img.Layout,
+			IssueHist: make([]int64, cfg.IssueRate+1)},
+		pc: img.Entry,
 	}
 	for i := range s.lcI {
 		s.lcI[i] = -1
@@ -248,6 +302,8 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 	if cfg.ExtraDecodeStage {
 		penalty++
 	}
+	start := s.cycle
+	defer func() { s.res.ActiveCycles += s.cycle - start }()
 	for {
 		cycle := s.cycle
 		if cycle >= stopAt {
@@ -265,12 +321,20 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 		var firstStall stallReason
 		branchRedirect := false
 		var traceLine []string
-		tracing := cfg.Trace != nil && (cfg.TraceCycles == 0 || cycle < cfg.TraceCycles)
+		// issueCycle is the cycle the issue engine runs in; `cycle` may
+		// additionally absorb a mispredict penalty below, so trace lines
+		// are stamped with issueCycle to stay monotonic.
+		issueCycle := cycle
+		tracing := cfg.Trace != nil && (cfg.TraceCycles == 0 || issueCycle < cfg.TraceCycles)
 		for issued < cfg.IssueRate {
 			u := &s.code[s.pc]
 			if u.Op == isa.HALT {
 				if tracing {
-					fmt.Fprintf(cfg.Trace, "%8d  halt\n", cycle)
+					fmt.Fprintf(cfg.Trace, "%8d  halt\n", issueCycle)
+				}
+				s.res.IssueHist[issued]++
+				if issued == 0 {
+					s.res.HaltCycles++
 				}
 				s.cycle = cycle + 1
 				s.res.Cycles = s.cycle
@@ -304,10 +368,12 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 			if mispredict {
 				s.res.Mispredicts++
 				cycle += penalty
+				s.res.StallBranch += penalty
 				branchRedirect = true
 				break
 			}
 		}
+		s.res.IssueHist[issued]++
 		if issued == 0 && !branchRedirect {
 			switch firstStall {
 			case stallData:
@@ -320,9 +386,9 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 		}
 		if tracing {
 			if issued == 0 {
-				fmt.Fprintf(cfg.Trace, "%8d  (stall: %s)\n", cycle, stallNames[firstStall])
+				fmt.Fprintf(cfg.Trace, "%8d  (stall: %s)\n", issueCycle, stallNames[firstStall])
 			} else {
-				fmt.Fprintf(cfg.Trace, "%8d  %s\n", cycle, strings.Join(traceLine, " | "))
+				fmt.Fprintf(cfg.Trace, "%8d  %s\n", issueCycle, strings.Join(traceLine, " | "))
 			}
 		}
 		s.cycle = cycle + 1
