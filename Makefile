@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench exp clean
+.PHONY: all build test verify lint bench exp clean
 
 all: verify
 
@@ -13,13 +13,21 @@ test:
 	$(GO) test ./...
 
 # verify is the tier-1 gate (see ROADMAP.md): build, vet, formatting,
-# full tests, and the data-race check on the parallel experiment runner.
+# full tests, the data-race check on the parallel experiment runner, and
+# the static map-state verifier over the full benchmark × mode × model ×
+# combine grid (cmd/rclint).
 verify: build
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) test ./...
 	$(GO) test -race ./internal/exp/...
+	$(GO) run ./cmd/rclint
+
+# lint runs only the static map-state verifier sweep (a sub-step of
+# verify, useful while iterating on codegen or the scheduler).
+lint:
+	$(GO) run ./cmd/rclint
 
 # bench regenerates BENCH_sim.json, the tracked simulator performance
 # snapshot (figure-regeneration time and raw simulation throughput).

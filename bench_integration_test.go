@@ -22,6 +22,9 @@ func TestBenchmarksAllConfigs(t *testing.T) {
 		{Issue: 8, LoadLatency: 4, IntCore: 24, FPCore: 48, Mode: WithRC, CombineConnects: true, ConnectLatency: 1, ExtraDecodeStage: true},
 		{Issue: 4, LoadLatency: 2, IntCore: 64, FPCore: 128, Mode: Unlimited},
 	}
+	for i := range configs {
+		configs[i].Verify = true
+	}
 	for _, bm := range bench.All() {
 		bm := bm
 		for ci, arch := range configs {

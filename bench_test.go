@@ -16,7 +16,7 @@ import (
 
 func archDefault() regconn.Arch {
 	return regconn.Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32,
-		Mode: regconn.WithRC, CombineConnects: true}
+		Mode: regconn.WithRC, CombineConnects: true, Verify: true}
 }
 
 // lastVals returns the summary (geomean) row of a table.

@@ -1,0 +1,207 @@
+// Command rclint sweeps the benchmark suite across register modes, RC
+// automatic-reset models, and connect-combining settings, running the
+// static map-state verifier (internal/mapcheck) on every compiled program
+// and reporting each violation with its function and instruction index.
+//
+// Usage:
+//
+//	rclint [-bench all|name,name] [-issue 1,4,8] [-intcore 16] [-fpcore 32]
+//	       [-quick] [-workers N] [-v]
+//
+// The default grid is every benchmark × {spill, unlimited, rc × 4 models ×
+// combine on/off} × the requested issue rates — the full correctness
+// surface of the code generator and scheduler. -quick restricts the sweep
+// to one issue rate and the evaluated model 3 (both combine settings).
+// Exit status is 1 when any violation is found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"regconn"
+	"regconn/internal/bench"
+	"regconn/internal/core"
+	"regconn/internal/mapcheck"
+)
+
+type point struct {
+	bm   bench.Benchmark
+	arch regconn.Arch
+	desc string
+}
+
+type finding struct {
+	desc string
+	vs   []mapcheck.Violation
+	err  error
+}
+
+func main() {
+	var (
+		bmList  = flag.String("bench", "all", "benchmarks to sweep (comma list, or 'all')")
+		issues  = flag.String("issue", "1,4,8", "issue rates to sweep (comma list)")
+		intCore = flag.Int("intcore", 16, "core integer registers")
+		fpCore  = flag.Int("fpcore", 32, "core floating-point registers")
+		quick   = flag.Bool("quick", false, "one issue rate, model 3 only")
+		windows = flag.String("windows", "lru", "connect-window policy: lru, round-robin, first-free")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel builds")
+		verbose = flag.Bool("v", false, "print every point checked")
+	)
+	flag.Parse()
+
+	bms, err := selectBenchmarks(*bmList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rclint:", err)
+		os.Exit(2)
+	}
+	rates, err := parseInts(*issues)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rclint: -issue:", err)
+		os.Exit(2)
+	}
+	if *quick {
+		rates = rates[:1]
+	}
+	var winPolicy regconn.WindowPolicy
+	switch *windows {
+	case "lru":
+		winPolicy = regconn.WindowLRU
+	case "round-robin":
+		winPolicy = regconn.WindowRoundRobin
+	case "first-free":
+		winPolicy = regconn.WindowFirstFree
+	default:
+		fmt.Fprintf(os.Stderr, "rclint: unknown -windows policy %q\n", *windows)
+		os.Exit(2)
+	}
+
+	var points []point
+	for _, bm := range bms {
+		for _, issue := range rates {
+			base := regconn.Arch{Issue: issue, LoadLatency: 2, IntCore: *intCore, FPCore: *fpCore,
+				Windows: winPolicy}
+			for _, cfg := range archGrid(base, *quick) {
+				points = append(points, point{bm: bm, arch: cfg.arch,
+					desc: fmt.Sprintf("%s %s", bm.Name, cfg.name)})
+			}
+		}
+	}
+
+	results := make([]finding, len(points))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxInt(*workers, 1))
+	for i := range points {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pt := points[i]
+			ex, err := regconn.Build(pt.bm.Build(), pt.arch)
+			if err != nil {
+				results[i] = finding{desc: pt.desc, err: err}
+				return
+			}
+			results[i] = finding{desc: pt.desc, vs: ex.MapCheck()}
+		}(i)
+	}
+	wg.Wait()
+
+	bad := 0
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			bad++
+			fmt.Printf("FAIL %s: build: %v\n", r.desc, r.err)
+		case len(r.vs) > 0:
+			bad++
+			fmt.Printf("FAIL %s: %d violation(s)\n", r.desc, len(r.vs))
+			for _, v := range r.vs {
+				fmt.Printf("     %s\n", v)
+			}
+		case *verbose:
+			fmt.Printf("ok   %s\n", r.desc)
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("rclint: %d of %d points failed\n", bad, len(points))
+		os.Exit(1)
+	}
+	fmt.Printf("rclint: %d points clean\n", len(points))
+}
+
+type namedArch struct {
+	name string
+	arch regconn.Arch
+}
+
+// archGrid expands one base architecture into the mode × model × combine
+// grid. Models and combining only exist under RC; spill and unlimited each
+// contribute a single identity-checked point.
+func archGrid(base regconn.Arch, quick bool) []namedArch {
+	var out []namedArch
+	spill, unlim := base, base
+	spill.Mode = regconn.WithoutRC
+	unlim.Mode = regconn.Unlimited
+	out = append(out,
+		namedArch{fmt.Sprintf("issue%d spill", base.Issue), spill},
+		namedArch{fmt.Sprintf("issue%d unlimited", base.Issue), unlim},
+	)
+	models := []core.Model{core.NoReset, core.WriteReset, core.WriteResetReadUpdate, core.ReadWriteReset}
+	if quick {
+		models = []core.Model{core.WriteResetReadUpdate}
+	}
+	for _, model := range models {
+		for _, combine := range []bool{true, false} {
+			a := base
+			a.Mode = regconn.WithRC
+			a.Model = model
+			a.CombineConnects = combine
+			out = append(out, namedArch{
+				fmt.Sprintf("issue%d rc model%d combine=%v", base.Issue, model, combine), a})
+		}
+	}
+	return out
+}
+
+func selectBenchmarks(list string) ([]bench.Benchmark, error) {
+	if list == "all" {
+		return bench.All(), nil
+	}
+	var out []bench.Benchmark
+	for _, name := range strings.Split(list, ",") {
+		bm, err := bench.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bm)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -17,7 +17,7 @@ func TestBuildIsDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		arch := Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32,
-			Mode: WithRC, CombineConnects: true}
+			Mode: WithRC, CombineConnects: true, Verify: true}
 		render := func() string {
 			ex, err := Build(bm.Build(), arch)
 			if err != nil {

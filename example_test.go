@@ -25,6 +25,7 @@ func ExampleBuild() {
 	ex, err := regconn.Build(p, regconn.Arch{
 		Issue: 4, LoadLatency: 2, IntCore: 8, FPCore: 16,
 		Mode: regconn.WithRC, CombineConnects: true,
+		Verify: true, // statically check every map resolution (rclint)
 	})
 	if err != nil {
 		panic(err)

@@ -180,17 +180,34 @@ func (g *progGen) stmt() {
 	}
 }
 
-// fuzzArchs is the configuration set each random program is verified on.
+// fuzzArchs is the configuration set each random program is verified on:
+// the non-RC contrasts, every automatic-reset model with combining both on
+// and off (each model × combine pairing has distinct connect placement and
+// reset side effects), and a randomized wide-issue RC point. All points
+// run the static map-state verifier in addition to the interpreter oracle.
 func fuzzArchs(rng *rand.Rand) []Arch {
 	models := []Model{ModelNoReset, ModelWriteReset, ModelWriteResetReadUpdate, ModelReadWriteReset}
-	return []Arch{
+	out := []Arch{
 		{Issue: 1, LoadLatency: 2, IntCore: 8, FPCore: 16, Mode: WithoutRC},
-		{Issue: 4, LoadLatency: 2, IntCore: 8, FPCore: 16, Mode: WithRC, CombineConnects: true,
-			Model: models[rng.Intn(len(models))]},
 		{Issue: 8, LoadLatency: 4, IntCore: 16, FPCore: 32, Mode: WithRC,
+			Model:          models[rng.Intn(len(models))],
 			ConnectLatency: rng.Intn(2), ExtraDecodeStage: rng.Intn(2) == 0},
 		{Issue: 4, LoadLatency: 2, Mode: Unlimited},
 	}
+	for _, model := range models {
+		for _, combine := range []bool{true, false} {
+			issue := 4
+			if !combine {
+				issue = 2
+			}
+			out = append(out, Arch{Issue: issue, LoadLatency: 2, IntCore: 8, FPCore: 16,
+				Mode: WithRC, Model: model, CombineConnects: combine})
+		}
+	}
+	for i := range out {
+		out[i].Verify = true
+	}
+	return out
 }
 
 // TestFuzzEndToEnd compiles many random programs under randomized

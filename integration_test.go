@@ -214,6 +214,9 @@ func archMatrix() []Arch {
 		Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32, Mode: WithRC, CombineConnects: true, NoSchedule: true},
 		Arch{Issue: 1, LoadLatency: 2, IntCore: 8, FPCore: 16, Mode: WithoutRC, ScalarOnly: true},
 	)
+	for i := range out {
+		out[i].Verify = true
+	}
 	return out
 }
 
@@ -249,7 +252,7 @@ func TestEndToEnd(t *testing.T) {
 // than the without-RC model and close to the unlimited model.
 func TestRCBeatsSpillUnderPressure(t *testing.T) {
 	run := func(mode RegMode) *machineResult {
-		arch := Arch{Issue: 4, LoadLatency: 2, IntCore: 8, FPCore: 16, Mode: mode, CombineConnects: true}
+		arch := Arch{Issue: 4, LoadLatency: 2, IntCore: 8, FPCore: 16, Mode: mode, CombineConnects: true, Verify: true}
 		ex, err := Build(buildPressureInt(), arch)
 		if err != nil {
 			t.Fatalf("build %v: %v", mode, err)
@@ -281,7 +284,7 @@ type machineResult struct{ cycles, instrs int64 }
 // with-RC builds that use extended registers.
 func TestConnectsOnlyWithRC(t *testing.T) {
 	for _, mode := range []RegMode{Unlimited, WithoutRC} {
-		ex, err := Build(buildPressureInt(), Arch{Issue: 4, IntCore: 8, FPCore: 16, Mode: mode})
+		ex, err := Build(buildPressureInt(), Arch{Issue: 4, IntCore: 8, FPCore: 16, Mode: mode, Verify: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -289,7 +292,7 @@ func TestConnectsOnlyWithRC(t *testing.T) {
 			t.Errorf("%v build has %d connects", mode, ex.ConnectInstrs)
 		}
 	}
-	ex, err := Build(buildPressureInt(), Arch{Issue: 4, IntCore: 8, FPCore: 16, Mode: WithRC, CombineConnects: true})
+	ex, err := Build(buildPressureInt(), Arch{Issue: 4, IntCore: 8, FPCore: 16, Mode: WithRC, CombineConnects: true, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +307,7 @@ func TestConnectsOnlyWithRC(t *testing.T) {
 // TestCodeGrowth checks the Figure 9 accounting: without-RC code growth
 // comes from spills, with-RC growth from connects plus save/restore.
 func TestCodeGrowth(t *testing.T) {
-	spill, err := Build(buildPressureInt(), Arch{Issue: 4, IntCore: 8, FPCore: 16, Mode: WithoutRC})
+	spill, err := Build(buildPressureInt(), Arch{Issue: 4, IntCore: 8, FPCore: 16, Mode: WithoutRC, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +317,7 @@ func TestCodeGrowth(t *testing.T) {
 	if spill.CodeGrowth() <= 0 {
 		t.Errorf("without-RC growth = %v", spill.CodeGrowth())
 	}
-	rc, err := Build(buildPressureInt(), Arch{Issue: 4, IntCore: 8, FPCore: 16, Mode: WithRC, CombineConnects: true})
+	rc, err := Build(buildPressureInt(), Arch{Issue: 4, IntCore: 8, FPCore: 16, Mode: WithRC, CombineConnects: true, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}

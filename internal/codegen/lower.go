@@ -19,7 +19,7 @@ func Lower(p *ir.Program, pa *regalloc.ProgramAssignment, cfg Config) (*MProg, e
 	}
 	gidx := globalIndex(p)
 	reach := callReachability(p)
-	mp := &MProg{Entry: "__start", IR: p}
+	mp := &MProg{Entry: "__start", IR: p, Cfg: cfg}
 	start := &MFunc{Name: "__start"}
 	start.Code = []isa.Instr{
 		{Op: isa.CALL, Sym: "main"},

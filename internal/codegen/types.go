@@ -75,9 +75,15 @@ const (
 	RootOpaque           // some register value; Root is a virtual reg id
 )
 
-// Annot carries compiler-known facts about one machine instruction for the
-// scheduler: resolved physical registers (the map indices in the
-// instruction are not the truth under RC) and memory provenance.
+// Annot carries compiler-known facts about one machine instruction: the
+// per-operand *intent* — the physical register each operand is meant to
+// resolve to through the mapping table (the map indices in the instruction
+// are not the truth under RC) — and memory provenance. The scheduler builds
+// its dependence graph from these, and the static map-state verifier
+// (package mapcheck) independently re-derives every resolution from the
+// connect stream and checks it against them; an instruction that reads or
+// writes a register operand must therefore carry the corresponding PA/PB/
+// PDst, or verification fails with a missing-intent violation.
 type Annot struct {
 	PDst int32 // physical destination register, -1 if none
 	PA   int32 // physical first source, -1 if none
@@ -113,6 +119,12 @@ type MProg struct {
 	Funcs []*MFunc
 	Entry string // start function (calls main, then halts)
 	IR    *ir.Program
+
+	// Cfg records the lowering configuration the program was generated
+	// under (conventions, register mode, RC model, connect combining), so
+	// downstream consumers — the scheduler and the mapcheck verifier —
+	// interpret the code under exactly the semantics it was compiled for.
+	Cfg Config
 }
 
 // FindFunc returns the machine function with the given name, or nil.

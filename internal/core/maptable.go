@@ -283,11 +283,24 @@ func (t *MapTable) SaveContext() Context {
 }
 
 // RestoreContext restores connection state saved by SaveContext. It panics
-// if the context geometry does not match the table.
+// if the context geometry does not match the table, or if any entry
+// references a physical register outside the table's file — a corrupted or
+// foreign context must not be silently installed (every map lookup after
+// an unchecked copy would index the register file out of bounds).
 func (t *MapTable) RestoreContext(c Context) {
 	if len(c.Read) != t.m || len(c.Write) != t.m {
 		panic(fmt.Sprintf("core: context geometry %d/%d does not match table m=%d",
 			len(c.Read), len(c.Write), t.m))
+	}
+	for i := 0; i < t.m; i++ {
+		if int(c.Read[i]) >= t.n {
+			panic(fmt.Sprintf("core: context read map entry %d references physical register %d outside file [0,%d)",
+				i, c.Read[i], t.n))
+		}
+		if int(c.Write[i]) >= t.n {
+			panic(fmt.Sprintf("core: context write map entry %d references physical register %d outside file [0,%d)",
+				i, c.Write[i], t.n))
+		}
 	}
 	copy(t.read, c.Read)
 	copy(t.write, c.Write)

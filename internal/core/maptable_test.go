@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -160,6 +162,50 @@ func TestGeometryPanics(t *testing.T) {
 	mustPanic("idx range", func() { tab.ReadPhys(8) })
 	mustPanic("phys range", func() { tab.ConnectUse(0, 64) })
 	mustPanic("ctx geometry", func() { tab.RestoreContext(Context{Read: make([]uint16, 4), Write: make([]uint16, 4)}) })
+}
+
+func TestRestoreContextBounds(t *testing.T) {
+	// A context whose entries reference physical registers outside the
+	// table's file must be rejected, not silently installed: once copied,
+	// every lookup through the poisoned entry would index the register
+	// file out of bounds.
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: expected panic", name)
+				return
+			}
+			if !strings.Contains(fmt.Sprint(r), "outside file") {
+				t.Errorf("%s: panic message %q does not explain the bounds violation", name, r)
+			}
+		}()
+		fn()
+	}
+	tab := NewMapTable(NoReset, 8, 64)
+	good := tab.SaveContext()
+
+	bad := Context{Read: append([]uint16(nil), good.Read...), Write: append([]uint16(nil), good.Write...)}
+	bad.Read[3] = 64 // == n: first out-of-file register
+	mustPanic("read entry out of file", func() { tab.RestoreContext(bad) })
+
+	bad2 := Context{Read: append([]uint16(nil), good.Read...), Write: append([]uint16(nil), good.Write...)}
+	bad2.Write[7] = 9999
+	mustPanic("write entry out of file", func() { tab.RestoreContext(bad2) })
+
+	// The rejected restores must not have modified the table.
+	for i := 0; i < 8; i++ {
+		if tab.ReadPhys(i) != i || tab.WritePhys(i) != i {
+			t.Fatalf("rejected restore mutated the table at entry %d", i)
+		}
+	}
+	// A context at the geometry boundary (phys n-1) is legal.
+	ok := Context{Read: append([]uint16(nil), good.Read...), Write: append([]uint16(nil), good.Write...), Enabled: good.Enabled}
+	ok.Read[2] = 63
+	tab.RestoreContext(ok)
+	if tab.ReadPhys(2) != 63 {
+		t.Fatal("legal boundary context not restored")
+	}
 }
 
 // Property: under any sequence of connects and writes, (1) every map entry

@@ -99,8 +99,11 @@ func (r *Runner) Run(bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
 	return e.res, e.err
 }
 
-// runPoint is the uncached build+simulate+verify of one data point.
+// runPoint is the uncached build+simulate+verify of one data point. Every
+// point also runs the static map-state verifier (Arch.Verify): a sweep
+// result is only reported for code rclint proved correct.
 func runPoint(bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
+	arch.Verify = true
 	ex, err := regconn.Build(bm.Build(), arch)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", bm.Name, err)

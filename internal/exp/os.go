@@ -26,10 +26,10 @@ func (r *Runner) AblationPressure() (*Table, error) {
 	for _, bm := range r.sortedBench() {
 		var vals []float64
 		for _, cfg := range []regconn.Arch{
-			{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC, CombineConnects: true, ScalarOnly: true},
-			{Issue: 2, LoadLatency: 2, Mode: regconn.WithRC, CombineConnects: true},
-			{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC, CombineConnects: true},
-			{Issue: 8, LoadLatency: 2, Mode: regconn.WithRC, CombineConnects: true},
+			{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC, CombineConnects: true, ScalarOnly: true, Verify: true},
+			{Issue: 2, LoadLatency: 2, Mode: regconn.WithRC, CombineConnects: true, Verify: true},
+			{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC, CombineConnects: true, Verify: true},
+			{Issue: 8, LoadLatency: 2, Mode: regconn.WithRC, CombineConnects: true, Verify: true},
 		} {
 			cfg = archFor(bm, 16, cfg)
 			ex, err := regconn.Build(bm.Build(), cfg)
@@ -131,6 +131,7 @@ func (r *Runner) AblationOS() (*Table, error) {
 		},
 	}
 	overheadPct := func(bm benchLike, arch regconn.Arch) (float64, error) {
+		arch.Verify = true
 		ex, err := regconn.Build(bm.Build(), arch)
 		if err != nil {
 			return 0, err

@@ -24,13 +24,13 @@ func LedgerConfigs(bm bench.Benchmark) []LedgerConfig {
 	if bm.FP {
 		core = 32
 	}
-	base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true}
+	base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true, Verify: true}
 	return []LedgerConfig{
 		{"center-rc", archFor(bm, core, withMode(base, regconn.WithRC))},
 		{"without-rc", archFor(bm, core, withMode(base, regconn.WithoutRC))},
-		{"unlimited", regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.Unlimited}},
+		{"unlimited", regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.Unlimited, Verify: true}},
 		{"rc-1cy-connect", archFor(bm, core, regconn.Arch{Issue: 4, LoadLatency: 2,
-			Mode: regconn.WithRC, CombineConnects: true, ConnectLatency: 1})},
+			Mode: regconn.WithRC, CombineConnects: true, ConnectLatency: 1, Verify: true})},
 	}
 }
 

@@ -1,0 +1,256 @@
+package mapcheck
+
+import (
+	"strings"
+	"testing"
+
+	"regconn/internal/abi"
+	"regconn/internal/codegen"
+	"regconn/internal/core"
+	"regconn/internal/isa"
+	"regconn/internal/regalloc"
+)
+
+// Hand-built machine functions over an 8-core/16-total geometry:
+// windows (spill temps) are entries 4..7, extended registers 8..15.
+
+func rcCfg(model core.Model) codegen.Config {
+	return codegen.Config{
+		Conv:            abi.New(8, 16, 8, 16),
+		Mode:            regalloc.RC,
+		Model:           model,
+		CombineConnects: true,
+	}
+}
+
+func ann(dst, a, b int32) codegen.Annot { return codegen.Annot{PDst: dst, PA: a, PB: b} }
+
+const noP = codegen.NoPhys
+
+func conuse(idx, phys int) (isa.Instr, codegen.Annot) {
+	return isa.Instr{Op: isa.CONUSE, CIdx: [2]uint16{uint16(idx)}, CPhys: [2]uint16{uint16(phys)}, CClass: isa.ClassInt},
+		ann(noP, noP, noP)
+}
+
+func condef(idx, phys int) (isa.Instr, codegen.Annot) {
+	in, a := conuse(idx, phys)
+	in.Op = isa.CONDEF
+	return in, a
+}
+
+// mfunc assembles instruction/annotation pairs into an MFunc.
+func mfunc(name string, pairs ...any) *codegen.MFunc {
+	mf := &codegen.MFunc{Name: name}
+	for i := 0; i < len(pairs); i += 2 {
+		mf.Code = append(mf.Code, pairs[i].(isa.Instr))
+		mf.Ann = append(mf.Ann, pairs[i+1].(codegen.Annot))
+	}
+	return mf
+}
+
+func wantRules(t *testing.T, vs []Violation, rules ...string) {
+	t.Helper()
+	var got []string
+	for _, v := range vs {
+		got = append(got, v.Rule)
+	}
+	if len(got) != len(rules) {
+		t.Fatalf("got %d violations %v, want rules %v\n%v", len(got), got, rules, vs)
+	}
+	for i, r := range rules {
+		if got[i] != r {
+			t.Fatalf("violation %d: got rule %s, want %s\n%v", i, got[i], r, vs)
+		}
+	}
+}
+
+func TestCleanConnectSequence(t *testing.T) {
+	// def through a window to ext r10, then (model 3) read it back via the
+	// auto-updated read map, plus an explicit connect-use through another
+	// window.
+	cu, cua := conuse(5, 10)
+	cd, cda := condef(4, 10)
+	mf := mfunc("f",
+		isa.Instr{Op: isa.MOVI, Dst: isa.IntReg(2), Imm: 5}, ann(2, noP, noP),
+		cd, cda,
+		isa.Instr{Op: isa.ADD, Dst: isa.IntReg(4), A: isa.IntReg(2), Imm: 1, UseImm: true}, ann(10, 2, noP),
+		cu, cua,
+		isa.Instr{Op: isa.MOV, Dst: isa.IntReg(3), A: isa.IntReg(5)}, ann(3, 10, noP),
+		isa.Instr{Op: isa.RET}, ann(noP, noP, noP),
+	)
+	if vs := VerifyFunc(mf, rcCfg(core.WriteResetReadUpdate)); len(vs) != 0 {
+		t.Fatalf("clean program flagged: %v", vs)
+	}
+}
+
+func TestStaleReadAfterWriteReset(t *testing.T) {
+	// Model 2 resets only the write map: reading the window afterwards
+	// resolves to home, not the extended register the annotation intends.
+	cd, cda := condef(4, 10)
+	mf := mfunc("f",
+		cd, cda,
+		isa.Instr{Op: isa.ADD, Dst: isa.IntReg(4), Imm: 1, UseImm: true, A: isa.IntReg(2)}, ann(10, 2, noP),
+		isa.Instr{Op: isa.MOV, Dst: isa.IntReg(3), A: isa.IntReg(4)}, ann(3, 10, noP),
+		isa.Instr{Op: isa.RET}, ann(noP, noP, noP),
+	)
+	vs := VerifyFunc(mf, rcCfg(core.WriteReset))
+	wantRules(t, vs, RuleReadMap)
+	if vs[0].PC != 2 {
+		t.Fatalf("violation at pc %d, want 2: %v", vs[0].PC, vs[0])
+	}
+	if !strings.Contains(vs[0].Msg, "intended 10") {
+		t.Fatalf("message lacks intent: %q", vs[0].Msg)
+	}
+}
+
+func TestUnknownAtMerge(t *testing.T) {
+	// One path diverts entry 4's read map (model 1 never resets it), the
+	// other leaves it home; the merge read is path-dependent.
+	cu, cua := conuse(4, 10)
+	mf := mfunc("f",
+		isa.Instr{Op: isa.MOVI, Dst: isa.IntReg(2), Imm: 0}, ann(2, noP, noP),
+		isa.Instr{Op: isa.BEQ, A: isa.IntReg(2), Imm: 0, UseImm: true, Target: 4}, ann(noP, 2, noP),
+		cu, cua,
+		isa.Instr{Op: isa.MOV, Dst: isa.IntReg(3), A: isa.IntReg(4)}, ann(3, 10, noP),
+		isa.Instr{Op: isa.MOV, Dst: isa.IntReg(2), A: isa.IntReg(4)}, ann(2, 4, noP),
+		isa.Instr{Op: isa.RET}, ann(noP, noP, noP),
+	)
+	vs := VerifyFunc(mf, rcCfg(core.NoReset))
+	wantRules(t, vs, RuleReadMap)
+	if vs[0].PC != 4 {
+		t.Fatalf("violation at pc %d, want 4: %v", vs[0].PC, vs[0])
+	}
+	if !strings.Contains(vs[0].Msg, "path-dependent") {
+		t.Fatalf("unexpected message: %q", vs[0].Msg)
+	}
+}
+
+func TestDeadConnectAtCall(t *testing.T) {
+	// A divert that reaches a CALL unconsumed is dead: the hardware resets
+	// the table to home before the callee runs.
+	cu, cua := conuse(4, 10)
+	mf := mfunc("f",
+		cu, cua,
+		isa.Instr{Op: isa.CALL, Sym: "g"}, ann(noP, noP, noP),
+		isa.Instr{Op: isa.MOV, Dst: isa.IntReg(3), A: isa.IntReg(4)}, ann(3, 4, noP),
+		isa.Instr{Op: isa.RET}, ann(noP, noP, noP),
+	)
+	vs := VerifyFunc(mf, rcCfg(core.WriteResetReadUpdate))
+	wantRules(t, vs, RuleDeadConnect)
+	if vs[0].PC != 1 {
+		t.Fatalf("violation at pc %d, want 1 (the call): %v", vs[0].PC, vs[0])
+	}
+	if !strings.Contains(vs[0].Msg, "connect at pc 0") {
+		t.Fatalf("message does not locate the connect: %q", vs[0].Msg)
+	}
+}
+
+func TestDeadConnectOverwrite(t *testing.T) {
+	cu1, a1 := conuse(4, 10)
+	cu2, a2 := conuse(4, 11)
+	mf := mfunc("f",
+		cu1, a1,
+		cu2, a2,
+		isa.Instr{Op: isa.MOV, Dst: isa.IntReg(3), A: isa.IntReg(4)}, ann(3, 11, noP),
+		isa.Instr{Op: isa.RET}, ann(noP, noP, noP),
+	)
+	vs := VerifyFunc(mf, rcCfg(core.WriteResetReadUpdate))
+	wantRules(t, vs, RuleDeadConnect)
+	if vs[0].PC != 1 {
+		t.Fatalf("violation at pc %d, want 1: %v", vs[0].PC, vs[0])
+	}
+}
+
+func TestGeometryAndWindowRules(t *testing.T) {
+	badIdx, aIdx := conuse(3, 10)   // entry 3 is not a window
+	badPhys, aPhys := conuse(4, 20) // physical 20 outside n=16
+	badExt, aExt := conuse(5, 3)    // core register as connect target
+	mf := mfunc("f",
+		badIdx, aIdx,
+		badPhys, aPhys,
+		badExt, aExt,
+		isa.Instr{Op: isa.MOV, Dst: isa.IntReg(2), A: isa.IntReg(3)}, ann(2, 10, noP),
+		isa.Instr{Op: isa.MOV, Dst: isa.IntReg(2), A: isa.IntReg(5)}, ann(2, 3, noP),
+		isa.Instr{Op: isa.RET}, ann(noP, noP, noP),
+	)
+	vs := VerifyFunc(mf, rcCfg(core.WriteResetReadUpdate))
+	wantRules(t, vs, RuleWindow, RuleGeometry, RuleWindow)
+}
+
+func TestMissingIntent(t *testing.T) {
+	mf := mfunc("f",
+		isa.Instr{Op: isa.MOVI, Dst: isa.IntReg(2), Imm: 1}, ann(noP, noP, noP),
+		isa.Instr{Op: isa.RET}, ann(noP, noP, noP),
+	)
+	vs := VerifyFunc(mf, rcCfg(core.WriteResetReadUpdate))
+	wantRules(t, vs, RuleIntent)
+}
+
+func TestIdentityModeRejectsConnects(t *testing.T) {
+	cu, cua := conuse(4, 10)
+	mf := mfunc("f",
+		cu, cua,
+		isa.Instr{Op: isa.MOV, Dst: isa.IntReg(3), A: isa.IntReg(4)}, ann(3, 9, noP),
+		isa.Instr{Op: isa.RET}, ann(noP, noP, noP),
+	)
+	cfg := rcCfg(core.WriteResetReadUpdate)
+	cfg.Mode = regalloc.Spill
+	vs := VerifyFunc(mf, cfg)
+	wantRules(t, vs, RuleMode, RuleReadMap)
+}
+
+func TestCombineDisabledRejectsPairOps(t *testing.T) {
+	in := isa.Instr{Op: isa.CONUU,
+		CIdx: [2]uint16{4, 5}, CPhys: [2]uint16{10, 11}, CClass: isa.ClassInt}
+	mf := mfunc("f",
+		in, ann(noP, noP, noP),
+		isa.Instr{Op: isa.ADD, Dst: isa.IntReg(2), A: isa.IntReg(4), B: isa.IntReg(5)}, ann(2, 10, 11),
+		isa.Instr{Op: isa.RET}, ann(noP, noP, noP),
+	)
+	cfg := rcCfg(core.WriteResetReadUpdate)
+	cfg.CombineConnects = false
+	vs := VerifyFunc(mf, cfg)
+	wantRules(t, vs, RuleCombine)
+}
+
+func TestCallResetsToHome(t *testing.T) {
+	// After a CALL the table is home again: reading entry 4 with home
+	// intent must verify even though the pre-call state had it diverted
+	// (and consumed).
+	cu, cua := conuse(4, 10)
+	mf := mfunc("f",
+		cu, cua,
+		isa.Instr{Op: isa.MOV, Dst: isa.IntReg(3), A: isa.IntReg(4)}, ann(3, 10, noP),
+		isa.Instr{Op: isa.CALL, Sym: "g"}, ann(noP, noP, noP),
+		isa.Instr{Op: isa.MOV, Dst: isa.IntReg(3), A: isa.IntReg(4)}, ann(3, 4, noP),
+		isa.Instr{Op: isa.RET}, ann(noP, noP, noP),
+	)
+	if vs := VerifyFunc(mf, rcCfg(core.NoReset)); len(vs) != 0 {
+		t.Fatalf("post-call home read flagged: %v", vs)
+	}
+}
+
+func TestNoConfig(t *testing.T) {
+	mp := &codegen.MProg{Entry: "__start"}
+	vs := Verify(mp)
+	wantRules(t, vs, RuleNoConfig)
+}
+
+func TestCheckAggregatesError(t *testing.T) {
+	cu, cua := conuse(3, 10)
+	mp := &codegen.MProg{
+		Entry: "__start",
+		Cfg:   rcCfg(core.WriteResetReadUpdate),
+		Funcs: []*codegen.MFunc{mfunc("f",
+			cu, cua,
+			isa.Instr{Op: isa.RET}, ann(noP, noP, noP),
+		)},
+	}
+	err := Check(mp)
+	if err == nil {
+		t.Fatal("Check accepted a bad program")
+	}
+	if !strings.Contains(err.Error(), "f+0") {
+		t.Fatalf("error lacks location: %v", err)
+	}
+}

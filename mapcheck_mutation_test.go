@@ -1,0 +1,126 @@
+package regconn
+
+import (
+	"testing"
+
+	"regconn/internal/codegen"
+	"regconn/internal/isa"
+	"regconn/internal/mapcheck"
+)
+
+// Mutation tests: compile a correct program, corrupt its machine code the
+// way a compiler or scheduler bug would, and require the static verifier
+// to reject the mutant at the exact instruction. NoSchedule keeps each
+// connect adjacent to its consumer so the mutations are simple swaps.
+
+func buildForMutation(t *testing.T) *Executable {
+	t.Helper()
+	ex, err := Build(buildPressureInt(), Arch{
+		Issue: 4, IntCore: 16, FPCore: 32,
+		Mode: WithRC, CombineConnects: true,
+		NoSchedule: true, Verify: true,
+	})
+	if err != nil {
+		t.Fatalf("clean build rejected: %v", err)
+	}
+	if vs := ex.MapCheck(); len(vs) != 0 {
+		t.Fatalf("clean program flagged: %v", vs)
+	}
+	return ex
+}
+
+// findConnect returns the function and pc of the first connect matching
+// pred, searching past the entry stub.
+func findConnect(t *testing.T, mp *codegen.MProg, what string, pred func(*isa.Instr) bool) (*codegen.MFunc, int) {
+	t.Helper()
+	for _, f := range mp.Funcs {
+		if f.Name == mp.Entry {
+			continue
+		}
+		for pc := range f.Code {
+			in := &f.Code[pc]
+			if in.Op.Meta().Connect && pred(in) {
+				return f, pc
+			}
+		}
+	}
+	t.Fatalf("test program contains no %s; pick a higher-pressure program", what)
+	return nil, 0
+}
+
+// userOf returns the pc of the instruction consuming the connect at cpc
+// (the first non-connect instruction after it).
+func userOf(t *testing.T, f *codegen.MFunc, cpc int) int {
+	t.Helper()
+	for pc := cpc + 1; pc < len(f.Code); pc++ {
+		if !f.Code[pc].Op.Meta().Connect {
+			return pc
+		}
+	}
+	t.Fatalf("%s+%d: connect has no consumer", f.Name, cpc)
+	return 0
+}
+
+func requireViolationAt(t *testing.T, vs []mapcheck.Violation, fn string, pc int, rules ...string) {
+	t.Helper()
+	if len(vs) == 0 {
+		t.Fatal("verifier accepted the mutant")
+	}
+	v := vs[0]
+	if v.Func != fn || v.PC != pc {
+		t.Fatalf("first violation at %s+%d, want %s+%d: %v", v.Func, v.PC, fn, pc, v)
+	}
+	for _, r := range rules {
+		if v.Rule == r {
+			return
+		}
+	}
+	t.Fatalf("violation rule %s, want one of %v: %v", v.Rule, rules, v)
+}
+
+func TestMutationDropConnect(t *testing.T) {
+	ex := buildForMutation(t)
+	f, cpc := findConnect(t, ex.MProg, "single-pair connect-use", func(in *isa.Instr) bool {
+		return in.Op == isa.CONUSE
+	})
+	upc := userOf(t, f, cpc)
+	// Drop the connect (NOP keeps addresses stable): its consumer now
+	// reads the window's stale resolution instead of the extended register.
+	f.Code[cpc] = isa.Instr{Op: isa.NOP}
+	requireViolationAt(t, ex.MapCheck(), f.Name, upc, mapcheck.RuleReadMap)
+}
+
+func TestMutationSwapConnectPairOrder(t *testing.T) {
+	ex := buildForMutation(t)
+	f, cpc := findConnect(t, ex.MProg, "combined def-use connect with distinct pairs", func(in *isa.Instr) bool {
+		return in.Op == isa.CONDU &&
+			(in.CIdx[0] != in.CIdx[1] || in.CPhys[0] != in.CPhys[1])
+	})
+	upc := userOf(t, f, cpc)
+	// Swap the def and use pairs: the def now diverts the use's window on
+	// the wrong map side and vice versa.
+	in := &f.Code[cpc]
+	in.CIdx[0], in.CIdx[1] = in.CIdx[1], in.CIdx[0]
+	in.CPhys[0], in.CPhys[1] = in.CPhys[1], in.CPhys[0]
+	requireViolationAt(t, ex.MapCheck(), f.Name, upc,
+		mapcheck.RuleReadMap, mapcheck.RuleWriteMap)
+}
+
+func TestMutationHoistAboveConnect(t *testing.T) {
+	ex := buildForMutation(t)
+	// Find a connect-use whose consumer immediately follows it, and hoist
+	// the consumer above the connect — the illegal scheduler move the
+	// map-entry dependence edges exist to prevent.
+	f, cpc := findConnect(t, ex.MProg, "connect-use with adjacent consumer", func(in *isa.Instr) bool {
+		return in.Op == isa.CONUSE
+	})
+	upc := userOf(t, f, cpc)
+	if upc != cpc+1 {
+		t.Fatalf("consumer at %d not adjacent to connect at %d", upc, cpc)
+	}
+	f.Code[cpc], f.Code[upc] = f.Code[upc], f.Code[cpc]
+	f.Ann[cpc], f.Ann[upc] = f.Ann[upc], f.Ann[cpc]
+	// The consumer now executes before its connect and reads the stale
+	// map; the violation lands at its new address.
+	requireViolationAt(t, ex.MapCheck(), f.Name, cpc, mapcheck.RuleReadMap)
+}

@@ -23,6 +23,7 @@ import (
 	"regconn/internal/ir"
 	"regconn/internal/isa"
 	"regconn/internal/machine"
+	"regconn/internal/mapcheck"
 	"regconn/internal/mem"
 	"regconn/internal/opt"
 	"regconn/internal/regalloc"
@@ -92,6 +93,12 @@ type Arch struct {
 	ScalarOnly bool
 	// NoSchedule disables list scheduling (diagnostics).
 	NoSchedule bool
+
+	// Verify runs the static map-state verifier (internal/mapcheck, the
+	// rclint pass) on the scheduled machine code and fails the build on
+	// any violation. All tests enable it; it is off by default only to
+	// keep experiment sweeps at full speed.
+	Verify bool
 
 	// Trap enables periodic interrupts or context switches and selects
 	// the operating-system strategy for RC state (§4.2–4.3). The
@@ -280,6 +287,14 @@ func Build(p *ir.Program, arch Arch) (*Executable, error) {
 		}
 	}
 
+	// 7. Static map-state verification (rclint). Runs after scheduling so
+	// it checks the code the machine will actually execute.
+	if arch.Verify {
+		if err := mapcheck.Check(mp); err != nil {
+			return nil, fmt.Errorf("regconn: %w", err)
+		}
+	}
+
 	img, err := machine.Load(mp)
 	if err != nil {
 		return nil, fmt.Errorf("regconn: %w", err)
@@ -289,6 +304,15 @@ func Build(p *ir.Program, arch Arch) (*Executable, error) {
 	// Stash machine totals for Run.
 	ex.machineIntTotal, ex.machineFPTotal = intTotal, fpTotal
 	return ex, nil
+}
+
+// MapCheck runs the static map-state verifier over the compiled program
+// and returns its findings (empty for a correct compilation). Build with
+// Arch.Verify already runs this and fails on violations; MapCheck exposes
+// the raw findings for tools (cmd/rclint) and for mutation tests that
+// corrupt a program and expect precise rejections.
+func (e *Executable) MapCheck() []mapcheck.Violation {
+	return mapcheck.Verify(e.MProg)
 }
 
 // Run simulates the executable and returns the machine result.

@@ -56,7 +56,7 @@ func TestBuildRejectsInvalidIR(t *testing.T) {
 }
 
 func TestRunWithTrace(t *testing.T) {
-	ex, err := Build(buildLoopSum(), Arch{Issue: 4, IntCore: 16, FPCore: 16, Mode: WithoutRC})
+	ex, err := Build(buildLoopSum(), Arch{Issue: 4, IntCore: 16, FPCore: 16, Mode: WithoutRC, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestPublicAPISurface(t *testing.T) {
 	if err := VerifyIR(p); err != nil {
 		t.Fatal(err)
 	}
-	ex, err := Build(p, Arch{Issue: 1})
+	ex, err := Build(p, Arch{Issue: 1, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestPublicAPISurface(t *testing.T) {
 }
 
 func TestTrapThroughFacade(t *testing.T) {
-	arch := Arch{Issue: 4, IntCore: 16, FPCore: 16, Mode: WithRC, CombineConnects: true}
+	arch := Arch{Issue: 4, IntCore: 16, FPCore: 16, Mode: WithRC, CombineConnects: true, Verify: true}
 	arch.Trap = TrapConfig{Interval: 50, ContextSwitch: true, PSWFlag: true}
 	ex, err := Build(buildLoopSum(), arch)
 	if err != nil {
@@ -129,7 +129,7 @@ func TestTrapThroughFacade(t *testing.T) {
 }
 
 func TestRunProcesses(t *testing.T) {
-	arch := Arch{Issue: 4, IntCore: 8, FPCore: 16, Mode: WithRC, CombineConnects: true}
+	arch := Arch{Issue: 4, IntCore: 8, FPCore: 16, Mode: WithRC, CombineConnects: true, Verify: true}
 	var exes []*Executable
 	for i := 0; i < 2; i++ {
 		ex, err := Build(buildPressureInt(), arch)
@@ -151,7 +151,7 @@ func TestRunProcesses(t *testing.T) {
 		t.Error("no context switches")
 	}
 	// Mixed architectures are rejected.
-	other, err := Build(buildLoopSum(), Arch{Issue: 8, IntCore: 16, FPCore: 16, Mode: WithRC})
+	other, err := Build(buildLoopSum(), Arch{Issue: 8, IntCore: 16, FPCore: 16, Mode: WithRC, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestRunProcesses(t *testing.T) {
 func TestWindowPolicyThroughFacade(t *testing.T) {
 	for _, pol := range []WindowPolicy{WindowLRU, WindowRoundRobin, WindowFirstFree} {
 		ex, err := Build(buildPressureInt(), Arch{Issue: 4, IntCore: 8, FPCore: 16,
-			Mode: WithRC, CombineConnects: true, Windows: pol})
+			Mode: WithRC, CombineConnects: true, Windows: pol, Verify: true})
 		if err != nil {
 			t.Fatalf("%v: %v", pol, err)
 		}
