@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify lint bench exp clean
+.PHONY: all build test verify lint prof bench exp clean
 
 all: verify
 
@@ -13,9 +13,10 @@ test:
 	$(GO) test ./...
 
 # verify is the tier-1 gate (see ROADMAP.md): build, vet, formatting,
-# full tests, the data-race check on the parallel experiment runner, and
-# the static map-state verifier over the full benchmark × mode × model ×
-# combine grid (cmd/rclint).
+# full tests, the data-race check on the parallel experiment runner, the
+# static map-state verifier over the full benchmark × mode × model ×
+# combine grid (cmd/rclint), and the attribution profiler's ledger
+# cross-check over the golden benchmark × config grid (cmd/rcprof).
 verify: build
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
@@ -23,6 +24,13 @@ verify: build
 	$(GO) test ./...
 	$(GO) test -race ./internal/exp/...
 	$(GO) run ./cmd/rclint
+	$(GO) run ./cmd/rcprof -grid
+
+# prof runs the attribution profiler over the golden benchmark × config
+# grid, proving per-PC cycle charges sum bit-exactly to the cycle
+# ledger of every point (a verify step; see DESIGN.md §10).
+prof:
+	$(GO) run ./cmd/rcprof -grid
 
 # lint runs only the static map-state verifier sweep (a sub-step of
 # verify, useful while iterating on codegen or the scheduler).

@@ -2,6 +2,7 @@ package regconn
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"regconn/internal/bench"
@@ -49,3 +50,71 @@ func TestBenchmarksAllConfigs(t *testing.T) {
 		}
 	}
 }
+
+// TestProfilingOffHasZeroFootprint proves the attribution layer is free
+// when disabled and transparent when enabled: a profiling-off run carries
+// no per-PC state at all (the hot loop sees only a nil check), and a
+// profiling-on run of the same executable produces a bit-identical
+// simulation — every observable Result field matches exactly.
+func TestProfilingOffHasZeroFootprint(t *testing.T) {
+	bm, err := bench.ByName("cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32,
+		Mode: WithRC, CombineConnects: true, Verify: true}
+	ex, err := Build(bm.Build(), arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Prof != nil {
+		t.Fatal("profiling-off run allocated per-PC attribution")
+	}
+	ex.Arch.Profile = true
+	on, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Prof == nil {
+		t.Fatal("profiling-on run carries no per-PC attribution")
+	}
+
+	// Strip the fields that legitimately differ (the attribution itself
+	// and the memory image pointers), then demand bit-identity.
+	a, b := *off, *on
+	a.Prof, b.Prof = nil, nil
+	a.Mem, b.Mem = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("profiling perturbed the simulation:\n off %+v\n on  %+v", a, b)
+	}
+}
+
+// benchmarkRun times one simulation of the cmp benchmark at the center
+// configuration. Comparing the two variants (go test -bench Profiling
+// -benchmem) quantifies the profiling overhead; with profiling off the
+// per-cycle cost is one nil check and no allocation.
+func benchmarkRun(b *testing.B, profile bool) {
+	bm, err := bench.ByName("cmp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	arch := Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32,
+		Mode: WithRC, CombineConnects: true, Profile: profile}
+	ex, err := Build(bm.Build(), arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunProfilingOff(b *testing.B) { benchmarkRun(b, false) }
+func BenchmarkRunProfilingOn(b *testing.B)  { benchmarkRun(b, true) }

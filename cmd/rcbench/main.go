@@ -4,6 +4,10 @@
 // Usage:
 //
 //	rcbench [-o BENCH_sim.json] [-workers n] [-quick]
+//	        [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile / -memprofile write runtime/pprof profiles of the benchmark
+// run for `go tool pprof` (see DESIGN.md §10).
 //
 // It times the two heaviest single figures (7 and 10) and the full
 // experiment suite on fresh runners (no memoized results), and measures
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"regconn"
@@ -44,11 +49,40 @@ type report struct {
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_sim.json", "output JSON path (- for stdout)")
-		workers = flag.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
-		quick   = flag.Bool("quick", false, "reduced three-benchmark suite")
+		out        = flag.String("o", "BENCH_sim.json", "output JSON path (- for stdout)")
+		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
+		quick      = flag.Bool("quick", false, "reduced three-benchmark suite")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to FILE")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to FILE")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			runtime.GC()
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	newRunner := func() *exp.Runner {
 		r := exp.NewRunner()

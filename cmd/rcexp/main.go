@@ -4,6 +4,7 @@
 //
 //	rcexp [-exp table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|models|combined|all]
 //	      [-quick] [-bench name] [-workers n] [-stats]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // -quick restricts the suite to three representative benchmarks; -bench
 // restricts it to one. -workers bounds the simulation worker pool (0 uses
@@ -13,6 +14,9 @@
 // emits a JSON array of per-point cycle-ledger statistics (stall
 // breakdown, issue-slot histogram, map-table telemetry) over the golden
 // benchmark×config grid, verifying the ledger invariant on every point.
+// -cpuprofile / -memprofile write runtime/pprof profiles of the sweep
+// itself (the simulator's host cost, not simulated cycles) for `go tool
+// pprof`; see DESIGN.md §10 for a profiling case study.
 package main
 
 import (
@@ -20,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"regconn/internal/bench"
 	"regconn/internal/exp"
@@ -27,57 +33,102 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("exp", "all", "experiment id or 'all'")
-		quick   = flag.Bool("quick", false, "reduced three-benchmark suite")
-		bmName  = flag.String("bench", "", "restrict to one benchmark")
-		format  = flag.String("format", "text", "output format: text or csv")
-		workers = flag.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
-		stats   = flag.Bool("stats", false, "emit per-point cycle-ledger statistics as JSON")
+		expID      = flag.String("exp", "all", "experiment id or 'all'")
+		quick      = flag.Bool("quick", false, "reduced three-benchmark suite")
+		bmName     = flag.String("bench", "", "restrict to one benchmark")
+		format     = flag.String("format", "text", "output format: text or csv")
+		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
+		stats      = flag.Bool("stats", false, "emit per-point cycle-ledger statistics as JSON")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to FILE")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to FILE")
 	)
 	flag.Parse()
 
+	stop := startCPUProfile(*cpuprofile)
+	err := run(*expID, *quick, *bmName, *format, *workers, *stats)
+	stop()
+	writeMemProfile(*memprofile)
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func run(expID string, quick bool, bmName, format string, workers int, stats bool) error {
 	r := exp.NewRunner()
-	if *quick {
+	if quick {
 		r = exp.NewQuickRunner()
 	}
-	r.Workers = *workers
-	if *bmName != "" {
-		bm, err := bench.ByName(*bmName)
+	r.Workers = workers
+	if bmName != "" {
+		bm, err := bench.ByName(bmName)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		r.Benchmarks = []bench.Benchmark{bm}
 	}
 
-	if *stats {
+	if stats {
 		pts, err := r.StatsReport()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(pts); err != nil {
-			fatal(err)
-		}
-		return
+		return enc.Encode(pts)
 	}
 
-	ids := []string{*expID}
-	if *expID == "all" {
+	ids := []string{expID}
+	if expID == "all" {
 		ids = exp.Experiments()
 	}
 	for _, id := range ids {
 		tables, err := r.Generate(id)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, t := range tables {
-			if *format == "csv" {
+			if format == "csv" {
 				fmt.Printf("# %s — %s\n%s\n", t.ID, t.Title, t.CSV())
 			} else {
 				fmt.Println(t.Format())
 			}
 		}
+	}
+	return nil
+}
+
+// startCPUProfile begins a runtime/pprof CPU profile and returns the stop
+// function (a no-op when path is empty).
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fatal(err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile dumps a post-GC heap profile (no-op when path is empty).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	runtime.GC()
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
 	}
 }
 

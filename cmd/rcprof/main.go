@@ -1,0 +1,247 @@
+// Command rcprof is the attribution profiler: it simulates a benchmark
+// with per-PC cycle attribution enabled and reports where the cycles went
+// — hottest static instructions, basic blocks, per-function stall tables,
+// and connect overhead per virtual register — every number provably
+// summing back to the run's cycle ledger (the cross-check runs before any
+// report is printed).
+//
+// Usage:
+//
+//	rcprof -bench grep [-issue 4] [-load 2] [-channels 0] [-intcore 16]
+//	       [-fpcore 32] [-mode rc|spill|unlimited] [-model 3]
+//	       [-connect-latency 0] [-no-combine] [-scalar] [-top 20]
+//	rcprof -bench grep -models              connect overhead across the 4 reset models
+//	rcprof -bench grep -trace-json t.json   Chrome trace-event export (chrome://tracing)
+//	rcprof -grid [-workers n]               profile + cross-check the 48-point golden grid
+//
+// -grid sweeps every benchmark × ledger configuration of the golden grid
+// with profiling on and fails loudly if any point's per-PC attribution
+// does not sum bit-exactly to its ledger buckets (the `make prof` gate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+
+	"regconn"
+	"regconn/internal/bench"
+	"regconn/internal/core"
+	"regconn/internal/exp"
+	"regconn/internal/machine"
+	"regconn/internal/prof"
+)
+
+func main() {
+	var (
+		bmName    = flag.String("bench", "grep", "benchmark name")
+		issue     = flag.Int("issue", 4, "issue rate (1/2/4/8)")
+		load      = flag.Int("load", 2, "load latency in cycles (2 or 4)")
+		channels  = flag.Int("channels", 0, "memory channels (0 = paper default)")
+		intCore   = flag.Int("intcore", 16, "core integer registers")
+		fpCore    = flag.Int("fpcore", 32, "core floating-point registers")
+		mode      = flag.String("mode", "rc", "register mode: rc, spill, unlimited")
+		model     = flag.Int("model", 3, "RC automatic-reset model 1..4")
+		connLat   = flag.Int("connect-latency", 0, "connect latency (0 or 1)")
+		noComb    = flag.Bool("no-combine", false, "disable combined connects")
+		scalar    = flag.Bool("scalar", false, "scalar optimization only (no ILP)")
+		top       = flag.Int("top", 20, "rows in the top-PC and top-block tables")
+		models    = flag.Bool("models", false, "compare connect overhead across reset models 1..4")
+		traceJSON = flag.String("trace-json", "", "write a Chrome trace-event JSON file and exit")
+		eventCap  = flag.Int("event-cap", machine.DefaultEventCap, "event ring capacity for -trace-json")
+		grid      = flag.Bool("grid", false, "cross-check attribution over the golden benchmark grid")
+		quick     = flag.Bool("quick", false, "with -grid: reduced three-benchmark suite")
+		workers   = flag.Int("workers", 0, "with -grid: worker pool size (0 = all CPUs)")
+	)
+	flag.Parse()
+
+	if *grid {
+		if err := runGrid(*quick, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	bm, err := bench.ByName(*bmName)
+	if err != nil {
+		fatal(err)
+	}
+	arch := regconn.Arch{
+		Issue:           *issue,
+		MemChannels:     *channels,
+		LoadLatency:     *load,
+		IntCore:         *intCore,
+		FPCore:          *fpCore,
+		Model:           core.Model(*model),
+		ConnectLatency:  *connLat,
+		CombineConnects: !*noComb,
+		ScalarOnly:      *scalar,
+		Profile:         true,
+	}
+	switch *mode {
+	case "rc":
+		arch.Mode = regconn.WithRC
+	case "spill":
+		arch.Mode = regconn.WithoutRC
+	case "unlimited":
+		arch.Mode = regconn.Unlimited
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	if *models {
+		if err := compareModels(bm, arch); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	ex, err := regconn.Build(bm.Build(), arch)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *traceJSON != "" {
+		ring := machine.NewEventRing(*eventCap)
+		if _, err := ex.RunWithEvents(ring); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := ring.WriteTraceJSON(f, ex.Image); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rcprof: wrote %s (%d events, %d dropped; open in chrome://tracing or ui.perfetto.dev)\n",
+			*traceJSON, len(ring.Events()), ring.Dropped())
+		return
+	}
+
+	res, err := ex.Run()
+	if err != nil {
+		fatal(err)
+	}
+	p, err := prof.New(ex.Image, res)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark %s, %s\n", bm.Name, arch.Mode)
+	if err := p.WriteReport(os.Stdout, *top); err != nil {
+		fatal(err)
+	}
+}
+
+// compareModels profiles the benchmark under each of the four automatic-
+// reset models and tabulates the connect overhead the profiler attributes
+// to each — the per-model cost of the register-connection mechanism.
+func compareModels(bm bench.Benchmark, arch regconn.Arch) error {
+	arch.Mode = regconn.WithRC
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "model\tcycles\tconnects\tconnect-cycles\tconn-stall\toverhead\n")
+	for m := core.NoReset; m <= core.ReadWriteReset; m++ {
+		a := arch
+		a.Model = m
+		ex, err := regconn.Build(bm.Build(), a)
+		if err != nil {
+			return fmt.Errorf("model %d: %w", m, err)
+		}
+		res, err := ex.Run()
+		if err != nil {
+			return fmt.Errorf("model %d: %w", m, err)
+		}
+		p, err := prof.New(ex.Image, res)
+		if err != nil {
+			return fmt.Errorf("model %d: %w", m, err)
+		}
+		if err := p.CrossCheck(); err != nil {
+			return fmt.Errorf("model %d: %w", m, err)
+		}
+		co := p.ConnectOverhead()
+		overhead := co.Cycles + res.StallConn
+		fmt.Fprintf(tw, "%d (%v)\t%d\t%d\t%d\t%d\t%.1f%%\n",
+			int(m), m, res.Cycles, res.Connects, co.Cycles, res.StallConn,
+			100*float64(overhead)/float64(res.ActiveCycles))
+	}
+	return tw.Flush()
+}
+
+// runGrid profiles every golden benchmark×config point and verifies the
+// per-PC attribution sums bit-exactly to the ledger buckets on each.
+func runGrid(quick bool, workers int) error {
+	benches := bench.All()
+	if quick {
+		benches = exp.NewQuickRunner().Benchmarks
+	}
+	type job struct {
+		bm bench.Benchmark
+		lc exp.LedgerConfig
+	}
+	var jobs []job
+	for _, bm := range benches {
+		for _, lc := range exp.LedgerConfigs(bm) {
+			jobs = append(jobs, job{bm, lc})
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	lines := make([]string, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			jb := jobs[i]
+			a := jb.lc.Arch
+			a.Profile = true
+			ex, err := regconn.Build(jb.bm.Build(), a)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s/%s: %w", jb.bm.Name, jb.lc.Name, err)
+				return
+			}
+			res, err := ex.Verify()
+			if err != nil {
+				errs[i] = fmt.Errorf("%s/%s: %w", jb.bm.Name, jb.lc.Name, err)
+				return
+			}
+			p, err := prof.New(ex.Image, res)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s/%s: %w", jb.bm.Name, jb.lc.Name, err)
+				return
+			}
+			if err := p.CrossCheck(); err != nil {
+				errs[i] = fmt.Errorf("%s/%s: attribution does not match ledger: %w",
+					jb.bm.Name, jb.lc.Name, err)
+				return
+			}
+			co := p.ConnectOverhead()
+			lines[i] = fmt.Sprintf("ok %-10s %-14s cycles=%-9d connects=%-7d connect-cycles=%d",
+				jb.bm.Name, jb.lc.Name, res.Cycles, res.Connects, co.Cycles)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	fmt.Printf("rcprof: %d grid points profiled, every per-PC attribution sums to its ledger bucket\n", len(jobs))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcprof:", err)
+	os.Exit(1)
+}

@@ -7,11 +7,15 @@
 //	rcrun -bench grep [-issue 4] [-load 2] [-channels 0] [-intcore 16]
 //	      [-fpcore 32] [-mode rc|spill|unlimited] [-model 3]
 //	      [-connect-latency 0] [-extra-stage] [-no-combine] [-scalar]
-//	      [-stats]
+//	      [-stats] [-prof] [-top 20] [-trace-json FILE]
 //
 // -stats replaces the text report with a machine-readable JSON document:
 // the full cycle ledger (stall breakdown), the per-cycle issue-slot
-// utilization histogram, and the map-table telemetry.
+// utilization histogram, and the map-table telemetry. -prof appends the
+// per-PC attribution report (hot PCs, blocks, per-function stall tables,
+// connect overhead per vreg; see cmd/rcprof for the full profiler).
+// -trace-json writes a Chrome trace-event timeline of the run, loadable in
+// chrome://tracing or ui.perfetto.dev.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"regconn/internal/core"
 	"regconn/internal/isa"
 	"regconn/internal/machine"
+	"regconn/internal/prof"
 )
 
 func main() {
@@ -45,6 +50,9 @@ func main() {
 		scalar   = flag.Bool("scalar", false, "scalar optimization only (no ILP)")
 		trace    = flag.Int64("trace", 0, "print a per-cycle issue trace for the first N cycles")
 		stats    = flag.Bool("stats", false, "emit machine-readable JSON statistics instead of text")
+		profFlag = flag.Bool("prof", false, "append the per-PC cycle attribution report")
+		top      = flag.Int("top", 20, "rows in the -prof top tables")
+		traceOut = flag.String("trace-json", "", "write a Chrome trace-event JSON timeline to FILE")
 	)
 	flag.Parse()
 
@@ -86,9 +94,28 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
+	arch.Profile = *profFlag
 	ex, err := regconn.Build(bm.Build(), arch)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		ring := machine.NewEventRing(0)
+		if _, err := ex.RunWithEvents(ring); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ring.WriteTraceJSON(f, ex.Image); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rcrun: wrote %s (%d events, %d dropped)\n",
+			*traceOut, len(ring.Events()), ring.Dropped())
 	}
 	if *trace > 0 {
 		if _, err := ex.RunWithTrace(os.Stdout, *trace); err != nil {
@@ -144,6 +171,17 @@ func main() {
 		res.MixOf(isa.KindFPALU)+res.MixOf(isa.KindFPMul)+res.MixOf(isa.KindFPDiv)+res.MixOf(isa.KindFPConv),
 		res.MixOf(isa.KindLoad), res.MixOf(isa.KindStore),
 		res.MixOf(isa.KindBranch), res.MixOf(isa.KindCall), res.MixOf(isa.KindConnect))
+
+	if *profFlag {
+		p, err := prof.New(ex.Image, res)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if err := p.WriteReport(os.Stdout, *top); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

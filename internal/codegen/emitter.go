@@ -37,6 +37,7 @@ type pendingConnect struct {
 	idx   int
 	phys  int
 	def   bool
+	vreg  int32 // virtual register the connect serves (NoVReg if unknown)
 }
 
 func newEmitter(cfg Config, mf *MFunc) *emitter {
@@ -89,8 +90,9 @@ func (e *emitter) emit(in isa.Instr, ann Annot) {
 
 // useIdx returns the map index through which physical register phys can be
 // read, queueing a connect-use if needed. Core registers are addressed
-// directly (home mapping invariant).
-func (e *emitter) useIdx(class isa.RegClass, phys int) int {
+// directly (home mapping invariant). vreg is the virtual register the
+// access serves, recorded as debug info on any connect emitted for it.
+func (e *emitter) useIdx(class isa.RegClass, phys int, vreg int32) int {
 	cv := e.cfg.Conv.Of(class)
 	if e.cfg.Mode != regalloc.RC || !cv.IsExtended(phys) {
 		// Unlimited mode addresses the whole file directly (identity map);
@@ -108,13 +110,13 @@ func (e *emitter) useIdx(class isa.RegClass, phys int) int {
 	}
 	w := e.pickWindow(class)
 	tab.ConnectUse(w, phys)
-	e.pending = append(e.pending, pendingConnect{class, w, phys, false})
+	e.pending = append(e.pending, pendingConnect{class, w, phys, false, vreg})
 	return w
 }
 
 // defIdx returns the map index through which phys can be written, queueing
 // a connect-def if needed.
-func (e *emitter) defIdx(class isa.RegClass, phys int) int {
+func (e *emitter) defIdx(class isa.RegClass, phys int, vreg int32) int {
 	cv := e.cfg.Conv.Of(class)
 	if e.cfg.Mode != regalloc.RC || !cv.IsExtended(phys) {
 		return phys
@@ -133,7 +135,7 @@ func (e *emitter) defIdx(class isa.RegClass, phys int) int {
 	}
 	w := e.pickWindow(class)
 	tab.ConnectDef(w, phys)
-	e.pending = append(e.pending, pendingConnect{class, w, phys, true})
+	e.pending = append(e.pending, pendingConnect{class, w, phys, true, vreg})
 	return w
 }
 
@@ -255,7 +257,7 @@ func (e *emitter) flushConnects() {
 					CIdx:   [2]uint16{uint16(a.idx), uint16(b.idx)},
 					CPhys:  [2]uint16{uint16(a.phys), uint16(b.phys)},
 					CClass: class,
-				}, Annot{PDst: NoPhys, PA: NoPhys, PB: NoPhys})
+				}, Annot{PDst: NoPhys, PA: NoPhys, PB: NoPhys, CVReg: [2]int32{a.vreg, b.vreg}})
 			} else {
 				a := group[0]
 				group = group[1:]
@@ -268,7 +270,7 @@ func (e *emitter) flushConnects() {
 					CIdx:   [2]uint16{uint16(a.idx)},
 					CPhys:  [2]uint16{uint16(a.phys)},
 					CClass: class,
-				}, Annot{PDst: NoPhys, PA: NoPhys, PB: NoPhys})
+				}, Annot{PDst: NoPhys, PA: NoPhys, PB: NoPhys, CVReg: [2]int32{a.vreg, NoVReg}})
 			}
 			e.mf.ConnectCount++
 		}

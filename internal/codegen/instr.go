@@ -20,7 +20,7 @@ func (lw *lowerer) resolveSrc(r isa.Reg) (idx int, phys int32, err error) {
 	e := lw.e
 	switch loc.Kind {
 	case regalloc.LocReg:
-		return e.useIdx(r.Class, loc.N), int32(loc.N), nil
+		return e.useIdx(r.Class, loc.N, int32(r.N)), int32(loc.N), nil
 	case regalloc.LocSpill:
 		t := e.takeTemp(r.Class)
 		off := lw.spillOff(loc.N) + e.spDelta
@@ -49,7 +49,7 @@ func (lw *lowerer) resolveDst(r isa.Reg) (idx int, phys int32, after func(), err
 	e := lw.e
 	switch loc.Kind {
 	case regalloc.LocReg:
-		idx = e.defIdx(r.Class, loc.N)
+		idx = e.defIdx(r.Class, loc.N, int32(r.N))
 		return idx, int32(loc.N), func() { e.noteWrite(r.Class, idx) }, nil
 	case regalloc.LocSpill:
 		t := e.takeTemp(r.Class)
@@ -217,7 +217,7 @@ func (lw *lowerer) lowerCall(in *isa.Instr) error {
 		loc := lw.a.Loc[r]
 		off := lw.extSlot[r]
 		before := len(lw.mf.Code)
-		lw.storeWord(r.Class, loc.N, spReg, off, stackAnn(off))
+		lw.storeWord(r.Class, loc.N, spReg, off, stackAnn(off), int32(r.N))
 		lw.mf.SaveRestoreCount += len(lw.mf.Code) - before
 	}
 
@@ -289,7 +289,7 @@ func (lw *lowerer) lowerCall(in *isa.Instr) error {
 		loc := lw.a.Loc[r]
 		off := lw.extSlot[r]
 		before := len(lw.mf.Code)
-		lw.loadWord(r.Class, loc.N, spReg, off, stackAnn(off))
+		lw.loadWord(r.Class, loc.N, spReg, off, stackAnn(off), int32(r.N))
 		lw.mf.SaveRestoreCount += len(lw.mf.Code) - before
 	}
 	return nil

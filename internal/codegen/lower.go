@@ -248,7 +248,7 @@ func (lw *lowerer) prologue() {
 		off := lw.argSlotOff(i)
 		switch loc.Kind {
 		case regalloc.LocReg:
-			lw.loadWord(p.Class, loc.N, spReg, off, stackAnn(off))
+			lw.loadWord(p.Class, loc.N, spReg, off, stackAnn(off), int32(p.N))
 		case regalloc.LocSpill:
 			e.beginInstr()
 			t := e.takeTemp(p.Class)
@@ -269,11 +269,12 @@ func (lw *lowerer) prologue() {
 }
 
 // loadWord emits a load of one word into physical register phys (handling
-// extended destinations via connect windows).
-func (lw *lowerer) loadWord(class isa.RegClass, phys, base int, off int64, ann Annot) {
+// extended destinations via connect windows). vreg attributes any connect
+// this forces to the virtual register being materialized (NoVReg if none).
+func (lw *lowerer) loadWord(class isa.RegClass, phys, base int, off int64, ann Annot, vreg int32) {
 	e := lw.e
 	e.beginInstr()
-	idx := e.defIdx(class, phys)
+	idx := e.defIdx(class, phys, vreg)
 	e.flushConnects()
 	op := isa.LD
 	if class == isa.ClassFloat {
@@ -285,10 +286,10 @@ func (lw *lowerer) loadWord(class isa.RegClass, phys, base int, off int64, ann A
 }
 
 // storeWord emits a store of physical register phys to base+off.
-func (lw *lowerer) storeWord(class isa.RegClass, phys, base int, off int64, ann Annot) {
+func (lw *lowerer) storeWord(class isa.RegClass, phys, base int, off int64, ann Annot, vreg int32) {
 	e := lw.e
 	e.beginInstr()
-	idx := e.useIdx(class, phys)
+	idx := e.useIdx(class, phys, vreg)
 	e.flushConnects()
 	op := isa.ST
 	if class == isa.ClassFloat {

@@ -89,6 +89,13 @@ type Annot struct {
 	PA   int32 // physical first source, -1 if none
 	PB   int32 // physical second source, -1 if none
 
+	// CVReg is connect-instruction debug info: the virtual register whose
+	// access forced each connect pair (index-aligned with Instr.CIdx),
+	// NoVReg when absent. The attribution profiler (internal/prof) uses it
+	// to report connect overhead per source-level virtual register; it has
+	// no semantic effect on verification or execution.
+	CVReg [2]int32
+
 	MemRootKind RootKind
 	MemRoot     int32 // global index / virtual reg id
 	MemRootPhys int32 // physical register holding the root value (RootOpaque), else -1
@@ -98,6 +105,9 @@ type Annot struct {
 
 // NoPhys marks an absent physical operand.
 const NoPhys = -1
+
+// NoVReg marks an absent virtual-register attribution (Annot.CVReg).
+const NoVReg = -1
 
 // MFunc is one lowered machine function. Branch targets in Code are local
 // instruction indices; the loader (package machine) resolves them and CALL

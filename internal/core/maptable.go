@@ -62,6 +62,11 @@ func (m Model) Valid() bool { return m >= NoReset && m <= ReadWriteReset }
 // physical table, not the process using it, so they accumulate across
 // context save/restore. GenAdvances is the number of generation-counter
 // advances (observable mapping changes) since construction.
+//
+// The per-index slices break the connect/auto-reset totals down by map
+// entry (length m, index = map entry); they are nil when the table saw no
+// mutation of that class, so idle tables export compactly. Each slice sums
+// to its total counter (enforced by CheckIndexSums and the unit tests).
 type Stats struct {
 	ConnectUses int64 `json:"connect_uses"` // explicit connect-use instructions
 	ConnectDefs int64 `json:"connect_defs"` // explicit connect-def instructions
@@ -69,6 +74,33 @@ type Stats struct {
 	Resets      int64 `json:"resets"`       // Reset calls that found a diverted table
 	Restores    int64 `json:"restores"`     // context restores
 	GenAdvances int64 `json:"gen_advances"` // observable mapping changes
+
+	ConnectUsesByIndex []int64 `json:"connect_uses_by_index,omitempty"`
+	ConnectDefsByIndex []int64 `json:"connect_defs_by_index,omitempty"`
+	AutoResetsByIndex  []int64 `json:"auto_resets_by_index,omitempty"`
+}
+
+// CheckIndexSums verifies that each per-index breakdown sums exactly to its
+// total counter (a nil breakdown stands for all-zero and requires a zero
+// total).
+func (s Stats) CheckIndexSums() error {
+	check := func(name string, total int64, byIdx []int64) error {
+		var sum int64
+		for _, c := range byIdx {
+			sum += c
+		}
+		if sum != total {
+			return fmt.Errorf("core: per-index %s sum %d does not match total %d", name, sum, total)
+		}
+		return nil
+	}
+	if err := check("connect-use", s.ConnectUses, s.ConnectUsesByIndex); err != nil {
+		return err
+	}
+	if err := check("connect-def", s.ConnectDefs, s.ConnectDefsByIndex); err != nil {
+		return err
+	}
+	return check("auto-reset", s.AutoResets, s.AutoResetsByIndex)
 }
 
 // MapTable is the register mapping table for one register class. The zero
@@ -81,6 +113,13 @@ type MapTable struct {
 	write   []uint16
 	enabled bool
 	stats   Stats
+
+	// Per-map-index mutation counters (length m), feeding the Stats
+	// breakdowns. Kept separate from stats so the aggregate struct stays
+	// cheap to copy.
+	usesByIdx []int64
+	defsByIdx []int64
+	autoByIdx []int64
 
 	// gen counts observable mapping changes: it advances only when a map
 	// entry actually changes value or the enable flag flips, so cached
@@ -104,7 +143,8 @@ func NewMapTable(model Model, m, n int) *MapTable {
 		panic(fmt.Sprintf("core: invalid geometry m=%d n=%d", m, n))
 	}
 	t := &MapTable{model: model, m: m, n: n,
-		read: make([]uint16, m), write: make([]uint16, m), enabled: true, gen: 1}
+		read: make([]uint16, m), write: make([]uint16, m), enabled: true, gen: 1,
+		usesByIdx: make([]int64, m), defsByIdx: make([]int64, m), autoByIdx: make([]int64, m)}
 	for i := range t.read {
 		t.read[i] = uint16(i)
 		t.write[i] = uint16(i)
@@ -119,10 +159,20 @@ func NewMapTable(model Model, m, n int) *MapTable {
 // revalidate with a single comparison.
 func (t *MapTable) Gen() uint64 { return t.gen }
 
-// Stats returns the table's accumulated mutation telemetry.
+// Stats returns the table's accumulated mutation telemetry. The per-index
+// breakdowns are copied snapshots and are nil when their total is zero.
 func (t *MapTable) Stats() Stats {
 	s := t.stats
 	s.GenAdvances = int64(t.gen - 1) // gen starts at 1
+	if s.ConnectUses > 0 {
+		s.ConnectUsesByIndex = append([]int64(nil), t.usesByIdx...)
+	}
+	if s.ConnectDefs > 0 {
+		s.ConnectDefsByIndex = append([]int64(nil), t.defsByIdx...)
+	}
+	if s.AutoResets > 0 {
+		s.AutoResetsByIndex = append([]int64(nil), t.autoByIdx...)
+	}
 	return s
 }
 
@@ -202,6 +252,7 @@ func (t *MapTable) ConnectUse(idx, phys int) {
 	t.check(idx, phys)
 	t.setRead(idx, uint16(phys))
 	t.stats.ConnectUses++
+	t.usesByIdx[idx]++
 }
 
 // ConnectDef sets the write map of idx to phys: all subsequent writes
@@ -210,6 +261,7 @@ func (t *MapTable) ConnectDef(idx, phys int) {
 	t.check(idx, phys)
 	t.setWrite(idx, uint16(phys))
 	t.stats.ConnectDefs++
+	t.defsByIdx[idx]++
 }
 
 // ReadPhys returns the physical register accessed when idx is used as a
@@ -257,6 +309,7 @@ func (t *MapTable) NoteWrite(idx int) int {
 	}
 	if t.gen != before {
 		t.stats.AutoResets++
+		t.autoByIdx[idx]++
 	}
 	return int(phys)
 }

@@ -283,3 +283,75 @@ func TestModelStrings(t *testing.T) {
 		t.Error("invalid models accepted")
 	}
 }
+
+// TestPerIndexCounters drives a mixed mutation sequence and checks that the
+// per-index breakdowns attribute every connect and auto-reset to the right
+// map entry and sum exactly to the aggregate totals.
+func TestPerIndexCounters(t *testing.T) {
+	tab := NewMapTable(WriteResetReadUpdate, 4, 16)
+	tab.ConnectUse(1, 9)
+	tab.ConnectUse(1, 10)
+	tab.ConnectDef(2, 11)
+	tab.NoteWrite(2) // model 3: read<-11, write<-home (auto reset on idx 2)
+	tab.NoteWrite(3) // at-home write: no map change, no auto reset
+	tab.ConnectDef(0, 12)
+	tab.NoteWrite(0)
+
+	s := tab.Stats()
+	if err := s.CheckIndexSums(); err != nil {
+		t.Fatal(err)
+	}
+	wantUses := []int64{0, 2, 0, 0}
+	wantDefs := []int64{1, 0, 1, 0}
+	wantAuto := []int64{1, 0, 1, 0}
+	for i := 0; i < 4; i++ {
+		if s.ConnectUsesByIndex[i] != wantUses[i] {
+			t.Errorf("uses[%d] = %d, want %d", i, s.ConnectUsesByIndex[i], wantUses[i])
+		}
+		if s.ConnectDefsByIndex[i] != wantDefs[i] {
+			t.Errorf("defs[%d] = %d, want %d", i, s.ConnectDefsByIndex[i], wantDefs[i])
+		}
+		if s.AutoResetsByIndex[i] != wantAuto[i] {
+			t.Errorf("auto[%d] = %d, want %d", i, s.AutoResetsByIndex[i], wantAuto[i])
+		}
+	}
+}
+
+// TestPerIndexCountersIdleExport checks that a table with no mutations of a
+// class exports a nil breakdown for it (compact JSON) and that the random
+// mutation mix of the quick invariants keeps sums exact.
+func TestPerIndexCountersIdleExport(t *testing.T) {
+	tab := NewMapTable(NoReset, 4, 8)
+	if s := tab.Stats(); s.ConnectUsesByIndex != nil || s.ConnectDefsByIndex != nil || s.AutoResetsByIndex != nil {
+		t.Fatal("idle table must export nil per-index breakdowns")
+	}
+	tab.ConnectUse(3, 7)
+	s := tab.Stats()
+	if s.ConnectUsesByIndex == nil || s.ConnectDefsByIndex != nil {
+		t.Fatal("only the mutated class should export a breakdown")
+	}
+	if err := s.CheckIndexSums(); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for _, model := range []Model{NoReset, WriteReset, WriteResetReadUpdate, ReadWriteReset} {
+		tab := NewMapTable(model, 6, 24)
+		for i := 0; i < 500; i++ {
+			idx, phys := rng.Intn(6), rng.Intn(24)
+			switch rng.Intn(4) {
+			case 0:
+				tab.ConnectUse(idx, phys)
+			case 1:
+				tab.ConnectDef(idx, phys)
+			case 2:
+				tab.NoteWrite(idx)
+			case 3:
+				tab.Reset()
+			}
+		}
+		if err := tab.Stats().CheckIndexSums(); err != nil {
+			t.Fatalf("model %v: %v", model, err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package machine
+
+// Structured pipeline event trace: a fixed-capacity ring of compact event
+// records fed by the issue/execute pipeline when Config.Events is set, and
+// a Chrome trace-event JSON exporter so a run can be inspected on a
+// timeline in chrome://tracing or Perfetto instead of by eyeballing the
+// flat text trace. One simulated cycle maps to one microsecond of trace
+// time; each process gets one track per issue slot, one stall track, and
+// one instant track for connects, map resets, and traps.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventKind classifies one pipeline event.
+type EventKind uint8
+
+const (
+	// EvIssue is one instruction occupying one issue slot for one cycle.
+	EvIssue EventKind = iota
+	// EvStall is a zero-issue cycle; Arg is the stall reason (stallReason).
+	EvStall
+	// EvConnect is a connect instruction rewriting map entries (instant).
+	EvConnect
+	// EvReset is a CALL/RET map-table home reset (instant).
+	EvReset
+	// EvTrap is an interrupt; Dur is the overhead charged.
+	EvTrap
+	// EvHalt is the final HALT fetch (instant).
+	EvHalt
+	// EvSwitch is a multiprogramming context switch; Dur is its cost.
+	EvSwitch
+)
+
+// Event is one compact trace record. PC indexes Image.Code; Slot is the
+// issue slot (issue events only); Proc is the process index (0 for
+// single-process runs).
+type Event struct {
+	Kind  EventKind
+	Cycle int64
+	Dur   int64
+	PC    int32
+	Slot  uint8
+	Proc  uint8
+	Arg   int32
+}
+
+// EventRing is a bounded event buffer: when full, the oldest events are
+// overwritten, so the trace always holds the most recent window of the
+// run. It is not safe for concurrent use (the simulator is single-
+// threaded).
+type EventRing struct {
+	buf     []Event
+	next    int
+	full    bool
+	dropped int64
+	issue   int // issue rate of the attached machine (track layout)
+}
+
+// DefaultEventCap is the default ring capacity (events, not cycles).
+const DefaultEventCap = 1 << 16
+
+// NewEventRing returns a ring holding up to capacity events (0 selects
+// DefaultEventCap).
+func NewEventRing(capacity int) *EventRing {
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	return &EventRing{buf: make([]Event, 0, capacity)}
+}
+
+// add appends one event, overwriting the oldest when full.
+func (r *EventRing) add(e Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	r.full = true
+	r.dropped++
+}
+
+// Events returns the buffered events, oldest first.
+func (r *EventRing) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped reports how many events were overwritten after the ring filled.
+func (r *EventRing) Dropped() int64 { return r.dropped }
+
+// traceEvent is one Chrome trace-event JSON record (the subset of the
+// trace-event format the viewers need: complete "X", instant "i", and
+// metadata "M" events).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level chrome://tracing document.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	Meta            struct {
+		CycleUnit string `json:"cycle_unit"`
+		Dropped   int64  `json:"events_dropped"`
+	} `json:"otherData"`
+}
+
+// instrName disassembles the instruction at pc in the process's image
+// (best effort; out-of-range PCs can only come from a corrupted ring).
+func instrName(imgs []*Image, proc uint8, pc int32) string {
+	if int(proc) < len(imgs) {
+		if code := imgs[proc].Code; pc >= 0 && int(pc) < len(code) {
+			return code[pc].String()
+		}
+	}
+	return fmt.Sprintf("pc=%d", pc)
+}
+
+// WriteTraceJSON renders the buffered events as Chrome trace-event JSON
+// (load the file in chrome://tracing or ui.perfetto.dev). imgs holds one
+// image per process, in process order, for instruction names; pass the
+// single image of a plain Run. One cycle is rendered as one microsecond.
+func (r *EventRing) WriteTraceJSON(w io.Writer, imgs ...*Image) error {
+	stallTid := r.issue
+	instantTid := r.issue + 1
+
+	var out traceFile
+	out.DisplayTimeUnit = "ms"
+	out.Meta.CycleUnit = "1 cycle = 1us"
+	out.Meta.Dropped = r.dropped
+
+	procs := map[int]bool{}
+	for _, e := range r.Events() {
+		procs[int(e.Proc)] = true
+		te := traceEvent{Ts: e.Cycle, Pid: int(e.Proc)}
+		switch e.Kind {
+		case EvIssue:
+			te.Name = instrName(imgs, e.Proc, e.PC)
+			te.Ph, te.Dur, te.Tid = "X", 1, int(e.Slot)
+			te.Args = map[string]any{"pc": e.PC}
+		case EvStall:
+			te.Name = "stall:" + stallNames[stallReason(e.Arg)]
+			te.Ph, te.Dur, te.Tid = "X", 1, stallTid
+			te.Args = map[string]any{"pc": e.PC}
+		case EvConnect:
+			te.Name = instrName(imgs, e.Proc, e.PC)
+			te.Ph, te.S, te.Tid = "i", "t", instantTid
+			te.Args = map[string]any{"pc": e.PC}
+		case EvReset:
+			te.Name = "map-reset"
+			te.Ph, te.S, te.Tid = "i", "t", instantTid
+			te.Args = map[string]any{"pc": e.PC}
+		case EvTrap:
+			te.Name = "trap"
+			te.Ph, te.Dur, te.Tid = "X", e.Dur, instantTid
+			te.Args = map[string]any{"overhead_cycles": e.Dur}
+		case EvHalt:
+			te.Name = "halt"
+			te.Ph, te.S, te.Tid = "i", "t", instantTid
+		case EvSwitch:
+			te.Name = "context-switch"
+			te.Ph, te.Dur, te.Tid = "X", e.Dur, instantTid
+		default:
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+
+	// Track metadata: name each process and thread so the viewer shows
+	// "slot 0..n-1 / stall / events" instead of bare tids.
+	for pid := range procs {
+		name := fmt.Sprintf("process %d", pid)
+		if pid < len(imgs) {
+			name = fmt.Sprintf("process %d (%s)", pid, imgs[pid].Prog.Entry)
+		}
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+		for s := 0; s < r.issue; s++ {
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: s,
+				Args: map[string]any{"name": fmt.Sprintf("issue slot %d", s)},
+			})
+		}
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: stallTid,
+			Args: map[string]any{"name": "stall"},
+		}, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: instantTid,
+			Args: map[string]any{"name": "events"},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

@@ -188,6 +188,9 @@ func execCALL(s *simState, u *uop, cycle int64) (int, bool, error) {
 	s.ri[isa.RegSP] = sp
 	s.tabI.Reset()
 	s.tabF.Reset()
+	if s.ev != nil {
+		s.ev.add(Event{Kind: EvReset, Cycle: cycle, PC: int32(s.pc), Proc: s.proc})
+	}
 	return u.Target, false, nil
 }
 
@@ -197,6 +200,9 @@ func execRET(s *simState, u *uop, cycle int64) (int, bool, error) {
 	s.ri[isa.RegSP] = sp + 8
 	s.tabI.Reset()
 	s.tabF.Reset()
+	if s.ev != nil {
+		s.ev.add(Event{Kind: EvReset, Cycle: cycle, PC: int32(s.pc), Proc: s.proc})
+	}
 	return next, false, nil
 }
 
@@ -212,6 +218,9 @@ func execConnect(s *simState, u *uop, cycle int64) (int, bool, error) {
 			tab.ConnectUse(int(p.Idx), int(p.Phys))
 		}
 		lc[p.Idx] = cycle
+	}
+	if s.ev != nil {
+		s.ev.add(Event{Kind: EvConnect, Cycle: cycle, PC: int32(s.pc), Proc: s.proc})
 	}
 	return s.pc + 1, false, nil
 }

@@ -82,6 +82,7 @@ func RunMultiprogrammed(imgs []*Image, cfg Config, quantum int64, mode SaveMode)
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	defer bufferTrace(&cfg)()
 	defer recoverFault(&res, &err)
 
 	// The shared physical machine.
@@ -97,6 +98,7 @@ func RunMultiprogrammed(imgs []*Image, cfg Config, quantum int64, mode SaveMode)
 	halted := make([]bool, len(imgs))
 	for i, img := range imgs {
 		procs[i] = newSimState(img, cfg, ri, rf, rdyI, rdyF, tabI, tabF)
+		procs[i].proc = uint8(i)
 		// Fresh PCB: zeroed registers, home mapping, entry SP.
 		p := &pcb{
 			ri: make([]int64, cfg.IntTotal),
@@ -183,6 +185,9 @@ func RunMultiprogrammed(imgs []*Image, cfg Config, quantum int64, mode SaveMode)
 			save(i)
 			out.Switches++
 			out.SwitchCycles += switchCost
+			if cfg.Events != nil {
+				cfg.Events.add(Event{Kind: EvSwitch, Cycle: clock, Dur: switchCost, Proc: uint8(i)})
+			}
 			clock += switchCost
 			progress = true
 			if clock > cfg.MaxCycles {

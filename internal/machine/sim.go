@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -38,9 +39,21 @@ type Config struct {
 
 	// Trace, when non-nil, receives a per-cycle issue log for the first
 	// TraceCycles cycles (0 = no limit): one line per cycle listing the
-	// instructions issued with their resolved physical operands.
+	// instructions issued with their resolved physical operands. The
+	// writer is wrapped in a buffered writer for the duration of the run
+	// and flushed when the run returns.
 	Trace       io.Writer
 	TraceCycles int64
+
+	// Prof enables per-static-instruction cycle attribution: every cycle
+	// the ledger accounts for is additionally charged to a PC (see
+	// PCProf). The result carries the counters in Result.Prof.
+	Prof bool
+
+	// Events, when non-nil, receives structured pipeline events (issues,
+	// stalls, connects, map resets, traps) for the Chrome trace-event
+	// export; see EventRing.WriteTraceJSON.
+	Events *EventRing
 
 	MemSize   int64
 	MaxCycles int64
@@ -79,6 +92,19 @@ func (cfg *Config) normalize() error {
 		cfg.Model = core.WriteResetReadUpdate
 	}
 	return nil
+}
+
+// bufferTrace wraps the config's trace writer in a buffered writer for the
+// duration of a run — the per-issued-line fmt.Fprintf would otherwise hit
+// the underlying writer unbuffered — and returns the flush to defer. With
+// tracing off it is a no-op.
+func bufferTrace(cfg *Config) func() {
+	if cfg.Trace == nil {
+		return func() {}
+	}
+	bw := bufio.NewWriterSize(cfg.Trace, 1<<16)
+	cfg.Trace = bw
+	return func() { bw.Flush() }
 }
 
 // recoverFault converts the memory-fault panic of a wild simulated access
@@ -138,6 +164,10 @@ type Result struct {
 	// Multiprogrammed processes share the tables; see MultiResult.
 	MapInt, MapFP core.Stats
 
+	// Prof is the per-PC cycle attribution, non-nil only when Config.Prof
+	// was set (see PCProf for the charging rules).
+	Prof *PCProf
+
 	// OpMix counts dynamic instructions by functional-unit class.
 	OpMix [16]int64
 }
@@ -191,6 +221,7 @@ func Run(img *Image, cfg Config) (res *Result, err error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	defer bufferTrace(&cfg)()
 	defer recoverFault(&res, &err)
 
 	s := newSimState(img, cfg,
@@ -243,7 +274,10 @@ type simState struct {
 	cycle    int64
 	nextTrap int64
 
-	res *Result
+	res  *Result
+	prof *PCProf    // per-PC attribution, nil unless Config.Prof
+	ev   *EventRing // structured event sink, nil unless Config.Events
+	proc uint8      // process index (multiprogramming; 0 otherwise)
 }
 
 // newSimState wires a simulator over the given (possibly shared) register
@@ -264,6 +298,14 @@ func newSimState(img *Image, cfg Config, ri []int64, rf []float64,
 		res: &Result{Mem: m, Layout: img.Layout,
 			IssueHist: make([]int64, cfg.IssueRate+1)},
 		pc: img.Entry,
+		ev: cfg.Events,
+	}
+	if cfg.Prof {
+		s.prof = newPCProf(len(img.Code))
+		s.res.Prof = s.prof
+	}
+	if s.ev != nil {
+		s.ev.issue = cfg.IssueRate
 	}
 	for i := range s.lcI {
 		s.lcI[i] = -1
@@ -311,6 +353,13 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 		}
 		if cfg.Trap.Interval > 0 && cycle >= s.nextTrap {
 			ov := s.trapOverhead()
+			if s.prof != nil {
+				// Charged to the instruction that was about to issue.
+				s.prof.TrapOverhead[s.pc] += ov
+			}
+			if s.ev != nil {
+				s.ev.add(Event{Kind: EvTrap, Cycle: cycle, Dur: ov, PC: int32(s.pc), Proc: s.proc})
+			}
 			cycle += ov
 			s.res.Traps++
 			s.res.TrapOverheads += ov
@@ -335,6 +384,12 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 				s.res.IssueHist[issued]++
 				if issued == 0 {
 					s.res.HaltCycles++
+					if s.prof != nil {
+						s.prof.Halt[s.pc]++
+					}
+				}
+				if s.ev != nil {
+					s.ev.add(Event{Kind: EvHalt, Cycle: issueCycle, PC: int32(s.pc), Proc: s.proc})
 				}
 				s.cycle = cycle + 1
 				s.res.Cycles = s.cycle
@@ -350,6 +405,7 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 			if tracing {
 				traceLine = append(traceLine, fmt.Sprintf("%d:%s", s.pc, s.img.Code[s.pc].String()))
 			}
+			issuePC := s.pc
 			next, mispredict, err := s.execute(u, cycle)
 			if err != nil {
 				return false, err
@@ -357,6 +413,18 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 			issued++
 			s.res.Instrs++
 			s.res.OpMix[u.Kind]++
+			if s.prof != nil {
+				s.prof.Instrs[issuePC]++
+				if issued == 1 {
+					// The cycle's issue slot time is owned by the
+					// instruction that opened it.
+					s.prof.IssueCycles[issuePC]++
+				}
+			}
+			if s.ev != nil {
+				s.ev.add(Event{Kind: EvIssue, Cycle: issueCycle, Dur: 1,
+					PC: int32(issuePC), Slot: uint8(issued - 1), Proc: s.proc})
+			}
 			if u.Mem {
 				memUsed++
 				s.res.MemOps++
@@ -369,19 +437,37 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 				s.res.Mispredicts++
 				cycle += penalty
 				s.res.StallBranch += penalty
+				if s.prof != nil {
+					s.prof.StallBranch[issuePC] += penalty
+				}
 				branchRedirect = true
 				break
 			}
 		}
 		s.res.IssueHist[issued]++
 		if issued == 0 && !branchRedirect {
+			// s.pc is the instruction that failed to issue: the stall
+			// cycle is charged to it.
 			switch firstStall {
 			case stallData:
 				s.res.StallData++
+				if s.prof != nil {
+					s.prof.StallData[s.pc]++
+				}
 			case stallMem:
 				s.res.StallMem++
+				if s.prof != nil {
+					s.prof.StallMem[s.pc]++
+				}
 			case stallConn:
 				s.res.StallConn++
+				if s.prof != nil {
+					s.prof.StallConn[s.pc]++
+				}
+			}
+			if s.ev != nil {
+				s.ev.add(Event{Kind: EvStall, Cycle: issueCycle, Dur: 1,
+					PC: int32(s.pc), Proc: s.proc, Arg: int32(firstStall)})
 			}
 		}
 		if tracing {

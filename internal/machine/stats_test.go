@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"regconn/internal/isa"
+)
+
+// statsFixture runs a small RC program whose connects populate the map-
+// table telemetry (including the per-index counters), so the export
+// exercises every Stats field class: scalars, the ledger, the issue
+// histogram, nested core.Stats, and the op-mix map.
+func statsFixture(t *testing.T) *Result {
+	t.Helper()
+	img := asm(
+		isa.Instr{Op: isa.CONDEF, CIdx: [2]uint16{4}, CPhys: [2]uint16{40}, CClass: isa.ClassInt},
+		movi(4, 21), // writes extended r40
+		isa.Instr{Op: isa.CONUSE, CIdx: [2]uint16{5}, CPhys: [2]uint16{40}, CClass: isa.ClassInt},
+		add(2, 5, 5),
+		isa.Instr{Op: isa.ST, A: isa.IntReg(3), B: isa.IntReg(2), Imm: 64},
+		isa.Instr{Op: isa.LD, Dst: isa.IntReg(6), A: isa.IntReg(3), Imm: 64},
+		halt(),
+	)
+	cfg := DefaultConfig()
+	cfg.IntCore, cfg.IntTotal = 16, 64
+	res := run(t, img, cfg)
+	if res.RetInt != 42 {
+		t.Fatalf("fixture returns %d, want 42", res.RetInt)
+	}
+	return res
+}
+
+// TestStatsJSONRoundTrip proves the machine-readable export survives a
+// marshal/unmarshal cycle without loss: every field of Stats — including
+// the nested map-table telemetry and its per-index counters — compares
+// deeply equal after the round trip, so rcrun -stats / rcexp -stats
+// consumers see exactly what the simulator measured.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	res := statsFixture(t)
+	st := res.Stats()
+	if st.Connects != 2 {
+		t.Fatalf("fixture ran %d connects, want 2", st.Connects)
+	}
+	if st.MapInt.ConnectUsesByIndex == nil || st.MapInt.ConnectDefsByIndex == nil {
+		t.Fatal("per-index connect counters missing from export")
+	}
+
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, back) {
+		t.Errorf("Stats did not survive the JSON round trip:\n sent %+v\n got  %+v", st, back)
+	}
+
+	// The exported ledger must close over ActiveCycles like the internal
+	// one does, even after deserialization.
+	if back.Ledger.Total != back.ActiveCycles {
+		t.Errorf("exported ledger total %d != active cycles %d", back.Ledger.Total, back.ActiveCycles)
+	}
+}
+
+// TestStatsIdleClassesExportNil pins the omitempty contract: register
+// classes with no connect traffic export nil per-index slices (keeping
+// golden JSON files free of zero noise), and nil survives the round trip.
+func TestStatsIdleClassesExportNil(t *testing.T) {
+	res := statsFixture(t)
+	st := res.Stats()
+	if st.MapFP.ConnectUsesByIndex != nil || st.MapFP.AutoResetsByIndex != nil {
+		t.Fatal("idle FP class exported per-index counters")
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.MapFP.ConnectUsesByIndex != nil {
+		t.Error("nil per-index slice materialized through JSON")
+	}
+}

@@ -104,6 +104,12 @@ type Arch struct {
 	// the operating-system strategy for RC state (§4.2–4.3). The
 	// ProgramUsesRC bit is set automatically from Mode.
 	Trap TrapConfig
+
+	// Profile enables per-static-instruction cycle attribution: the run's
+	// Result carries a machine.PCProf that internal/prof rolls up to
+	// functions, basic blocks, and virtual registers (cmd/rcprof). It has
+	// no effect on simulated timing or architectural results.
+	Profile bool
 }
 
 // DefaultMemChannels returns the paper's channel count for an issue rate:
@@ -315,14 +321,10 @@ func (e *Executable) MapCheck() []mapcheck.Violation {
 	return mapcheck.Verify(e.MProg)
 }
 
-// Run simulates the executable and returns the machine result.
-func (e *Executable) Run() (*machine.Result, error) {
-	return e.RunWithTrace(nil, 0)
-}
-
-// RunWithTrace simulates with a per-cycle issue trace written to w for the
-// first cycles cycles (0 = unlimited).
-func (e *Executable) RunWithTrace(w io.Writer, cycles int64) (*machine.Result, error) {
+// machineConfig translates the architecture into the simulator's
+// configuration — the single point where the Arch → machine.Config mapping
+// lives, shared by Run, RunWithTrace, RunWithEvents, and RunProcesses.
+func (e *Executable) machineConfig() machine.Config {
 	a := e.Arch
 	lat := isa.DefaultLatencies(a.LoadLatency)
 	lat.Connect = a.ConnectLatency
@@ -340,8 +342,7 @@ func (e *Executable) RunWithTrace(w io.Writer, cycles int64) (*machine.Result, e
 		Model:            a.Model,
 		ConnectLatency:   a.ConnectLatency,
 		ExtraDecodeStage: a.ExtraDecodeStage,
-		Trace:            w,
-		TraceCycles:      cycles,
+		Prof:             a.Profile,
 	}
 	if a.Mode == Unlimited {
 		// The mapping table is identity over the whole file.
@@ -351,6 +352,30 @@ func (e *Executable) RunWithTrace(w io.Writer, cycles int64) (*machine.Result, e
 	if a.Mode == WithoutRC {
 		cfg.IntTotal, cfg.FPTotal = a.IntCore, a.FPCore
 	}
+	return cfg
+}
+
+// Run simulates the executable and returns the machine result.
+func (e *Executable) Run() (*machine.Result, error) {
+	return machine.Run(e.Image, e.machineConfig())
+}
+
+// RunWithTrace simulates with a per-cycle issue trace written to w for the
+// first cycles cycles (0 = unlimited).
+func (e *Executable) RunWithTrace(w io.Writer, cycles int64) (*machine.Result, error) {
+	cfg := e.machineConfig()
+	cfg.Trace = w
+	cfg.TraceCycles = cycles
+	return machine.Run(e.Image, cfg)
+}
+
+// RunWithEvents simulates with the structured event trace enabled: the
+// pipeline records issues, stalls, connects, map resets, and traps into
+// ring (most recent window when the ring fills). Render the result with
+// ring.WriteTraceJSON for chrome://tracing / Perfetto.
+func (e *Executable) RunWithEvents(ring *machine.EventRing) (*machine.Result, error) {
+	cfg := e.machineConfig()
+	cfg.Events = ring
 	return machine.Run(e.Image, cfg)
 }
 
@@ -381,26 +406,9 @@ func RunProcesses(exes []*Executable, quantum int64, mode machine.SaveMode) (*Mu
 		}
 		imgs[i] = e.Image
 	}
-	e := exes[0]
-	a := e.Arch
-	lat := isa.DefaultLatencies(a.LoadLatency)
-	lat.Connect = a.ConnectLatency
-	cfg := machine.Config{
-		IssueRate:   a.Issue,
-		MemChannels: a.MemChannels,
-		Lat:         lat,
-		IntCore:     a.IntCore, IntTotal: e.machineIntTotal,
-		FPCore: a.FPCore, FPTotal: e.machineFPTotal,
-		Model:            a.Model,
-		ConnectLatency:   a.ConnectLatency,
-		ExtraDecodeStage: a.ExtraDecodeStage,
-	}
-	if a.Mode == Unlimited {
-		cfg.IntCore, cfg.FPCore = e.machineIntTotal, e.machineFPTotal
-	}
-	if a.Mode == WithoutRC {
-		cfg.IntTotal, cfg.FPTotal = a.IntCore, a.FPCore
-	}
+	cfg := exes[0].machineConfig()
+	// The quantum-driven switch machinery replaces the trap model.
+	cfg.Trap = machine.TrapConfig{}
 	return machine.RunMultiprogrammed(imgs, cfg, quantum, mode)
 }
 
