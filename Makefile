@@ -13,16 +13,21 @@ test:
 	$(GO) test ./...
 
 # verify is the tier-1 gate (see ROADMAP.md): build, vet, formatting,
-# full tests, the data-race check on the parallel experiment runner, the
-# static map-state verifier over the full benchmark × mode × model ×
-# combine grid (cmd/rclint), and the attribution profiler's ledger
-# cross-check over the golden benchmark × config grid (cmd/rcprof).
+# full tests (shuffled, to keep inter-test ordering dependencies out),
+# the data-race checks on the parallel experiment runner and on the
+# rcserve daemon (request coalescing, cache, cancellation), the CLI
+# exit-code contract (scripts/exitcodes.sh), the static map-state
+# verifier over the full benchmark × mode × model × combine grid
+# (cmd/rclint), and the attribution profiler's ledger cross-check over
+# the golden benchmark × config grid (cmd/rcprof).
 verify: build
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 	$(GO) test -race ./internal/exp/...
+	$(GO) test -race ./internal/serve/...
+	sh scripts/exitcodes.sh
 	$(GO) run ./cmd/rclint
 	$(GO) run ./cmd/rcprof -grid
 

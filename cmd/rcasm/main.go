@@ -16,12 +16,19 @@ import (
 	"os"
 
 	"regconn/internal/asm"
-	"regconn/internal/core"
+	"regconn/internal/cli"
 	"regconn/internal/isa"
 	"regconn/internal/machine"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		intCore = flag.Int("intcore", 8, "core integer registers")
 		fpCore  = flag.Int("fpcore", 8, "core floating-point registers")
@@ -33,23 +40,27 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fatal(fmt.Errorf("usage: rcasm [flags] prog.s"))
+		return fmt.Errorf("usage: rcasm [flags] prog.s")
+	}
+	rcModel, err := cli.ParseModel(*model)
+	if err != nil {
+		return err
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	mp, err := asm.Assemble(string(src))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *dis {
 		fmt.Print(asm.Disassemble(mp))
-		return
+		return nil
 	}
 	img, err := machine.Load(mp)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := machine.Config{
 		IssueRate:   *issue,
@@ -57,19 +68,15 @@ func main() {
 		Lat:         isa.DefaultLatencies(*load),
 		IntCore:     *intCore, IntTotal: *total,
 		FPCore: *fpCore, FPTotal: *total,
-		Model: core.Model(*model),
+		Model: rcModel,
 	}
 	res, err := machine.Run(img, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("r2       = %d\n", res.RetInt)
 	fmt.Printf("cycles   = %d\n", res.Cycles)
 	fmt.Printf("instrs   = %d (IPC %.2f)\n", res.Instrs, res.IPC())
 	fmt.Printf("connects = %d\n", res.Connects)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rcasm:", err)
-	os.Exit(1)
+	return nil
 }

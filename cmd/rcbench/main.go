@@ -48,6 +48,16 @@ type report struct {
 }
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole benchmark so the profile-writing defers fire on
+// every exit path — a fatal os.Exit in main would skip them and leave a
+// truncated (unreadable) pprof file behind.
+func run() (err error) {
 	var (
 		out        = flag.String("o", "BENCH_sim.json", "output JSON path (- for stdout)")
 		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
@@ -58,12 +68,13 @@ func main() {
 	flag.Parse()
 
 	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fatal(err)
+		f, cerr := os.Create(*cpuprofile)
+		if cerr != nil {
+			return cerr
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			f.Close()
+			return cerr
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -73,13 +84,16 @@ func main() {
 	if *memprofile != "" {
 		defer func() {
 			runtime.GC()
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fatal(err)
+			f, merr := os.Create(*memprofile)
+			if merr != nil {
+				if err == nil {
+					err = merr
+				}
+				return
 			}
 			defer f.Close()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
+			if merr := pprof.WriteHeapProfile(f); merr != nil && err == nil {
+				err = merr
 			}
 		}()
 	}
@@ -92,21 +106,27 @@ func main() {
 		r.Workers = *workers
 		return r
 	}
-	timeIDs := func(ids ...string) float64 {
+	timeIDs := func(ids ...string) (float64, error) {
 		r := newRunner()
 		start := time.Now()
 		for _, id := range ids {
 			if _, err := r.Generate(id); err != nil {
-				fatal(err)
+				return 0, err
 			}
 		}
-		return float64(time.Since(start).Microseconds()) / 1000
+		return float64(time.Since(start).Microseconds()) / 1000, nil
 	}
 
 	rep := report{GoMaxProcs: runtime.GOMAXPROCS(0), Workers: *workers, Quick: *quick}
-	rep.Fig7Ms = timeIDs("fig7")
-	rep.Fig10Ms = timeIDs("fig10")
-	rep.FullSuiteMs = timeIDs(exp.Experiments()...)
+	if rep.Fig7Ms, err = timeIDs("fig7"); err != nil {
+		return err
+	}
+	if rep.Fig10Ms, err = timeIDs("fig10"); err != nil {
+		return err
+	}
+	if rep.FullSuiteMs, err = timeIDs(exp.Experiments()...); err != nil {
+		return err
+	}
 
 	// Raw simulation speed on one benchmark at the paper's center
 	// configuration, the quantity that bounds full-suite experiment time.
@@ -121,7 +141,7 @@ func main() {
 		fresh := newRunner()
 		res, err := fresh.Run(bm, arch)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		total += res.Instrs
 	}
@@ -130,35 +150,31 @@ func main() {
 	// Cycle-ledger snapshot of the same point, with the invariant checked.
 	ex, err := regconn.Build(bm.Build(), arch)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	res, err := ex.Run()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := res.CheckLedger(); err != nil {
-		fatal(err)
+		return err
 	}
 	rep.CenterBench = bm.Name
 	rep.CenterStats = res.Stats()
 
 	js, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	js = append(js, '\n')
 	if *out == "-" {
-		os.Stdout.Write(js)
-		return
+		_, err := os.Stdout.Write(js)
+		return err
 	}
 	if err := os.WriteFile(*out, js, 0o644); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("rcbench: wrote %s (fig7 %.0fms, fig10 %.0fms, suite %.0fms, %.2fM sim-instrs/s)\n",
 		*out, rep.Fig7Ms, rep.Fig10Ms, rep.FullSuiteMs, rep.SimInstrsPerSec/1e6)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rcbench:", err)
-	os.Exit(1)
+	return nil
 }

@@ -13,13 +13,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"regconn"
 	"regconn/internal/bench"
-	"regconn/internal/core"
+	"regconn/internal/cli"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcdis:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		bmName  = flag.String("bench", "grep", "benchmark name")
 		fnName  = flag.String("func", "", "only this function (default: all)")
@@ -33,31 +41,30 @@ func main() {
 
 	bm, err := bench.ByName(*bmName)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	rcModel, err := cli.ParseModel(*model)
+	if err != nil {
+		return err
 	}
 	arch := regconn.Arch{
 		Issue: *issue, LoadLatency: 2,
 		IntCore: *intCore, FPCore: *fpCore,
-		Model: core.Model(*model), CombineConnects: true,
+		Model: rcModel, CombineConnects: true,
 	}
-	switch *mode {
-	case "rc":
-		arch.Mode = regconn.WithRC
-	case "spill":
-		arch.Mode = regconn.WithoutRC
-	case "unlimited":
-		arch.Mode = regconn.Unlimited
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	if arch.Mode, err = cli.ParseMode(*mode); err != nil {
+		return err
 	}
 	ex, err := regconn.Build(bm.Build(), arch)
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	found := false
 	for _, f := range ex.MProg.Funcs {
 		if *fnName != "" && f.Name != *fnName {
 			continue
 		}
+		found = true
 		fmt.Printf("%s:  ; frame=%d connects=%d spills=%d save/restore=%d\n",
 			f.Name, f.FrameSize, f.ConnectCount, f.SpillCount, f.SaveRestoreCount)
 		for i := range f.Code {
@@ -65,9 +72,13 @@ func main() {
 		}
 		fmt.Println()
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rcdis:", err)
-	os.Exit(1)
+	if !found {
+		var names []string
+		for _, f := range ex.MProg.Funcs {
+			names = append(names, f.Name)
+		}
+		return fmt.Errorf("no function %q in %s (have: %s)",
+			*fnName, bm.Name, strings.Join(names, ", "))
+	}
+	return nil
 }

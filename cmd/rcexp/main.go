@@ -44,10 +44,18 @@ func main() {
 	)
 	flag.Parse()
 
-	stop := startCPUProfile(*cpuprofile)
-	err := run(*expID, *quick, *bmName, *format, *workers, *stats)
+	if *format != "text" && *format != "csv" {
+		fatal(fmt.Errorf("unknown -format %q (want text or csv)", *format))
+	}
+	stop, err := startCPUProfile(*cpuprofile)
+	if err != nil {
+		fatal(err)
+	}
+	err = run(*expID, *quick, *bmName, *format, *workers, *stats)
 	stop()
-	writeMemProfile(*memprofile)
+	if merr := writeMemProfile(*memprofile); merr != nil && err == nil {
+		err = merr
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -99,37 +107,36 @@ func run(expID string, quick bool, bmName, format string, workers int, stats boo
 
 // startCPUProfile begins a runtime/pprof CPU profile and returns the stop
 // function (a no-op when path is empty).
-func startCPUProfile(path string) func() {
+func startCPUProfile(path string) (func(), error) {
 	if path == "" {
-		return func() {}
+		return func() {}, nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	if err := pprof.StartCPUProfile(f); err != nil {
-		fatal(err)
+		f.Close()
+		return nil, err
 	}
 	return func() {
 		pprof.StopCPUProfile()
 		f.Close()
-	}
+	}, nil
 }
 
 // writeMemProfile dumps a post-GC heap profile (no-op when path is empty).
-func writeMemProfile(path string) {
+func writeMemProfile(path string) error {
 	if path == "" {
-		return
+		return nil
 	}
 	runtime.GC()
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
-	if err := pprof.WriteHeapProfile(f); err != nil {
-		fatal(err)
-	}
+	return pprof.WriteHeapProfile(f)
 }
 
 func fatal(err error) {

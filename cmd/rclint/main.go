@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +44,32 @@ type finding struct {
 	err  error
 }
 
+// errViolations marks a completed sweep that found failures (exit 1, the
+// summary is already printed); usageError marks bad flags (exit 2).
+var errViolations = errors.New("violations found")
+
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
 func main() {
+	err := run()
+	if err == nil {
+		return
+	}
+	if errors.Is(err, errViolations) {
+		os.Exit(1) // run already printed the per-point FAIL lines
+	}
+	fmt.Fprintln(os.Stderr, "rclint:", err)
+	var ue usageError
+	if errors.As(err, &ue) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+func run() error {
 	var (
 		bmList  = flag.String("bench", "all", "benchmarks to sweep (comma list, or 'all')")
 		issues  = flag.String("issue", "1,4,8", "issue rates to sweep (comma list)")
@@ -58,13 +84,11 @@ func main() {
 
 	bms, err := selectBenchmarks(*bmList)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rclint:", err)
-		os.Exit(2)
+		return usageError{err}
 	}
 	rates, err := parseInts(*issues)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rclint: -issue:", err)
-		os.Exit(2)
+		return usageError{fmt.Errorf("-issue: %w", err)}
 	}
 	if *quick {
 		rates = rates[:1]
@@ -78,8 +102,7 @@ func main() {
 	case "first-free":
 		winPolicy = regconn.WindowFirstFree
 	default:
-		fmt.Fprintf(os.Stderr, "rclint: unknown -windows policy %q\n", *windows)
-		os.Exit(2)
+		return usageError{fmt.Errorf("unknown -windows policy %q", *windows)}
 	}
 
 	var points []point
@@ -132,9 +155,10 @@ func main() {
 	}
 	if bad > 0 {
 		fmt.Printf("rclint: %d of %d points failed\n", bad, len(points))
-		os.Exit(1)
+		return errViolations
 	}
 	fmt.Printf("rclint: %d points clean\n", len(points))
+	return nil
 }
 
 type namedArch struct {

@@ -29,6 +29,7 @@ import (
 
 	"regconn"
 	"regconn/internal/bench"
+	"regconn/internal/cli"
 	"regconn/internal/core"
 	"regconn/internal/exp"
 	"regconn/internal/machine"
@@ -36,6 +37,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		bmName    = flag.String("bench", "grep", "benchmark name")
 		issue     = flag.Int("issue", 4, "issue rate (1/2/4/8)")
@@ -59,15 +67,16 @@ func main() {
 	flag.Parse()
 
 	if *grid {
-		if err := runGrid(*quick, *workers); err != nil {
-			fatal(err)
-		}
-		return
+		return runGrid(*quick, *workers)
 	}
 
 	bm, err := bench.ByName(*bmName)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	rcModel, err := cli.ParseModel(*model)
+	if err != nil {
+		return err
 	}
 	arch := regconn.Arch{
 		Issue:           *issue,
@@ -75,65 +84,56 @@ func main() {
 		LoadLatency:     *load,
 		IntCore:         *intCore,
 		FPCore:          *fpCore,
-		Model:           core.Model(*model),
+		Model:           rcModel,
 		ConnectLatency:  *connLat,
 		CombineConnects: !*noComb,
 		ScalarOnly:      *scalar,
 		Profile:         true,
 	}
-	switch *mode {
-	case "rc":
-		arch.Mode = regconn.WithRC
-	case "spill":
-		arch.Mode = regconn.WithoutRC
-	case "unlimited":
-		arch.Mode = regconn.Unlimited
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	if arch.Mode, err = cli.ParseMode(*mode); err != nil {
+		return err
 	}
 
 	if *models {
-		if err := compareModels(bm, arch); err != nil {
-			fatal(err)
-		}
-		return
+		return compareModels(bm, arch)
 	}
 
 	ex, err := regconn.Build(bm.Build(), arch)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *traceJSON != "" {
 		ring := machine.NewEventRing(*eventCap)
 		if _, err := ex.RunWithEvents(ring); err != nil {
-			fatal(err)
+			return err
 		}
 		f, err := os.Create(*traceJSON)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		defer f.Close()
 		if err := ring.WriteTraceJSON(f, ex.Image); err != nil {
-			fatal(err)
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
 		}
 		fmt.Printf("rcprof: wrote %s (%d events, %d dropped; open in chrome://tracing or ui.perfetto.dev)\n",
 			*traceJSON, len(ring.Events()), ring.Dropped())
-		return
+		return nil
 	}
 
 	res, err := ex.Run()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	p, err := prof.New(ex.Image, res)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("benchmark %s, %s\n", bm.Name, arch.Mode)
-	if err := p.WriteReport(os.Stdout, *top); err != nil {
-		fatal(err)
-	}
+	return p.WriteReport(os.Stdout, *top)
 }
 
 // compareModels profiles the benchmark under each of the four automatic-
@@ -239,9 +239,4 @@ func runGrid(quick bool, workers int) error {
 	}
 	fmt.Printf("rcprof: %d grid points profiled, every per-PC attribution sums to its ledger bucket\n", len(jobs))
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rcprof:", err)
-	os.Exit(1)
 }

@@ -27,13 +27,20 @@ import (
 
 	"regconn"
 	"regconn/internal/bench"
-	"regconn/internal/core"
+	"regconn/internal/cli"
 	"regconn/internal/isa"
 	"regconn/internal/machine"
 	"regconn/internal/prof"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		bmName   = flag.String("bench", "grep", "benchmark name (see -list)")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
@@ -64,12 +71,16 @@ func main() {
 			}
 			fmt.Printf("%-10s (%s, stands in for %s)\n", b.Name, kind, b.Paper)
 		}
-		return
+		return nil
 	}
 
 	bm, err := bench.ByName(*bmName)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	rcModel, err := cli.ParseModel(*model)
+	if err != nil {
+		return err
 	}
 	arch := regconn.Arch{
 		Issue:            *issue,
@@ -77,57 +88,51 @@ func main() {
 		LoadLatency:      *load,
 		IntCore:          *intCore,
 		FPCore:           *fpCore,
-		Model:            core.Model(*model),
+		Model:            rcModel,
 		ConnectLatency:   *connLat,
 		ExtraDecodeStage: *stage,
 		CombineConnects:  !*noComb,
 		ScalarOnly:       *scalar,
 	}
-	switch *mode {
-	case "rc":
-		arch.Mode = regconn.WithRC
-	case "spill":
-		arch.Mode = regconn.WithoutRC
-	case "unlimited":
-		arch.Mode = regconn.Unlimited
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	if arch.Mode, err = cli.ParseMode(*mode); err != nil {
+		return err
 	}
 
 	arch.Profile = *profFlag
 	ex, err := regconn.Build(bm.Build(), arch)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *traceOut != "" {
 		ring := machine.NewEventRing(0)
 		if _, err := ex.RunWithEvents(ring); err != nil {
-			fatal(err)
+			return err
 		}
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := ring.WriteTraceJSON(f, ex.Image); err != nil {
-			fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "rcrun: wrote %s (%d events, %d dropped)\n",
 			*traceOut, len(ring.Events()), ring.Dropped())
 	}
 	if *trace > 0 {
 		if _, err := ex.RunWithTrace(os.Stdout, *trace); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	res, err := ex.Verify()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := res.CheckLedger(); err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *stats {
@@ -138,10 +143,7 @@ func main() {
 		}{bm.Name, arch.Mode.String(), res.Stats()}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fatal(err)
-		}
-		return
+		return enc.Encode(out)
 	}
 
 	fmt.Printf("benchmark   %s (stands in for %s)\n", bm.Name, bm.Paper)
@@ -175,16 +177,12 @@ func main() {
 	if *profFlag {
 		p, err := prof.New(ex.Image, res)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println()
 		if err := p.WriteReport(os.Stdout, *top); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rcrun:", err)
-	os.Exit(1)
+	return nil
 }

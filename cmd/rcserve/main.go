@@ -1,0 +1,85 @@
+// Command rcserve is the simulation-as-a-service daemon: it serves the
+// experiment runner over HTTP with result caching, request coalescing, a
+// bounded worker pool, per-request deadlines, and graceful drain.
+//
+// Usage:
+//
+//	rcserve [-addr :8347] [-cache 1024] [-workers n] [-timeout 2m]
+//
+// Endpoints:
+//
+//	POST /v1/run          one benchmark × arch point → stats JSON
+//	POST /v1/sweep        a grid, streamed back as NDJSON
+//	GET  /v1/figures/{id} a regenerated paper figure (table1, fig7, ...)
+//	GET  /healthz         readiness (503 while draining)
+//	GET  /metrics         expvar counters and latency quantiles
+//
+// On SIGINT/SIGTERM the daemon flips /healthz to draining, stops accepting
+// connections, and gives inflight requests up to the shutdown grace period
+// to finish. See DESIGN.md §11 for the API and cache-key contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"regconn/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8347", "listen address")
+		cache   = flag.Int("cache", 1024, "result cache size in entries")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = all CPUs)")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-request simulation deadline (0 = none)")
+		grace   = flag.Duration("grace", 30*time.Second, "shutdown grace period for inflight requests")
+	)
+	flag.Parse()
+
+	sv := serve.New(serve.Config{CacheSize: *cache, Workers: *workers, Timeout: *timeout})
+	expvar.Publish("rcserve", sv.Metrics())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: sv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "rcserve: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // bind failure or unexpected server exit
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "rcserve: draining")
+	sv.SetDraining()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "rcserve: drained")
+	return nil
+}

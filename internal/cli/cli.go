@@ -1,0 +1,36 @@
+// Package cli holds the flag-parsing helpers shared by the command-line
+// tools. The library deliberately forgives a zero-value Arch (normalize
+// fills in the paper defaults), but an explicit flag value that is out
+// of range must be an error, not a silent substitution — `rcrun -model
+// 9` used to run model 3 and exit 0.
+package cli
+
+import (
+	"fmt"
+
+	"regconn"
+	"regconn/internal/core"
+)
+
+// ParseMode maps a -mode flag value to the register mode.
+func ParseMode(s string) (regconn.RegMode, error) {
+	switch s {
+	case "rc":
+		return regconn.WithRC, nil
+	case "spill":
+		return regconn.WithoutRC, nil
+	case "unlimited":
+		return regconn.Unlimited, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want rc, spill, or unlimited)", s)
+}
+
+// ParseModel validates a -model flag value against the four automatic-
+// reset models of the paper (§4.1).
+func ParseModel(n int) (core.Model, error) {
+	m := core.Model(n)
+	if !m.Valid() {
+		return 0, fmt.Errorf("invalid RC model %d (want 1..4)", n)
+	}
+	return m, nil
+}

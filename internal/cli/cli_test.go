@@ -1,0 +1,43 @@
+package cli
+
+import (
+	"testing"
+
+	"regconn"
+	"regconn/internal/core"
+)
+
+func TestParseMode(t *testing.T) {
+	good := map[string]regconn.RegMode{
+		"rc":        regconn.WithRC,
+		"spill":     regconn.WithoutRC,
+		"unlimited": regconn.Unlimited,
+	}
+	for s, want := range good {
+		m, err := ParseMode(s)
+		if err != nil || m != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", s, m, err, want)
+		}
+	}
+	for _, s := range []string{"", "RC", "junk", "with-RC"} {
+		if _, err := ParseMode(s); err == nil {
+			t.Errorf("ParseMode(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		m, err := ParseModel(n)
+		if err != nil || m != core.Model(n) {
+			t.Errorf("ParseModel(%d) = %v, %v", n, m, err)
+		}
+	}
+	// Out-of-range models must be an error here even though the library's
+	// Arch.normalize would silently fall back to the paper default.
+	for _, n := range []int{0, -1, 5, 9} {
+		if _, err := ParseModel(n); err == nil {
+			t.Errorf("ParseModel(%d) succeeded, want error", n)
+		}
+	}
+}

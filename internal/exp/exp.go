@@ -9,6 +9,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -87,28 +89,51 @@ func key(name string, a regconn.Arch) string {
 // the result against the interpreter oracle. Concurrent calls for the same
 // point share one execution.
 func (r *Runner) Run(bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
+	return r.RunContext(context.Background(), bm, arch)
+}
+
+// RunContext is Run under a cancelable context. Cancellation does not
+// poison the memo: a point whose execution was stopped by its context is
+// evicted, so the next request for the same point recomputes instead of
+// replaying the stale cancellation error forever. (Concurrent waiters
+// collapsed onto the canceled execution still see its error — the point is
+// only re-runnable afterwards.)
+func (r *Runner) RunContext(ctx context.Context, bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
 	k := key(bm.Name, arch)
 	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = map[string]*cacheEntry{}
+	}
 	e, ok := r.cache[k]
 	if !ok {
 		e = &cacheEntry{}
 		r.cache[k] = e
 	}
 	r.mu.Unlock()
-	e.once.Do(func() { e.res, e.err = runPoint(bm, arch) })
-	return e.res, e.err
+	e.once.Do(func() { e.res, e.err = RunPoint(ctx, bm, arch) })
+	res, err := e.res, e.err
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		r.mu.Lock()
+		if r.cache[k] == e {
+			delete(r.cache, k)
+		}
+		r.mu.Unlock()
+	}
+	return res, err
 }
 
-// runPoint is the uncached build+simulate+verify of one data point. Every
-// point also runs the static map-state verifier (Arch.Verify): a sweep
-// result is only reported for code rclint proved correct.
-func runPoint(bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
+// RunPoint is the uncached build+simulate+verify of one data point,
+// canceled through ctx. Every point also runs the static map-state verifier
+// (Arch.Verify): a sweep result is only reported for code rclint proved
+// correct. It is the execution primitive behind Runner.Run and the serve
+// daemon's cold path.
+func RunPoint(ctx context.Context, bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
 	arch.Verify = true
 	ex, err := regconn.Build(bm.Build(), arch)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", bm.Name, err)
 	}
-	res, err := ex.Verify()
+	res, err := ex.VerifyContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", bm.Name, err)
 	}

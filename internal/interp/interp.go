@@ -68,25 +68,30 @@ func Run(p *ir.Program, entry string, args []int64, opts Options) (*Result, erro
 		opts.MemSize = mem.DefaultSize
 	}
 	layout := mem.ComputeLayout(p)
-	m := &machine{
-		prog:   p,
-		layout: layout,
-		mem:    mem.InitImage(p, layout, opts.MemSize),
-		opts:   opts,
-	}
-	m.sp = m.mem.StackTop()
 
+	// Everything that can raise a mem.Fault panic — including image
+	// initialization, which faults when a global's initializer does not fit
+	// in opts.MemSize — runs inside the recovering closure, so a guest
+	// memory violation always comes back as an error, never a host panic.
 	var res Result
+	var m *machine
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				if f, ok := r.(*mem.Fault); ok {
-					err = f
+					err = fmt.Errorf("interp: %w", f)
 					return
 				}
 				panic(r)
 			}
 		}()
+		m = &machine{
+			prog:   p,
+			layout: layout,
+			mem:    mem.InitImage(p, layout, opts.MemSize),
+			opts:   opts,
+		}
+		m.sp = m.mem.StackTop()
 		ret, fret, e := m.call(f, args, nil)
 		if e != nil {
 			return e

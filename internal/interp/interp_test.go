@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"errors"
 	"testing"
 
 	"regconn/internal/ir"
@@ -155,8 +156,31 @@ func TestMemoryFaultIsError(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected memory fault")
 	}
-	if _, ok := err.(*mem.Fault); !ok {
-		t.Fatalf("error type = %T, want *mem.Fault", err)
+	var f *mem.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("error %v (%T) does not wrap *mem.Fault", err, err)
+	}
+}
+
+func TestInitImageFaultIsError(t *testing.T) {
+	// A global initializer that does not fit in MemSize faults during image
+	// setup, before the first instruction. That fault must come back as an
+	// error like any other guest memory violation, not kill the host.
+	p := ir.NewProgram()
+	g := p.AddGlobal("big", 8*8)
+	g.InitI = []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := ir.NewFunc(p, "main", 0, 0)
+	b.Ret(b.Const(0))
+	res, err := Run(p, "main", nil, Options{MemSize: mem.GlobalBase})
+	if err == nil {
+		t.Fatalf("expected init-image fault, got result %+v", res)
+	}
+	var f *mem.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("error %v (%T) does not wrap *mem.Fault", err, err)
+	}
+	if f.Reason != "out of range" {
+		t.Errorf("fault reason = %q, want out of range", f.Reason)
 	}
 }
 

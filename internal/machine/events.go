@@ -49,14 +49,19 @@ type Event struct {
 
 // EventRing is a bounded event buffer: when full, the oldest events are
 // overwritten, so the trace always holds the most recent window of the
-// run. It is not safe for concurrent use (the simulator is single-
+// run. The zero value is a ready-to-use ring of DefaultEventCap events
+// (storage allocated on first add), so `Config.Events = &EventRing{}`
+// works. It is not safe for concurrent use (the simulator is single-
 // threaded).
+//
+// The ring is a single monotonic write counter over a fixed slice: event
+// number i lives at buf[i % len(buf)]. The oldest retained event and the
+// overwrite count both derive from the counter, so iteration cannot drift
+// out of sync with the write position.
 type EventRing struct {
-	buf     []Event
-	next    int
-	full    bool
-	dropped int64
-	issue   int // issue rate of the attached machine (track layout)
+	buf   []Event
+	total int64 // events ever added; next write goes to buf[total % len]
+	issue int   // issue rate of the attached machine (track layout)
 }
 
 // DefaultEventCap is the default ring capacity (events, not cycles).
@@ -68,34 +73,43 @@ func NewEventRing(capacity int) *EventRing {
 	if capacity <= 0 {
 		capacity = DefaultEventCap
 	}
-	return &EventRing{buf: make([]Event, 0, capacity)}
+	return &EventRing{buf: make([]Event, capacity)}
 }
 
 // add appends one event, overwriting the oldest when full.
 func (r *EventRing) add(e Event) {
-	if len(r.buf) < cap(r.buf) {
-		r.buf = append(r.buf, e)
-		return
+	if len(r.buf) == 0 {
+		r.buf = make([]Event, DefaultEventCap)
 	}
-	r.buf[r.next] = e
-	r.next = (r.next + 1) % len(r.buf)
-	r.full = true
-	r.dropped++
+	r.buf[r.total%int64(len(r.buf))] = e
+	r.total++
 }
 
-// Events returns the buffered events, oldest first.
+// Events returns the buffered events, oldest first. After the ring wraps,
+// the first returned event is the true oldest retained entry (event number
+// total-len), never a slot the writer has already reclaimed.
 func (r *EventRing) Events() []Event {
-	if !r.full {
-		return append([]Event(nil), r.buf...)
+	n := int64(len(r.buf))
+	if r.total == 0 || n == 0 {
+		return nil
 	}
-	out := make([]Event, 0, len(r.buf))
-	out = append(out, r.buf[r.next:]...)
-	out = append(out, r.buf[:r.next]...)
+	if r.total <= n {
+		return append([]Event(nil), r.buf[:r.total]...)
+	}
+	start := r.total % n
+	out := make([]Event, 0, n)
+	out = append(out, r.buf[start:]...)
+	out = append(out, r.buf[:start]...)
 	return out
 }
 
 // Dropped reports how many events were overwritten after the ring filled.
-func (r *EventRing) Dropped() int64 { return r.dropped }
+func (r *EventRing) Dropped() int64 {
+	if n := int64(len(r.buf)); r.total > n {
+		return r.total - n
+	}
+	return 0
+}
 
 // traceEvent is one Chrome trace-event JSON record (the subset of the
 // trace-event format the viewers need: complete "X", instant "i", and
@@ -143,7 +157,7 @@ func (r *EventRing) WriteTraceJSON(w io.Writer, imgs ...*Image) error {
 	var out traceFile
 	out.DisplayTimeUnit = "ms"
 	out.Meta.CycleUnit = "1 cycle = 1us"
-	out.Meta.Dropped = r.dropped
+	out.Meta.Dropped = r.Dropped()
 
 	procs := map[int]bool{}
 	for _, e := range r.Events() {

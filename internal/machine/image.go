@@ -67,3 +67,20 @@ func Load(mp *codegen.MProg) (*Image, error) {
 	img.Entry = entry
 	return img, nil
 }
+
+// FuncAt returns the name of the function containing the static instruction
+// at pc — the function with the largest start not past pc ("?" when pc is
+// outside the image). Used to contextualize runtime errors; it is not on
+// any hot path.
+func (img *Image) FuncAt(pc int) string {
+	if pc < 0 || pc >= len(img.Code) {
+		return "?"
+	}
+	best, name := -1, "?"
+	for f, start := range img.FuncStart {
+		if start <= pc && start > best {
+			best, name = start, f
+		}
+	}
+	return name
+}

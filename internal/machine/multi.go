@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"regconn/internal/core"
@@ -75,14 +76,21 @@ func (m *MultiResult) CheckLedger() error {
 // share the physical register file and mapping table, so correctness
 // depends on the OS's save mode. Each process runs on the same predecoded
 // micro-op pipeline as Run.
-func RunMultiprogrammed(imgs []*Image, cfg Config, quantum int64, mode SaveMode) (res *MultiResult, err error) {
+func RunMultiprogrammed(imgs []*Image, cfg Config, quantum int64, mode SaveMode) (*MultiResult, error) {
+	return RunMultiprogrammedContext(context.Background(), imgs, cfg, quantum, mode)
+}
+
+// RunMultiprogrammedContext is RunMultiprogrammed with cooperative
+// cancellation: each process's cycle loop polls ctx on the same stride as
+// RunContext.
+func RunMultiprogrammedContext(ctx context.Context, imgs []*Image, cfg Config, quantum int64, mode SaveMode) (res *MultiResult, err error) {
 	if len(imgs) == 0 || quantum <= 0 {
 		return nil, fmt.Errorf("machine: need processes and a positive quantum")
 	}
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	defer bufferTrace(&cfg)()
+	defer bufferTrace(&cfg)(&err)
 	defer recoverFault(&res, &err)
 
 	// The shared physical machine.
@@ -99,6 +107,7 @@ func RunMultiprogrammed(imgs []*Image, cfg Config, quantum int64, mode SaveMode)
 	for i, img := range imgs {
 		procs[i] = newSimState(img, cfg, ri, rf, rdyI, rdyF, tabI, tabF)
 		procs[i].proc = uint8(i)
+		procs[i].bindContext(ctx)
 		// Fresh PCB: zeroed registers, home mapping, entry SP.
 		p := &pcb{
 			ri: make([]int64, cfg.IntTotal),

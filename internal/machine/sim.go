@@ -2,10 +2,14 @@ package machine
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"os"
 	"strings"
+	"syscall"
 
 	"regconn/internal/core"
 	"regconn/internal/isa"
@@ -96,27 +100,81 @@ func (cfg *Config) normalize() error {
 
 // bufferTrace wraps the config's trace writer in a buffered writer for the
 // duration of a run — the per-issued-line fmt.Fprintf would otherwise hit
-// the underlying writer unbuffered — and returns the flush to defer. With
-// tracing off it is a no-op.
-func bufferTrace(cfg *Config) func() {
+// the underlying writer unbuffered — and returns the flush to defer. The
+// flush runs on every exit path (clean halt, simulation error, recovered
+// fault panic); when the underlying writer is a file it is also fsynced, so
+// the tail of a trace survives even a crashed run. A flush failure on an
+// otherwise-successful run surfaces through errp. With tracing off it is a
+// no-op.
+func bufferTrace(cfg *Config) func(errp *error) {
 	if cfg.Trace == nil {
-		return func() {}
+		return func(*error) {}
 	}
-	bw := bufio.NewWriterSize(cfg.Trace, 1<<16)
+	orig := cfg.Trace
+	bw := bufio.NewWriterSize(orig, 1<<16)
 	cfg.Trace = bw
-	return func() { bw.Flush() }
+	return func(errp *error) {
+		ferr := bw.Flush()
+		if f, ok := orig.(*os.File); ok {
+			serr := f.Sync()
+			// Pipes, terminals, and /dev/null don't support fsync
+			// (EINVAL/ENOTSUP); only real files need the durability.
+			if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+				serr = nil
+			}
+			if ferr == nil {
+				ferr = serr
+			}
+		}
+		if ferr != nil && *errp == nil {
+			*errp = fmt.Errorf("machine: trace flush: %w", ferr)
+		}
+	}
 }
 
-// recoverFault converts the memory-fault panic of a wild simulated access
-// into an ordinary error return; any other panic is re-raised. Used as
-// `defer recoverFault(&res, &err)` by both simulation entry points.
+// RuntimeError is a structured simulated-execution failure: the faulting
+// function and static instruction, the cycle the instruction issued in, the
+// process index (multiprogramming; 0 otherwise), and the underlying cause
+// (a *mem.Fault for wild accesses, or an arithmetic error). It is returned
+// as an ordinary error — a guest program's memory fault must never surface
+// as a host panic, no matter which entry point ran it.
+type RuntimeError struct {
+	Func  string // function containing PC ("(init)" for image setup faults)
+	PC    int    // static instruction index (-1 outside program execution)
+	Cycle int64  // issue cycle of the faulting instruction
+	Proc  uint8  // process index (multiprogrammed runs)
+	Err   error  // underlying cause
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("machine: runtime error in %s at pc=%d cycle=%d: %v", e.Func, e.PC, e.Cycle, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *RuntimeError) Unwrap() error { return e.Err }
+
+// runtimeError wraps a failure with the simulator's current execution
+// context. pc is the instruction being issued when the failure occurred.
+func (s *simState) runtimeError(pc int, cycle int64, cause error) error {
+	var re *RuntimeError
+	if errors.As(cause, &re) {
+		return cause // already contextualized (nested runUntil)
+	}
+	return &RuntimeError{Func: s.img.FuncAt(pc), PC: pc, Cycle: cycle, Proc: s.proc, Err: cause}
+}
+
+// recoverFault converts a memory-fault panic raised outside the cycle loop
+// (image initialization in newSimState — the loop itself recovers its own
+// faults with full pc context) into a structured error return; any other
+// panic is re-raised. Used as `defer recoverFault(&res, &err)` by both
+// simulation entry points.
 func recoverFault[T any](res **T, err *error) {
 	if r := recover(); r != nil {
 		f, ok := r.(*mem.Fault)
 		if !ok {
 			panic(r)
 		}
-		*res, *err = nil, f
+		*res, *err = nil, &RuntimeError{Func: "(init)", PC: -1, Err: f}
 	}
 }
 
@@ -216,12 +274,33 @@ var ErrCycleLimit = errors.New("machine: cycle limit exceeded")
 
 const defaultMaxCycles = int64(1) << 34
 
+// cancelCheckInterval is how often (in cycles) the cycle loop polls the
+// run's context. Checking every cycle would put a channel poll on the hot
+// path; at this stride the check amortizes to one compare per cycle (see
+// BENCH_sim.json) while still bounding cancellation latency to a few
+// thousand simulated cycles.
+const cancelCheckInterval = 4096
+
+// ErrCanceled reports that a run was stopped by its context; the wrapping
+// RuntimeError records where. errors.Is also matches the context's own
+// error (context.Canceled or context.DeadlineExceeded).
+var ErrCanceled = errors.New("machine: run canceled")
+
 // Run simulates the image to completion (HALT) and returns the result.
 func Run(img *Image, cfg Config) (res *Result, err error) {
+	return RunContext(context.Background(), img, cfg)
+}
+
+// RunContext simulates the image to completion or until ctx is canceled,
+// whichever comes first. Cancellation is polled inside the cycle loop every
+// cancelCheckInterval cycles, so a long simulation stops within a bounded
+// number of simulated cycles of the cancel; the returned error wraps both
+// ErrCanceled and the context's error.
+func RunContext(ctx context.Context, img *Image, cfg Config) (res *Result, err error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	defer bufferTrace(&cfg)()
+	defer bufferTrace(&cfg)(&err)
 	defer recoverFault(&res, &err)
 
 	s := newSimState(img, cfg,
@@ -229,6 +308,7 @@ func Run(img *Image, cfg Config) (res *Result, err error) {
 		make([]int64, cfg.IntTotal), make([]int64, cfg.FPTotal),
 		core.NewMapTable(cfg.Model, cfg.IntCore, cfg.IntTotal),
 		core.NewMapTable(cfg.Model, cfg.FPCore, cfg.FPTotal))
+	s.bindContext(ctx)
 	s.ri[isa.RegSP] = s.mem.StackTop()
 	s.nextTrap = cfg.Trap.Interval
 	halted, err := s.runUntil(cfg.MaxCycles)
@@ -274,10 +354,30 @@ type simState struct {
 	cycle    int64
 	nextTrap int64
 
+	// Cooperative cancellation: ctxDone is the run context's done channel
+	// (nil for background contexts, which can never cancel), polled when
+	// the cycle count reaches nextCancel.
+	ctx        context.Context
+	ctxDone    <-chan struct{}
+	nextCancel int64
+
 	res  *Result
 	prof *PCProf    // per-PC attribution, nil unless Config.Prof
 	ev   *EventRing // structured event sink, nil unless Config.Events
 	proc uint8      // process index (multiprogramming; 0 otherwise)
+}
+
+// bindContext arms the cycle loop's cancellation polling. A context that
+// can never be canceled (Done() == nil) keeps nextCancel beyond any
+// reachable cycle so the hot path pays a single int compare.
+func (s *simState) bindContext(ctx context.Context) {
+	s.ctx = ctx
+	s.ctxDone = ctx.Done()
+	if s.ctxDone == nil {
+		s.nextCancel = math.MaxInt64
+	} else {
+		s.nextCancel = s.cycle + cancelCheckInterval
+	}
 }
 
 // newSimState wires a simulator over the given (possibly shared) register
@@ -297,8 +397,9 @@ func newSimState(img *Image, cfg Config, ri []int64, rf []float64,
 		rStampF: make([]uint64, cfg.FPCore), wStampF: make([]uint64, cfg.FPCore),
 		res: &Result{Mem: m, Layout: img.Layout,
 			IssueHist: make([]int64, cfg.IssueRate+1)},
-		pc: img.Entry,
-		ev: cfg.Events,
+		pc:         img.Entry,
+		ev:         cfg.Events,
+		nextCancel: math.MaxInt64, // no context bound yet
 	}
 	if cfg.Prof {
 		s.prof = newPCProf(len(img.Code))
@@ -338,6 +439,12 @@ var stallNames = [...]string{
 // runUntil simulates until HALT or the global cycle reaches stopAt,
 // whichever comes first, reporting whether the program halted. State
 // persists across calls so multiprogramming can interleave processes.
+//
+// Failures — execute errors and the memory-fault panics of wild guest
+// accesses — leave through a single exit that wraps them in a RuntimeError
+// (function, pc, issue cycle) and, when tracing, emits the partially
+// assembled line of the faulting cycle so the trace tail shows the
+// instruction that died rather than ending one cycle early.
 func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 	cfg := s.cfg
 	penalty := int64(basePenalty)
@@ -346,10 +453,46 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 	}
 	start := s.cycle
 	defer func() { s.res.ActiveCycles += s.cycle - start }()
+	var (
+		tracing    bool
+		issueCycle int64
+		traceLine  []string
+	)
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(*mem.Fault)
+			if !ok {
+				panic(r)
+			}
+			// s.pc still names the faulting instruction: the issue loop
+			// only advances it after execute returns.
+			halted, err = false, s.runtimeError(s.pc, issueCycle, f)
+		}
+		if err != nil && tracing {
+			line := strings.Join(traceLine, " | ")
+			if line != "" {
+				line += "  "
+			}
+			fmt.Fprintf(cfg.Trace, "%8d  %s!! %v\n", issueCycle, line, err)
+		}
+	}()
 	for {
 		cycle := s.cycle
+		// Keep the trace-tail state fresh so an error raised before this
+		// cycle's issue loop (cancellation) reports cleanly.
+		issueCycle, traceLine = cycle, traceLine[:0]
+		tracing = cfg.Trace != nil && (cfg.TraceCycles == 0 || cycle < cfg.TraceCycles)
 		if cycle >= stopAt {
 			return false, nil
+		}
+		if cycle >= s.nextCancel && s.ctxDone != nil {
+			select {
+			case <-s.ctxDone:
+				return false, s.runtimeError(s.pc, cycle,
+					fmt.Errorf("%w after %d cycles: %w", ErrCanceled, cycle, context.Cause(s.ctx)))
+			default:
+				s.nextCancel = cycle + cancelCheckInterval
+			}
 		}
 		if cfg.Trap.Interval > 0 && cycle >= s.nextTrap {
 			ov := s.trapOverhead()
@@ -369,12 +512,12 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 		memUsed := 0
 		var firstStall stallReason
 		branchRedirect := false
-		var traceLine []string
 		// issueCycle is the cycle the issue engine runs in; `cycle` may
-		// additionally absorb a mispredict penalty below, so trace lines
-		// are stamped with issueCycle to stay monotonic.
-		issueCycle := cycle
-		tracing := cfg.Trace != nil && (cfg.TraceCycles == 0 || issueCycle < cfg.TraceCycles)
+		// have absorbed trap overhead above (and may additionally absorb a
+		// mispredict penalty below), so trace lines are stamped with
+		// issueCycle to stay monotonic.
+		issueCycle = cycle
+		tracing = cfg.Trace != nil && (cfg.TraceCycles == 0 || issueCycle < cfg.TraceCycles)
 		for issued < cfg.IssueRate {
 			u := &s.code[s.pc]
 			if u.Op == isa.HALT {
@@ -408,7 +551,7 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 			issuePC := s.pc
 			next, mispredict, err := s.execute(u, cycle)
 			if err != nil {
-				return false, err
+				return false, s.runtimeError(issuePC, issueCycle, err)
 			}
 			issued++
 			s.res.Instrs++

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics is the daemon's counter set, built from expvar types but NOT
+// published to the process-global expvar registry here: the registry
+// panics on duplicate names, and tests construct many servers per process.
+// cmd/rcserve publishes the map once under "rcserve" for /debug/vars-style
+// scrapers; the server itself renders it at GET /metrics.
+type metrics struct {
+	requests  expvar.Int // HTTP requests accepted (all endpoints)
+	hits      expvar.Int // /v1/run points answered from the LRU
+	misses    expvar.Int // points that required a simulation
+	coalesced expvar.Int // requests that joined another request's flight
+	inflight  expvar.Int // simulations currently executing (gauge)
+	errors    expvar.Int // requests answered with a non-2xx status
+
+	mu        sync.Mutex
+	latencies []time.Duration // sliding window of /v1/run point latencies
+	next      int
+}
+
+const latencyWindow = 1024
+
+func newMetrics() *metrics {
+	return &metrics{latencies: make([]time.Duration, 0, latencyWindow)}
+}
+
+func (m *metrics) observe(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.latencies) < latencyWindow {
+		m.latencies = append(m.latencies, d)
+		return
+	}
+	m.latencies[m.next] = d
+	m.next = (m.next + 1) % latencyWindow
+}
+
+// quantiles returns the p50 and p99 of the latency window.
+func (m *metrics) quantiles() (p50, p99 time.Duration) {
+	m.mu.Lock()
+	s := append([]time.Duration(nil), m.latencies...)
+	m.mu.Unlock()
+	if len(s) == 0 {
+		return 0, 0
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+	return q(0.50), q(0.99)
+}
+
+// expvarMap assembles the full counter set (plus the cache's view) as an
+// expvar.Map whose String() is the JSON served at GET /metrics.
+func (m *metrics) expvarMap(cache *lruCache) *expvar.Map {
+	out := new(expvar.Map).Init()
+	out.Set("requests", &m.requests)
+	out.Set("cache_hits", &m.hits)
+	out.Set("cache_misses", &m.misses)
+	out.Set("coalesced", &m.coalesced)
+	out.Set("inflight", &m.inflight)
+	out.Set("errors", &m.errors)
+	cacheLen, evictions := new(expvar.Int), new(expvar.Int)
+	cacheLen.Set(int64(cache.len()))
+	evictions.Set(cache.evicted())
+	out.Set("cache_entries", cacheLen)
+	out.Set("cache_evictions", evictions)
+	p50, p99 := m.quantiles()
+	l50, l99 := new(expvar.Float), new(expvar.Float)
+	l50.Set(p50.Seconds() * 1000)
+	l99.Set(p99.Seconds() * 1000)
+	out.Set("latency_p50_ms", l50)
+	out.Set("latency_p99_ms", l99)
+	return out
+}

@@ -1,0 +1,363 @@
+// Package serve is the simulation-as-a-service layer: a long-running HTTP
+// daemon (cmd/rcserve) exposing the experiment runner. One POST /v1/run
+// simulates a single benchmark × Arch point; POST /v1/sweep streams a grid
+// as NDJSON; GET /v1/figures/{id} regenerates a paper figure; /healthz and
+// /metrics round out operability.
+//
+// The hot path is: canonical key → bounded LRU (marshaled response bytes,
+// so a warm hit is byte-identical to the cold run that filled it) →
+// waiter-counted singleflight (concurrent identical requests collapse to
+// one simulation; the simulation's context is canceled only when every
+// waiter has gone) → bounded worker pool → exp.RunPoint, whose context
+// reaches machine.RunContext's cycle loop. Canceled or failed points are
+// never cached, so a cancellation cannot corrupt later results.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"regconn"
+	"regconn/internal/bench"
+	"regconn/internal/exp"
+	"regconn/internal/machine"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// CacheSize bounds the LRU result cache in entries (0 = 1024).
+	CacheSize int
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// Timeout is the per-request simulation deadline (0 = no deadline).
+	Timeout time.Duration
+}
+
+// Server implements the HTTP API. Create with New; it is an http.Handler.
+type Server struct {
+	cfg      Config
+	cache    *lruCache
+	flights  *flightGroup
+	met      *metrics
+	sem      chan struct{}
+	runner   *exp.Runner // memoized figure generation
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   newLRUCache(cfg.CacheSize),
+		flights: newFlightGroup(),
+		met:     newMetrics(),
+		sem:     make(chan struct{}, cfg.Workers),
+		runner:  exp.NewRunner(),
+	}
+	s.runner.Workers = cfg.Workers
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/figures/{id}", s.handleFigures)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Metrics exposes the counter map (cmd/rcserve publishes it to expvar).
+func (s *Server) Metrics() fmt.Stringer { return s.met.expvarMap(s.cache) }
+
+// SetDraining flips /healthz to 503 so load balancers stop routing new
+// work here while http.Server.Shutdown lets inflight requests finish.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Add(1)
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	if sw.status >= 400 {
+		s.met.errors.Add(1)
+	}
+}
+
+// statusWriter records the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// RunRequest is the body of POST /v1/run.
+type RunRequest struct {
+	Benchmark string       `json:"benchmark"`
+	Arch      regconn.Arch `json:"arch"`
+
+	// TimeoutMS optionally tightens the server's per-request deadline for
+	// this request (milliseconds; 0 = server default). It is not part of
+	// the cache key: how long a client was willing to wait does not change
+	// what the point computes.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is the body of POST /v1/run and of each /v1/sweep line.
+// Exactly these marshaled bytes are cached, so warm and cold responses for
+// a key are bit-identical.
+type RunResponse struct {
+	Benchmark string       `json:"benchmark"`
+	Arch      regconn.Arch `json:"arch"`
+	Key       string       `json:"key"`
+	Result    *exp.Result  `json:"result"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: the full cross product of
+// benchmarks × archs is simulated and streamed back one NDJSON line per
+// point, in benchmark-major request order.
+type SweepRequest struct {
+	Benchmarks []string       `json:"benchmarks"`
+	Archs      []regconn.Arch `json:"archs"`
+}
+
+// errorBody is any endpoint's failure payload.
+type errorBody struct {
+	Benchmark string `json:"benchmark,omitempty"`
+	Key       string `json:"key,omitempty"`
+	Error     string `json:"error"`
+}
+
+// Key returns the canonical cache key of one point: the hex SHA-256 of the
+// canonical JSON encoding of (benchmark, Arch). Two requests are the same
+// point exactly when their benchmark names and Arch values are equal;
+// client-side knobs like TimeoutMS are deliberately excluded.
+func Key(benchmark string, arch regconn.Arch) string {
+	b, err := json.Marshal(struct {
+		Benchmark string       `json:"benchmark"`
+		Arch      regconn.Arch `json:"arch"`
+	}{benchmark, arch})
+	if err != nil {
+		panic(fmt.Sprintf("serve: Arch not marshalable: %v", err)) // Arch is plain data; cannot happen
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// point answers one (benchmark, arch) coordinate: LRU, then singleflight,
+// then a worker slot, then the simulation. It returns the response bytes
+// and whether they came from the cache.
+func (s *Server) point(ctx context.Context, bm bench.Benchmark, arch regconn.Arch) (body []byte, cached bool, err error) {
+	k := Key(bm.Name, arch)
+	if b, ok := s.cache.get(k); ok {
+		s.met.hits.Add(1)
+		return b, true, nil
+	}
+	s.met.misses.Add(1)
+	val, err, shared := s.flights.do(ctx, k, func(fctx context.Context) ([]byte, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-fctx.Done():
+			return nil, context.Cause(fctx)
+		}
+		defer func() { <-s.sem }()
+		s.met.inflight.Add(1)
+		defer s.met.inflight.Add(-1)
+		res, err := exp.RunPoint(fctx, bm, arch)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(RunResponse{Benchmark: bm.Name, Arch: arch, Key: k, Result: res})
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(k, b)
+		return b, nil
+	})
+	if shared {
+		s.met.coalesced.Add(1)
+	}
+	return val, false, err
+}
+
+// requestContext applies the per-request deadline: the server default,
+// tightened by the request's own timeout when one is given.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.Timeout
+	if t := time.Duration(timeoutMS) * time.Millisecond; t > 0 && (d <= 0 || t < d) {
+		d = t
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// statusFor maps a point failure to an HTTP status: client deadline or
+// disconnect, guest runtime fault, or server-side failure.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		var re *machine.RuntimeError
+		if errors.As(err, &re) {
+			return http.StatusUnprocessableEntity
+		}
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, body errorBody) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	bm, err := bench.ByName(req.Benchmark)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorBody{Benchmark: req.Benchmark, Error: err.Error()})
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	body, cached, err := s.point(ctx, bm, req.Arch)
+	s.met.observe(time.Since(start))
+	if err != nil {
+		writeError(w, statusFor(err), errorBody{Benchmark: bm.Name, Key: Key(bm.Name, req.Arch), Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	w.Write(body)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(req.Benchmarks) == 0 || len(req.Archs) == 0 {
+		writeError(w, http.StatusBadRequest, errorBody{Error: "sweep needs at least one benchmark and one arch"})
+		return
+	}
+	bms := make([]bench.Benchmark, len(req.Benchmarks))
+	for i, name := range req.Benchmarks {
+		bm, err := bench.ByName(name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errorBody{Benchmark: name, Error: err.Error()})
+			return
+		}
+		bms[i] = bm
+	}
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+
+	// Fan the grid out (the worker-pool semaphore bounds real concurrency)
+	// but stream lines back in deterministic benchmark-major order.
+	type future struct {
+		bm   bench.Benchmark
+		arch regconn.Arch
+		ch   chan result
+	}
+	futs := make([]future, 0, len(bms)*len(req.Archs))
+	for _, bm := range bms {
+		for _, arch := range req.Archs {
+			f := future{bm: bm, arch: arch, ch: make(chan result, 1)}
+			go func(f future) {
+				start := time.Now()
+				body, _, err := s.point(ctx, f.bm, f.arch)
+				s.met.observe(time.Since(start))
+				f.ch <- result{body, err}
+			}(f)
+			futs = append(futs, f)
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for _, f := range futs {
+		res := <-f.ch
+		if res.err != nil {
+			enc.Encode(errorBody{Benchmark: f.bm.Name, Key: Key(f.bm.Name, f.arch), Error: res.err.Error()})
+		} else {
+			w.Write(res.body)
+			w.Write([]byte("\n"))
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// result pairs one sweep point's outcome.
+type result struct {
+	body []byte
+	err  error
+}
+
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tables, err := s.runner.Generate(id)
+	if err != nil {
+		// A bad figure id is the client's fault; a failed generation ours.
+		status := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "unknown experiment") {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(tables)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"draining"}` + "\n"))
+		return
+	}
+	w.Write([]byte(`{"status":"ok"}` + "\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.met.expvarMap(s.cache).String())
+}

@@ -1,0 +1,418 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"regconn"
+	"regconn/internal/bench"
+	"regconn/internal/exp"
+	"regconn/internal/machine"
+)
+
+// fastArch is a cheap-to-simulate point used throughout these tests.
+func fastArch() regconn.Arch {
+	return regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC, IntCore: 16, FPCore: 32}
+}
+
+func postRun(t *testing.T, srv *httptest.Server, req RunRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func getMetrics(t *testing.T, srv *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunColdWarmByteIdentical(t *testing.T) {
+	sv := New(Config{Workers: 2})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+
+	req := RunRequest{Benchmark: "matrix300", Arch: fastArch()}
+	resp1, cold := postRun(t, srv, req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: %d %s", resp1.StatusCode, cold)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "MISS" {
+		t.Errorf("cold X-Cache = %q, want MISS", got)
+	}
+	resp2, warm := postRun(t, srv, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm run: %d %s", resp2.StatusCode, warm)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Errorf("warm X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm response differs from cold:\ncold: %s\nwarm: %s", cold, warm)
+	}
+
+	// And both match a run on a completely fresh server — the cache entry
+	// is bit-identical to an independent cold execution.
+	sv2 := New(Config{Workers: 2})
+	srv2 := httptest.NewServer(sv2)
+	defer srv2.Close()
+	_, fresh := postRun(t, srv2, req)
+	if !bytes.Equal(cold, fresh) {
+		t.Fatalf("cold runs on independent servers differ:\n%s\n%s", cold, fresh)
+	}
+
+	var rr RunResponse
+	if err := json.Unmarshal(cold, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Result == nil || rr.Result.Cycles == 0 || rr.Result.Stats.Cycles != rr.Result.Cycles {
+		t.Fatalf("malformed result: %+v", rr.Result)
+	}
+	if rr.Key != Key("matrix300", fastArch()) {
+		t.Errorf("response key %q does not match canonical key", rr.Key)
+	}
+}
+
+func TestConcurrentIdenticalRequestsCollapse(t *testing.T) {
+	sv := New(Config{Workers: 2})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+
+	const n = 6
+	req := RunRequest{Benchmark: "cpp", Arch: fastArch()}
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postRun(t, srv, req)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: %d %s", i, resp.StatusCode, body)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("request %d returned different bytes", i)
+		}
+	}
+	// Every request is exactly one of: cache hit, flight leader, or
+	// coalesced joiner — and a cold key has exactly one leader.
+	m := getMetrics(t, srv)
+	if leaders := float64(n) - m["cache_hits"] - m["coalesced"]; leaders != 1 {
+		t.Errorf("identical concurrent requests ran %v simulations (hits=%v coalesced=%v), want 1",
+			leaders, m["cache_hits"], m["coalesced"])
+	}
+}
+
+func TestDeadlineExceededDoesNotCorruptCache(t *testing.T) {
+	sv := New(Config{Workers: 2})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+
+	// 1 ms expires during the build, long before the simulation would
+	// finish; the cycle loop's context poll turns it into a clean error.
+	req := RunRequest{Benchmark: "espresso", Arch: fastArch(), TimeoutMS: 1}
+	resp, body := postRun(t, srv, req)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline-exceeded run: %d %s, want 504", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("error body %s (%v)", body, err)
+	}
+
+	// The deadline never corrupted the cache. Normally the point was
+	// canceled mid-simulation and not cached (X-Cache: MISS here); on a
+	// heavily loaded host the simulation can outrace the starved waiter and
+	// complete — then the complete result is legitimately cached (HIT).
+	// Either way the bytes served now must equal an independent cold run.
+	req.TimeoutMS = 0
+	resp2, good := postRun(t, srv, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("recomputation: %d %s", resp2.StatusCode, good)
+	}
+	resp3, warm := postRun(t, srv, req)
+	if resp3.StatusCode != http.StatusOK || resp3.Header.Get("X-Cache") != "HIT" {
+		t.Fatalf("warm after recompute: %d X-Cache=%s", resp3.StatusCode, resp3.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(good, warm) {
+		t.Fatal("cached bytes differ from the recomputed cold run")
+	}
+	srv2 := httptest.NewServer(New(Config{Workers: 2}))
+	defer srv2.Close()
+	_, cold := postRun(t, srv2, req)
+	if !bytes.Equal(good, cold) {
+		t.Fatalf("bytes served after the deadline-exceeded request differ from an independent cold run:\n%s\nvs\n%s", good, cold)
+	}
+}
+
+// TestCancellationStopsSimulationEarly proves — under -race, via the serve
+// stack's execution primitive — that a canceled context stops the cycle
+// loop within the poll stride rather than running the program out.
+func TestCancellationStopsSimulationEarly(t *testing.T) {
+	bm, err := bench.ByName("cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := exp.RunPoint(context.Background(), bm, fastArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = exp.RunPoint(ctx, bm, fastArch())
+	if !errors.Is(err, machine.ErrCanceled) {
+		t.Fatalf("canceled point error = %v", err)
+	}
+	var re *machine.RuntimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("canceled point error is %T, want to wrap *machine.RuntimeError", err)
+	}
+	if re.Cycle >= full.Cycles {
+		t.Errorf("cancellation at cycle %d did not stop early (full run = %d cycles)", re.Cycle, full.Cycles)
+	}
+	if re.Cycle > 8192 {
+		t.Errorf("cancellation latency %d cycles exceeds two poll strides", re.Cycle)
+	}
+}
+
+func TestCacheEvictionUnderPressure(t *testing.T) {
+	sv := New(Config{Workers: 2, CacheSize: 1})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+
+	a1, a2 := fastArch(), fastArch()
+	a2.Issue = 2
+	reqs := []RunRequest{
+		{Benchmark: "matrix300", Arch: a1},
+		{Benchmark: "matrix300", Arch: a2},
+	}
+	first := make([][]byte, 2)
+	for i, rq := range reqs {
+		resp, body := postRun(t, srv, rq)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %d %s", i, resp.StatusCode, body)
+		}
+		first[i] = body
+	}
+	if m := getMetrics(t, srv); m["cache_evictions"] < 1 {
+		t.Errorf("cache_evictions = %v, want >= 1 with a 1-entry cache", m["cache_evictions"])
+	}
+	// The evicted point recomputes to identical bytes.
+	resp, again := postRun(t, srv, reqs[0])
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "MISS" {
+		t.Fatalf("evicted point: %d X-Cache=%s", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(first[0], again) {
+		t.Fatal("recomputed evicted point differs from its original bytes")
+	}
+}
+
+func TestSweepStreamsNDJSON(t *testing.T) {
+	sv := New(Config{Workers: 2})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+
+	good := fastArch()
+	bad := regconn.Arch{} // Issue 0: the machine config is invalid
+	body, _ := json.Marshal(SweepRequest{
+		Benchmarks: []string{"matrix300"},
+		Archs:      []regconn.Arch{good, bad},
+	})
+	resp, err := srv.Client().Post(srv.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sweep streamed %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var ok RunResponse
+	if err := json.Unmarshal([]byte(lines[0]), &ok); err != nil || ok.Result == nil || ok.Result.Cycles == 0 {
+		t.Fatalf("line 0 is not a good point: %s (%v)", lines[0], err)
+	}
+	var eb errorBody
+	if err := json.Unmarshal([]byte(lines[1]), &eb); err != nil || eb.Error == "" {
+		t.Fatalf("line 1 is not an error line: %s (%v)", lines[1], err)
+	}
+}
+
+func TestFiguresHealthzMetricsAndBadRequests(t *testing.T) {
+	sv := New(Config{Workers: 2})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+
+	// table1 is static (no simulations) so this stays fast.
+	resp, err := srv.Client().Get(srv.URL + "/v1/figures/table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []exp.Table
+	if err := json.NewDecoder(resp.Body).Decode(&tables); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(tables) != 1 || tables[0].ID != "table1" {
+		t.Fatalf("figures/table1: %d %+v", resp.StatusCode, tables)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/v1/figures/bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("figures/bogus: %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+
+	for _, body := range []string{`{"benchmark":"nope","arch":{"Issue":4}}`, `not json`} {
+		resp, err := srv.Client().Post(srv.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad request %q: %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// A guest memory fault is the client's configuration, not our crash.
+	tiny := fastArch()
+	tiny.MemSize = 4096
+	resp2, body := postRun(t, srv, RunRequest{Benchmark: "matrix300", Arch: tiny})
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("fault body: %s", body)
+	}
+	if resp2.StatusCode != http.StatusUnprocessableEntity || !strings.Contains(eb.Error, "memory fault") {
+		t.Errorf("guest fault: %d %q, want 422 with a memory fault", resp2.StatusCode, eb.Error)
+	}
+
+	if m := getMetrics(t, srv); m["requests"] == 0 || m["errors"] == 0 {
+		t.Errorf("metrics not counting: %v", m)
+	}
+}
+
+func TestGracefulShutdownWithInflightRequest(t *testing.T) {
+	sv := New(Config{Workers: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: sv}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	// A cold point that takes real work, started just before shutdown.
+	reqBody, _ := json.Marshal(RunRequest{Benchmark: "espresso", Arch: fastArch()})
+	type outcome struct {
+		status int
+		body   []byte
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/run", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body)
+		done <- outcome{status: resp.StatusCode, body: b.Bytes()}
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let the request reach the handler
+	sv.SetDraining()
+	resp, err := http.Get(base + "/healthz")
+	if err == nil {
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("healthz while draining: %d, want 503", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown did not drain cleanly: %v", err)
+	}
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("inflight request failed during drain: %v", o.err)
+	}
+	if o.status != http.StatusOK {
+		t.Fatalf("inflight request got %d during drain: %s", o.status, o.body)
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := fastArch()
+	if Key("cpp", a) != Key("cpp", a) {
+		t.Error("identical points produced different keys")
+	}
+	b := a
+	b.Issue = 8
+	if Key("cpp", a) == Key("cpp", b) {
+		t.Error("different archs collided")
+	}
+	if Key("cpp", a) == Key("lex", a) {
+		t.Error("different benchmarks collided")
+	}
+	if len(Key("cpp", a)) != 64 {
+		t.Errorf("key is not hex sha256: %q", Key("cpp", a))
+	}
+}

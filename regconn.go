@@ -11,6 +11,7 @@
 package regconn
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -110,6 +111,12 @@ type Arch struct {
 	// functions, basic blocks, and virtual registers (cmd/rcprof). It has
 	// no effect on simulated timing or architectural results.
 	Profile bool
+
+	// MemSize is the simulated memory image size in bytes (0 = the
+	// default 16 MiB). Programs whose data or stack exceed it fail with a
+	// guest memory fault (*machine.RuntimeError), which makes small sizes
+	// useful for exercising fault paths end to end.
+	MemSize int64
 }
 
 // DefaultMemChannels returns the paper's channel count for an issue rate:
@@ -192,6 +199,12 @@ func (e *Executable) SaveRestoreGrowth() float64 {
 // bench constructs a fresh program per call for exactly this reason.
 func Build(p *ir.Program, arch Arch) (*Executable, error) {
 	arch = arch.normalize()
+	// Reject a non-positive issue rate here rather than letting the list
+	// scheduler spin forever on a machine that can never issue (the
+	// simulator's own config check comes too late to help).
+	if arch.Issue <= 0 {
+		return nil, fmt.Errorf("regconn: invalid issue rate %d", arch.Issue)
+	}
 	if err := ir.Verify(p); err != nil {
 		return nil, fmt.Errorf("regconn: verify: %w", err)
 	}
@@ -343,6 +356,7 @@ func (e *Executable) machineConfig() machine.Config {
 		ConnectLatency:   a.ConnectLatency,
 		ExtraDecodeStage: a.ExtraDecodeStage,
 		Prof:             a.Profile,
+		MemSize:          a.MemSize,
 	}
 	if a.Mode == Unlimited {
 		// The mapping table is identity over the whole file.
@@ -357,7 +371,15 @@ func (e *Executable) machineConfig() machine.Config {
 
 // Run simulates the executable and returns the machine result.
 func (e *Executable) Run() (*machine.Result, error) {
-	return machine.Run(e.Image, e.machineConfig())
+	return e.RunContext(context.Background())
+}
+
+// RunContext simulates the executable under ctx: cancellation or deadline
+// expiry stops the cycle loop within machine.RunContext's poll stride and
+// surfaces as an error wrapping both machine.ErrCanceled and the context's
+// own error.
+func (e *Executable) RunContext(ctx context.Context) (*machine.Result, error) {
+	return machine.RunContext(ctx, e.Image, e.machineConfig())
 }
 
 // RunWithTrace simulates with a per-cycle issue trace written to w for the
@@ -416,7 +438,12 @@ func RunProcesses(exes []*Executable, quantum int64, mode machine.SaveMode) (*Mu
 // the interpreter oracle: main's return value and the final contents of
 // the global data section must match exactly.
 func (e *Executable) Verify() (*machine.Result, error) {
-	res, err := e.Run()
+	return e.VerifyContext(context.Background())
+}
+
+// VerifyContext is Verify under a cancelable context (see RunContext).
+func (e *Executable) VerifyContext(ctx context.Context) (*machine.Result, error) {
+	res, err := e.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Asserts the exit-code contract of the command-line tools: every failure
+# path exits non-zero (usage errors in rclint exit 2), and the success
+# paths stay at 0. Guards against the class of bug where a tool printed
+# an error — or silently normalized a bad flag value — and still exited 0
+# (`rcrun -model 9` used to run model 3 and report success).
+#
+# Run from the repository root: sh scripts/exitcodes.sh
+set -u
+
+GO=${GO:-go}
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT INT TERM
+
+if ! $GO build -o "$BIN/" ./cmd/rcrun ./cmd/rclint ./cmd/rcexp; then
+    echo "exitcodes: build failed" >&2
+    exit 1
+fi
+
+fails=0
+
+# expect WANT CMD ARGS... runs CMD and checks its exit status.
+expect() {
+    want=$1
+    shift
+    "$@" >/dev/null 2>&1
+    got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL exit $got (want $want): $*"
+        fails=$((fails + 1))
+    else
+        echo "ok   exit $got: $*"
+    fi
+}
+
+# rcrun: bad flag values must be rejected, not silently normalized.
+expect 1 "$BIN/rcrun" -bench grep -model 9
+expect 1 "$BIN/rcrun" -bench grep -model 0
+expect 1 "$BIN/rcrun" -bench grep -mode junk
+expect 1 "$BIN/rcrun" -bench nosuchbench
+expect 0 "$BIN/rcrun" -bench grep
+expect 0 "$BIN/rcrun" -list
+
+# rclint: usage errors exit 2; a clean quick sweep exits 0.
+expect 2 "$BIN/rclint" -bench nosuchbench
+expect 2 "$BIN/rclint" -issue bogus
+expect 2 "$BIN/rclint" -windows bogus
+expect 0 "$BIN/rclint" -quick -bench grep -issue 4
+
+# rcexp: unknown formats, experiments, and benchmarks must all fail.
+expect 1 "$BIN/rcexp" -quick -format junk
+expect 1 "$BIN/rcexp" -quick -exp nosuchfigure
+expect 1 "$BIN/rcexp" -quick -bench nosuchbench
+expect 0 "$BIN/rcexp" -quick -bench grep -exp table1
+expect 0 "$BIN/rcexp" -quick -bench grep -exp table1 -format csv
+
+if [ "$fails" -gt 0 ]; then
+    echo "exitcodes: $fails assertion(s) failed"
+    exit 1
+fi
+echo "exitcodes: all assertions passed"
