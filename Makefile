@@ -17,9 +17,10 @@ test:
 # the data-race checks on the parallel experiment runner and on the
 # rcserve daemon (request coalescing, cache, cancellation), the CLI
 # exit-code contract (scripts/exitcodes.sh), the static map-state
-# verifier over the full benchmark × mode × model × combine grid
-# (cmd/rclint), and the attribution profiler's ledger cross-check over
-# the golden benchmark × config grid (cmd/rcprof).
+# verifier over the full benchmark × backend × model × combine grid
+# (cmd/rclint, split into the paper's three backends and the extension
+# backend matrix), and the attribution profiler's ledger cross-check
+# over the golden benchmark × config grid (cmd/rcprof).
 verify: build
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
@@ -28,7 +29,8 @@ verify: build
 	$(GO) test -race ./internal/exp/...
 	$(GO) test -race ./internal/serve/...
 	sh scripts/exitcodes.sh
-	$(GO) run ./cmd/rclint
+	$(GO) run ./cmd/rclint -backends rc,spill,unlimited
+	$(GO) run ./cmd/rclint -backends portreduce,chain
 	$(GO) run ./cmd/rcprof -grid
 
 # prof runs the attribution profiler over the golden benchmark × config

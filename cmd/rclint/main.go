@@ -1,18 +1,20 @@
-// Command rclint sweeps the benchmark suite across register modes, RC
+// Command rclint sweeps the benchmark suite across register backends, RC
 // automatic-reset models, and connect-combining settings, running the
 // static map-state verifier (internal/mapcheck) on every compiled program
 // and reporting each violation with its function and instruction index.
 //
 // Usage:
 //
-//	rclint [-bench all|name,name] [-issue 1,4,8] [-intcore 16] [-fpcore 32]
-//	       [-quick] [-workers N] [-v]
+//	rclint [-bench all|name,name] [-backends all|name,name] [-issue 1,4,8]
+//	       [-intcore 16] [-fpcore 32] [-quick] [-workers N] [-v]
 //
-// The default grid is every benchmark × {spill, unlimited, rc × 4 models ×
-// combine on/off} × the requested issue rates — the full correctness
-// surface of the code generator and scheduler. -quick restricts the sweep
-// to one issue rate and the evaluated model 3 (both combine settings).
-// Exit status is 1 when any violation is found.
+// The default grid is every benchmark × every registered backend × the
+// requested issue rates, with rc additionally expanded over its 4 reset
+// models × combine on/off and portreduce over two read-port widths — the
+// full correctness surface of the code generator and scheduler. -backends
+// restricts the sweep to a backend subset (registry names); -quick
+// restricts it to one issue rate and the evaluated model 3 (both combine
+// settings). Exit status is 1 when any violation is found.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"sync"
 
 	"regconn"
+	"regconn/internal/backend"
 	"regconn/internal/bench"
 	"regconn/internal/core"
 	"regconn/internal/mapcheck"
@@ -72,6 +75,7 @@ func main() {
 func run() error {
 	var (
 		bmList  = flag.String("bench", "all", "benchmarks to sweep (comma list, or 'all')")
+		beList  = flag.String("backends", "all", "backends to sweep (comma list of registry names, or 'all')")
 		issues  = flag.String("issue", "1,4,8", "issue rates to sweep (comma list)")
 		intCore = flag.Int("intcore", 16, "core integer registers")
 		fpCore  = flag.Int("fpcore", 32, "core floating-point registers")
@@ -83,6 +87,10 @@ func run() error {
 	flag.Parse()
 
 	bms, err := selectBenchmarks(*bmList)
+	if err != nil {
+		return usageError{err}
+	}
+	backends, err := selectBackends(*beList)
 	if err != nil {
 		return usageError{err}
 	}
@@ -110,7 +118,7 @@ func run() error {
 		for _, issue := range rates {
 			base := regconn.Arch{Issue: issue, LoadLatency: 2, IntCore: *intCore, FPCore: *fpCore,
 				Windows: winPolicy}
-			for _, cfg := range archGrid(base, *quick) {
+			for _, cfg := range archGrid(base, *quick, backends) {
 				points = append(points, point{bm: bm, arch: cfg.arch,
 					desc: fmt.Sprintf("%s %s", bm.Name, cfg.name)})
 			}
@@ -166,33 +174,76 @@ type namedArch struct {
 	arch regconn.Arch
 }
 
-// archGrid expands one base architecture into the mode × model × combine
-// grid. Models and combining only exist under RC; spill and unlimited each
-// contribute a single identity-checked point.
-func archGrid(base regconn.Arch, quick bool) []namedArch {
+// archGrid expands one base architecture into the backend × model ×
+// combine grid for the selected backends. Models and combining only exist
+// under RC, which contributes its full sub-grid; portreduce is checked at
+// two read-port widths; every other backend — including ones registered
+// after this tool was written — contributes a single point through its
+// registry name.
+func archGrid(base regconn.Arch, quick bool, backends []string) []namedArch {
 	var out []namedArch
-	spill, unlim := base, base
-	spill.Mode = regconn.WithoutRC
-	unlim.Mode = regconn.Unlimited
-	out = append(out,
-		namedArch{fmt.Sprintf("issue%d spill", base.Issue), spill},
-		namedArch{fmt.Sprintf("issue%d unlimited", base.Issue), unlim},
-	)
-	models := []core.Model{core.NoReset, core.WriteReset, core.WriteResetReadUpdate, core.ReadWriteReset}
-	if quick {
-		models = []core.Model{core.WriteResetReadUpdate}
-	}
-	for _, model := range models {
-		for _, combine := range []bool{true, false} {
+	for _, name := range backends {
+		switch name {
+		case "spill":
 			a := base
-			a.Mode = regconn.WithRC
-			a.Model = model
-			a.CombineConnects = combine
-			out = append(out, namedArch{
-				fmt.Sprintf("issue%d rc model%d combine=%v", base.Issue, model, combine), a})
+			a.Mode = regconn.WithoutRC
+			out = append(out, namedArch{fmt.Sprintf("issue%d spill", base.Issue), a})
+		case "unlimited":
+			a := base
+			a.Mode = regconn.Unlimited
+			out = append(out, namedArch{fmt.Sprintf("issue%d unlimited", base.Issue), a})
+		case "rc":
+			models := []core.Model{core.NoReset, core.WriteReset, core.WriteResetReadUpdate, core.ReadWriteReset}
+			if quick {
+				models = []core.Model{core.WriteResetReadUpdate}
+			}
+			for _, model := range models {
+				for _, combine := range []bool{true, false} {
+					a := base
+					a.Mode = regconn.WithRC
+					a.Model = model
+					a.CombineConnects = combine
+					out = append(out, namedArch{
+						fmt.Sprintf("issue%d rc model%d combine=%v", base.Issue, model, combine), a})
+				}
+			}
+		case "portreduce":
+			for _, rp := range []int{0, 2} {
+				a := base
+				a.Mode = regconn.PortReduce
+				a.ReadPorts = rp
+				ports := "ports=issue"
+				if rp > 0 {
+					ports = fmt.Sprintf("ports=%d", rp)
+				}
+				out = append(out, namedArch{
+					fmt.Sprintf("issue%d portreduce %s", base.Issue, ports), a})
+			}
+		default:
+			a := base
+			a.Backend = name
+			out = append(out, namedArch{fmt.Sprintf("issue%d %s", base.Issue, name), a})
 		}
 	}
 	return out
+}
+
+// selectBackends resolves a -backends flag value against the backend
+// registry; the accepted-name set and the rejection message both come from
+// the registry.
+func selectBackends(list string) ([]string, error) {
+	if list == "all" {
+		return backend.Names(), nil
+	}
+	var out []string
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if _, err := backend.ByName(name); err != nil {
+			return nil, fmt.Errorf("-backends: %w", err)
+		}
+		out = append(out, name)
+	}
+	return out, nil
 }
 
 func selectBenchmarks(list string) ([]bench.Benchmark, error) {

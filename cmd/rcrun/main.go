@@ -5,9 +5,10 @@
 // Usage:
 //
 //	rcrun -bench grep [-issue 4] [-load 2] [-channels 0] [-intcore 16]
-//	      [-fpcore 32] [-mode rc|spill|unlimited] [-model 3]
-//	      [-connect-latency 0] [-extra-stage] [-no-combine] [-scalar]
-//	      [-stats] [-prof] [-top 20] [-trace-json FILE]
+//	      [-fpcore 32] [-mode rc|spill|unlimited|portreduce|chain]
+//	      [-readports 0] [-model 3] [-connect-latency 0] [-extra-stage]
+//	      [-no-combine] [-scalar] [-stats] [-prof] [-top 20]
+//	      [-trace-json FILE]
 //
 // -stats replaces the text report with a machine-readable JSON document:
 // the full cycle ledger (stall breakdown), the per-cycle issue-slot
@@ -49,7 +50,8 @@ func run() error {
 		channels = flag.Int("channels", 0, "memory channels (0 = paper default)")
 		intCore  = flag.Int("intcore", 16, "core integer registers")
 		fpCore   = flag.Int("fpcore", 32, "core floating-point registers")
-		mode     = flag.String("mode", "rc", "register mode: rc, spill, unlimited")
+		mode     = flag.String("mode", "rc", "register backend: "+strings.Join(cli.ModeNames(), ", "))
+		ports    = flag.Int("readports", 0, "register-file read ports for portreduce (0 = issue rate)")
 		model    = flag.Int("model", 3, "RC automatic-reset model 1..4")
 		connLat  = flag.Int("connect-latency", 0, "connect latency (0 or 1)")
 		stage    = flag.Bool("extra-stage", false, "extra decode pipeline stage")
@@ -93,6 +95,7 @@ func run() error {
 		ExtraDecodeStage: *stage,
 		CombineConnects:  !*noComb,
 		ScalarOnly:       *scalar,
+		ReadPorts:        *ports,
 	}
 	if arch.Mode, err = cli.ParseMode(*mode); err != nil {
 		return err
@@ -163,6 +166,18 @@ func run() error {
 		ex.PreAllocSize, ex.PostAllocSize, ex.CodeGrowth()*100, ex.SaveRestoreGrowth()*100)
 	fmt.Printf("stalls      data=%d mem=%d connect=%d branch=%d\n",
 		res.StallData, res.StallMem, res.StallConn, res.StallBranch)
+	if arch.Mode == regconn.PortReduce {
+		rp := arch.ReadPorts
+		if rp <= 0 {
+			rp = arch.Issue
+		}
+		fmt.Printf("read ports  %d per class (port-limited cycles %d, port stalls %d)\n",
+			rp, res.PortLimitedCycles, res.StallPorts)
+	}
+	if arch.Mode == regconn.Chain {
+		fmt.Printf("chaining    %d pairs, %d register-file reads elided\n",
+			res.ChainPairs, res.ChainElidedReads)
+	}
 	hist := make([]string, len(res.IssueHist))
 	for k, c := range res.IssueHist {
 		hist[k] = fmt.Sprintf("%d:%d", k, c)

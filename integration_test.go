@@ -184,7 +184,7 @@ func buildPressureInt() *ir.Program {
 }
 
 // archMatrix returns the architecture grid every test program is verified
-// on: all three register modes, small and large cores, all four RC models,
+// on: every register backend, small and large cores, all four RC models,
 // issue rates, connect latencies, and the extra decode stage.
 func archMatrix() []Arch {
 	var out []Arch
@@ -213,6 +213,14 @@ func archMatrix() []Arch {
 		Arch{Issue: 8, LoadLatency: 2, IntCore: 16, FPCore: 32, Mode: WithRC, CombineConnects: true},
 		Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32, Mode: WithRC, CombineConnects: true, NoSchedule: true},
 		Arch{Issue: 1, LoadLatency: 2, IntCore: 8, FPCore: 16, Mode: WithoutRC, ScalarOnly: true},
+	)
+	// Extension backends: the reduced-read-port file at both widths, and
+	// chaining with and without the scheduler (MarkChains runs either way).
+	out = append(out,
+		Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32, Mode: PortReduce},
+		Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32, Mode: PortReduce, ReadPorts: 2},
+		Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32, Mode: Chain},
+		Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32, Mode: Chain, NoSchedule: true},
 	)
 	for i := range out {
 		out[i].Verify = true

@@ -1,0 +1,105 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"regconn/internal/regalloc"
+	"regconn/internal/sched"
+)
+
+func TestRegistryRoundTrip(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("registry holds %d backends, want 5: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	for _, name := range names {
+		be, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if be.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, be.Name())
+		}
+		byID, err := ByID(be.ID())
+		if err != nil || byID != be {
+			t.Errorf("ByID(%v) = %v, %v; want the %q backend", be.ID(), byID, err, name)
+		}
+		if be.ID().String() != be.Display() {
+			t.Errorf("%q: ID.String() = %q, want display %q", name, be.ID().String(), be.Display())
+		}
+	}
+}
+
+func TestLegacyDisplayStrings(t *testing.T) {
+	// rcrun -stats JSON and the text reports print Mode.String(); these
+	// exact strings are load-bearing output compatibility.
+	want := map[ID]string{
+		Unlimited:  "unlimited",
+		WithoutRC:  "without-RC",
+		WithRC:     "with-RC",
+		PortReduce: "portreduce",
+		Chain:      "chain",
+	}
+	for id, display := range want {
+		if got := id.String(); got != display {
+			t.Errorf("ID(%d).String() = %q, want %q", uint8(id), got, display)
+		}
+	}
+	if got := ID(250).String(); got != "RegMode(250)" {
+		t.Errorf("unknown id String() = %q", got)
+	}
+}
+
+func TestUnknownNameListsRegistry(t *testing.T) {
+	_, err := ByName("bogus")
+	if err == nil {
+		t.Fatal("ByName(bogus) succeeded")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name backend %q", err, name)
+		}
+	}
+	if _, err := ByID(ID(250)); err == nil {
+		t.Error("ByID(250) succeeded")
+	}
+}
+
+func TestBackendContracts(t *testing.T) {
+	p := Params{Issue: 4, IntCore: 16, FPCore: 32, TotalRegs: TotalRegs}
+	for _, name := range Names() {
+		be, _ := ByName(name)
+		f := be.File(p)
+		if f.IntTotal < p.IntCore || f.FPTotal < p.FPCore {
+			t.Errorf("%s: file (%d,%d) smaller than the core file", name, f.IntTotal, f.FPTotal)
+		}
+		if be.UsesRC() != (be.AllocMode() == regalloc.RC && !be.Codegen(p).DirectExtended) {
+			t.Errorf("%s: UsesRC()=%v inconsistent with alloc mode %v", name, be.UsesRC(), be.AllocMode())
+		}
+	}
+
+	// Scheme-specific knobs land where they should.
+	unl, _ := ByName("unlimited")
+	if !unl.Sched(p, sched.Config{}).UnlimitedMode {
+		t.Error("unlimited backend does not set the scheduler's unlimited mode")
+	}
+	pr, _ := ByName("portreduce")
+	if got := pr.Sched(p, sched.Config{}).ReadPorts; got != p.Issue {
+		t.Errorf("portreduce default read ports = %d, want issue rate %d", got, p.Issue)
+	}
+	narrow := p
+	narrow.ReadPorts = 1
+	if got := pr.Sched(narrow, sched.Config{}).ReadPorts; got != 2 {
+		t.Errorf("read ports clamp: got %d, want 2", got)
+	}
+	ch, _ := ByName("chain")
+	if !ch.Codegen(p).Chain {
+		t.Error("chain backend does not request chain marking")
+	}
+}

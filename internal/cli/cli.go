@@ -9,20 +9,33 @@ import (
 	"fmt"
 
 	"regconn"
+	"regconn/internal/backend"
 	"regconn/internal/core"
 )
 
-// ParseMode maps a -mode flag value to the register mode.
+// ParseBackend maps a -mode flag value to a registered backend. The
+// accepted-name set and the error message come from the backend registry,
+// so a newly registered backend is accepted — and named in the error —
+// without touching this package.
+func ParseBackend(s string) (backend.Backend, error) {
+	return backend.ByName(s)
+}
+
+// ParseMode maps a -mode flag value to the register mode. It accepts
+// exactly the registry's names (ParseBackend) and returns the backend's ID
+// for tools that carry the selection in Arch.Mode.
 func ParseMode(s string) (regconn.RegMode, error) {
-	switch s {
-	case "rc":
-		return regconn.WithRC, nil
-	case "spill":
-		return regconn.WithoutRC, nil
-	case "unlimited":
-		return regconn.Unlimited, nil
+	be, err := ParseBackend(s)
+	if err != nil {
+		return 0, err
 	}
-	return 0, fmt.Errorf("unknown mode %q (want rc, spill, or unlimited)", s)
+	return be.ID(), nil
+}
+
+// ModeNames returns the registry's mode names for usage strings, in
+// sorted order.
+func ModeNames() []string {
+	return backend.Names()
 }
 
 // ParseModel validates a -model flag value against the four automatic-

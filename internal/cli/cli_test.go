@@ -1,17 +1,21 @@
 package cli
 
 import (
+	"strings"
 	"testing"
 
 	"regconn"
+	"regconn/internal/backend"
 	"regconn/internal/core"
 )
 
 func TestParseMode(t *testing.T) {
 	good := map[string]regconn.RegMode{
-		"rc":        regconn.WithRC,
-		"spill":     regconn.WithoutRC,
-		"unlimited": regconn.Unlimited,
+		"rc":         regconn.WithRC,
+		"spill":      regconn.WithoutRC,
+		"unlimited":  regconn.Unlimited,
+		"portreduce": regconn.PortReduce,
+		"chain":      regconn.Chain,
 	}
 	for s, want := range good {
 		m, err := ParseMode(s)
@@ -20,8 +24,34 @@ func TestParseMode(t *testing.T) {
 		}
 	}
 	for _, s := range []string{"", "RC", "junk", "with-RC"} {
-		if _, err := ParseMode(s); err == nil {
+		_, err := ParseMode(s)
+		if err == nil {
 			t.Errorf("ParseMode(%q) succeeded, want error", s)
+			continue
+		}
+		// The rejection names every registered backend so the user can
+		// fix the flag without reading the source.
+		for _, name := range backend.Names() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("ParseMode(%q) error %q does not name backend %q", s, err, name)
+			}
+		}
+	}
+}
+
+func TestParseBackendMatchesRegistry(t *testing.T) {
+	for _, name := range backend.Names() {
+		be, err := ParseBackend(name)
+		if err != nil {
+			t.Errorf("ParseBackend(%q): %v", name, err)
+			continue
+		}
+		if be.Name() != name {
+			t.Errorf("ParseBackend(%q) returned backend named %q", name, be.Name())
+		}
+		m, err := ParseMode(name)
+		if err != nil || m != be.ID() {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", name, m, err, be.ID())
 		}
 	}
 }

@@ -42,7 +42,7 @@ type pendingConnect struct {
 
 func newEmitter(cfg Config, mf *MFunc) *emitter {
 	e := &emitter{cfg: cfg, mf: mf, busy: map[isa.Reg]bool{}}
-	if cfg.Mode == regalloc.RC {
+	if cfg.Mode == regalloc.RC && !cfg.DirectExtended {
 		e.tabInt = core.NewMapTable(cfg.Model, cfg.Conv.Int.Core, cfg.Conv.Int.Total)
 		e.tabFP = core.NewMapTable(cfg.Model, cfg.Conv.FP.Core, cfg.Conv.FP.Total)
 		e.lruInt = append([]int(nil), cfg.Conv.Int.SpillTemps...)
@@ -94,9 +94,9 @@ func (e *emitter) emit(in isa.Instr, ann Annot) {
 // access serves, recorded as debug info on any connect emitted for it.
 func (e *emitter) useIdx(class isa.RegClass, phys int, vreg int32) int {
 	cv := e.cfg.Conv.Of(class)
-	if e.cfg.Mode != regalloc.RC || !cv.IsExtended(phys) {
-		// Unlimited mode addresses the whole file directly (identity map);
-		// core registers are always at home.
+	if e.cfg.Mode != regalloc.RC || e.cfg.DirectExtended || !cv.IsExtended(phys) {
+		// Unlimited mode and DirectExtended address the whole file
+		// directly (identity map); core registers are always at home.
 		return phys
 	}
 	tab := e.table(class)
@@ -118,7 +118,7 @@ func (e *emitter) useIdx(class isa.RegClass, phys int, vreg int32) int {
 // a connect-def if needed.
 func (e *emitter) defIdx(class isa.RegClass, phys int, vreg int32) int {
 	cv := e.cfg.Conv.Of(class)
-	if e.cfg.Mode != regalloc.RC || !cv.IsExtended(phys) {
+	if e.cfg.Mode != regalloc.RC || e.cfg.DirectExtended || !cv.IsExtended(phys) {
 		return phys
 	}
 	tab := e.table(class)

@@ -36,6 +36,17 @@ type Config struct {
 	// extended-register access — §3 notes the choice is arbitrary for
 	// correctness but matters for the artificial dependences it creates.
 	Windows WindowPolicy
+
+	// DirectExtended (the portreduce backend) makes RC-mode allocation
+	// address the whole file directly: instructions carry physical
+	// register numbers, no connects are emitted, and no mapping table
+	// exists. Verification degenerates to the identity check.
+	DirectExtended bool
+
+	// Chain (the chain backend) enables producer→consumer forwarding
+	// annotations: a post-schedule pass (MarkChains) marks single-use
+	// values whose register-file write/read pair the machine elides.
+	Chain bool
 }
 
 // WindowPolicy is the connect-window selection strategy.
@@ -101,6 +112,15 @@ type Annot struct {
 	MemRootPhys int32 // physical register holding the root value (RootOpaque), else -1
 	MemOff      int64 // byte offset from the root
 	MemOffKnown bool
+
+	// Chain-forwarding marks (Config.Chain; see MarkChains). ChainOut on
+	// a producer means its destination value forwards to the next
+	// instruction and the register-file write is elided; ChainA/ChainB on
+	// the consumer mark which source slot reads the forwarded value
+	// instead of the register file.
+	ChainOut bool
+	ChainA   bool
+	ChainB   bool
 }
 
 // NoPhys marks an absent physical operand.

@@ -267,6 +267,16 @@ func archFor(bm bench.Benchmark, core int, base regconn.Arch) regconn.Arch {
 	return base
 }
 
+// sweepArch is the shared sweep-grid constructor: it stamps the register
+// mode onto a base configuration and applies archFor's per-class core-size
+// convention. Every figure's grid — and the golden ledger grid — is a
+// partial application of it, so a sweep axis is added in exactly one
+// place.
+func sweepArch(bm bench.Benchmark, core int, mode regconn.RegMode, base regconn.Arch) regconn.Arch {
+	base.Mode = mode
+	return archFor(bm, core, base)
+}
+
 // IntCores and FPCores are the experimental register-file sizes of §5.2.
 var (
 	IntCores = []int{8, 16, 24, 32, 64}
@@ -380,7 +390,7 @@ func (t *Table) Format() string {
 
 // Experiments lists every reproducible experiment by id.
 func Experiments() []string {
-	return []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "models", "combined", "windows", "os", "pressure", "accum"}
+	return []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "rivals", "models", "combined", "windows", "os", "pressure", "accum"}
 }
 
 // Generate dispatches on an experiment id.
@@ -406,6 +416,9 @@ func (r *Runner) Generate(id string) ([]*Table, error) {
 		return []*Table{t}, err
 	case "fig13":
 		t, err := r.Figure13()
+		return []*Table{t}, err
+	case "rivals":
+		t, err := r.Rivals()
 		return []*Table{t}, err
 	case "models":
 		t, err := r.AblationModels()

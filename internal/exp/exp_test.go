@@ -167,7 +167,7 @@ func TestGenerateDispatch(t *testing.T) {
 	if _, err := r.Generate("nosuch"); err == nil {
 		t.Error("expected error for unknown id")
 	}
-	if len(Experiments()) != 14 {
+	if len(Experiments()) != 15 {
 		t.Errorf("experiments = %d", len(Experiments()))
 	}
 }

@@ -74,8 +74,7 @@ func (r *Runner) Figure7() (*Table, error) {
 // unlimited-register speedup as the dotted-line reference.
 func (r *Runner) Figure8() ([]*Table, error) {
 	grid := func(bm bench.Benchmark, m int, mode regconn.RegMode) regconn.Arch {
-		base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true}
-		return archFor(bm, m, withMode(base, mode))
+		return sweepArch(bm, m, mode, regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true})
 	}
 	unlArch := regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.Unlimited}
 	var pts []point
@@ -120,8 +119,7 @@ func (r *Runner) Figure8() ([]*Table, error) {
 // black portion of the paper's bars.
 func (r *Runner) Figure9() ([]*Table, error) {
 	grid := func(bm bench.Benchmark, m int, mode regconn.RegMode) regconn.Arch {
-		base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true}
-		return archFor(bm, m, withMode(base, mode))
+		return sweepArch(bm, m, mode, regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true})
 	}
 	var pts []point
 	for _, bm := range r.sortedBench() {
@@ -164,12 +162,8 @@ func (r *Runner) figure1011(id string, load int) (*Table, error) {
 		Cols:  []string{"2/noRC", "2/RC", "4/noRC", "4/RC", "8/noRC", "8/RC", "unlim-4"},
 	}
 	grid := func(bm bench.Benchmark, is int, mode regconn.RegMode) regconn.Arch {
-		core := 16
-		if bm.FP {
-			core = 32
-		}
-		base := regconn.Arch{Issue: is, LoadLatency: load, CombineConnects: true}
-		return archFor(bm, core, withMode(base, mode))
+		return sweepArch(bm, core1632(bm), mode,
+			regconn.Arch{Issue: is, LoadLatency: load, CombineConnects: true})
 	}
 	unlArch := regconn.Arch{Issue: 4, LoadLatency: load, Mode: regconn.Unlimited}
 	var pts []point
@@ -273,8 +267,8 @@ func (r *Runner) Figure13() (*Table, error) {
 		ch   int
 	}{{regconn.WithoutRC, 2}, {regconn.WithoutRC, 4}, {regconn.WithRC, 2}}
 	mkArch := func(bm bench.Benchmark, load int, mode regconn.RegMode, ch int) regconn.Arch {
-		return archFor(bm, core1632(bm), regconn.Arch{Issue: 4, LoadLatency: load,
-			MemChannels: ch, Mode: mode, CombineConnects: true})
+		return sweepArch(bm, core1632(bm), mode, regconn.Arch{Issue: 4, LoadLatency: load,
+			MemChannels: ch, CombineConnects: true})
 	}
 	var pts []point
 	for _, bm := range r.sortedBench() {
@@ -296,6 +290,51 @@ func (r *Runner) Figure13() (*Table, error) {
 				vals = append(vals, s)
 			}
 		}
+		t.AddRow(bm.Name, vals...)
+	}
+	t.AddMeanRow()
+	return t, nil
+}
+
+// Rivals compares the five register architectures at the paper's pressured
+// 16/32-core operating point: spill-only and RC from the paper, the two
+// extension backends (reduced read ports; producer-consumer chaining), and
+// the unlimited-register reference.
+func (r *Runner) Rivals() (*Table, error) {
+	t := &Table{
+		ID:    "rivals",
+		Title: "Speedup by register backend, 4-issue, 2-cycle load, 16/32 cores",
+		Cols:  []string{"spill", "rc", "portreduce", "chain", "unlimited"},
+		Notes: []string{
+			"portreduce: the full 256-register file addressed directly, read ports = issue rate",
+			"chain: core registers only, plus producer->consumer forwarding that elides single-use RF traffic",
+		},
+	}
+	modes := []regconn.RegMode{regconn.WithoutRC, regconn.WithRC, regconn.PortReduce, regconn.Chain}
+	base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true}
+	unlArch := regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.Unlimited}
+	var pts []point
+	for _, bm := range r.sortedBench() {
+		for _, m := range modes {
+			pts = append(pts, point{bm, sweepArch(bm, core1632(bm), m, base)})
+		}
+		pts = append(pts, point{bm, unlArch})
+	}
+	r.warmSpeedups(pts)
+	for _, bm := range r.sortedBench() {
+		var vals []float64
+		for _, m := range modes {
+			s, err := r.Speedup(bm, sweepArch(bm, core1632(bm), m, base))
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, s)
+		}
+		unl, err := r.Speedup(bm, unlArch)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, unl)
 		t.AddRow(bm.Name, vals...)
 	}
 	t.AddMeanRow()
@@ -419,11 +458,6 @@ func (r *Runner) AblationWindows() (*Table, error) {
 		t.AddRow(bm.Name, append(speed, cons...)...)
 	}
 	return t, nil
-}
-
-func withMode(a regconn.Arch, m regconn.RegMode) regconn.Arch {
-	a.Mode = m
-	return a
 }
 
 // core1632 is the paper's pressured operating point: 16 integer or 32

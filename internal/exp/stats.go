@@ -26,8 +26,8 @@ func LedgerConfigs(bm bench.Benchmark) []LedgerConfig {
 	}
 	base := regconn.Arch{Issue: 4, LoadLatency: 2, CombineConnects: true, Verify: true}
 	return []LedgerConfig{
-		{"center-rc", archFor(bm, core, withMode(base, regconn.WithRC))},
-		{"without-rc", archFor(bm, core, withMode(base, regconn.WithoutRC))},
+		{"center-rc", sweepArch(bm, core, regconn.WithRC, base)},
+		{"without-rc", sweepArch(bm, core, regconn.WithoutRC, base)},
 		{"unlimited", regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.Unlimited, Verify: true}},
 		{"rc-1cy-connect", archFor(bm, core, regconn.Arch{Issue: 4, LoadLatency: 2,
 			Mode: regconn.WithRC, CombineConnects: true, ConnectLatency: 1, Verify: true})},

@@ -19,6 +19,7 @@ import (
 // Image is a loaded (linked) machine program.
 type Image struct {
 	Code      []isa.Instr
+	Ann       []codegen.Annot // 1:1 with Code (chain-forwarding marks)
 	FuncStart map[string]int
 	Entry     int
 	Layout    mem.Layout
@@ -39,6 +40,7 @@ func Load(mp *codegen.MProg) (*Image, error) {
 				in.Target += img.FuncStart[f.Name]
 			}
 			img.Code = append(img.Code, in)
+			img.Ann = append(img.Ann, f.Ann[i])
 		}
 	}
 	for i := range img.Code {

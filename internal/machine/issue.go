@@ -87,8 +87,12 @@ func (s *simState) canIssue(u *uop, cycle int64, memUsed int) (bool, stallReason
 			}
 		}
 	}
-	// Source readiness through the mapping table.
-	for _, r := range u.Uses() {
+	// Source readiness through the mapping table. A chain-forwarded slot
+	// skips the interlock: the producer's value forwards within the cycle.
+	for k, r := range u.Uses() {
+		if u.chainIn && u.chainSkip[k] {
+			continue
+		}
 		if r.Class == isa.ClassFloat {
 			if s.rdyF[s.physReadF(r.N)] > cycle {
 				return false, stallData
@@ -97,7 +101,7 @@ func (s *simState) canIssue(u *uop, cycle int64, memUsed int) (bool, stallReason
 			return false, stallData
 		}
 	}
-	if d := u.Dst; d.Valid() {
+	if d := u.Dst; d.Valid() && !u.chainDst {
 		if d.Class == isa.ClassFloat {
 			if s.rdyF[s.physWriteF(d.N)] > cycle {
 				return false, stallData
@@ -105,6 +109,53 @@ func (s *simState) canIssue(u *uop, cycle int64, memUsed int) (bool, stallReason
 		} else if p := s.physWriteI(d.N); p != isa.RegZero && s.rdyI[p] > cycle {
 			return false, stallData
 		}
+	}
+	// Register-file read-port hazard (Config.ReadPorts): the instruction
+	// issues only if its not-yet-read distinct source registers fit in
+	// the remaining ports of each class. Commit is safe here — a canIssue
+	// success always issues.
+	if s.cfg.ReadPorts > 0 {
+		var newI, newF [3]int
+		needI, needF := 0, 0
+	uses:
+		for _, r := range u.Uses() {
+			if r.Class == isa.ClassFloat {
+				p := s.physReadF(r.N)
+				if s.portStampF[p] == cycle {
+					continue
+				}
+				for _, q := range newF[:needF] {
+					if q == p {
+						continue uses
+					}
+				}
+				newF[needF] = p
+				needF++
+			} else {
+				p := s.physReadI(r.N)
+				if p == isa.RegZero || s.portStampI[p] == cycle {
+					continue
+				}
+				for _, q := range newI[:needI] {
+					if q == p {
+						continue uses
+					}
+				}
+				newI[needI] = p
+				needI++
+			}
+		}
+		if s.portCntI+needI > s.cfg.ReadPorts || s.portCntF+needF > s.cfg.ReadPorts {
+			return false, stallPorts
+		}
+		for _, p := range newI[:needI] {
+			s.portStampI[p] = cycle
+		}
+		s.portCntI += needI
+		for _, p := range newF[:needF] {
+			s.portStampF[p] = cycle
+		}
+		s.portCntF += needF
 	}
 	return true, stallNone
 }

@@ -1,6 +1,9 @@
 package machine
 
-import "regconn/internal/isa"
+import (
+	"regconn/internal/codegen"
+	"regconn/internal/isa"
+)
 
 // Predecode stage of the simulator pipeline: the image's instructions are
 // lowered once per run into micro-ops (uops) whose operand sets, connect
@@ -9,19 +12,57 @@ import "regconn/internal/isa"
 // the per-cycle hot path performs no per-op switches and no allocation.
 
 // uop is one predecoded micro-op: the isa.Decoded operand/role extraction
-// plus the configuration-dependent result latency.
+// plus the configuration-dependent result latency and the chain backend's
+// forwarding marks resolved to use-slot positions.
 type uop struct {
 	isa.Decoded
 	lat int64 // cycles until a dependent instruction may issue
+
+	// Chain-forwarding marks (Config.Chain). chainOut marks a producer
+	// whose result forwards to the next instruction; chainSkip marks the
+	// consumer's use slots served by the forward (their readiness
+	// interlock is skipped); chainIn is set when any slot is; chainDst
+	// marks a consumer that overwrites the forwarded register (its WAW
+	// interlock against the elided producer write is skipped).
+	chainOut  bool
+	chainIn   bool
+	chainSkip [3]bool
+	chainDst  bool
 }
 
 // predecode lowers machine code to micro-ops under the run's latency
-// configuration.
-func predecode(code []isa.Instr, lat isa.Latencies) []uop {
+// configuration. With chain enabled, the per-instruction annotations'
+// forwarding marks are resolved against the operand registers (under the
+// chain backend instructions carry physical register numbers directly).
+func predecode(code []isa.Instr, ann []codegen.Annot, chain bool, lat isa.Latencies) []uop {
 	us := make([]uop, len(code))
 	for i := range code {
-		us[i].Decoded = code[i].Decode()
-		us[i].lat = int64(lat.Of(us[i].Op))
+		u := &us[i]
+		u.Decoded = code[i].Decode()
+		u.lat = int64(lat.Of(u.Op))
+		if !chain || i >= len(ann) {
+			continue
+		}
+		a := &ann[i]
+		u.chainOut = a.ChainOut
+		if !a.ChainA && !a.ChainB {
+			continue
+		}
+		in := &code[i]
+		for k, r := range u.Uses() {
+			if r.Class != isa.ClassInt {
+				continue
+			}
+			if (a.ChainA && r == in.A) || (a.ChainB && r == in.B) {
+				u.chainSkip[k] = true
+				u.chainIn = true
+			}
+		}
+		if d := u.Dst; d.Valid() && d.Class == isa.ClassInt {
+			if (a.ChainA && d == in.A) || (a.ChainB && d == in.B) {
+				u.chainDst = true
+			}
+		}
 	}
 	return us
 }

@@ -20,7 +20,7 @@ func TestPredecodeMirrorsImage(t *testing.T) {
 		halt(),
 	)
 	lat := isa.DefaultLatencies(4)
-	us := predecode(img.Code, lat)
+	us := predecode(img.Code, nil, false, lat)
 	if len(us) != len(img.Code) {
 		t.Fatalf("predecoded %d uops from %d instructions", len(us), len(img.Code))
 	}

@@ -32,6 +32,7 @@ type PCProf struct {
 	StallData    []int64 // operand-not-ready stall cycles blocked here
 	StallMem     []int64 // memory-channel stall cycles blocked here
 	StallConn    []int64 // connect-interlock stall cycles blocked here
+	StallPorts   []int64 // read-port stall cycles blocked here (portreduce)
 	StallBranch  []int64 // mispredict penalty cycles caused by this branch
 	TrapOverhead []int64 // interrupt overhead charged at the resume PC
 	Halt         []int64 // final no-issue HALT fetch cycle
@@ -44,6 +45,7 @@ func newPCProf(n int) *PCProf {
 		StallData:    make([]int64, n),
 		StallMem:     make([]int64, n),
 		StallConn:    make([]int64, n),
+		StallPorts:   make([]int64, n),
 		StallBranch:  make([]int64, n),
 		TrapOverhead: make([]int64, n),
 		Halt:         make([]int64, n),
@@ -57,7 +59,7 @@ func (p *PCProf) Len() int { return len(p.Instrs) }
 // ledger partitions ActiveCycles into).
 func (p *PCProf) CyclesAt(pc int) int64 {
 	return p.IssueCycles[pc] + p.StallData[pc] + p.StallMem[pc] + p.StallConn[pc] +
-		p.StallBranch[pc] + p.TrapOverhead[pc] + p.Halt[pc]
+		p.StallPorts[pc] + p.StallBranch[pc] + p.TrapOverhead[pc] + p.Halt[pc]
 }
 
 // sum totals one attribution column.
@@ -97,6 +99,7 @@ func (p *PCProf) CheckAgainst(r *Result) error {
 		{"stall-data", p.StallData, r.StallData},
 		{"stall-mem", p.StallMem, r.StallMem},
 		{"stall-connect", p.StallConn, r.StallConn},
+		{"stall-ports", p.StallPorts, r.StallPorts},
 		{"stall-branch", p.StallBranch, r.StallBranch},
 		{"trap-overhead", p.TrapOverhead, r.TrapOverheads},
 		{"halt", p.Halt, r.HaltCycles},

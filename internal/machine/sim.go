@@ -38,6 +38,19 @@ type Config struct {
 	// penalty grows by one cycle.
 	ExtraDecodeStage bool
 
+	// ReadPorts caps the distinct physical registers read per cycle and
+	// class (0 = unlimited): the portreduce backend's issue-stage
+	// structural hazard. Several instructions reading the same register
+	// in one cycle share a port (operand-sharing credit). Values below
+	// two are clamped so a two-source instruction can always issue.
+	ReadPorts int
+
+	// Chain honors the chain backend's forwarding annotations: a marked
+	// consumer's read of the forwarded operand skips the readiness
+	// interlock (the value forwards producer→consumer within the cycle),
+	// modeling the elided register-file write/read pair.
+	Chain bool
+
 	// Trap enables periodic interrupts / context switches (§4.2–4.3).
 	Trap TrapConfig
 
@@ -94,6 +107,9 @@ func (cfg *Config) normalize() error {
 	}
 	if !cfg.Model.Valid() {
 		cfg.Model = core.WriteResetReadUpdate
+	}
+	if cfg.ReadPorts > 0 && cfg.ReadPorts < 2 {
+		cfg.ReadPorts = 2 // a two-source instruction must always fit
 	}
 	return nil
 }
@@ -193,6 +209,7 @@ type Result struct {
 	StallData   int64
 	StallMem    int64
 	StallConn   int64
+	StallPorts  int64 // register-file read ports exhausted (Config.ReadPorts)
 	StallBranch int64 // mispredict front-end refill penalty cycles
 
 	// HaltCycles counts the final HALT-fetch cycle when nothing issued in
@@ -228,12 +245,26 @@ type Result struct {
 
 	// OpMix counts dynamic instructions by functional-unit class.
 	OpMix [16]int64
+
+	// Chain-forwarding telemetry (Config.Chain): producer instructions
+	// issued with a forwarding mark, and consumer operand reads served by
+	// the forward instead of the register file.
+	ChainPairs       int64
+	ChainElidedReads int64
+
+	// PortLimitedCycles counts cycles whose issue group was cut short by
+	// the read-port limit after at least one instruction issued. Such
+	// cycles are issue cycles in the ledger (the width loss, not a stall,
+	// is the cost), so this is telemetry rather than a ledger bucket; the
+	// zero-issue StallPorts bucket stays reachable only for ISAs with more
+	// sources than ports.
+	PortLimitedCycles int64
 }
 
 // CheckLedger verifies that every cycle this process occupied the machine
 // is attributed to exactly one bucket: issue cycles (IssueHist), branch
 // penalty, and trap overhead must sum to ActiveCycles; zero-issue cycles
-// must be fully explained by the three stall reasons plus the halt cycle;
+// must be fully explained by the four stall reasons plus the halt cycle;
 // and the issue histogram must account for every issued instruction.
 func (r *Result) CheckLedger() error {
 	if r.IssueHist == nil {
@@ -248,9 +279,9 @@ func (r *Result) CheckLedger() error {
 		return fmt.Errorf("machine: ledger does not close: issue %d + branch %d + trap %d = %d, want %d active cycles",
 			histCycles, r.StallBranch, r.TrapOverheads, got, r.ActiveCycles)
 	}
-	if got := r.StallData + r.StallMem + r.StallConn + r.HaltCycles; got != r.IssueHist[0] {
-		return fmt.Errorf("machine: zero-issue cycles unattributed: data %d + mem %d + connect %d + halt %d = %d, want %d",
-			r.StallData, r.StallMem, r.StallConn, r.HaltCycles, got, r.IssueHist[0])
+	if got := r.StallData + r.StallMem + r.StallConn + r.StallPorts + r.HaltCycles; got != r.IssueHist[0] {
+		return fmt.Errorf("machine: zero-issue cycles unattributed: data %d + mem %d + connect %d + ports %d + halt %d = %d, want %d",
+			r.StallData, r.StallMem, r.StallConn, r.StallPorts, r.HaltCycles, got, r.IssueHist[0])
 	}
 	if histInstrs != r.Instrs {
 		return fmt.Errorf("machine: issue histogram covers %d instructions, result has %d", histInstrs, r.Instrs)
@@ -351,6 +382,12 @@ type simState struct {
 	rPhysF, wPhysF   []int32
 	rStampF, wStampF []uint64
 
+	// Read-port tracking (Config.ReadPorts): the cycle each physical
+	// register was last read in, and the distinct registers read so far
+	// this cycle per class. Allocated only when the port hazard is on.
+	portStampI, portStampF []int64
+	portCntI, portCntF     int
+
 	cycle    int64
 	nextTrap int64
 
@@ -387,7 +424,7 @@ func newSimState(img *Image, cfg Config, ri []int64, rf []float64,
 	m := mem.InitImage(img.Prog.IR, img.Layout, cfg.MemSize)
 	s := &simState{
 		img: img, cfg: cfg, mem: m,
-		code: predecode(img.Code, cfg.Lat),
+		code: predecode(img.Code, img.Ann, cfg.Chain, cfg.Lat),
 		ri:   ri, rf: rf, rdyI: rdyI, rdyF: rdyF,
 		tabI: tabI, tabF: tabF,
 		lcI: make([]int64, cfg.IntCore), lcF: make([]int64, cfg.FPCore),
@@ -414,6 +451,16 @@ func newSimState(img *Image, cfg Config, ri []int64, rf []float64,
 	for i := range s.lcF {
 		s.lcF[i] = -1
 	}
+	if cfg.ReadPorts > 0 {
+		s.portStampI = make([]int64, cfg.IntTotal)
+		s.portStampF = make([]int64, cfg.FPTotal)
+		for i := range s.portStampI {
+			s.portStampI[i] = -1
+		}
+		for i := range s.portStampF {
+			s.portStampF[i] = -1
+		}
+	}
 	return s
 }
 
@@ -425,15 +472,17 @@ const (
 	stallData
 	stallMem
 	stallConn
+	stallPorts
 )
 
 // stallNames labels stall reasons in traces (hoisted so tracing a stall
 // cycle does not rebuild a map).
 var stallNames = [...]string{
-	stallNone: "",
-	stallData: "data",
-	stallMem:  "mem",
-	stallConn: "connect",
+	stallNone:  "",
+	stallData:  "data",
+	stallMem:   "mem",
+	stallConn:  "connect",
+	stallPorts: "ports",
 }
 
 // runUntil simulates until HALT or the global cycle reaches stopAt,
@@ -510,6 +559,7 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 		}
 		issued := 0
 		memUsed := 0
+		s.portCntI, s.portCntF = 0, 0
 		var firstStall stallReason
 		branchRedirect := false
 		// issueCycle is the cycle the issue engine runs in; `cycle` may
@@ -542,6 +592,14 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 			if !ok {
 				if issued == 0 {
 					firstStall = reason
+				} else if reason == stallPorts {
+					// The group still issued something, so no ledger stall is
+					// charged; count the cycle as port-limited for the stats.
+					// (With the two-source ISA and the >=2-port clamp, the
+					// head of a group always has ports, so this — not the
+					// zero-issue StallPorts bucket — is where a reduced-port
+					// file shows up.)
+					s.res.PortLimitedCycles++
 				}
 				break
 			}
@@ -575,6 +633,16 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 			if u.Connect {
 				s.res.Connects++
 			}
+			if u.chainOut {
+				s.res.ChainPairs++
+			}
+			if u.chainIn {
+				for k := range u.Uses() {
+					if u.chainSkip[k] {
+						s.res.ChainElidedReads++
+					}
+				}
+			}
 			s.pc = next
 			if mispredict {
 				s.res.Mispredicts++
@@ -606,6 +674,11 @@ func (s *simState) runUntil(stopAt int64) (halted bool, err error) {
 				s.res.StallConn++
 				if s.prof != nil {
 					s.prof.StallConn[s.pc]++
+				}
+			case stallPorts:
+				s.res.StallPorts++
+				if s.prof != nil {
+					s.prof.StallPorts[s.pc]++
 				}
 			}
 			if s.ev != nil {

@@ -14,14 +14,15 @@ import (
 // buckets partition ActiveCycles exactly; Result.CheckLedger enforces the
 // invariant (see DESIGN.md §8 for the attribution semantics).
 type Ledger struct {
-	Issued       int64 `json:"issued"`        // cycles issuing >= 1 instruction
-	StallData    int64 `json:"stall_data"`    // operand not ready
-	StallMem     int64 `json:"stall_mem"`     // memory channels exhausted
-	StallConnect int64 `json:"stall_connect"` // connect-latency interlock
-	StallBranch  int64 `json:"stall_branch"`  // mispredict refill penalty
-	TrapOverhead int64 `json:"trap_overhead"` // handlers / context switches
-	Halt         int64 `json:"halt"`          // final HALT fetch with no issue
-	Total        int64 `json:"total"`         // sum of the above == ActiveCycles
+	Issued       int64 `json:"issued"`                // cycles issuing >= 1 instruction
+	StallData    int64 `json:"stall_data"`            // operand not ready
+	StallMem     int64 `json:"stall_mem"`             // memory channels exhausted
+	StallConnect int64 `json:"stall_connect"`         // connect-latency interlock
+	StallPorts   int64 `json:"stall_ports,omitempty"` // read ports exhausted (portreduce)
+	StallBranch  int64 `json:"stall_branch"`          // mispredict refill penalty
+	TrapOverhead int64 `json:"trap_overhead"`         // handlers / context switches
+	Halt         int64 `json:"halt"`                  // final HALT fetch with no issue
+	Total        int64 `json:"total"`                 // sum of the above == ActiveCycles
 }
 
 // Stats is the machine-readable summary of one simulation.
@@ -41,6 +42,14 @@ type Stats struct {
 	MapInt        core.Stats       `json:"map_int"`
 	MapFP         core.Stats       `json:"map_fp"`
 	OpMix         map[string]int64 `json:"op_mix"`
+
+	// Chain-forwarding telemetry (the chain backend; zero elsewhere).
+	ChainPairs       int64 `json:"chain_pairs,omitempty"`
+	ChainElidedReads int64 `json:"chain_elided_reads,omitempty"`
+
+	// PortLimitedCycles counts issue cycles cut short by the read-port
+	// limit (the portreduce backend; zero elsewhere).
+	PortLimitedCycles int64 `json:"port_limited_cycles,omitempty"`
 }
 
 // Stats flattens the result into its export form.
@@ -49,6 +58,7 @@ func (r *Result) Stats() Stats {
 		StallData:    r.StallData,
 		StallMem:     r.StallMem,
 		StallConnect: r.StallConn,
+		StallPorts:   r.StallPorts,
 		StallBranch:  r.StallBranch,
 		TrapOverhead: r.TrapOverheads,
 		Halt:         r.HaltCycles,
@@ -59,7 +69,7 @@ func (r *Result) Stats() Stats {
 		}
 	}
 	led.Total = led.Issued + led.StallData + led.StallMem + led.StallConnect +
-		led.StallBranch + led.TrapOverhead + led.Halt
+		led.StallPorts + led.StallBranch + led.TrapOverhead + led.Halt
 	mix := make(map[string]int64)
 	for k, n := range r.OpMix {
 		if n != 0 {
@@ -67,20 +77,23 @@ func (r *Result) Stats() Stats {
 		}
 	}
 	return Stats{
-		Cycles:        r.Cycles,
-		ActiveCycles:  r.ActiveCycles,
-		Instrs:        r.Instrs,
-		IPC:           r.IPC(),
-		Connects:      r.Connects,
-		MemOps:        r.MemOps,
-		Mispredicts:   r.Mispredicts,
-		Traps:         r.Traps,
-		Ledger:        led,
-		IssueHist:     append([]int64(nil), r.IssueHist...),
-		ResolveHits:   r.ResolveHits,
-		ResolveMisses: r.ResolveMisses,
-		MapInt:        r.MapInt,
-		MapFP:         r.MapFP,
-		OpMix:         mix,
+		Cycles:            r.Cycles,
+		ActiveCycles:      r.ActiveCycles,
+		Instrs:            r.Instrs,
+		IPC:               r.IPC(),
+		Connects:          r.Connects,
+		MemOps:            r.MemOps,
+		Mispredicts:       r.Mispredicts,
+		Traps:             r.Traps,
+		Ledger:            led,
+		IssueHist:         append([]int64(nil), r.IssueHist...),
+		ResolveHits:       r.ResolveHits,
+		ResolveMisses:     r.ResolveMisses,
+		MapInt:            r.MapInt,
+		MapFP:             r.MapFP,
+		OpMix:             mix,
+		ChainPairs:        r.ChainPairs,
+		ChainElidedReads:  r.ChainElidedReads,
+		PortLimitedCycles: r.PortLimitedCycles,
 	}
 }

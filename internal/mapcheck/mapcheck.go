@@ -66,6 +66,7 @@ const (
 	RuleCombine     = "combine"       // combined connect with combining disabled
 	RuleNoConfig    = "no-config"     // program carries no lowering configuration
 	RuleBadTarget   = "branch-target" // branch target outside the function
+	RuleChain       = "chain"         // chain-forwarding mark missing, spurious, or misplaced
 )
 
 func (v Violation) String() string {
@@ -110,10 +111,15 @@ func Check(mp *codegen.MProg) error {
 // VerifyFunc checks a single machine function.
 func VerifyFunc(mf *codegen.MFunc, cfg codegen.Config) []Violation {
 	v := &verifier{mf: mf, cfg: cfg}
-	if cfg.Mode == regalloc.RC {
+	if cfg.Mode == regalloc.RC && !cfg.DirectExtended {
 		v.runRC()
 	} else {
+		// Spill, Unlimited, and DirectExtended (portreduce) all address
+		// physical registers directly: the identity check applies.
 		v.runIdentity()
+	}
+	if cfg.Chain {
+		v.runChain()
 	}
 	sort.SliceStable(v.out, func(i, j int) bool { return v.out[i].PC < v.out[j].PC })
 	return v.out

@@ -37,6 +37,13 @@ type Config struct {
 	// UnlimitedMode marks the idealized machine: functions own disjoint
 	// register ranges, so calls clobber only the return-value registers.
 	UnlimitedMode bool
+
+	// ReadPorts caps the distinct registers read per cycle and class
+	// (0 = unlimited; the portreduce backend's structural hazard).
+	// Operand sharing is credited: the same register read by several
+	// instructions in one cycle costs one port. Values below two are
+	// clamped so a two-source instruction can always issue.
+	ReadPorts int
 }
 
 // physID densely numbers physical registers across both classes for one

@@ -18,6 +18,9 @@ func Schedule(mf *codegen.MFunc, cfg Config) {
 	if n <= 1 {
 		return
 	}
+	if cfg.ReadPorts > 0 && cfg.ReadPorts < 2 {
+		cfg.ReadPorts = 2 // a two-source instruction must always fit
+	}
 	ids := newPhysID(mf, cfg)
 	liveAt := liveness(mf, ids, cfg)
 
@@ -313,10 +316,58 @@ func scheduleRegion(mf *codegen.MFunc, start, end int, ids physID, liveAt map[in
 			ready = append(ready, i)
 		}
 	}
+	// Read-port tracking (portreduce): distinct registers read per cycle
+	// and class, with operand-sharing credit. Barriers are exempt — their
+	// use lists model calling-convention clobbers, not datapath reads.
+	var portStamp []int
+	portI, portF := 0, 0
+	if cfg.ReadPorts > 0 {
+		portStamp = make([]int, ids.total())
+		for i := range portStamp {
+			portStamp[i] = -1
+		}
+	}
 	cycle := 0
+	portNeed := func(uses []int) (ni, nf int) {
+		for k, u := range uses {
+			if portStamp[u] == cycle {
+				continue // already read this cycle: shared
+			}
+			dup := false
+			for _, v := range uses[:k] {
+				if v == u {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			if u < ids.nInt {
+				ni++
+			} else {
+				nf++
+			}
+		}
+		return
+	}
+	portCommit := func(uses []int) {
+		for _, u := range uses {
+			if portStamp[u] == cycle {
+				continue
+			}
+			portStamp[u] = cycle
+			if u < ids.nInt {
+				portI++
+			} else {
+				portF++
+			}
+		}
+	}
 	for len(order) < n {
 		issued := 0
 		memUsed := 0
+		portI, portF = 0, 0
 		branched := false
 		for issued < cfg.Issue && !branched {
 			// Pick the ready node with the greatest height whose ready
@@ -328,6 +379,12 @@ func scheduleRegion(mf *codegen.MFunc, start, end int, ids physID, liveAt map[in
 				}
 				if nodes[r].isMem && memUsed >= cfg.MemChannels {
 					continue
+				}
+				if cfg.ReadPorts > 0 && !nodes[r].isBarrier {
+					ni, nf := portNeed(nodes[r].uses)
+					if portI+ni > cfg.ReadPorts || portF+nf > cfg.ReadPorts {
+						continue
+					}
 				}
 				if best == -1 || nodes[r].height > nodes[best].height ||
 					(nodes[r].height == nodes[best].height && r < best) {
@@ -342,6 +399,9 @@ func scheduleRegion(mf *codegen.MFunc, start, end int, ids physID, liveAt map[in
 			issued++
 			if nodes[best].isMem {
 				memUsed++
+			}
+			if cfg.ReadPorts > 0 && !nodes[best].isBarrier {
+				portCommit(nodes[best].uses)
 			}
 			if nodes[best].isBranch || nodes[best].isBarrier {
 				branched = true // close the issue group conservatively

@@ -150,9 +150,14 @@ type errorBody struct {
 
 // Key returns the canonical cache key of one point: the hex SHA-256 of the
 // canonical JSON encoding of (benchmark, Arch). Two requests are the same
-// point exactly when their benchmark names and Arch values are equal;
-// client-side knobs like TimeoutMS are deliberately excluded.
+// point exactly when their benchmark names and Arch values name the same
+// backend configuration; client-side knobs like TimeoutMS are deliberately
+// excluded. The Arch is canonicalized first so the two spellings of one
+// backend — a Backend name or a legacy Mode number — hash identically, and
+// so legacy points (whose canonical form leaves Backend empty) keep the
+// exact keys they had before Backend existed.
 func Key(benchmark string, arch regconn.Arch) string {
+	arch = arch.Canonical()
 	b, err := json.Marshal(struct {
 		Benchmark string       `json:"benchmark"`
 		Arch      regconn.Arch `json:"arch"`
@@ -168,6 +173,10 @@ func Key(benchmark string, arch regconn.Arch) string {
 // then a worker slot, then the simulation. It returns the response bytes
 // and whether they came from the cache.
 func (s *Server) point(ctx context.Context, bm bench.Benchmark, arch regconn.Arch) (body []byte, cached bool, err error) {
+	// Canonicalize before keying so the cached response body names the
+	// point the same way the key hashes it, whichever spelling (Backend
+	// name or legacy Mode number) the client used.
+	arch = arch.Canonical()
 	k := Key(bm.Name, arch)
 	if b, ok := s.cache.get(k); ok {
 		s.met.hits.Add(1)

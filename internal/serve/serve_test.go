@@ -3,6 +3,8 @@ package serve
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"net"
@@ -15,6 +17,7 @@ import (
 
 	"regconn"
 	"regconn/internal/bench"
+	"regconn/internal/core"
 	"regconn/internal/exp"
 	"regconn/internal/machine"
 )
@@ -414,5 +417,153 @@ func TestKeyCanonical(t *testing.T) {
 	}
 	if len(Key("cpp", a)) != 64 {
 		t.Errorf("key is not hex sha256: %q", Key("cpp", a))
+	}
+}
+
+// legacyArch replicates the Arch struct exactly as it marshaled before the
+// backend refactor added the Backend and ReadPorts fields: same Go-name
+// keys, same order, no omitempty anywhere. Hashing a point through this
+// struct reproduces the keys a pre-refactor daemon handed out.
+type legacyArch struct {
+	Issue              int
+	MemChannels        int
+	LoadLatency        int
+	IntCore            int
+	FPCore             int
+	Mode               regconn.RegMode
+	Model              core.Model
+	ConnectLatency     int
+	ExtraDecodeStage   bool
+	CombineConnects    bool
+	Windows            regconn.WindowPolicy
+	ExpandAccumulators bool
+	ScalarOnly         bool
+	NoSchedule         bool
+	Verify             bool
+	Trap               regconn.TrapConfig
+	Profile            bool
+	MemSize            int64
+}
+
+func legacyKey(t *testing.T, benchmark string, a regconn.Arch) string {
+	t.Helper()
+	la := legacyArch{
+		Issue:              a.Issue,
+		MemChannels:        a.MemChannels,
+		LoadLatency:        a.LoadLatency,
+		IntCore:            a.IntCore,
+		FPCore:             a.FPCore,
+		Mode:               a.Mode,
+		Model:              a.Model,
+		ConnectLatency:     a.ConnectLatency,
+		ExtraDecodeStage:   a.ExtraDecodeStage,
+		CombineConnects:    a.CombineConnects,
+		Windows:            a.Windows,
+		ExpandAccumulators: a.ExpandAccumulators,
+		ScalarOnly:         a.ScalarOnly,
+		NoSchedule:         a.NoSchedule,
+		Verify:             a.Verify,
+		Trap:               a.Trap,
+		Profile:            a.Profile,
+		MemSize:            a.MemSize,
+	}
+	b, err := json.Marshal(struct {
+		Benchmark string     `json:"benchmark"`
+		Arch      legacyArch `json:"arch"`
+	}{benchmark, la})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestKeyStabilityAcrossBackendFields: the Backend/ReadPorts fields must not
+// move any pre-existing (benchmark, arch) point to a new cache key — a
+// daemon upgraded in place keeps every warm entry. Representative points
+// from the paper's sweeps are hashed through a byte-for-byte replica of the
+// pre-refactor Arch and must land on the same SHA-256.
+func TestKeyStabilityAcrossBackendFields(t *testing.T) {
+	archs := []regconn.Arch{
+		{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC, IntCore: 16, FPCore: 32},
+		{Issue: 1, LoadLatency: 4, Mode: regconn.WithoutRC, IntCore: 8, FPCore: 16, CombineConnects: true},
+		{Issue: 8, LoadLatency: 2, Mode: regconn.Unlimited},
+		{Issue: 4, MemChannels: 4, LoadLatency: 2, Mode: regconn.WithRC, IntCore: 32, FPCore: 64,
+			Model: core.WriteResetReadUpdate, ConnectLatency: 1, ExtraDecodeStage: true,
+			CombineConnects: true, Verify: true, Profile: true, MemSize: 1 << 20},
+		{Issue: 2, LoadLatency: 2, Mode: regconn.WithRC, IntCore: 16, FPCore: 32,
+			Trap: regconn.TrapConfig{Interval: 5000, ContextSwitch: true, PSWFlag: true}},
+	}
+	for _, bm := range []string{"cpp", "matrix300"} {
+		for i, a := range archs {
+			if got, want := Key(bm, a), legacyKey(t, bm, a); got != want {
+				t.Errorf("%s/arch[%d]: key %s, want pre-refactor key %s", bm, i, got, want)
+			}
+		}
+	}
+	// And the two spellings of one extension point collapse to one key.
+	byName := regconn.Arch{Issue: 4, LoadLatency: 2, Backend: "portreduce", IntCore: 16, FPCore: 32}
+	byMode := regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.PortReduce, IntCore: 16, FPCore: 32}
+	if Key("cpp", byName) != Key("cpp", byMode) {
+		t.Error("backend-name and mode-number spellings of one point produced different keys")
+	}
+	if Key("cpp", byName) == Key("cpp", fastArch()) {
+		t.Error("portreduce point collided with the rc point")
+	}
+}
+
+// TestSweepRivalBackendsWarmByteIdentical drives the five-backend rivals
+// grid through /v1/sweep twice: every point must simulate (cold), and the
+// warm pass must stream back byte-identical lines from the cache —
+// including the two extension backends and both spellings of a point.
+func TestSweepRivalBackendsWarmByteIdentical(t *testing.T) {
+	sv := New(Config{Workers: 2})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+
+	req := SweepRequest{
+		Benchmarks: []string{"grep"},
+		Archs: []regconn.Arch{
+			{Issue: 4, LoadLatency: 2, Mode: regconn.WithoutRC, IntCore: 16, FPCore: 32, CombineConnects: true},
+			{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC, IntCore: 16, FPCore: 32, CombineConnects: true},
+			{Issue: 4, LoadLatency: 2, Mode: regconn.Unlimited},
+			{Issue: 4, LoadLatency: 2, Backend: "portreduce", IntCore: 16, FPCore: 32, CombineConnects: true},
+			{Issue: 4, LoadLatency: 2, Backend: "chain", IntCore: 16, FPCore: 32, CombineConnects: true},
+		},
+	}
+	post := func() string {
+		body, _ := json.Marshal(req)
+		resp, err := srv.Client().Post(srv.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return buf.String()
+	}
+	cold := post()
+	lines := strings.Split(strings.TrimRight(cold, "\n"), "\n")
+	if len(lines) != len(req.Archs) {
+		t.Fatalf("sweep streamed %d lines, want %d:\n%s", len(lines), len(req.Archs), cold)
+	}
+	for i, line := range lines {
+		var rr RunResponse
+		if err := json.Unmarshal([]byte(line), &rr); err != nil || rr.Result == nil || rr.Result.Cycles == 0 {
+			t.Fatalf("line %d is not a simulated point: %s (%v)", i, line, err)
+		}
+	}
+	if warm := post(); warm != cold {
+		t.Error("warm sweep is not byte-identical to the cold sweep")
+	}
+	m := getMetrics(t, srv)
+	if m["cache_hits"] < float64(len(req.Archs)) {
+		t.Errorf("warm sweep hit cache %v times, want >= %d", m["cache_hits"], len(req.Archs))
+	}
+	// A mode-number respelling of the portreduce point is the same cache
+	// entry: no new simulation, same bytes.
+	req.Archs = []regconn.Arch{{Issue: 4, LoadLatency: 2, Mode: regconn.PortReduce, IntCore: 16, FPCore: 32, CombineConnects: true}}
+	if got := strings.TrimRight(post(), "\n"); got != lines[3] {
+		t.Error("mode-number spelling of the portreduce point missed the cache or diverged")
 	}
 }

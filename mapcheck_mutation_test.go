@@ -124,3 +124,84 @@ func TestMutationHoistAboveConnect(t *testing.T) {
 	// map; the violation lands at its new address.
 	requireViolationAt(t, ex.MapCheck(), f.Name, cpc, mapcheck.RuleReadMap)
 }
+
+// buildForChainMutation compiles the pressure program under the chaining
+// backend; the clean build must carry forwarding marks and verify.
+func buildForChainMutation(t *testing.T) *Executable {
+	t.Helper()
+	ex, err := Build(buildPressureInt(), Arch{
+		Issue: 4, IntCore: 16, FPCore: 32,
+		Mode: Chain, NoSchedule: true, Verify: true,
+	})
+	if err != nil {
+		t.Fatalf("clean chain build rejected: %v", err)
+	}
+	if vs := ex.MapCheck(); len(vs) != 0 {
+		t.Fatalf("clean chain program flagged: %v", vs)
+	}
+	return ex
+}
+
+// findChainPair returns the function and producer pc of the first
+// chain-forwarding pair, searching past the entry stub.
+func findChainPair(t *testing.T, mp *codegen.MProg) (*codegen.MFunc, int) {
+	t.Helper()
+	for _, f := range mp.Funcs {
+		if f.Name == mp.Entry {
+			continue
+		}
+		for pc := range f.Ann {
+			if f.Ann[pc].ChainOut {
+				return f, pc
+			}
+		}
+	}
+	t.Fatal("test program contains no chain pairs; pick a higher-pressure program")
+	return nil, 0
+}
+
+func TestMutationDropChainMark(t *testing.T) {
+	ex := buildForChainMutation(t)
+	f, ppc := findChainPair(t, ex.MProg)
+	// Drop the producer's forwarding mark: the machine would now model a
+	// register-file write the scheme's cost accounting claims was elided.
+	// The code is untouched, so re-derivation expects the mark exactly
+	// where it was dropped.
+	f.Ann[ppc].ChainOut = false
+	requireViolationAt(t, ex.MapCheck(), f.Name, ppc, mapcheck.RuleChain)
+}
+
+func TestMutationReorderChainMarks(t *testing.T) {
+	ex := buildForChainMutation(t)
+	f, ppc := findChainPair(t, ex.MProg)
+	cpc := ppc + 1
+	// Slide the pair's marks one instruction: the bug of a scheduler that
+	// moves code without moving its annotations. The producer loses its
+	// mark and the consumer's elided-read marks land on the producer.
+	pa, ca := &f.Ann[ppc], &f.Ann[cpc]
+	pa.ChainOut, ca.ChainOut = ca.ChainOut, pa.ChainOut
+	pa.ChainA, ca.ChainA = ca.ChainA, pa.ChainA
+	pa.ChainB, ca.ChainB = ca.ChainB, pa.ChainB
+	requireViolationAt(t, ex.MapCheck(), f.Name, ppc, mapcheck.RuleChain)
+}
+
+func TestMutationReorderChainPair(t *testing.T) {
+	ex := buildForChainMutation(t)
+	f, ppc := findChainPair(t, ex.MProg)
+	cpc := ppc + 1
+	// Swap the producer and consumer outright (code and annotations): the
+	// consumer now executes before the value it elides the read of exists.
+	f.Code[ppc], f.Code[cpc] = f.Code[cpc], f.Code[ppc]
+	f.Ann[ppc], f.Ann[cpc] = f.Ann[cpc], f.Ann[ppc]
+	vs := ex.MapCheck()
+	if len(vs) == 0 {
+		t.Fatal("verifier accepted the reordered chain pair")
+	}
+	v := vs[0]
+	if v.Rule != mapcheck.RuleChain {
+		t.Fatalf("first violation rule %s, want %s: %v", v.Rule, mapcheck.RuleChain, v)
+	}
+	if v.Func != f.Name || (v.PC != ppc && v.PC != cpc) {
+		t.Fatalf("first violation at %s+%d, want %s+%d or +%d: %v", v.Func, v.PC, f.Name, ppc, cpc, v)
+	}
+}

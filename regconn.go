@@ -17,6 +17,7 @@ import (
 
 	"regconn/internal/abi"
 	"regconn/internal/analysis"
+	"regconn/internal/backend"
 	"regconn/internal/codegen"
 	"regconn/internal/core"
 	"regconn/internal/ilp"
@@ -31,35 +32,33 @@ import (
 	"regconn/internal/sched"
 )
 
-// RegMode selects the register model of an experiment.
-type RegMode uint8
+// RegMode selects the register model of an experiment. It is a thin
+// compatibility alias for backend.ID: every per-scheme decision lives in
+// the internal/backend registry, and String() renders the registered
+// backend's display name.
+type RegMode = backend.ID
 
 const (
 	// Unlimited gives every virtual register its own physical register
 	// (the paper's idealized dotted lines and the 1-issue baseline).
-	Unlimited RegMode = iota
+	Unlimited = backend.Unlimited
 	// WithoutRC uses only the core registers and spills the rest.
-	WithoutRC
+	WithoutRC = backend.WithoutRC
 	// WithRC extends the core with connect-accessed extended registers
 	// for a 256-register total file (paper §5.2).
-	WithRC
+	WithRC = backend.WithRC
+	// PortReduce exposes the whole file directly but models a reduced
+	// register-file read-port count as an issue-stage structural hazard
+	// (arXiv 2502.00147).
+	PortReduce = backend.PortReduce
+	// Chain forwards single-use producer values to the next instruction,
+	// eliding the register-file write/read pair (arXiv 2503.20609).
+	Chain = backend.Chain
 )
-
-func (m RegMode) String() string {
-	switch m {
-	case Unlimited:
-		return "unlimited"
-	case WithoutRC:
-		return "without-RC"
-	case WithRC:
-		return "with-RC"
-	}
-	return "mode?"
-}
 
 // TotalRegs is the full physical register file size under RC (paper §5.2:
 // "the register file is assumed to contain a total of 256 registers").
-const TotalRegs = 256
+const TotalRegs = backend.TotalRegs
 
 // Arch is one experimental configuration: the paper's axes plus the
 // compiler knobs needed for the ablations.
@@ -73,6 +72,17 @@ type Arch struct {
 
 	Mode  RegMode
 	Model core.Model // RC automatic-reset model (default: model 3)
+
+	// Backend selects the register architecture by registry name
+	// ("rc", "spill", "unlimited", "portreduce", "chain"); when set it
+	// takes precedence over Mode. Empty for the three legacy modes keeps
+	// serialized configurations (rcserve canonical point keys)
+	// byte-identical with pre-backend builds.
+	Backend string `json:",omitempty"`
+
+	// ReadPorts is the register-file read-port count for the portreduce
+	// backend (0 = the issue rate).
+	ReadPorts int `json:",omitempty"`
 
 	ConnectLatency   int  // 0 or 1 (Figure 12)
 	ExtraDecodeStage bool // Figure 12
@@ -154,6 +164,36 @@ func (a Arch) normalize() Arch {
 	return a
 }
 
+// resolveBackend resolves the architecture's register scheme through the
+// backend registry: a non-empty Backend name wins, otherwise the legacy
+// Mode value. Unknown names and unknown mode values both error (listing
+// the registered names) instead of silently falling back to spilling.
+func (a Arch) resolveBackend() (backend.Backend, error) {
+	if a.Backend != "" {
+		return backend.ByName(a.Backend)
+	}
+	return backend.ByID(a.Mode)
+}
+
+// Canonical normalizes the backend identification of the architecture so
+// equivalent configurations serialize identically: the three legacy modes
+// keep Backend empty (byte-compatible with pre-backend point keys), newer
+// backends carry their registry name with Mode set to the matching ID. An
+// unresolvable configuration is returned unchanged (Build will reject it).
+func (a Arch) Canonical() Arch {
+	be, err := a.resolveBackend()
+	if err != nil {
+		return a
+	}
+	a.Mode = be.ID()
+	if be.ID() <= WithRC {
+		a.Backend = ""
+	} else {
+		a.Backend = be.Name()
+	}
+	return a
+}
+
 // Executable is a compiled program bound to a machine configuration.
 type Executable struct {
 	Arch   Arch
@@ -171,6 +211,8 @@ type Executable struct {
 	SaveRestoreExts int
 
 	machineIntTotal, machineFPTotal int
+	be                              backend.Backend
+	bp                              backend.Params
 }
 
 // CodeGrowth returns the fractional code-size increase due to register
@@ -205,6 +247,21 @@ func Build(p *ir.Program, arch Arch) (*Executable, error) {
 	if arch.Issue <= 0 {
 		return nil, fmt.Errorf("regconn: invalid issue rate %d", arch.Issue)
 	}
+	be, err := arch.resolveBackend()
+	if err != nil {
+		return nil, fmt.Errorf("regconn: %w", err)
+	}
+	bp := backend.Params{
+		Issue:           arch.Issue,
+		IntCore:         arch.IntCore,
+		FPCore:          arch.FPCore,
+		TotalRegs:       TotalRegs,
+		Model:           arch.Model,
+		ConnectLatency:  arch.ConnectLatency,
+		CombineConnects: arch.CombineConnects,
+		Windows:         arch.Windows,
+		ReadPorts:       arch.ReadPorts,
+	}
 	if err := ir.Verify(p); err != nil {
 		return nil, fmt.Errorf("regconn: verify: %w", err)
 	}
@@ -236,22 +293,15 @@ func Build(p *ir.Program, arch Arch) (*Executable, error) {
 		return nil, fmt.Errorf("regconn: profiling run: %w", err)
 	}
 
-	// 4. Register allocation.
-	intTotal, fpTotal := arch.IntCore, arch.FPCore
-	mode := regalloc.Spill
-	switch arch.Mode {
-	case Unlimited:
-		mode = regalloc.Unlimited
-		intTotal, fpTotal = TotalRegs, TotalRegs // grown below to demand
-	case WithRC:
-		mode = regalloc.RC
-		intTotal, fpTotal = TotalRegs, TotalRegs
-	}
+	// 4. Register allocation. The backend shapes the file and selects the
+	// allocation strategy.
+	file := be.File(bp)
+	intTotal, fpTotal := file.IntTotal, file.FPTotal
 	conv := abi.New(arch.IntCore, intTotal, arch.FPCore, fpTotal)
 	// The prepass-overlap window scales with the scheduler's reach: wider
 	// machines keep more instructions in flight (see regalloc.Allocate).
-	pa := regalloc.Allocate(p, mode, conv, 6*arch.Issue)
-	if arch.Mode == Unlimited {
+	pa := regalloc.Allocate(p, be.AllocMode(), conv, 6*arch.Issue)
+	if file.GrowToDemand {
 		intTotal, fpTotal = pa.NeedInt, pa.NeedFP
 		if intTotal < arch.IntCore {
 			intTotal = arch.IntCore
@@ -266,8 +316,8 @@ func Build(p *ir.Program, arch Arch) (*Executable, error) {
 	for _, f := range p.Funcs {
 		preSize += f.NumInstrs()
 	}
-	ccfg := codegen.Config{Conv: conv, Mode: mode, Model: arch.Model,
-		CombineConnects: arch.CombineConnects, Windows: arch.Windows}
+	ccfg := be.Codegen(bp)
+	ccfg.Conv = conv
 	mp, err := codegen.Lower(p, pa, ccfg)
 	if err != nil {
 		return nil, fmt.Errorf("regconn: %w", err)
@@ -298,12 +348,19 @@ func Build(p *ir.Program, arch Arch) (*Executable, error) {
 			Lat:            isa.DefaultLatencies(arch.LoadLatency),
 			Conv:           conv,
 			ConnectLatency: arch.ConnectLatency,
-			UnlimitedMode:  arch.Mode == Unlimited,
 		}
+		scfg = be.Sched(bp, scfg)
 		scfg.Lat.Connect = arch.ConnectLatency
 		for _, f := range mp.Funcs {
 			sched.Schedule(f, scfg)
 		}
+	}
+
+	// 6b. Backend finishing pass (post-schedule annotation passes such as
+	// chain marking). Runs in the NoSchedule path too, so diagnostics see
+	// the same annotations the scheduled build carries.
+	if err := be.Finish(mp, bp); err != nil {
+		return nil, fmt.Errorf("regconn: %w", err)
 	}
 
 	// 7. Static map-state verification (rclint). Runs after scheduling so
@@ -320,8 +377,9 @@ func Build(p *ir.Program, arch Arch) (*Executable, error) {
 	}
 	ex.Image = img
 	ex.Arch.IntCore, ex.Arch.FPCore = arch.IntCore, arch.FPCore
-	// Stash machine totals for Run.
+	// Stash machine totals and the resolved backend for Run.
 	ex.machineIntTotal, ex.machineFPTotal = intTotal, fpTotal
+	ex.be, ex.bp = be, bp
 	return ex, nil
 }
 
@@ -342,7 +400,7 @@ func (e *Executable) machineConfig() machine.Config {
 	lat := isa.DefaultLatencies(a.LoadLatency)
 	lat.Connect = a.ConnectLatency
 	trap := a.Trap
-	trap.ProgramUsesRC = a.Mode == WithRC
+	trap.ProgramUsesRC = e.be.UsesRC()
 	cfg := machine.Config{
 		IssueRate:        a.Issue,
 		MemChannels:      a.MemChannels,
@@ -358,15 +416,10 @@ func (e *Executable) machineConfig() machine.Config {
 		Prof:             a.Profile,
 		MemSize:          a.MemSize,
 	}
-	if a.Mode == Unlimited {
-		// The mapping table is identity over the whole file.
-		cfg.IntCore = e.machineIntTotal
-		cfg.FPCore = e.machineFPTotal
-	}
-	if a.Mode == WithoutRC {
-		cfg.IntTotal, cfg.FPTotal = a.IntCore, a.FPCore
-	}
-	return cfg
+	// The backend owns the scheme-specific knobs: the identity map of the
+	// unlimited machine, the spill machine's core-only file, portreduce's
+	// read-port hazard, chain's forwarding marks.
+	return e.be.Machine(e.bp, cfg)
 }
 
 // Run simulates the executable and returns the machine result.

@@ -33,19 +33,49 @@ expect() {
     fi
 }
 
-# rcrun: bad flag values must be rejected, not silently normalized.
+# expect_msg WANT PATTERN CMD ARGS... additionally requires PATTERN (grep
+# BRE) on the combined output — used to pin that backend-name rejections
+# list the registry's names, so the message tracks new registrations.
+expect_msg() {
+    want=$1
+    pattern=$2
+    shift 2
+    out=$("$@" 2>&1)
+    got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL exit $got (want $want): $*"
+        fails=$((fails + 1))
+    elif ! printf '%s\n' "$out" | grep -q "$pattern"; then
+        echo "FAIL output missing '$pattern': $*"
+        fails=$((fails + 1))
+    else
+        echo "ok   exit $got: $* (message lists backends)"
+    fi
+}
+
+# The registry-derived name list every unknown-backend rejection must
+# carry (sorted registry order).
+BACKEND_LIST="chain, portreduce, rc, spill, or unlimited"
+
+# rcrun: bad flag values must be rejected, not silently normalized; the
+# mode rejection names every registered backend.
 expect 1 "$BIN/rcrun" -bench grep -model 9
 expect 1 "$BIN/rcrun" -bench grep -model 0
-expect 1 "$BIN/rcrun" -bench grep -mode junk
+expect_msg 1 "$BACKEND_LIST" "$BIN/rcrun" -bench grep -mode junk
 expect 1 "$BIN/rcrun" -bench nosuchbench
 expect 0 "$BIN/rcrun" -bench grep
+expect 0 "$BIN/rcrun" -bench grep -mode portreduce
+expect 0 "$BIN/rcrun" -bench grep -mode chain
 expect 0 "$BIN/rcrun" -list
 
-# rclint: usage errors exit 2; a clean quick sweep exits 0.
+# rclint: usage errors exit 2 (unknown backends list the registry); a
+# clean quick sweep exits 0, including the extension-backend matrix.
 expect 2 "$BIN/rclint" -bench nosuchbench
 expect 2 "$BIN/rclint" -issue bogus
 expect 2 "$BIN/rclint" -windows bogus
+expect_msg 2 "$BACKEND_LIST" "$BIN/rclint" -backends bogus
 expect 0 "$BIN/rclint" -quick -bench grep -issue 4
+expect 0 "$BIN/rclint" -quick -bench grep -issue 4 -backends portreduce,chain
 
 # rcexp: unknown formats, experiments, and benchmarks must all fail.
 expect 1 "$BIN/rcexp" -quick -format junk
