@@ -19,8 +19,9 @@ test:
 # exit-code contract (scripts/exitcodes.sh), the static map-state
 # verifier over the full benchmark × backend × model × combine grid
 # (cmd/rclint, split into the paper's three backends and the extension
-# backend matrix), and the attribution profiler's ledger cross-check
-# over the golden benchmark × config grid (cmd/rcprof).
+# backend matrix), the attribution profiler's ledger cross-check over
+# the golden benchmark × config grid (cmd/rcprof), and the arena
+# zero-allocation gate (scripts/benchgate.sh).
 verify: build
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
@@ -29,6 +30,7 @@ verify: build
 	$(GO) test -race ./internal/exp/...
 	$(GO) test -race ./internal/serve/...
 	sh scripts/exitcodes.sh
+	sh scripts/benchgate.sh
 	$(GO) run ./cmd/rclint -backends rc,spill,unlimited
 	$(GO) run ./cmd/rclint -backends portreduce,chain
 	$(GO) run ./cmd/rcprof -grid
@@ -45,9 +47,12 @@ lint:
 	$(GO) run ./cmd/rclint
 
 # bench regenerates BENCH_sim.json, the tracked simulator performance
-# snapshot (figure-regeneration time and raw simulation throughput).
+# snapshot (figure-regeneration time, warm-arena simulation throughput,
+# steady-state allocation counts), then runs the in-repo microbenchmarks
+# with -benchmem so per-op allocation figures land in the log.
 bench:
 	$(GO) run ./cmd/rcbench -o BENCH_sim.json
+	$(GO) test -run '^$$' -bench 'ArenaResetRun|ArenaRun' -benchmem ./internal/machine .
 
 # exp regenerates every table and figure on the full suite.
 exp:

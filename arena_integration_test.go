@@ -1,0 +1,179 @@
+package regconn
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"regconn/internal/bench"
+)
+
+// arenaArchs covers all five register backends at a pressured operating
+// point, so the arena-vs-fresh comparison exercises every scheme's machine
+// shape (spill's core-only file, rc's extended file, unlimited's grown
+// file, portreduce's port hazard, chain's forwarding marks).
+func arenaArchs() []Arch {
+	base := Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32, Verify: true}
+	spill, rc, unl, ports, chain := base, base, base, base, base
+	spill.Mode = WithoutRC
+	rc.Mode, rc.CombineConnects = WithRC, true
+	unl.Mode = Unlimited
+	ports.Backend = "portreduce"
+	chain.Backend = "chain"
+	return []Arch{spill, rc, unl, ports, chain}
+}
+
+// TestArenaMatchesFreshRun: for every backend, a run on a reused Arena must
+// be bit-identical to Executable.Run on a fresh machine — same cycles, same
+// ledger, same telemetry — including when the arena is hopping between
+// executables of different shapes.
+func TestArenaMatchesFreshRun(t *testing.T) {
+	bm, err := bench.ByName("cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewArena()
+	for _, arch := range arenaArchs() {
+		be, err := arch.resolveBackend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := be.Name()
+		ex, err := Build(bm.Build(), arch)
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		fresh, err := ex.Run()
+		if err != nil {
+			t.Fatalf("%s: fresh run: %v", name, err)
+		}
+		for rep := 0; rep < 2; rep++ {
+			got, err := arena.VerifyContext(context.Background(), ex)
+			if err != nil {
+				t.Fatalf("%s rep %d: arena run: %v", name, rep, err)
+			}
+			a, b := *fresh, *got
+			a.Mem, b.Mem = nil, nil // images are distinct objects; contents checked by VerifyContext
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s rep %d: arena result diverges from fresh run:\nfresh: %+v\narena: %+v",
+					name, rep, a, b)
+			}
+			if !reflect.DeepEqual(fresh.Stats(), got.Stats()) {
+				t.Errorf("%s rep %d: exported stats diverge", name, rep)
+			}
+		}
+	}
+}
+
+// TestArenaStatsSurviveReuse: statistics exported from an arena result must
+// stay valid after the arena is reused for a different point — the aliasing
+// contract of DESIGN.md §13 (Result.Stats deep-copies what it exports).
+func TestArenaStatsSurviveReuse(t *testing.T) {
+	bm, err := bench.ByName("cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	archs := arenaArchs()
+	rc, spill := archs[1], archs[0]
+	exRC, err := Build(bm.Build(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exSpill, err := Build(bm.Build(), spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewArena()
+	res, err := arena.Run(exRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := res.Stats()
+	if _, err := arena.Run(exSpill); err != nil { // overwrites the arena
+		t.Fatal(err)
+	}
+	fresh, err := exRC.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(saved, fresh.Stats()) {
+		t.Error("stats exported before arena reuse were corrupted by the next run")
+	}
+}
+
+// TestArenaRunProcesses: the multiprogrammed path through a reused arena
+// must match the one-shot RunProcesses run for run.
+func TestArenaRunProcesses(t *testing.T) {
+	bm, err := bench.ByName("cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := arenaArchs()[1] // rc
+	exes := make([]*Executable, 2)
+	for i := range exes {
+		ex, err := Build(bm.Build(), arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exes[i] = ex
+	}
+	fresh, err := RunProcesses(exes, 500, FullSave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewArena()
+	// A single-process run first, so the multi path reuses dirty state.
+	if _, err := arena.Run(exes[0]); err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 2; rep++ {
+		got, err := arena.RunProcesses(context.Background(), exes, 500, FullSave)
+		if err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		if got.Switches != fresh.Switches || got.SwitchCycles != fresh.SwitchCycles ||
+			got.Cycles != fresh.Cycles {
+			t.Fatalf("rep %d: scheduler diverges: %d/%d/%d vs %d/%d/%d", rep,
+				got.Switches, got.SwitchCycles, got.Cycles,
+				fresh.Switches, fresh.SwitchCycles, fresh.Cycles)
+		}
+		for p := range exes {
+			a, b := *fresh.Results[p], *got.Results[p]
+			a.Mem, b.Mem = nil, nil
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("rep %d: process %d result diverges", rep, p)
+			}
+		}
+		if !reflect.DeepEqual(fresh.MapInt, got.MapInt) || !reflect.DeepEqual(fresh.MapFP, got.MapFP) {
+			t.Errorf("rep %d: shared map telemetry diverges", rep)
+		}
+	}
+}
+
+// BenchmarkArenaRun times repeated simulation of a prebuilt executable on
+// one arena — the batch-sweep hot path (compare with BenchmarkRunProfilingOff,
+// which reallocates the machine per run). Run under -benchmem this pins the
+// steady-state allocation behavior at the facade level.
+func BenchmarkArenaRun(b *testing.B) {
+	bm, err := bench.ByName("cmp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	arch := Arch{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32,
+		Mode: WithRC, CombineConnects: true}
+	ex, err := Build(bm.Build(), arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arena := NewArena()
+	if _, err := arena.Run(ex); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arena.Run(ex); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -136,20 +136,50 @@ type MapTable struct {
 // the given automatic-reset model. It panics if the geometry is invalid:
 // the table is hardware, and a malformed machine is a programming error.
 func NewMapTable(model Model, m, n int) *MapTable {
+	t := &MapTable{}
+	t.Reinit(model, m, n)
+	return t
+}
+
+// Reinit reinitializes the table in place to exactly the state
+// NewMapTable(model, m, n) constructs — all entries at home, mapping
+// enabled, generation 1, telemetry zeroed — reusing the existing slice
+// capacity when it suffices. It is the allocation-free reset of the
+// simulator's run arenas (machine.Machine); like NewMapTable it panics on
+// invalid geometry.
+func (t *MapTable) Reinit(model Model, m, n int) {
 	if !model.Valid() {
 		panic(fmt.Sprintf("core: invalid model %d", model))
 	}
 	if m <= 0 || n < m || n > 1<<16 {
 		panic(fmt.Sprintf("core: invalid geometry m=%d n=%d", m, n))
 	}
-	t := &MapTable{model: model, m: m, n: n,
-		read: make([]uint16, m), write: make([]uint16, m), enabled: true, gen: 1,
-		usesByIdx: make([]int64, m), defsByIdx: make([]int64, m), autoByIdx: make([]int64, m)}
+	t.model, t.m, t.n = model, m, n
+	t.read = growSlice(t.read, m)
+	t.write = growSlice(t.write, m)
+	t.usesByIdx = growSlice(t.usesByIdx, m)
+	t.defsByIdx = growSlice(t.defsByIdx, m)
+	t.autoByIdx = growSlice(t.autoByIdx, m)
+	clear(t.usesByIdx)
+	clear(t.defsByIdx)
+	clear(t.autoByIdx)
 	for i := range t.read {
 		t.read[i] = uint16(i)
 		t.write[i] = uint16(i)
 	}
-	return t
+	t.enabled = true
+	t.stats = Stats{}
+	t.gen = 1
+	t.off = 0
+}
+
+// growSlice returns s resized to length n, reusing its backing array when
+// the capacity allows (contents are then stale — callers reinitialize).
+func growSlice[E uint16 | int64](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	return s[:n]
 }
 
 // Gen returns the table's generation counter. It changes exactly when a
@@ -172,6 +202,43 @@ func (t *MapTable) Stats() Stats {
 	}
 	if s.AutoResets > 0 {
 		s.AutoResetsByIndex = append([]int64(nil), t.autoByIdx...)
+	}
+	return s
+}
+
+// StatsInto writes the table's telemetry into dst, reusing dst's existing
+// breakdown slices when their capacity suffices — the allocation-free
+// variant of Stats for the simulator's run arenas. The result is
+// value-identical to Stats(): breakdowns are nil when their total is zero.
+// dst's breakdowns must not alias another table's live counters.
+func (t *MapTable) StatsInto(dst *Stats) {
+	uses, defs, auto := dst.ConnectUsesByIndex, dst.ConnectDefsByIndex, dst.AutoResetsByIndex
+	*dst = t.stats
+	dst.GenAdvances = int64(t.gen - 1) // gen starts at 1
+	dst.ConnectUsesByIndex, dst.ConnectDefsByIndex, dst.AutoResetsByIndex = nil, nil, nil
+	if dst.ConnectUses > 0 {
+		dst.ConnectUsesByIndex = append(uses[:0], t.usesByIdx...)
+	}
+	if dst.ConnectDefs > 0 {
+		dst.ConnectDefsByIndex = append(defs[:0], t.defsByIdx...)
+	}
+	if dst.AutoResets > 0 {
+		dst.AutoResetsByIndex = append(auto[:0], t.autoByIdx...)
+	}
+}
+
+// Clone returns a deep copy of the stats: the breakdown slices are copied,
+// so the clone stays valid after the source (possibly an arena-owned
+// scratch) is overwritten by a later run.
+func (s Stats) Clone() Stats {
+	if s.ConnectUsesByIndex != nil {
+		s.ConnectUsesByIndex = append([]int64(nil), s.ConnectUsesByIndex...)
+	}
+	if s.ConnectDefsByIndex != nil {
+		s.ConnectDefsByIndex = append([]int64(nil), s.ConnectDefsByIndex...)
+	}
+	if s.AutoResetsByIndex != nil {
+		s.AutoResetsByIndex = append([]int64(nil), s.AutoResetsByIndex...)
 	}
 	return s
 }
@@ -333,6 +400,28 @@ type Context struct {
 // SaveContext captures the connection state.
 func (t *MapTable) SaveContext() Context {
 	return Context{Read: t.ReadMap(), Write: t.WriteMap(), Enabled: t.enabled}
+}
+
+// SaveContextInto captures the connection state into c, reusing its slices
+// when their capacity suffices — the allocation-free SaveContext used on
+// the simulator's trap path, which saves and restores every interrupt.
+func (t *MapTable) SaveContextInto(c *Context) {
+	c.Read = append(c.Read[:0], t.read...)
+	c.Write = append(c.Write[:0], t.write...)
+	c.Enabled = t.enabled
+}
+
+// HomeContext returns the connection state of a freshly constructed
+// m-entry table: both maps at their home locations, mapping enabled. It is
+// the initial PCB state of a multiprogrammed process, built without
+// constructing a throwaway table.
+func HomeContext(m int) Context {
+	c := Context{Read: make([]uint16, m), Write: make([]uint16, m), Enabled: true}
+	for i := range c.Read {
+		c.Read[i] = uint16(i)
+		c.Write[i] = uint16(i)
+	}
+	return c
 }
 
 // RestoreContext restores connection state saved by SaveContext. It panics

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"regconn"
-	"regconn/internal/machine"
 )
 
 // TestRunContextCancelDoesNotPoisonCache: a canceled point must be evicted
@@ -17,12 +16,16 @@ func TestRunContextCancelDoesNotPoisonCache(t *testing.T) {
 	bm := r.Benchmarks[0]
 	arch := regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC, IntCore: 16, FPCore: 32}
 
+	// A caller abandoning a flight gets its own context's error (the
+	// execution may still be running for other waiters — rcserve's flight
+	// semantics), so the error matches context.Canceled but not
+	// necessarily machine.ErrCanceled.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := r.RunContext(ctx, bm, arch); err == nil {
 		t.Fatal("canceled run returned no error")
-	} else if !errors.Is(err, context.Canceled) || !errors.Is(err, machine.ErrCanceled) {
-		t.Fatalf("canceled run error = %v; want to match context.Canceled and machine.ErrCanceled", err)
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run error = %v; want to match context.Canceled", err)
 	}
 
 	res, err := r.RunContext(context.Background(), bm, arch)

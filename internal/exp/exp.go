@@ -20,6 +20,7 @@ import (
 
 	"regconn"
 	"regconn/internal/bench"
+	"regconn/internal/flight"
 	"regconn/internal/machine"
 )
 
@@ -38,32 +39,39 @@ type Result struct {
 
 // Runner executes benchmark/architecture pairs with memoization — the
 // baseline run of each benchmark is shared by every figure. It is safe for
-// concurrent use: duplicate in-flight points collapse onto one simulation,
-// and each figure generator fans its point grid out across a bounded
-// worker pool (warm) before a deterministic sequential pass assembles the
-// table from the memoized results.
+// concurrent use: duplicate in-flight points collapse onto one waiter-
+// counted flight (internal/flight, the same mechanism as the rcserve
+// daemon), so one caller abandoning a point cannot cancel the simulation
+// for the others, and each figure generator fans its point grid out across
+// a bounded worker pool (warm) before a deterministic sequential pass
+// assembles the table from the memoized results.
 type Runner struct {
-	mu    sync.Mutex
-	cache map[string]*cacheEntry
+	mu      sync.Mutex
+	done    map[string]memo        // completed points (results and non-cancel errors)
+	flights *flight.Group[*Result] // in-flight points
 
 	// Workers bounds the worker pool (0 = GOMAXPROCS, 1 = sequential).
 	Workers int
 
 	// Benchmarks restricts the suite (nil = all twelve).
 	Benchmarks []bench.Benchmark
+
+	// runPoint overrides the execution primitive (nil = RunPoint). It is a
+	// test seam: flight semantics — waiter counting, cancellation of
+	// abandoned executions — are probed with deterministic stand-ins
+	// instead of real multi-second simulations.
+	runPoint func(ctx context.Context, bm bench.Benchmark, arch regconn.Arch) (*Result, error)
 }
 
-// cacheEntry is one memoized simulation; the Once collapses concurrent
-// requests for the same point onto a single execution.
-type cacheEntry struct {
-	once sync.Once
-	res  *Result
-	err  error
+// memo is one completed point: the memoized result or its terminal error.
+type memo struct {
+	res *Result
+	err error
 }
 
 // NewRunner returns a Runner over the full suite.
 func NewRunner() *Runner {
-	return &Runner{cache: map[string]*cacheEntry{}, Benchmarks: bench.All()}
+	return &Runner{Benchmarks: bench.All()}
 }
 
 // NewQuickRunner returns a Runner over a reduced suite (one call-heavy
@@ -81,8 +89,13 @@ func NewQuickRunner() *Runner {
 	return r
 }
 
+// key identifies a memoized point. The architecture is canonicalized
+// first, so configurations that resolve to the same backend — a legacy
+// Mode value and its registry name, e.g. Mode: WithRC and Backend: "rc" —
+// share one memo entry instead of simulating twice (the daemon's point
+// keys canonicalize the same way; see serve.Key).
 func key(name string, a regconn.Arch) string {
-	return fmt.Sprintf("%s/%+v", name, a)
+	return fmt.Sprintf("%s/%+v", name, a.Canonical())
 }
 
 // Run builds and simulates one benchmark under one architecture, verifying
@@ -92,35 +105,65 @@ func (r *Runner) Run(bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
 	return r.RunContext(context.Background(), bm, arch)
 }
 
-// RunContext is Run under a cancelable context. Cancellation does not
-// poison the memo: a point whose execution was stopped by its context is
-// evicted, so the next request for the same point recomputes instead of
-// replaying the stale cancellation error forever. (Concurrent waiters
-// collapsed onto the canceled execution still see its error — the point is
-// only re-runnable afterwards.)
+// canceledErr reports whether err is a cancellation (never memoized).
+func canceledErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// RunContext is Run under a cancelable context. Concurrent requests for
+// one point join a waiter-counted flight: the execution's context is
+// canceled only when the last waiter has gone away, so an impatient caller
+// gets its own context error while the remaining waiters still receive the
+// completed result. Cancellation never poisons the memo — only completed
+// results and terminal (non-cancel) errors are stored, and an abandoned
+// execution's key is released immediately, so the next request recomputes
+// instead of replaying a stale cancellation forever.
 func (r *Runner) RunContext(ctx context.Context, bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	k := key(bm.Name, arch)
 	r.mu.Lock()
-	if r.cache == nil {
-		r.cache = map[string]*cacheEntry{}
+	if m, ok := r.done[k]; ok {
+		r.mu.Unlock()
+		return m.res, m.err
 	}
-	e, ok := r.cache[k]
-	if !ok {
-		e = &cacheEntry{}
-		r.cache[k] = e
+	if r.flights == nil {
+		r.flights = flight.NewGroup[*Result]()
+	}
+	g := r.flights
+	run := r.runPoint
+	if run == nil {
+		run = RunPoint
 	}
 	r.mu.Unlock()
-	e.once.Do(func() { e.res, e.err = RunPoint(ctx, bm, arch) })
-	res, err := e.res, e.err
-	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-		r.mu.Lock()
-		if r.cache[k] == e {
-			delete(r.cache, k)
+	res, err, _ := g.Do(ctx, k, func(fctx context.Context) (*Result, error) {
+		res, err := run(fctx, bm, arch)
+		if err == nil || !canceledErr(err) {
+			// Memoize inside the flight, before it completes: a caller
+			// arriving after completion but before memoization would
+			// otherwise start a duplicate simulation.
+			r.mu.Lock()
+			if r.done == nil {
+				r.done = map[string]memo{}
+			}
+			r.done[k] = memo{res, err}
+			r.mu.Unlock()
 		}
-		r.mu.Unlock()
+		return res, err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, err
+	return res, nil
 }
+
+// arenas pools simulation arenas across points and workers: a sweep's
+// thousands of runs reuse a handful of warm arenas (one per concurrent
+// worker) instead of reallocating the simulator state per point. Safe
+// because an arena's Reset restores power-on state and RunPoint copies
+// everything it returns out of the arena before putting it back.
+var arenas = sync.Pool{New: func() any { return regconn.NewArena() }}
 
 // RunPoint is the uncached build+simulate+verify of one data point,
 // canceled through ctx. Every point also runs the static map-state verifier
@@ -133,7 +176,9 @@ func RunPoint(ctx context.Context, bm bench.Benchmark, arch regconn.Arch) (*Resu
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", bm.Name, err)
 	}
-	res, err := ex.VerifyContext(ctx)
+	arena := arenas.Get().(*regconn.Arena)
+	defer arenas.Put(arena)
+	res, err := arena.VerifyContext(ctx, ex)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", bm.Name, err)
 	}
@@ -145,6 +190,8 @@ func RunPoint(ctx context.Context, bm bench.Benchmark, arch regconn.Arch) (*Resu
 	if err := res.CheckLedger(); err != nil {
 		return nil, fmt.Errorf("%s: %w", bm.Name, err)
 	}
+	// res aliases the pooled arena: everything returned is copied out here
+	// (Stats deep-copies the histogram and map-telemetry slices).
 	return &Result{
 		Cycles:   res.Cycles,
 		Instrs:   res.Instrs,

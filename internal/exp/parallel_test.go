@@ -45,9 +45,9 @@ func TestWarmCollapsesDuplicates(t *testing.T) {
 	}
 	r.warm(pts)
 	r.mu.Lock()
-	n := len(r.cache)
+	n := len(r.done)
 	r.mu.Unlock()
 	if n != 1 {
-		t.Errorf("cache holds %d entries after warming one duplicated point, want 1", n)
+		t.Errorf("memo holds %d entries after warming one duplicated point, want 1", n)
 	}
 }

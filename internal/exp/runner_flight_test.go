@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"regconn"
+	"regconn/internal/bench"
+)
+
+// TestRunnerKeyCanonical: a point addressed by a legacy Mode value and the
+// same point addressed by its backend registry name must share one memo
+// entry — the Runner analogue of the daemon's canonical point keys. Before
+// keys went through Arch.Canonical, the two spellings simulated twice and
+// diverging formats could split a figure's baseline from its sweeps.
+func TestRunnerKeyCanonical(t *testing.T) {
+	r := NewQuickRunner()
+	bm := r.Benchmarks[0]
+	legacy := regconn.Arch{Issue: 1, LoadLatency: 2, Mode: regconn.WithRC, IntCore: 16, FPCore: 32}
+	named := legacy
+	named.Mode = 0
+	named.Backend = "rc"
+
+	res1, err := r.Run(bm, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r.Run(bm, named)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1 != res2 {
+		t.Error("equivalent architectures returned distinct results (memo keyed on raw Arch?)")
+	}
+	r.mu.Lock()
+	n := len(r.done)
+	r.mu.Unlock()
+	if n != 1 {
+		t.Errorf("memo holds %d entries for one canonical point, want 1", n)
+	}
+}
+
+// stubPoint installs a controllable runPoint: it signals start, then blocks
+// until released or its flight context is canceled.
+func stubPoint(r *Runner) (started chan struct{}, release chan struct{}, cancels *atomic.Int32) {
+	started = make(chan struct{}, 16)
+	release = make(chan struct{})
+	cancels = new(atomic.Int32)
+	r.runPoint = func(ctx context.Context, bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return &Result{Cycles: 42}, nil
+		case <-ctx.Done():
+			cancels.Add(1)
+			return nil, context.Cause(ctx)
+		}
+	}
+	return started, release, cancels
+}
+
+// TestRunnerWaiterSurvivesOtherCancel: with two waiters on one flight, one
+// caller canceling must not cancel the execution — the patient waiter still
+// gets the completed result. Run with -race: this is the regression test
+// for the sync.Once runner, where the second caller inherited whatever
+// context the first caller happened to start the execution with.
+func TestRunnerWaiterSurvivesOtherCancel(t *testing.T) {
+	r := NewQuickRunner()
+	started, release, cancels := stubPoint(r)
+	bm := r.Benchmarks[0]
+	arch := regconn.Baseline()
+
+	impatientCtx, impatientCancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var impatientErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, impatientErr = r.RunContext(impatientCtx, bm, arch)
+	}()
+	<-started // the flight is running; the impatient caller owns it so far
+
+	var patientRes *Result
+	var patientErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		patientRes, patientErr = r.RunContext(context.Background(), bm, arch)
+	}()
+	// Wait until the patient caller has joined the flight, then cancel the
+	// impatient one: the execution must keep running.
+	waiters := func() int {
+		r.mu.Lock()
+		g := r.flights
+		r.mu.Unlock()
+		if g == nil {
+			return 0
+		}
+		return g.Waiters(key(bm.Name, arch))
+	}
+	for waiters() < 2 {
+		runtime.Gosched()
+	}
+	impatientCancel()
+	for waiters() > 1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(impatientErr, context.Canceled) {
+		t.Errorf("impatient caller error = %v, want context.Canceled", impatientErr)
+	}
+	if patientErr != nil {
+		t.Fatalf("patient caller failed: %v", patientErr)
+	}
+	if patientRes == nil || patientRes.Cycles != 42 {
+		t.Errorf("patient caller result = %+v, want the completed run", patientRes)
+	}
+	if n := cancels.Load(); n != 0 {
+		t.Errorf("execution was canceled %d times despite a surviving waiter", n)
+	}
+	// The completed result is memoized and pointer-stable.
+	again, err := r.Run(bm, arch)
+	if err != nil || again != patientRes {
+		t.Errorf("memoized result not stable after flight: %v %v", again, err)
+	}
+}
+
+// TestRunnerCancelAllWaitersStopsExecution: when every waiter leaves, the
+// execution's context is canceled and nothing is memoized — the next
+// request starts fresh.
+func TestRunnerCancelAllWaitersStopsExecution(t *testing.T) {
+	r := NewQuickRunner()
+	started, release, cancels := stubPoint(r)
+	bm := r.Benchmarks[0]
+	arch := regconn.Baseline()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := r.RunContext(ctx, bm, arch)
+		errc <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned caller error = %v, want context.Canceled", err)
+	}
+	for cancels.Load() == 0 {
+		runtime.Gosched() // the flight notices the cancel asynchronously
+	}
+	r.mu.Lock()
+	n := len(r.done)
+	r.mu.Unlock()
+	if n != 0 {
+		t.Errorf("canceled execution was memoized (%d entries)", n)
+	}
+	// A fresh request recomputes and succeeds.
+	close(release)
+	res, err := r.Run(bm, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the rerun's flight start signal
+	if res.Cycles != 42 {
+		t.Errorf("recomputed result = %+v", res)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"regconn/internal/core"
-	"regconn/internal/isa"
 )
 
 // Multiprogrammed execution (paper §4.2, made functional rather than a
@@ -82,44 +81,21 @@ func RunMultiprogrammed(imgs []*Image, cfg Config, quantum int64, mode SaveMode)
 
 // RunMultiprogrammedContext is RunMultiprogrammed with cooperative
 // cancellation: each process's cycle loop polls ctx on the same stride as
-// RunContext.
-func RunMultiprogrammedContext(ctx context.Context, imgs []*Image, cfg Config, quantum int64, mode SaveMode) (res *MultiResult, err error) {
-	if len(imgs) == 0 || quantum <= 0 {
-		return nil, fmt.Errorf("machine: need processes and a positive quantum")
-	}
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	defer bufferTrace(&cfg)(&err)
-	defer recoverFault(&res, &err)
+// RunContext. Each call constructs a private arena; to amortize it across
+// runs, use Machine.RunMultiprogrammedContext.
+func RunMultiprogrammedContext(ctx context.Context, imgs []*Image, cfg Config, quantum int64, mode SaveMode) (*MultiResult, error) {
+	return NewMachine().RunMultiprogrammedContext(ctx, imgs, cfg, quantum, mode)
+}
 
-	// The shared physical machine.
-	ri := make([]int64, cfg.IntTotal)
-	rf := make([]float64, cfg.FPTotal)
-	rdyI := make([]int64, cfg.IntTotal)
-	rdyF := make([]int64, cfg.FPTotal)
-	tabI := core.NewMapTable(cfg.Model, cfg.IntCore, cfg.IntTotal)
-	tabF := core.NewMapTable(cfg.Model, cfg.FPCore, cfg.FPTotal)
-
-	procs := make([]*simState, len(imgs))
-	pcbs := make([]*pcb, len(imgs))
-	halted := make([]bool, len(imgs))
-	for i, img := range imgs {
-		procs[i] = newSimState(img, cfg, ri, rf, rdyI, rdyF, tabI, tabF)
-		procs[i].proc = uint8(i)
-		procs[i].bindContext(ctx)
-		// Fresh PCB: zeroed registers, home mapping, entry SP.
-		p := &pcb{
-			ri: make([]int64, cfg.IntTotal),
-			rf: make([]float64, cfg.FPTotal),
-		}
-		p.ri[isa.RegSP] = procs[i].mem.StackTop()
-		fresh := core.NewMapTable(cfg.Model, cfg.IntCore, cfg.IntTotal)
-		p.ctxI = fresh.SaveContext()
-		freshF := core.NewMapTable(cfg.Model, cfg.FPCore, cfg.FPTotal)
-		p.ctxF = freshF.SaveContext()
-		pcbs[i] = p
-	}
+// runMultiprogrammed is the scheduler loop over an arena whose shared
+// machine, per-process states, and PCBs RunMultiprogrammedContext has
+// already reset.
+func (m *Machine) runMultiprogrammed(imgs []*Image, cfg Config, quantum int64, mode SaveMode) (*MultiResult, error) {
+	ri, rf, rdyI, rdyF := m.ri, m.rf, m.rdyI, m.rdyF
+	tabI, tabF := m.tabI, m.tabF
+	procs := m.procs[:len(imgs)]
+	pcbs := m.pcbs[:len(imgs)]
+	halted := m.halted
 
 	saveWords := int64(cfg.IntCore + cfg.FPCore)
 	if mode == FullSave {
@@ -134,8 +110,8 @@ func RunMultiprogrammedContext(ctx context.Context, imgs []*Image, cfg Config, q
 		case FullSave:
 			copy(p.ri, ri)
 			copy(p.rf, rf)
-			p.ctxI = tabI.SaveContext()
-			p.ctxF = tabF.SaveContext()
+			tabI.SaveContextInto(&p.ctxI)
+			tabF.SaveContextInto(&p.ctxF)
 		case CoreOnlySave:
 			copy(p.ri[:cfg.IntCore], ri[:cfg.IntCore])
 			copy(p.rf[:cfg.FPCore], rf[:cfg.FPCore])

@@ -35,10 +35,17 @@ type uop struct {
 // forwarding marks are resolved against the operand registers (under the
 // chain backend instructions carry physical register numbers directly).
 func predecode(code []isa.Instr, ann []codegen.Annot, chain bool, lat isa.Latencies) []uop {
-	us := make([]uop, len(code))
+	return predecodeInto(nil, code, ann, chain, lat)
+}
+
+// predecodeInto is predecode over a reused micro-op slice: dst's backing
+// array is kept when its capacity suffices (the run-arena path), and every
+// element is fully rewritten so no mark from a previous lowering survives.
+func predecodeInto(dst []uop, code []isa.Instr, ann []codegen.Annot, chain bool, lat isa.Latencies) []uop {
+	us := grown(dst, len(code))
 	for i := range code {
 		u := &us[i]
-		u.Decoded = code[i].Decode()
+		*u = uop{Decoded: code[i].Decode()}
 		u.lat = int64(lat.Of(u.Op))
 		if !chain || i >= len(ann) {
 			continue

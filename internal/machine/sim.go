@@ -116,35 +116,49 @@ func (cfg *Config) normalize() error {
 
 // bufferTrace wraps the config's trace writer in a buffered writer for the
 // duration of a run — the per-issued-line fmt.Fprintf would otherwise hit
-// the underlying writer unbuffered — and returns the flush to defer. The
-// flush runs on every exit path (clean halt, simulation error, recovered
-// fault panic); when the underlying writer is a file it is also fsynced, so
-// the tail of a trace survives even a crashed run. A flush failure on an
-// otherwise-successful run surfaces through errp. With tracing off it is a
-// no-op.
-func bufferTrace(cfg *Config) func(errp *error) {
+// the underlying writer unbuffered — and returns the flush to defer
+// (`defer bufferTrace(&cfg).finish(&err)`). The flush runs on every exit
+// path (clean halt, simulation error, recovered fault panic); when the
+// underlying writer is a file it is also fsynced, so the tail of a trace
+// survives even a crashed run. A flush failure on an otherwise-successful
+// run surfaces through errp. With tracing off it is a no-op; the flusher
+// is a concrete value rather than a closure so the deferred call does not
+// force the caller's error result onto the heap (the zero-allocation
+// arena path runs through here every Machine.RunContext).
+func bufferTrace(cfg *Config) traceFlusher {
 	if cfg.Trace == nil {
-		return func(*error) {}
+		return traceFlusher{}
 	}
 	orig := cfg.Trace
 	bw := bufio.NewWriterSize(orig, 1<<16)
 	cfg.Trace = bw
-	return func(errp *error) {
-		ferr := bw.Flush()
-		if f, ok := orig.(*os.File); ok {
-			serr := f.Sync()
-			// Pipes, terminals, and /dev/null don't support fsync
-			// (EINVAL/ENOTSUP); only real files need the durability.
-			if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
-				serr = nil
-			}
-			if ferr == nil {
-				ferr = serr
-			}
+	return traceFlusher{bw: bw, orig: orig}
+}
+
+// traceFlusher flushes a run's buffered trace writer; see bufferTrace.
+type traceFlusher struct {
+	bw   *bufio.Writer
+	orig io.Writer
+}
+
+func (t traceFlusher) finish(errp *error) {
+	if t.bw == nil {
+		return
+	}
+	ferr := t.bw.Flush()
+	if f, ok := t.orig.(*os.File); ok {
+		serr := f.Sync()
+		// Pipes, terminals, and /dev/null don't support fsync
+		// (EINVAL/ENOTSUP); only real files need the durability.
+		if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+			serr = nil
 		}
-		if ferr != nil && *errp == nil {
-			*errp = fmt.Errorf("machine: trace flush: %w", ferr)
+		if ferr == nil {
+			ferr = serr
 		}
+	}
+	if ferr != nil && *errp == nil {
+		*errp = fmt.Errorf("machine: trace flush: %w", ferr)
 	}
 }
 
@@ -180,8 +194,8 @@ func (s *simState) runtimeError(pc int, cycle int64, cause error) error {
 }
 
 // recoverFault converts a memory-fault panic raised outside the cycle loop
-// (image initialization in newSimState — the loop itself recovers its own
-// faults with full pc context) into a structured error return; any other
+// (image initialization in simState.reset — the loop itself recovers its
+// own faults with full pc context) into a structured error return; any other
 // panic is re-raised. Used as `defer recoverFault(&res, &err)` by both
 // simulation entry points.
 func recoverFault[T any](res **T, err *error) {
@@ -327,32 +341,15 @@ func Run(img *Image, cfg Config) (res *Result, err error) {
 // cancelCheckInterval cycles, so a long simulation stops within a bounded
 // number of simulated cycles of the cancel; the returned error wraps both
 // ErrCanceled and the context's error.
-func RunContext(ctx context.Context, img *Image, cfg Config) (res *Result, err error) {
-	if err := cfg.normalize(); err != nil {
+//
+// Each call constructs a private arena, so the result aliases nothing; to
+// amortize the arena across many runs, use Machine directly.
+func RunContext(ctx context.Context, img *Image, cfg Config) (*Result, error) {
+	m := NewMachine()
+	if err := m.Reset(img, cfg); err != nil {
 		return nil, err
 	}
-	defer bufferTrace(&cfg)(&err)
-	defer recoverFault(&res, &err)
-
-	s := newSimState(img, cfg,
-		make([]int64, cfg.IntTotal), make([]float64, cfg.FPTotal),
-		make([]int64, cfg.IntTotal), make([]int64, cfg.FPTotal),
-		core.NewMapTable(cfg.Model, cfg.IntCore, cfg.IntTotal),
-		core.NewMapTable(cfg.Model, cfg.FPCore, cfg.FPTotal))
-	s.bindContext(ctx)
-	s.ri[isa.RegSP] = s.mem.StackTop()
-	s.nextTrap = cfg.Trap.Interval
-	halted, err := s.runUntil(cfg.MaxCycles)
-	if err != nil {
-		return nil, err
-	}
-	if !halted {
-		return nil, fmt.Errorf("%w at pc=%d", ErrCycleLimit, s.pc)
-	}
-	s.res.RetInt = s.ri[2]
-	s.res.MapInt = s.tabI.Stats()
-	s.res.MapFP = s.tabF.Stats()
-	return s.res, nil
+	return m.RunContext(ctx)
 }
 
 // simState is the execution pipeline state of one simulated process: the
@@ -402,6 +399,20 @@ type simState struct {
 	prof *PCProf    // per-PC attribution, nil unless Config.Prof
 	ev   *EventRing // structured event sink, nil unless Config.Events
 	proc uint8      // process index (multiprogramming; 0 otherwise)
+
+	// Predecode cache: code is rebuilt by reset only when the image or the
+	// predecode-relevant configuration (chain mode, latency table) changed
+	// since the previous run on this state.
+	predImg   *Image
+	predChain bool
+	predLat   isa.Latencies
+
+	// Arena scratch reused across runs: the map-table telemetry snapshots
+	// the Result exports (statI/statF) and the trap path's save/restore
+	// contexts (trapCtxI/trapCtxF).
+	statI, statF core.Stats
+	trapCtxI     core.Context
+	trapCtxF     core.Context
 }
 
 // bindContext arms the cycle loop's cancellation polling. A context that
@@ -417,51 +428,62 @@ func (s *simState) bindContext(ctx context.Context) {
 	}
 }
 
-// newSimState wires a simulator over the given (possibly shared) register
-// file and mapping tables, predecoding the image once per run.
-func newSimState(img *Image, cfg Config, ri []int64, rf []float64,
-	rdyI, rdyF []int64, tabI, tabF *core.MapTable) *simState {
-	m := mem.InitImage(img.Prog.IR, img.Layout, cfg.MemSize)
-	s := &simState{
-		img: img, cfg: cfg, mem: m,
-		code: predecode(img.Code, img.Ann, cfg.Chain, cfg.Lat),
-		ri:   ri, rf: rf, rdyI: rdyI, rdyF: rdyF,
-		tabI: tabI, tabF: tabF,
-		lcI: make([]int64, cfg.IntCore), lcF: make([]int64, cfg.FPCore),
-		rPhysI: make([]int32, cfg.IntCore), wPhysI: make([]int32, cfg.IntCore),
-		rStampI: make([]uint64, cfg.IntCore), wStampI: make([]uint64, cfg.IntCore),
-		rPhysF: make([]int32, cfg.FPCore), wPhysF: make([]int32, cfg.FPCore),
-		rStampF: make([]uint64, cfg.FPCore), wStampF: make([]uint64, cfg.FPCore),
-		res: &Result{Mem: m, Layout: img.Layout,
-			IssueHist: make([]int64, cfg.IssueRate+1)},
-		pc:         img.Entry,
-		ev:         cfg.Events,
-		nextCancel: math.MaxInt64, // no context bound yet
+// reset wires the state for a fresh run over the given (possibly shared)
+// register file and mapping tables, reusing every allocation from the
+// previous run on this state. Predecode is skipped when the image and the
+// predecode-relevant configuration are unchanged; memory reinitialization
+// rezeros only the pages the previous run dirtied (mem.InitImageInto). The
+// resulting state is observationally identical to a freshly constructed
+// one; only the PCProf (cfg.Prof) allocates, because the profile must
+// outlive the arena it was collected on.
+func (s *simState) reset(img *Image, cfg Config, ri []int64, rf []float64,
+	rdyI, rdyF []int64, tabI, tabF *core.MapTable, proc uint8) {
+	s.img, s.cfg = img, cfg
+	s.mem = mem.InitImageInto(s.mem, img.Prog.IR, img.Layout, cfg.MemSize)
+	if s.predImg != img || s.predChain != cfg.Chain || s.predLat != cfg.Lat {
+		s.code = predecodeInto(s.code, img.Code, img.Ann, cfg.Chain, cfg.Lat)
+		s.predImg, s.predChain, s.predLat = img, cfg.Chain, cfg.Lat
 	}
+	s.ri, s.rf, s.rdyI, s.rdyF = ri, rf, rdyI, rdyF
+	s.tabI, s.tabF = tabI, tabF
+	s.lcI = filled(s.lcI, cfg.IntCore, -1)
+	s.lcF = filled(s.lcF, cfg.FPCore, -1)
+	// Cached resolutions: the values may stay stale (a stamp mismatch
+	// forces recomputation) but the stamps must be zeroed — a reinitialized
+	// table restarts its generation counter, so a stale stamp could
+	// otherwise collide with a live generation.
+	s.rPhysI = grown(s.rPhysI, cfg.IntCore)
+	s.wPhysI = grown(s.wPhysI, cfg.IntCore)
+	s.rPhysF = grown(s.rPhysF, cfg.FPCore)
+	s.wPhysF = grown(s.wPhysF, cfg.FPCore)
+	s.rStampI = zeroed(s.rStampI, cfg.IntCore)
+	s.wStampI = zeroed(s.wStampI, cfg.IntCore)
+	s.rStampF = zeroed(s.rStampF, cfg.FPCore)
+	s.wStampF = zeroed(s.wStampF, cfg.FPCore)
+	if cfg.ReadPorts > 0 {
+		s.portStampI = filled(s.portStampI, cfg.IntTotal, -1)
+		s.portStampF = filled(s.portStampF, cfg.FPTotal, -1)
+	}
+	s.portCntI, s.portCntF = 0, 0
+	s.pc = img.Entry
+	s.cycle, s.nextTrap = 0, 0
+	s.ctx, s.ctxDone = nil, nil
+	s.nextCancel = math.MaxInt64 // no context bound yet
+	if s.res == nil {
+		s.res = &Result{}
+	}
+	hist := zeroed(s.res.IssueHist, cfg.IssueRate+1)
+	*s.res = Result{Mem: s.mem, Layout: img.Layout, IssueHist: hist}
+	s.prof = nil
 	if cfg.Prof {
 		s.prof = newPCProf(len(img.Code))
 		s.res.Prof = s.prof
 	}
+	s.ev = cfg.Events
 	if s.ev != nil {
 		s.ev.issue = cfg.IssueRate
 	}
-	for i := range s.lcI {
-		s.lcI[i] = -1
-	}
-	for i := range s.lcF {
-		s.lcF[i] = -1
-	}
-	if cfg.ReadPorts > 0 {
-		s.portStampI = make([]int64, cfg.IntTotal)
-		s.portStampF = make([]int64, cfg.FPTotal)
-		for i := range s.portStampI {
-			s.portStampI[i] = -1
-		}
-		for i := range s.portStampF {
-			s.portStampF[i] = -1
-		}
-	}
-	return s
+	s.proc = proc
 }
 
 // stall reasons for attribution.

@@ -77,20 +77,22 @@ func (r *Result) Stats() Stats {
 		}
 	}
 	return Stats{
-		Cycles:            r.Cycles,
-		ActiveCycles:      r.ActiveCycles,
-		Instrs:            r.Instrs,
-		IPC:               r.IPC(),
-		Connects:          r.Connects,
-		MemOps:            r.MemOps,
-		Mispredicts:       r.Mispredicts,
-		Traps:             r.Traps,
-		Ledger:            led,
-		IssueHist:         append([]int64(nil), r.IssueHist...),
-		ResolveHits:       r.ResolveHits,
-		ResolveMisses:     r.ResolveMisses,
-		MapInt:            r.MapInt,
-		MapFP:             r.MapFP,
+		Cycles:        r.Cycles,
+		ActiveCycles:  r.ActiveCycles,
+		Instrs:        r.Instrs,
+		IPC:           r.IPC(),
+		Connects:      r.Connects,
+		MemOps:        r.MemOps,
+		Mispredicts:   r.Mispredicts,
+		Traps:         r.Traps,
+		Ledger:        led,
+		IssueHist:     append([]int64(nil), r.IssueHist...),
+		ResolveHits:   r.ResolveHits,
+		ResolveMisses: r.ResolveMisses,
+		// Deep-copied: on an arena-owned Result the breakdown slices alias
+		// scratch the next Reset overwrites, and Stats must outlive it.
+		MapInt:            r.MapInt.Clone(),
+		MapFP:             r.MapFP.Clone(),
 		OpMix:             mix,
 		ChainPairs:        r.ChainPairs,
 		ChainElidedReads:  r.ChainElidedReads,

@@ -76,13 +76,15 @@ func (s *simState) trapOverhead() int64 {
 			words += int64(s.cfg.IntTotal - s.cfg.IntCore)
 			words += int64(s.cfg.FPTotal - s.cfg.FPCore)
 			words += int64(2*s.cfg.IntCore + 2*s.cfg.FPCore)
-			// Exercise the save/restore path itself.
-			ctxI := s.tabI.SaveContext()
-			ctxF := s.tabF.SaveContext()
+			// Exercise the save/restore path itself, through the
+			// state's scratch contexts (an interrupt-heavy run would
+			// otherwise allocate two contexts per trap).
+			s.tabI.SaveContextInto(&s.trapCtxI)
+			s.tabF.SaveContextInto(&s.trapCtxF)
 			s.tabI.Reset()
 			s.tabF.Reset()
-			s.tabI.RestoreContext(ctxI)
-			s.tabF.RestoreContext(ctxF)
+			s.tabI.RestoreContext(s.trapCtxI)
+			s.tabF.RestoreContext(s.trapCtxF)
 		}
 		return overhead + memCost(words)
 	}

@@ -21,15 +21,57 @@ const GlobalBase = 1 << 12
 // DefaultSize is the default memory image size in bytes (16 MiB).
 const DefaultSize = 1 << 24
 
-// Memory is a byte-addressed, word-accessed memory image.
+// pageWords is the dirty-tracking granularity in words (64 KiB pages):
+// coarse enough that the per-store bookkeeping is one byte write, fine
+// enough that resetting a 16 MiB image whose program touched a few hundred
+// KiB of globals and stack clears only those pages.
+const pageWords = 1 << 13
+
+// Memory is a byte-addressed, word-accessed memory image. Stores mark
+// their page dirty so Reset can rezero in place at the cost of the pages
+// actually written rather than the whole image (the per-run zeroing that
+// DESIGN.md §10's profile found dominating short sweeps).
 type Memory struct {
 	words []int64
+	dirty []bool // per pageWords-sized page: written since last Reset/New
 }
 
 // New returns a zeroed memory of the given size in bytes (rounded up to a
 // word multiple).
 func New(size int64) *Memory {
-	return &Memory{words: make([]int64, (size+7)/8)}
+	n := (size + 7) / 8
+	return &Memory{
+		words: make([]int64, n),
+		dirty: make([]bool, (n+pageWords-1)/pageWords),
+	}
+}
+
+// Reset rezeroes the memory in place: every page written since the last
+// New/Reset is cleared (and its dirty mark dropped), leaving the image
+// bit-identical to a freshly allocated one of the same size.
+func (m *Memory) Reset() {
+	for p, d := range m.dirty {
+		if !d {
+			continue
+		}
+		lo := p * pageWords
+		hi := lo + pageWords
+		if hi > len(m.words) {
+			hi = len(m.words)
+		}
+		clear(m.words[lo:hi])
+		m.dirty[p] = false
+	}
+}
+
+// Reinit makes the memory equivalent to New(size), reusing the backing
+// arrays when the size is unchanged and reallocating otherwise.
+func (m *Memory) Reinit(size int64) {
+	if n := (size + 7) / 8; n != int64(len(m.words)) {
+		*m = *New(size)
+		return
+	}
+	m.Reset()
 }
 
 // Size returns the memory size in bytes.
@@ -51,7 +93,11 @@ func (m *Memory) index(addr int64) int64 {
 
 // LoadI loads an integer word; StoreI stores one.
 func (m *Memory) LoadI(addr int64) int64 { return m.words[m.index(addr)] }
-func (m *Memory) StoreI(addr, v int64)   { m.words[m.index(addr)] = v }
+func (m *Memory) StoreI(addr, v int64) {
+	w := m.index(addr)
+	m.words[w] = v
+	m.dirty[w/pageWords] = true
+}
 
 // LoadF and StoreF view the word as a float64 bit pattern.
 func (m *Memory) LoadF(addr int64) float64 { return math.Float64frombits(uint64(m.LoadI(addr))) }
@@ -97,7 +143,20 @@ func (l Layout) DataEnd(p *ir.Program) int64 {
 // InitImage builds a fresh memory image of the given size with the
 // program's globals initialized at their layout addresses.
 func InitImage(p *ir.Program, l Layout, size int64) *Memory {
-	m := New(size)
+	return InitImageInto(nil, p, l, size)
+}
+
+// InitImageInto is InitImage over a reused memory: a nil m allocates
+// fresh, otherwise m is rezeroed in place (Reinit) and the globals are
+// rewritten. It is the arena path of the simulator — one run's image
+// becomes the next run's, without reallocating or rezeroing untouched
+// pages.
+func InitImageInto(m *Memory, p *ir.Program, l Layout, size int64) *Memory {
+	if m == nil {
+		m = New(size)
+	} else {
+		m.Reinit(size)
+	}
 	for _, g := range p.Globals {
 		base := l[g.Name]
 		for i, v := range g.InitI {

@@ -1,84 +1,14 @@
 package serve
 
-import (
-	"context"
-	"sync"
-)
+import "regconn/internal/flight"
 
 // flightGroup coalesces concurrent requests for the same key onto one
-// execution, with waiter-counted cancellation: the execution runs under its
-// own context, which is canceled only when every request waiting on it has
-// gone away. One impatient client therefore cannot kill a simulation other
-// clients are still waiting for, and a simulation nobody wants anymore is
-// stopped instead of burning a worker slot. A canceled execution's error is
-// returned to (and only to) the waiters that stayed; because the caller
-// never caches errors, the next request for the key starts a fresh flight.
-type flightGroup struct {
-	mu sync.Mutex
-	m  map[string]*flight
-}
+// execution, with waiter-counted cancellation (the execution's context is
+// canceled only when the last waiter leaves, so one impatient client
+// cannot kill a simulation other clients are still waiting for). The
+// mechanism lives in internal/flight, shared with the in-process
+// experiment runner; the daemon's values are marshaled response bytes so
+// warm hits stay byte-identical.
+type flightGroup = flight.Group[[]byte]
 
-type flight struct {
-	done    chan struct{}
-	val     []byte
-	err     error
-	waiters int
-	cancel  context.CancelCauseFunc
-}
-
-func newFlightGroup() *flightGroup {
-	return &flightGroup{m: map[string]*flight{}}
-}
-
-// do runs fn for key, sharing one execution among concurrent callers.
-// It reports the result, the caller's context error if the caller gave up
-// first, and whether this caller joined an execution another caller
-// started (for coalescing telemetry).
-func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) (val []byte, err error, shared bool) {
-	g.mu.Lock()
-	f, joined := g.m[key]
-	if !joined {
-		fctx, cancel := context.WithCancelCause(context.Background())
-		f = &flight{done: make(chan struct{}), cancel: cancel}
-		g.m[key] = f
-		go func() {
-			f.val, f.err = fn(fctx)
-			g.mu.Lock()
-			if g.m[key] == f { // a canceled flight may already be forgotten
-				delete(g.m, key)
-			}
-			g.mu.Unlock()
-			cancel(nil) // release the context's resources
-			close(f.done)
-		}()
-	}
-	f.waiters++
-	g.mu.Unlock()
-
-	select {
-	case <-f.done:
-		// If the caller's deadline expired while the flight was finishing
-		// (both channels ready, select picked the flight), honor the
-		// deadline: a caller that asked for 1ms never sees a success that
-		// took longer. The completed result stays available for others.
-		if cerr := ctx.Err(); cerr != nil {
-			return nil, cerr, joined
-		}
-		return f.val, f.err, joined
-	case <-ctx.Done():
-		g.mu.Lock()
-		f.waiters--
-		if f.waiters == 0 {
-			f.cancel(context.Cause(ctx))
-			// Forget the key immediately: the canceled execution may take a
-			// while to notice (the cycle loop polls every few thousand
-			// cycles), and a later caller must start a fresh flight rather
-			// than join a doomed one.
-			if g.m[key] == f {
-				delete(g.m, key)
-			}
-		}
-		g.mu.Unlock()
-		return nil, ctx.Err(), joined
-	}
-}
+func newFlightGroup() *flightGroup { return flight.NewGroup[[]byte]() }

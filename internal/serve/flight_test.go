@@ -1,205 +1,13 @@
 package serve
 
+// The waiter-counted singleflight tests live with the mechanism in
+// internal/flight; this file keeps the daemon-local cache tests.
+
 import (
-	"context"
-	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"testing"
-	"time"
 )
-
-func TestFlightGroupCoalesces(t *testing.T) {
-	g := newFlightGroup()
-	var execs atomic.Int64
-	release := make(chan struct{})
-	const n = 8
-	var wg sync.WaitGroup
-	vals := make([][]byte, n)
-	shared := make([]bool, n)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			v, err, sh := g.do(context.Background(), "k", func(context.Context) ([]byte, error) {
-				execs.Add(1)
-				<-release
-				return []byte("result"), nil
-			})
-			if err != nil {
-				t.Error(err)
-			}
-			vals[i], shared[i] = v, sh
-		}(i)
-	}
-	// Wait until all callers joined, then let the single execution finish.
-	for deadline := time.Now().Add(5 * time.Second); ; {
-		g.mu.Lock()
-		w := 0
-		if f := g.m["k"]; f != nil {
-			w = f.waiters
-		}
-		g.mu.Unlock()
-		if w == n {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("callers never all joined the flight")
-		}
-		time.Sleep(time.Millisecond)
-	}
-	close(release)
-	wg.Wait()
-	if got := execs.Load(); got != 1 {
-		t.Errorf("%d executions for %d concurrent callers, want 1", got, n)
-	}
-	joiners := 0
-	for i := range vals {
-		if string(vals[i]) != "result" {
-			t.Errorf("caller %d got %q", i, vals[i])
-		}
-		if shared[i] {
-			joiners++
-		}
-	}
-	if joiners != n-1 {
-		t.Errorf("%d callers joined an existing flight, want %d", joiners, n-1)
-	}
-}
-
-func TestFlightSurvivesOneWaiterLeaving(t *testing.T) {
-	g := newFlightGroup()
-	release := make(chan struct{})
-	canceled := make(chan error, 1)
-	fn := func(fctx context.Context) ([]byte, error) {
-		select {
-		case <-release:
-			return []byte("ok"), nil
-		case <-fctx.Done():
-			canceled <- context.Cause(fctx)
-			return nil, fctx.Err()
-		}
-	}
-	ctx1, cancel1 := context.WithCancel(context.Background())
-	done1 := make(chan error, 1)
-	go func() {
-		_, err, _ := g.do(ctx1, "k", fn)
-		done1 <- err
-	}()
-	done2 := make(chan error, 1)
-	var val2 []byte
-	go func() {
-		v, err, _ := g.do(context.Background(), "k", fn)
-		val2 = v
-		done2 <- err
-	}()
-	waitWaiters(t, g, "k", 2)
-
-	cancel1()
-	if err := <-done1; !errors.Is(err, context.Canceled) {
-		t.Fatalf("leaver got %v, want context.Canceled", err)
-	}
-	// The flight must still be running for waiter 2.
-	select {
-	case err := <-canceled:
-		t.Fatalf("flight canceled (%v) while a waiter remained", err)
-	default:
-	}
-	close(release)
-	if err := <-done2; err != nil || string(val2) != "ok" {
-		t.Fatalf("remaining waiter got %q, %v", val2, err)
-	}
-}
-
-func TestFlightCanceledWhenAllWaitersLeave(t *testing.T) {
-	g := newFlightGroup()
-	canceled := make(chan error, 1)
-	started := make(chan struct{})
-	fn := func(fctx context.Context) ([]byte, error) {
-		close(started)
-		<-fctx.Done()
-		canceled <- context.Cause(fctx)
-		return nil, fctx.Err()
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan error, 1)
-	go func() {
-		_, err, _ := g.do(ctx, "k", fn)
-		done <- err
-	}()
-	<-started
-	cancel()
-	if err := <-done; !errors.Is(err, context.Canceled) {
-		t.Fatalf("waiter got %v", err)
-	}
-	select {
-	case cause := <-canceled:
-		if !errors.Is(cause, context.Canceled) {
-			t.Errorf("flight cancel cause = %v", cause)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("flight was never canceled after its last waiter left")
-	}
-	// The abandoned key must not block a fresh execution.
-	v, err, _ := g.do(context.Background(), "k", func(context.Context) ([]byte, error) {
-		return []byte("fresh"), nil
-	})
-	if err != nil || string(v) != "fresh" {
-		t.Fatalf("fresh flight after abandonment: %q, %v", v, err)
-	}
-}
-
-func TestAbandonedFlightDoesNotTrapLaterCallers(t *testing.T) {
-	g := newFlightGroup()
-	slowExit := make(chan struct{})
-	started := make(chan struct{})
-	doomed := func(fctx context.Context) ([]byte, error) {
-		close(started)
-		<-fctx.Done()
-		<-slowExit // a canceled simulation takes a while to notice
-		return nil, fctx.Err()
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan error, 1)
-	go func() {
-		_, err, _ := g.do(ctx, "k", doomed)
-		done <- err
-	}()
-	<-started
-	cancel()
-	if err := <-done; !errors.Is(err, context.Canceled) {
-		t.Fatalf("abandoning waiter got %v", err)
-	}
-	// The doomed execution has not exited yet; a new caller for the same
-	// key must start a fresh flight rather than inherit the canceled one.
-	v, err, _ := g.do(context.Background(), "k", func(context.Context) ([]byte, error) {
-		return []byte("fresh"), nil
-	})
-	close(slowExit)
-	if err != nil || string(v) != "fresh" {
-		t.Fatalf("later caller got %q, %v — joined the doomed flight?", v, err)
-	}
-}
-
-func waitWaiters(t *testing.T, g *flightGroup, key string, n int) {
-	t.Helper()
-	for deadline := time.Now().Add(5 * time.Second); ; {
-		g.mu.Lock()
-		w := 0
-		if f := g.m[key]; f != nil {
-			w = f.waiters
-		}
-		g.mu.Unlock()
-		if w == n {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("never reached %d waiters on %q", n, key)
-		}
-		time.Sleep(time.Millisecond)
-	}
-}
 
 func TestLRUCacheEvictsOldest(t *testing.T) {
 	c := newLRUCache(2)

@@ -183,7 +183,7 @@ func (s *Server) point(ctx context.Context, bm bench.Benchmark, arch regconn.Arc
 		return b, true, nil
 	}
 	s.met.misses.Add(1)
-	val, err, shared := s.flights.do(ctx, k, func(fctx context.Context) ([]byte, error) {
+	val, err, shared := s.flights.Do(ctx, k, func(fctx context.Context) ([]byte, error) {
 		select {
 		case s.sem <- struct{}{}:
 		case <-fctx.Done():

@@ -465,25 +465,36 @@ const (
 	CoreOnlySave = machine.CoreOnlySave
 )
 
-// RunProcesses time-shares the executables on one machine with the given
-// quantum, context-switching under the chosen save mode. All executables
-// must target the same architecture (the first one's machine configuration
-// is used).
-func RunProcesses(exes []*Executable, quantum int64, mode machine.SaveMode) (*MultiResult, error) {
+// processImages validates that the executables target one architecture and
+// returns their images with the shared machine configuration — the common
+// preparation of RunProcesses and Arena.RunProcesses.
+func processImages(exes []*Executable) ([]*machine.Image, machine.Config, error) {
 	if len(exes) == 0 {
-		return nil, fmt.Errorf("regconn: no processes")
+		return nil, machine.Config{}, fmt.Errorf("regconn: no processes")
 	}
 	imgs := make([]*machine.Image, len(exes))
 	for i, e := range exes {
 		if e.Arch.Issue != exes[0].Arch.Issue || e.Arch.IntCore != exes[0].Arch.IntCore ||
 			e.Arch.FPCore != exes[0].Arch.FPCore {
-			return nil, fmt.Errorf("regconn: process %d targets a different architecture", i)
+			return nil, machine.Config{}, fmt.Errorf("regconn: process %d targets a different architecture", i)
 		}
 		imgs[i] = e.Image
 	}
 	cfg := exes[0].machineConfig()
 	// The quantum-driven switch machinery replaces the trap model.
 	cfg.Trap = machine.TrapConfig{}
+	return imgs, cfg, nil
+}
+
+// RunProcesses time-shares the executables on one machine with the given
+// quantum, context-switching under the chosen save mode. All executables
+// must target the same architecture (the first one's machine configuration
+// is used).
+func RunProcesses(exes []*Executable, quantum int64, mode machine.SaveMode) (*MultiResult, error) {
+	imgs, cfg, err := processImages(exes)
+	if err != nil {
+		return nil, err
+	}
 	return machine.RunMultiprogrammed(imgs, cfg, quantum, mode)
 }
 
@@ -500,17 +511,82 @@ func (e *Executable) VerifyContext(ctx context.Context) (*machine.Result, error)
 	if err != nil {
 		return nil, err
 	}
+	return res, e.checkOracle(res)
+}
+
+// checkOracle compares a machine result against the interpreter oracle:
+// main's return value and the final contents of the global data section
+// must match exactly. Shared by the one-shot and arena verify paths.
+func (e *Executable) checkOracle(res *machine.Result) error {
 	if res.RetInt != e.Golden.Ret {
-		return res, fmt.Errorf("regconn: result mismatch: machine %d, interpreter %d", res.RetInt, e.Golden.Ret)
+		return fmt.Errorf("regconn: result mismatch: machine %d, interpreter %d", res.RetInt, e.Golden.Ret)
 	}
 	p := e.MProg.IR
 	end := e.Golden.Layout.DataEnd(p)
 	for addr := int64(mem.GlobalBase); addr < end; addr += 8 {
 		if got, want := res.Mem.LoadI(addr), e.Golden.Mem.LoadI(addr); got != want {
-			return res, fmt.Errorf("regconn: memory mismatch at %#x: machine %d, interpreter %d", addr, got, want)
+			return fmt.Errorf("regconn: memory mismatch at %#x: machine %d, interpreter %d", addr, got, want)
 		}
 	}
-	return res, nil
+	return nil
+}
+
+// Arena is a reusable simulation arena: it wraps a machine.Machine so that
+// running many executables — a sweep of architecture points over one
+// benchmark, or many benchmarks back to back — reuses one set of simulator
+// allocations instead of paying them per run. Build once, then run the
+// executables through the arena:
+//
+//	arena := regconn.NewArena()
+//	for _, e := range exes {
+//		res, err := arena.Run(e)
+//		// use res before the next arena.Run / copy via res.Stats()
+//	}
+//
+// Results returned by an Arena alias its internal state and are valid only
+// until the arena's next run; Result.Stats() deep-copies everything it
+// exports and is the way to keep data across runs. An Arena is not safe
+// for concurrent use — pool arenas for parallel sweeps (internal/exp does).
+type Arena struct {
+	m *machine.Machine
+}
+
+// NewArena returns an empty arena; the first run sizes it.
+func NewArena() *Arena { return &Arena{m: machine.NewMachine()} }
+
+// Run simulates the executable on the arena (see Arena's aliasing rules).
+func (a *Arena) Run(e *Executable) (*machine.Result, error) {
+	return a.RunContext(context.Background(), e)
+}
+
+// RunContext simulates the executable on the arena under ctx, with
+// Executable.RunContext's cancellation semantics.
+func (a *Arena) RunContext(ctx context.Context, e *Executable) (*machine.Result, error) {
+	if err := a.m.Reset(e.Image, e.machineConfig()); err != nil {
+		return nil, err
+	}
+	return a.m.RunContext(ctx)
+}
+
+// VerifyContext runs the executable on the arena and checks it against the
+// interpreter oracle, exactly like Executable.VerifyContext.
+func (a *Arena) VerifyContext(ctx context.Context, e *Executable) (*machine.Result, error) {
+	res, err := a.RunContext(ctx, e)
+	if err != nil {
+		return nil, err
+	}
+	return res, e.checkOracle(res)
+}
+
+// RunProcesses is RunProcesses on the arena: the multiprogrammed machinery
+// (per-process pipelines, PCBs, the shared register file) is reused across
+// calls like the single-process state.
+func (a *Arena) RunProcesses(ctx context.Context, exes []*Executable, quantum int64, mode machine.SaveMode) (*MultiResult, error) {
+	imgs, cfg, err := processImages(exes)
+	if err != nil {
+		return nil, err
+	}
+	return a.m.RunMultiprogrammedContext(ctx, imgs, cfg, quantum, mode)
 }
 
 func maxInt(a, b int) int {
