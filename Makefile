@@ -14,8 +14,9 @@ test:
 
 # verify is the tier-1 gate (see ROADMAP.md): build, vet, formatting,
 # full tests (shuffled, to keep inter-test ordering dependencies out),
-# the data-race checks on the parallel experiment runner and on the
-# rcserve daemon (request coalescing, cache, cancellation), the CLI
+# the data-race checks on the parallel experiment runner, on the
+# rcserve daemon (request coalescing, cache, cancellation, sharding)
+# and on the persistent result store (crash recovery), the CLI
 # exit-code contract (scripts/exitcodes.sh), the static map-state
 # verifier over the full benchmark × backend × model × combine grid
 # (cmd/rclint, split into the paper's three backends and the extension
@@ -29,6 +30,7 @@ verify: build
 	$(GO) test -shuffle=on ./...
 	$(GO) test -race ./internal/exp/...
 	$(GO) test -race ./internal/serve/...
+	$(GO) test -race ./internal/store/...
 	sh scripts/exitcodes.sh
 	sh scripts/benchgate.sh
 	$(GO) run ./cmd/rclint -backends rc,spill,unlimited

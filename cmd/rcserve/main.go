@@ -1,10 +1,13 @@
 // Command rcserve is the simulation-as-a-service daemon: it serves the
-// experiment runner over HTTP with result caching, request coalescing, a
-// bounded worker pool, per-request deadlines, and graceful drain.
+// experiment runner over HTTP with result caching, an optional persistent
+// result store, request coalescing, a bounded worker pool, per-request
+// deadlines, consistent-hash sweep sharding across replicas, and graceful
+// drain.
 //
 // Usage:
 //
 //	rcserve [-addr :8347] [-cache 1024] [-workers n] [-timeout 2m]
+//	        [-store-dir DIR] [-peers URL,URL,...] [-self URL]
 //
 // Endpoints:
 //
@@ -14,9 +17,14 @@
 //	GET  /healthz         readiness (503 while draining)
 //	GET  /metrics         expvar counters and latency quantiles
 //
-// On SIGINT/SIGTERM the daemon flips /healthz to draining, stops accepting
-// connections, and gives inflight requests up to the shutdown grace period
-// to finish. See DESIGN.md §11 for the API and cache-key contract.
+// With -store-dir, completed points are appended to a crash-recoverable
+// segment store and survive restarts: a re-run sweep answers every
+// previously completed point as a byte-identical X-Cache: HIT. With
+// -peers/-self, N replicas split a sweep's points by consistent key hash
+// (every replica must get the same -peers list). On SIGINT/SIGTERM the
+// daemon flips /healthz to draining, stops accepting connections, and
+// gives inflight requests up to the shutdown grace period to finish. See
+// DESIGN.md §11 for the API and §14 for the store format.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,15 +52,42 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", ":8347", "listen address")
-		cache   = flag.Int("cache", 1024, "result cache size in entries")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = all CPUs)")
-		timeout = flag.Duration("timeout", 2*time.Minute, "per-request simulation deadline (0 = none)")
-		grace   = flag.Duration("grace", 30*time.Second, "shutdown grace period for inflight requests")
+		addr     = flag.String("addr", ":8347", "listen address")
+		cache    = flag.Int("cache", 1024, "result cache size in entries")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = all CPUs)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request simulation deadline (0 = none)")
+		grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period for inflight requests")
+		storeDir = flag.String("store-dir", "", "persistent result store directory (empty = memory only)")
+		peers    = flag.String("peers", "", "comma-separated base URLs of every replica, including this one (empty = unsharded)")
+		self     = flag.String("self", "", "this replica's entry in -peers (required with -peers)")
 	)
 	flag.Parse()
 
-	sv := serve.New(serve.Config{CacheSize: *cache, Workers: *workers, Timeout: *timeout})
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			p = strings.TrimRight(strings.TrimSpace(p), "/")
+			if p == "" {
+				return fmt.Errorf("-peers contains an empty entry")
+			}
+			peerList = append(peerList, p)
+		}
+		if *self == "" {
+			return fmt.Errorf("-peers requires -self (this replica's own base URL)")
+		}
+	}
+	sv, err := serve.New(serve.Config{
+		CacheSize: *cache,
+		Workers:   *workers,
+		Timeout:   *timeout,
+		StoreDir:  *storeDir,
+		Peers:     peerList,
+		Self:      strings.TrimRight(*self, "/"),
+	})
+	if err != nil {
+		return err
+	}
+	defer sv.Close()
 	expvar.Publish("rcserve", sv.Metrics())
 
 	httpSrv := &http.Server{Addr: *addr, Handler: sv}

@@ -435,6 +435,11 @@ func (t *Table) Format() string {
 	return sb.String()
 }
 
+// ErrUnknownExperiment is wrapped by Generate when the experiment id is
+// not in Experiments(); callers branch with errors.Is (a bad id is the
+// client's fault, a failed generation is ours).
+var ErrUnknownExperiment = errors.New("unknown experiment")
+
 // Experiments lists every reproducible experiment by id.
 func Experiments() []string {
 	return []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "rivals", "models", "combined", "windows", "os", "pressure", "accum"}
@@ -487,7 +492,7 @@ func (r *Runner) Generate(id string) ([]*Table, error) {
 		return []*Table{t}, err
 	}
 	ids := strings.Join(Experiments(), ", ")
-	return nil, fmt.Errorf("exp: unknown experiment %q (have: %s)", id, ids)
+	return nil, fmt.Errorf("exp: %w %q (have: %s)", ErrUnknownExperiment, id, ids)
 }
 
 // sortedBench returns the runner's suite in stable order.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -164,8 +165,10 @@ func TestGenerateDispatch(t *testing.T) {
 			t.Errorf("generate %s: %v", id, err)
 		}
 	}
-	if _, err := r.Generate("nosuch"); err == nil {
-		t.Error("expected error for unknown id")
+	if _, err := r.Generate("nosuch"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("unknown id error = %v, want errors.Is(ErrUnknownExperiment)", err)
+	} else if !strings.Contains(err.Error(), `"nosuch"`) || !strings.Contains(err.Error(), "table1") {
+		t.Errorf("unknown id error %q should name the id and the valid ids", err)
 	}
 	if len(Experiments()) != 15 {
 		t.Errorf("experiments = %d", len(Experiments()))

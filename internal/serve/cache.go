@@ -40,12 +40,16 @@ func (c *lruCache) get(key string) ([]byte, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
+// put stores val for key. The first write wins: if the key is already
+// cached the existing bytes are kept (only refreshed in the LRU order).
+// Two flights racing on one key must not be able to swap the bytes a
+// previous reader was handed — the warm-hit byte-identity contract says
+// every response for a key serves the same slice.
 func (c *lruCache) put(key string, val []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).val = val
 		return
 	}
 	c.items[key] = c.ll.PushFront(&lruEntry{key, val})

@@ -31,6 +31,28 @@ func TestLRUCacheEvictsOldest(t *testing.T) {
 	}
 }
 
+// TestLRUCacheFirstWriteWins: two flights racing on one key must not be
+// able to swap the bytes under an earlier reader — the first put pins the
+// entry, later puts only refresh recency.
+func TestLRUCacheFirstWriteWins(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("k", []byte("first"))
+	c.put("k", []byte("second"))
+	if v, ok := c.get("k"); !ok || string(v) != "first" {
+		t.Errorf("entry = %q, want the first write to win", v)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+	// The duplicate put still refreshes LRU order: k survives a new key.
+	c.put("other", []byte("x"))
+	c.put("k", []byte("third"))
+	c.put("newest", []byte("y"))
+	if v, ok := c.get("k"); !ok || string(v) != "first" {
+		t.Errorf("after refresh, entry = %q, %v; want first bytes retained", v, ok)
+	}
+}
+
 func TestLRUCacheConcurrent(t *testing.T) {
 	c := newLRUCache(8)
 	var wg sync.WaitGroup

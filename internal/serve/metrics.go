@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"regconn/internal/store"
 )
 
 // metrics is the daemon's counter set, built from expvar types but NOT
@@ -14,11 +16,16 @@ import (
 // scrapers; the server itself renders it at GET /metrics.
 type metrics struct {
 	requests  expvar.Int // HTTP requests accepted (all endpoints)
-	hits      expvar.Int // /v1/run points answered from the LRU
-	misses    expvar.Int // points that required a simulation
+	hits      expvar.Int // points answered from the LRU or the store
+	misses    expvar.Int // points this process simulated (flight owners)
 	coalesced expvar.Int // requests that joined another request's flight
 	inflight  expvar.Int // simulations currently executing (gauge)
-	errors    expvar.Int // requests answered with a non-2xx status
+	errors    expvar.Int // non-2xx requests, plus sweeps whose every point failed
+
+	sweepPointErrors expvar.Int // failed points inside 200 NDJSON sweep streams
+	peerForwarded    expvar.Int // sweep points answered by the owning peer replica
+	peerFallback     expvar.Int // peer-owned points computed locally (peer down)
+	storeErrors      expvar.Int // store appends that failed (result still served)
 
 	mu        sync.Mutex
 	latencies []time.Duration // sliding window of /v1/run point latencies
@@ -58,9 +65,10 @@ func (m *metrics) quantiles() (p50, p99 time.Duration) {
 	return q(0.50), q(0.99)
 }
 
-// expvarMap assembles the full counter set (plus the cache's view) as an
-// expvar.Map whose String() is the JSON served at GET /metrics.
-func (m *metrics) expvarMap(cache *lruCache) *expvar.Map {
+// expvarMap assembles the full counter set (plus the cache's and — when
+// persistence is on — the store's view) as an expvar.Map whose String()
+// is the JSON served at GET /metrics.
+func (m *metrics) expvarMap(cache *lruCache, st *store.Store) *expvar.Map {
 	out := new(expvar.Map).Init()
 	out.Set("requests", &m.requests)
 	out.Set("cache_hits", &m.hits)
@@ -68,11 +76,28 @@ func (m *metrics) expvarMap(cache *lruCache) *expvar.Map {
 	out.Set("coalesced", &m.coalesced)
 	out.Set("inflight", &m.inflight)
 	out.Set("errors", &m.errors)
+	out.Set("sweep_point_errors", &m.sweepPointErrors)
+	out.Set("peer_forwarded", &m.peerForwarded)
+	out.Set("peer_fallback", &m.peerFallback)
+	out.Set("store_errors", &m.storeErrors)
 	cacheLen, evictions := new(expvar.Int), new(expvar.Int)
 	cacheLen.Set(int64(cache.len()))
 	evictions.Set(cache.evicted())
 	out.Set("cache_entries", cacheLen)
 	out.Set("cache_evictions", evictions)
+	if st != nil {
+		ss := st.Stats()
+		for name, v := range map[string]int64{
+			"store_entries":   ss.Entries,
+			"store_bytes":     ss.Bytes,
+			"store_hits":      ss.Hits,
+			"store_recovered": ss.Recovered,
+		} {
+			iv := new(expvar.Int)
+			iv.Set(v)
+			out.Set(name, iv)
+		}
+	}
 	p50, p99 := m.quantiles()
 	l50, l99 := new(expvar.Float), new(expvar.Float)
 	l50.Set(p50.Seconds() * 1000)

@@ -6,11 +6,15 @@
 //
 // The hot path is: canonical key → bounded LRU (marshaled response bytes,
 // so a warm hit is byte-identical to the cold run that filled it) →
+// persistent store (when -store-dir is set: the disk-backed,
+// crash-recoverable result corpus, read through into the LRU) →
 // waiter-counted singleflight (concurrent identical requests collapse to
 // one simulation; the simulation's context is canceled only when every
 // waiter has gone) → bounded worker pool → exp.RunPoint, whose context
 // reaches machine.RunContext's cycle loop. Canceled or failed points are
-// never cached, so a cancellation cannot corrupt later results.
+// never cached, so a cancellation cannot corrupt later results. With
+// -peers, /v1/sweep additionally shards grid points across replicas by
+// consistent key hash (shard.go) so a fleet splits the corpus.
 package serve
 
 import (
@@ -22,7 +26,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
-	"strings"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -30,6 +34,7 @@ import (
 	"regconn/internal/bench"
 	"regconn/internal/exp"
 	"regconn/internal/machine"
+	"regconn/internal/store"
 )
 
 // Config sizes the daemon.
@@ -40,22 +45,35 @@ type Config struct {
 	Workers int
 	// Timeout is the per-request simulation deadline (0 = no deadline).
 	Timeout time.Duration
+	// StoreDir enables the persistent result store under the LRU
+	// ("" = memory-only, exactly the pre-store behavior).
+	StoreDir string
+	// Peers lists every replica's base URL, including this one, when the
+	// daemon is part of a sharded fleet (empty = unsharded). All replicas
+	// must be started with the same list; order is irrelevant.
+	Peers []string
+	// Self is this replica's entry in Peers (required with Peers).
+	Self string
 }
 
 // Server implements the HTTP API. Create with New; it is an http.Handler.
 type Server struct {
-	cfg      Config
-	cache    *lruCache
-	flights  *flightGroup
-	met      *metrics
-	sem      chan struct{}
-	runner   *exp.Runner // memoized figure generation
-	mux      *http.ServeMux
-	draining atomic.Bool
+	cfg        Config
+	cache      *lruCache
+	store      *store.Store // nil = memory-only
+	ring       *ring        // nil = unsharded
+	peerClient *http.Client
+	flights    *flightGroup
+	met        *metrics
+	sem        chan struct{}
+	runner     *exp.Runner // memoized figure generation
+	mux        *http.ServeMux
+	draining   atomic.Bool
 }
 
-// New returns a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New returns a ready-to-serve Server. It fails only when the persistent
+// store cannot be opened or the shard configuration is inconsistent.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -67,6 +85,25 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.Workers),
 		runner:  exp.NewRunner(),
 	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+	}
+	if len(cfg.Peers) > 0 {
+		if !slices.Contains(cfg.Peers, cfg.Self) {
+			if s.store != nil {
+				s.store.Close()
+			}
+			return nil, fmt.Errorf("serve: self %q is not in the peers list %v", cfg.Self, cfg.Peers)
+		}
+		s.ring = newRing(cfg.Peers, cfg.Self)
+		// Streaming sub-sweeps have no client-side timeout of their own;
+		// the per-request context bounds them.
+		s.peerClient = &http.Client{}
+	}
 	s.runner.Workers = cfg.Workers
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -75,11 +112,21 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
-	return s
+	return s, nil
+}
+
+// Close releases the persistent store (a no-op for memory-only servers).
+// A killed process that never got here loses nothing: every store append
+// was fsynced before the point was first served.
+func (s *Server) Close() error {
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
 }
 
 // Metrics exposes the counter map (cmd/rcserve publishes it to expvar).
-func (s *Server) Metrics() fmt.Stringer { return s.met.expvarMap(s.cache) }
+func (s *Server) Metrics() fmt.Stringer { return s.met.expvarMap(s.cache, s.store) }
 
 // SetDraining flips /healthz to 503 so load balancers stop routing new
 // work here while http.Server.Shutdown lets inflight requests finish.
@@ -135,10 +182,26 @@ type RunResponse struct {
 
 // SweepRequest is the body of POST /v1/sweep: the full cross product of
 // benchmarks × archs is simulated and streamed back one NDJSON line per
-// point, in benchmark-major request order.
+// point, in benchmark-major request order. Points, when set, replaces
+// the cross product with an explicit list — shard fan-out uses it, since
+// one replica's slice of a grid is rarely a cross product itself.
 type SweepRequest struct {
 	Benchmarks []string       `json:"benchmarks"`
 	Archs      []regconn.Arch `json:"archs"`
+
+	// Points is an explicit point list (overrides Benchmarks × Archs).
+	Points []SweepPoint `json:"points,omitempty"`
+
+	// LocalOnly forces every point to compute on this replica, ignoring
+	// the shard ring. Sub-sweeps forwarded between replicas set it, so
+	// ownership is resolved exactly once.
+	LocalOnly bool `json:"local_only,omitempty"`
+}
+
+// SweepPoint is one (benchmark, arch) coordinate of a sweep.
+type SweepPoint struct {
+	Benchmark string       `json:"benchmark"`
+	Arch      regconn.Arch `json:"arch"`
 }
 
 // errorBody is any endpoint's failure payload.
@@ -169,10 +232,31 @@ func Key(benchmark string, arch regconn.Arch) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// point answers one (benchmark, arch) coordinate: LRU, then singleflight,
-// then a worker slot, then the simulation. It returns the response bytes
-// and whether they came from the cache.
-func (s *Server) point(ctx context.Context, bm bench.Benchmark, arch regconn.Arch) (body []byte, cached bool, err error) {
+// pointSource says where a point's bytes came from; handleRun renders it
+// as the X-Cache header and exactly one counter is bumped per source.
+type pointSource int
+
+const (
+	srcMiss      pointSource = iota // this request owned the flight and simulated
+	srcHit                          // served from the LRU or the persistent store
+	srcCoalesced                    // joined a flight another request owned
+)
+
+func (src pointSource) String() string {
+	switch src {
+	case srcHit:
+		return "HIT"
+	case srcCoalesced:
+		return "COALESCED"
+	default:
+		return "MISS"
+	}
+}
+
+// point answers one (benchmark, arch) coordinate: LRU, then the
+// persistent store, then singleflight, then a worker slot, then the
+// simulation. It returns the response bytes and their source.
+func (s *Server) point(ctx context.Context, bm bench.Benchmark, arch regconn.Arch) (body []byte, src pointSource, err error) {
 	// Canonicalize before keying so the cached response body names the
 	// point the same way the key hashes it, whichever spelling (Backend
 	// name or legacy Mode number) the client used.
@@ -180,9 +264,17 @@ func (s *Server) point(ctx context.Context, bm bench.Benchmark, arch regconn.Arc
 	k := Key(bm.Name, arch)
 	if b, ok := s.cache.get(k); ok {
 		s.met.hits.Add(1)
-		return b, true, nil
+		return b, srcHit, nil
 	}
-	s.met.misses.Add(1)
+	if s.store != nil {
+		if b, ok := s.store.Get(k); ok {
+			// Read through: promote the durable record into the LRU so the
+			// next hit skips the store index.
+			s.cache.put(k, b)
+			s.met.hits.Add(1)
+			return b, srcHit, nil
+		}
+	}
 	val, err, shared := s.flights.Do(ctx, k, func(fctx context.Context) ([]byte, error) {
 		select {
 		case s.sem <- struct{}{}:
@@ -200,13 +292,24 @@ func (s *Server) point(ctx context.Context, bm bench.Benchmark, arch regconn.Arc
 		if err != nil {
 			return nil, err
 		}
+		// Write through: durable first (Put fsyncs, first write wins),
+		// then the LRU. A store failure costs persistence, not the result.
+		if s.store != nil {
+			if err := s.store.Put(k, b); err != nil {
+				s.met.storeErrors.Add(1)
+			}
+		}
 		s.cache.put(k, b)
 		return b, nil
 	})
+	// A true miss is the flight owner alone; everyone who joined its
+	// flight coalesced. (Counted on errors too: the flight did run.)
 	if shared {
 		s.met.coalesced.Add(1)
+		return val, srcCoalesced, err
 	}
-	return val, false, err
+	s.met.misses.Add(1)
+	return val, srcMiss, err
 }
 
 // requestContext applies the per-request deadline: the server default,
@@ -259,18 +362,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	start := time.Now()
-	body, cached, err := s.point(ctx, bm, req.Arch)
+	body, src, err := s.point(ctx, bm, req.Arch)
 	s.met.observe(time.Since(start))
 	if err != nil {
 		writeError(w, statusFor(err), errorBody{Benchmark: bm.Name, Key: Key(bm.Name, req.Arch), Error: err.Error()})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if cached {
-		w.Header().Set("X-Cache", "HIT")
-	} else {
-		w.Header().Set("X-Cache", "MISS")
-	}
+	w.Header().Set("X-Cache", src.String())
 	w.Write(body)
 }
 
@@ -280,51 +379,73 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
-	if len(req.Benchmarks) == 0 || len(req.Archs) == 0 {
-		writeError(w, http.StatusBadRequest, errorBody{Error: "sweep needs at least one benchmark and one arch"})
-		return
-	}
-	bms := make([]bench.Benchmark, len(req.Benchmarks))
-	for i, name := range req.Benchmarks {
-		bm, err := bench.ByName(name)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, errorBody{Benchmark: name, Error: err.Error()})
+	pts := req.Points
+	if len(pts) == 0 {
+		if len(req.Benchmarks) == 0 || len(req.Archs) == 0 {
+			writeError(w, http.StatusBadRequest, errorBody{Error: "sweep needs at least one benchmark and one arch (or explicit points)"})
 			return
 		}
-		bms[i] = bm
+		pts = make([]SweepPoint, 0, len(req.Benchmarks)*len(req.Archs))
+		for _, name := range req.Benchmarks {
+			for _, arch := range req.Archs {
+				pts = append(pts, SweepPoint{Benchmark: name, Arch: arch})
+			}
+		}
+	}
+	jobs := make([]*sweepJob, len(pts))
+	for i, p := range pts {
+		bm, err := bench.ByName(p.Benchmark)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errorBody{Benchmark: p.Benchmark, Error: err.Error()})
+			return
+		}
+		jobs[i] = &sweepJob{bm: bm, arch: p, key: Key(bm.Name, p.Arch), ch: make(chan result, 1)}
 	}
 	ctx, cancel := s.requestContext(r, 0)
 	defer cancel()
 
-	// Fan the grid out (the worker-pool semaphore bounds real concurrency)
-	// but stream lines back in deterministic benchmark-major order.
-	type future struct {
-		bm   bench.Benchmark
-		arch regconn.Arch
-		ch   chan result
-	}
-	futs := make([]future, 0, len(bms)*len(req.Archs))
-	for _, bm := range bms {
-		for _, arch := range req.Archs {
-			f := future{bm: bm, arch: arch, ch: make(chan result, 1)}
-			go func(f future) {
-				start := time.Now()
-				body, _, err := s.point(ctx, f.bm, f.arch)
-				s.met.observe(time.Since(start))
-				f.ch <- result{body, err}
-			}(f)
-			futs = append(futs, f)
+	// Fan the grid out — locally (the worker-pool semaphore bounds real
+	// concurrency) or to each point's owning replica — and stream lines
+	// back in deterministic benchmark-major request order.
+	if s.ring == nil || req.LocalOnly {
+		for _, j := range jobs {
+			go s.runSweepJob(ctx, j)
+		}
+	} else {
+		var owners []string
+		byOwner := map[string][]*sweepJob{}
+		for _, j := range jobs {
+			if s.ring.local(j.key) {
+				go s.runSweepJob(ctx, j)
+				continue
+			}
+			o := s.ring.owner(j.key)
+			if _, ok := byOwner[o]; !ok {
+				owners = append(owners, o)
+			}
+			byOwner[o] = append(byOwner[o], j)
+		}
+		for _, o := range owners {
+			go s.forwardSweep(ctx, o, byOwner[o])
 		}
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	for _, f := range futs {
-		res := <-f.ch
-		if res.err != nil {
-			enc.Encode(errorBody{Benchmark: f.bm.Name, Key: Key(f.bm.Name, f.arch), Error: res.err.Error()})
-		} else {
+	failed := 0
+	for _, j := range jobs {
+		res := <-j.ch
+		switch {
+		case res.err != nil:
+			s.met.sweepPointErrors.Add(1)
+			failed++
+			enc.Encode(errorBody{Benchmark: j.bm.Name, Key: j.key, Error: res.err.Error()})
+		default:
+			if res.remoteErr {
+				s.met.sweepPointErrors.Add(1)
+				failed++
+			}
 			w.Write(res.body)
 			w.Write([]byte("\n"))
 		}
@@ -332,24 +453,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+	// The 200 header went out before the first point ran, so statusWriter
+	// cannot see a sweep where every point failed — count it here.
+	if failed > 0 && failed == len(jobs) {
+		s.met.errors.Add(1)
+	}
 }
 
-// result pairs one sweep point's outcome.
+// result pairs one sweep point's outcome. remoteErr marks a line relayed
+// from a peer that is an error body rather than a RunResponse.
 type result struct {
-	body []byte
-	err  error
+	body      []byte
+	err       error
+	remoteErr bool
+}
+
+// figuresStatus maps a Generate failure to an HTTP status: a bad figure
+// id is the client's fault, a failed generation ours.
+func figuresStatus(err error) int {
+	if errors.Is(err, exp.ErrUnknownExperiment) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
 }
 
 func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	tables, err := s.runner.Generate(id)
 	if err != nil {
-		// A bad figure id is the client's fault; a failed generation ours.
-		status := http.StatusInternalServerError
-		if strings.Contains(err.Error(), "unknown experiment") {
-			status = http.StatusBadRequest
-		}
-		writeError(w, status, errorBody{Error: err.Error()})
+		writeError(w, figuresStatus(err), errorBody{Error: err.Error()})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -368,5 +500,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, s.met.expvarMap(s.cache).String())
+	fmt.Fprintln(w, s.met.expvarMap(s.cache, s.store).String())
 }

@@ -27,6 +27,17 @@ func fastArch() regconn.Arch {
 	return regconn.Arch{Issue: 4, LoadLatency: 2, Mode: regconn.WithRC, IntCore: 16, FPCore: 32}
 }
 
+// newServer builds a Server that is closed with the test.
+func newServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	sv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sv.Close() })
+	return sv
+}
+
 func postRun(t *testing.T, srv *httptest.Server, req RunRequest) (*http.Response, []byte) {
 	t.Helper()
 	body, err := json.Marshal(req)
@@ -60,7 +71,7 @@ func getMetrics(t *testing.T, srv *httptest.Server) map[string]float64 {
 }
 
 func TestRunColdWarmByteIdentical(t *testing.T) {
-	sv := New(Config{Workers: 2})
+	sv := newServer(t, Config{Workers: 2})
 	srv := httptest.NewServer(sv)
 	defer srv.Close()
 
@@ -85,7 +96,7 @@ func TestRunColdWarmByteIdentical(t *testing.T) {
 
 	// And both match a run on a completely fresh server — the cache entry
 	// is bit-identical to an independent cold execution.
-	sv2 := New(Config{Workers: 2})
+	sv2 := newServer(t, Config{Workers: 2})
 	srv2 := httptest.NewServer(sv2)
 	defer srv2.Close()
 	_, fresh := postRun(t, srv2, req)
@@ -106,13 +117,14 @@ func TestRunColdWarmByteIdentical(t *testing.T) {
 }
 
 func TestConcurrentIdenticalRequestsCollapse(t *testing.T) {
-	sv := New(Config{Workers: 2})
+	sv := newServer(t, Config{Workers: 2})
 	srv := httptest.NewServer(sv)
 	defer srv.Close()
 
 	const n = 6
 	req := RunRequest{Benchmark: "cpp", Arch: fastArch()}
 	bodies := make([][]byte, n)
+	caches := make([]string, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -123,6 +135,7 @@ func TestConcurrentIdenticalRequestsCollapse(t *testing.T) {
 				t.Errorf("request %d: %d %s", i, resp.StatusCode, body)
 			}
 			bodies[i] = body
+			caches[i] = resp.Header.Get("X-Cache")
 		}(i)
 	}
 	wg.Wait()
@@ -131,17 +144,34 @@ func TestConcurrentIdenticalRequestsCollapse(t *testing.T) {
 			t.Fatalf("request %d returned different bytes", i)
 		}
 	}
-	// Every request is exactly one of: cache hit, flight leader, or
-	// coalesced joiner — and a cold key has exactly one leader.
+	// Every request is exactly one of: cache hit, flight owner (the one
+	// true MISS), or coalesced joiner — and the X-Cache header says which.
+	headerCount := map[string]float64{}
+	for i, c := range caches {
+		if c != "MISS" && c != "HIT" && c != "COALESCED" {
+			t.Fatalf("request %d: X-Cache = %q", i, c)
+		}
+		headerCount[c]++
+	}
+	if headerCount["MISS"] != 1 {
+		t.Errorf("a cold key must have exactly one MISS owner, got %v (%v)", headerCount["MISS"], caches)
+	}
 	m := getMetrics(t, srv)
-	if leaders := float64(n) - m["cache_hits"] - m["coalesced"]; leaders != 1 {
-		t.Errorf("identical concurrent requests ran %v simulations (hits=%v coalesced=%v), want 1",
-			leaders, m["cache_hits"], m["coalesced"])
+	if m["cache_misses"] != 1 {
+		t.Errorf("cache_misses = %v, want 1 (only the flight owner is a true miss)", m["cache_misses"])
+	}
+	for header, metric := range map[string]string{"MISS": "cache_misses", "HIT": "cache_hits", "COALESCED": "coalesced"} {
+		if m[metric] != headerCount[header] {
+			t.Errorf("%s = %v but %v requests reported X-Cache: %s", metric, m[metric], headerCount[header], header)
+		}
+	}
+	if got := m["cache_hits"] + m["coalesced"] + m["cache_misses"]; got != n {
+		t.Errorf("hit+coalesced+miss = %v, want %d (each request counted once)", got, n)
 	}
 }
 
 func TestDeadlineExceededDoesNotCorruptCache(t *testing.T) {
-	sv := New(Config{Workers: 2})
+	sv := newServer(t, Config{Workers: 2})
 	srv := httptest.NewServer(sv)
 	defer srv.Close()
 
@@ -174,7 +204,7 @@ func TestDeadlineExceededDoesNotCorruptCache(t *testing.T) {
 	if !bytes.Equal(good, warm) {
 		t.Fatal("cached bytes differ from the recomputed cold run")
 	}
-	srv2 := httptest.NewServer(New(Config{Workers: 2}))
+	srv2 := httptest.NewServer(newServer(t, Config{Workers: 2}))
 	defer srv2.Close()
 	_, cold := postRun(t, srv2, req)
 	if !bytes.Equal(good, cold) {
@@ -214,7 +244,7 @@ func TestCancellationStopsSimulationEarly(t *testing.T) {
 }
 
 func TestCacheEvictionUnderPressure(t *testing.T) {
-	sv := New(Config{Workers: 2, CacheSize: 1})
+	sv := newServer(t, Config{Workers: 2, CacheSize: 1})
 	srv := httptest.NewServer(sv)
 	defer srv.Close()
 
@@ -246,7 +276,7 @@ func TestCacheEvictionUnderPressure(t *testing.T) {
 }
 
 func TestSweepStreamsNDJSON(t *testing.T) {
-	sv := New(Config{Workers: 2})
+	sv := newServer(t, Config{Workers: 2})
 	srv := httptest.NewServer(sv)
 	defer srv.Close()
 
@@ -281,10 +311,78 @@ func TestSweepStreamsNDJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(lines[1]), &eb); err != nil || eb.Error == "" {
 		t.Fatalf("line 1 is not an error line: %s (%v)", lines[1], err)
 	}
+	// The failed point is visible to observability even though the stream
+	// carried a 200: one sweep_point_errors, but not an all-failed sweep.
+	m := getMetrics(t, srv)
+	if m["sweep_point_errors"] != 1 {
+		t.Errorf("sweep_point_errors = %v, want 1", m["sweep_point_errors"])
+	}
+	if m["errors"] != 0 {
+		t.Errorf("errors = %v, want 0 for a partially failed sweep", m["errors"])
+	}
+}
+
+// TestSweepAllPointsFailedCountsError: a sweep whose every point fails
+// streams only error lines after its 200 header — statusWriter never sees
+// a failure status, so handleSweep itself must count the sweep as an
+// error and each point in sweep_point_errors.
+func TestSweepAllPointsFailedCountsError(t *testing.T) {
+	sv := newServer(t, Config{Workers: 2})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+
+	bad1 := regconn.Arch{}          // Issue 0: invalid machine config
+	bad2 := regconn.Arch{Issue: -4} // still invalid, distinct key
+	body, _ := json.Marshal(SweepRequest{
+		Benchmarks: []string{"matrix300"},
+		Archs:      []regconn.Arch{bad1, bad2},
+	})
+	resp, err := srv.Client().Post(srv.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d (errors stream after a 200 header)", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("streamed %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var eb errorBody
+		if err := json.Unmarshal([]byte(line), &eb); err != nil || eb.Error == "" {
+			t.Fatalf("line %d is not an error line: %s", i, line)
+		}
+	}
+	m := getMetrics(t, srv)
+	if m["sweep_point_errors"] != 2 {
+		t.Errorf("sweep_point_errors = %v, want 2", m["sweep_point_errors"])
+	}
+	if m["errors"] != 1 {
+		t.Errorf("errors = %v, want 1 for an all-failed sweep", m["errors"])
+	}
+}
+
+// TestFiguresStatusBranches pins the sentinel-based classification: only
+// an unknown experiment id is the client's fault.
+func TestFiguresStatusBranches(t *testing.T) {
+	_, err := exp.NewRunner().Generate("bogus")
+	if !errors.Is(err, exp.ErrUnknownExperiment) {
+		t.Fatalf("Generate error %v does not wrap ErrUnknownExperiment", err)
+	}
+	if got := figuresStatus(err); got != http.StatusBadRequest {
+		t.Errorf("unknown-experiment status = %d, want 400", got)
+	}
+	if got := figuresStatus(errors.New("exp: this mentions unknown experiment but is not one")); got != http.StatusInternalServerError {
+		t.Errorf("generation-failure status = %d, want 500 (no substring matching)", got)
+	}
 }
 
 func TestFiguresHealthzMetricsAndBadRequests(t *testing.T) {
-	sv := New(Config{Workers: 2})
+	sv := newServer(t, Config{Workers: 2})
 	srv := httptest.NewServer(sv)
 	defer srv.Close()
 
@@ -349,7 +447,7 @@ func TestFiguresHealthzMetricsAndBadRequests(t *testing.T) {
 }
 
 func TestGracefulShutdownWithInflightRequest(t *testing.T) {
-	sv := New(Config{Workers: 2})
+	sv := newServer(t, Config{Workers: 2})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -517,7 +615,7 @@ func TestKeyStabilityAcrossBackendFields(t *testing.T) {
 // warm pass must stream back byte-identical lines from the cache —
 // including the two extension backends and both spellings of a point.
 func TestSweepRivalBackendsWarmByteIdentical(t *testing.T) {
-	sv := New(Config{Workers: 2})
+	sv := newServer(t, Config{Workers: 2})
 	srv := httptest.NewServer(sv)
 	defer srv.Close()
 

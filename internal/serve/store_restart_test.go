@@ -1,0 +1,211 @@
+package serve
+
+// The kill -9 milestone (ROADMAP / DESIGN.md §14): a daemon with a
+// -store-dir that dies mid-sweep loses only the points that had not
+// finished. Every point completed before the kill is served by the
+// restarted daemon as a byte-identical X-Cache: HIT without simulating.
+//
+// The crash is emulated faithfully in-process: the first server is
+// abandoned without Close (a kill -9 never unwinds anything; the store's
+// contract is that every Put fsynced before it returned), and a torn
+// half-record — the shape a crash mid-append leaves — is appended to the
+// active segment before the restart.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regconn"
+)
+
+func sweepGrid() SweepRequest {
+	a1 := fastArch()
+	a2 := fastArch()
+	a2.Issue = 2
+	a3 := fastArch()
+	a3.Mode = regconn.WithoutRC
+	return SweepRequest{
+		Benchmarks: []string{"matrix300", "cpp"},
+		Archs:      []regconn.Arch{a1, a2, a3},
+	}
+}
+
+func postSweep(t *testing.T, srv *httptest.Server, req SweepRequest) []string {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+}
+
+func TestStoreKillRestartServesCompletedPointsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	grid := sweepGrid()
+
+	// Phase 1: the daemon completes half the grid, then is killed. The
+	// "completed" half is the first three points, run individually so we
+	// hold their exact response bytes.
+	sv1, err := New(Config{Workers: 2, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(sv1)
+	completed := map[string][]byte{} // key → response bytes
+	var done []RunRequest
+	for _, bm := range grid.Benchmarks[:1] {
+		for _, arch := range grid.Archs {
+			rq := RunRequest{Benchmark: bm, Arch: arch}
+			resp, body := postRun(t, srv1, rq)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("phase 1 point: %d %s", resp.StatusCode, body)
+			}
+			completed[Key(bm, arch)] = body
+			done = append(done, rq)
+		}
+	}
+	// kill -9: close the listener so nothing else lands, but never Close
+	// the server or its store — no flush, no unmap, no goodbye.
+	srv1.Close()
+
+	// A record that was mid-append when the process died: a valid-looking
+	// header whose body never fully made it to disk.
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files written: %v %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{64, 0, 0, 0, 255, 255, 0, 0} // header: 64-byte key, 65535-byte value
+	torn = append(torn, []byte("only-part-of-the-key")...)
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Phase 2: restart on the same directory, re-run the whole sweep.
+	sv2 := newServer(t, Config{Workers: 2, StoreDir: dir})
+	srv2 := httptest.NewServer(sv2)
+	defer srv2.Close()
+
+	// Every previously completed point answers X-Cache: HIT with the
+	// exact bytes phase 1 returned — before any new simulation runs.
+	for _, rq := range done {
+		resp, body := postRun(t, srv2, rq)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("restarted point: %d %s", resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "HIT" {
+			t.Errorf("%s after restart: X-Cache = %q, want HIT", rq.Benchmark, got)
+		}
+		if !bytes.Equal(body, completed[Key(rq.Benchmark, rq.Arch)]) {
+			t.Errorf("%s after restart: bytes differ from the pre-kill response", rq.Benchmark)
+		}
+	}
+	m := getMetrics(t, srv2)
+	if m["store_recovered"] != float64(len(done)) {
+		t.Errorf("store_recovered = %v, want %d (the torn tail must not be indexed)", m["store_recovered"], len(done))
+	}
+	if m["cache_misses"] != 0 {
+		t.Errorf("cache_misses = %v after restart, want 0 (no resimulation of completed points)", m["cache_misses"])
+	}
+
+	// The full sweep now mixes restored HITs with fresh computation, and
+	// each restored line is byte-identical to its pre-kill response.
+	lines := postSweep(t, srv2, grid)
+	if want := len(grid.Benchmarks) * len(grid.Archs); len(lines) != want {
+		t.Fatalf("sweep streamed %d lines, want %d", len(lines), want)
+	}
+	restored := 0
+	for i, line := range lines {
+		var rr RunResponse
+		if err := json.Unmarshal([]byte(line), &rr); err != nil || rr.Result == nil {
+			t.Fatalf("line %d is not a point: %s", i, line)
+		}
+		if pre, ok := completed[rr.Key]; ok {
+			restored++
+			if string(pre) != line {
+				t.Errorf("line %d (key %s) differs from its pre-kill bytes", i, rr.Key)
+			}
+		}
+	}
+	if restored != len(done) {
+		t.Errorf("sweep restored %d pre-kill points, want %d", restored, len(done))
+	}
+
+	// And a third daemon sees everything the second one added.
+	sv3 := newServer(t, Config{Workers: 2, StoreDir: dir})
+	srv3 := httptest.NewServer(sv3)
+	defer srv3.Close()
+	if again := postSweep(t, srv3, grid); len(again) != len(lines) {
+		t.Fatalf("third daemon streamed %d lines, want %d", len(again), len(lines))
+	} else {
+		for i := range again {
+			if again[i] != lines[i] {
+				t.Errorf("third daemon line %d differs", i)
+			}
+		}
+	}
+	m3 := getMetrics(t, srv3)
+	if m3["cache_misses"] != 0 {
+		t.Errorf("third daemon simulated %v points, want 0 (all served from the store)", m3["cache_misses"])
+	}
+	if m3["store_entries"] != float64(len(lines)) {
+		t.Errorf("store_entries = %v, want %v", m3["store_entries"], len(lines))
+	}
+}
+
+// TestStoreDirEmptyIsMemoryOnly: the zero config is exactly the
+// pre-store daemon — no store metrics, nothing on disk, MISS after a
+// restart-equivalent (a second server).
+func TestStoreDirEmptyIsMemoryOnly(t *testing.T) {
+	sv := newServer(t, Config{Workers: 2})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+	rq := RunRequest{Benchmark: "matrix300", Arch: fastArch()}
+	resp, _ := postRun(t, srv, rq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d", resp.StatusCode)
+	}
+	if m := getMetrics(t, srv); m["store_entries"] != 0 {
+		// decoded map returns 0 for absent keys; also assert absence
+		t.Errorf("memory-only metrics unexpectedly carry store_entries = %v", m["store_entries"])
+	}
+	raw, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(raw.Body)
+	if strings.Contains(buf.String(), "store_entries") {
+		t.Error("memory-only /metrics exposes store counters")
+	}
+
+	sv2 := newServer(t, Config{Workers: 2})
+	srv2 := httptest.NewServer(sv2)
+	defer srv2.Close()
+	resp2, _ := postRun(t, srv2, rq)
+	if got := resp2.Header.Get("X-Cache"); got != "MISS" {
+		t.Errorf("fresh memory-only server: X-Cache = %q, want MISS", got)
+	}
+}

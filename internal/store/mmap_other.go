@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; sealed segments fall back to
+// pread like the active one (seal tolerates the error).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("store: mmap not supported on this platform")
+}
+
+func munmap(b []byte) error { return nil }

@@ -12,7 +12,7 @@ GO=${GO:-go}
 BIN=$(mktemp -d)
 trap 'rm -rf "$BIN"' EXIT INT TERM
 
-if ! $GO build -o "$BIN/" ./cmd/rcrun ./cmd/rclint ./cmd/rcexp; then
+if ! $GO build -o "$BIN/" ./cmd/rcrun ./cmd/rclint ./cmd/rcexp ./cmd/rcserve; then
     echo "exitcodes: build failed" >&2
     exit 1
 fi
@@ -76,6 +76,12 @@ expect 2 "$BIN/rclint" -windows bogus
 expect_msg 2 "$BACKEND_LIST" "$BIN/rclint" -backends bogus
 expect 0 "$BIN/rclint" -quick -bench grep -issue 4
 expect 0 "$BIN/rclint" -quick -bench grep -issue 4 -backends portreduce,chain
+
+# rcserve: inconsistent shard or store configuration must fail before
+# the daemon binds its listener (all three exit without serving).
+expect 1 "$BIN/rcserve" -peers "http://a:1,http://b:1"
+expect 1 "$BIN/rcserve" -peers "http://a:1,http://b:1" -self "http://c:1"
+expect 1 "$BIN/rcserve" -peers "http://a:1,," -self "http://a:1"
 
 # rcexp: unknown formats, experiments, and benchmarks must all fail.
 expect 1 "$BIN/rcexp" -quick -format junk
