@@ -15,14 +15,16 @@ test:
 # verify is the tier-1 gate (see ROADMAP.md): build, vet, formatting,
 # full tests (shuffled, to keep inter-test ordering dependencies out),
 # the data-race checks on the parallel experiment runner, on the
-# rcserve daemon (request coalescing, cache, cancellation, sharding)
-# and on the persistent result store (crash recovery), the CLI
-# exit-code contract (scripts/exitcodes.sh), the static map-state
-# verifier over the full benchmark × backend × model × combine grid
-# (cmd/rclint, split into the paper's three backends and the extension
-# backend matrix), the attribution profiler's ledger cross-check over
-# the golden benchmark × config grid (cmd/rcprof), and the arena
-# zero-allocation gate (scripts/benchgate.sh).
+# rcserve daemon (request coalescing, cache, cancellation, sharding),
+# on the persistent result store (crash recovery) and on the
+# observability layer (tracing, metrics registry), the CLI exit-code
+# contract (scripts/exitcodes.sh), the metric-table cross-check
+# (scripts/metricslint.sh), the static map-state verifier over the
+# full benchmark × backend × model × combine grid (cmd/rclint, split
+# into the paper's three backends and the extension backend matrix),
+# the attribution profiler's ledger cross-check over the golden
+# benchmark × config grid (cmd/rcprof), and the arena zero-allocation
+# gate (scripts/benchgate.sh).
 verify: build
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
@@ -31,7 +33,9 @@ verify: build
 	$(GO) test -race ./internal/exp/...
 	$(GO) test -race ./internal/serve/...
 	$(GO) test -race ./internal/store/...
+	$(GO) test -race ./internal/obs/...
 	sh scripts/exitcodes.sh
+	sh scripts/metricslint.sh
 	sh scripts/benchgate.sh
 	$(GO) run ./cmd/rclint -backends rc,spill,unlimited
 	$(GO) run ./cmd/rclint -backends portreduce,chain

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	rcexp [-exp table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|models|combined|all]
-//	      [-quick] [-bench name] [-workers n] [-stats]
+//	      [-quick] [-bench name] [-workers n] [-stats] [-progress]
 //	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // -quick restricts the suite to three representative benchmarks; -bench
@@ -41,6 +41,7 @@ func main() {
 		stats      = flag.Bool("stats", false, "emit per-point cycle-ledger statistics as JSON")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to FILE")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to FILE")
+		progress   = flag.Bool("progress", false, "report warm-pass sweep progress on stderr")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	err = run(*expID, *quick, *bmName, *format, *workers, *stats)
+	err = run(*expID, *quick, *bmName, *format, *workers, *stats, *progress)
 	stop()
 	if merr := writeMemProfile(*memprofile); merr != nil && err == nil {
 		err = merr
@@ -61,7 +62,7 @@ func main() {
 	}
 }
 
-func run(expID string, quick bool, bmName, format string, workers int, stats bool) error {
+func run(expID string, quick bool, bmName, format string, workers int, stats, progress bool) error {
 	r := exp.NewRunner()
 	if quick {
 		r = exp.NewQuickRunner()
@@ -73,6 +74,13 @@ func run(expID string, quick bool, bmName, format string, workers int, stats boo
 			return err
 		}
 		r.Benchmarks = []bench.Benchmark{bm}
+	}
+	if progress {
+		// The hook fires from worker goroutines; stderr writes are
+		// atomic enough for a one-line-per-point progress feed.
+		r.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "rcexp: %d/%d points\n", done, total)
+		}
 	}
 
 	if stats {

@@ -8,14 +8,26 @@
 //
 //	rcserve [-addr :8347] [-cache 1024] [-workers n] [-timeout 2m]
 //	        [-store-dir DIR] [-peers URL,URL,...] [-self URL]
+//	        [-trace] [-trace-dir DIR] [-trace-keep 64]
+//	        [-log text|json|off] [-slow 2s]
 //
 // Endpoints:
 //
 //	POST /v1/run          one benchmark × arch point → stats JSON
 //	POST /v1/sweep        a grid, streamed back as NDJSON
+//	GET  /v1/sweeps       live sweep progress (completed/total, per peer)
 //	GET  /v1/figures/{id} a regenerated paper figure (table1, fig7, ...)
 //	GET  /healthz         readiness (503 while draining)
-//	GET  /metrics         expvar counters and latency quantiles
+//	GET  /metrics         expvar JSON; ?format=prometheus for text exposition
+//	GET  /debug/trace     retained request traces as Chrome trace JSON
+//
+// Every response carries an X-Request-ID (the client's own, when it sent
+// a valid one). With -trace, run/sweep/figures requests record span
+// trees — cache lookup, store read, flight, simulate, store append, peer
+// forward — exported via /debug/trace and, with -trace-dir, written per
+// request as Chrome trace-event JSON. With -log, structured request logs
+// (request ID, route, cache state, duration) go to stderr; requests
+// slower than -slow log at Warn.
 //
 // With -store-dir, completed points are appended to a crash-recoverable
 // segment store and survive restarts: a re-run sweep answers every
@@ -33,6 +45,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -60,8 +73,24 @@ func run() error {
 		storeDir = flag.String("store-dir", "", "persistent result store directory (empty = memory only)")
 		peers    = flag.String("peers", "", "comma-separated base URLs of every replica, including this one (empty = unsharded)")
 		self     = flag.String("self", "", "this replica's entry in -peers (required with -peers)")
+		trace    = flag.Bool("trace", false, "trace requests; export via GET /debug/trace")
+		traceDir = flag.String("trace-dir", "", "also write each request trace as <id>.trace.json here (implies -trace)")
+		keep     = flag.Int("trace-keep", 64, "finished traces retained in memory for /debug/trace")
+		logFmt   = flag.String("log", "off", "structured request log format: text, json, or off")
+		slow     = flag.Duration("slow", 2*time.Second, "slow-request log threshold")
 	)
 	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logFmt {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+	default:
+		return fmt.Errorf("-log must be text, json, or off (got %q)", *logFmt)
+	}
 
 	var peerList []string
 	if *peers != "" {
@@ -77,12 +106,17 @@ func run() error {
 		}
 	}
 	sv, err := serve.New(serve.Config{
-		CacheSize: *cache,
-		Workers:   *workers,
-		Timeout:   *timeout,
-		StoreDir:  *storeDir,
-		Peers:     peerList,
-		Self:      strings.TrimRight(*self, "/"),
+		CacheSize:     *cache,
+		Workers:       *workers,
+		Timeout:       *timeout,
+		StoreDir:      *storeDir,
+		Peers:         peerList,
+		Self:          strings.TrimRight(*self, "/"),
+		Trace:         *trace,
+		TraceDir:      *traceDir,
+		TraceKeep:     *keep,
+		Logger:        logger,
+		SlowThreshold: *slow,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,271 @@
+// Command rctop is a terminal dashboard over a fleet of rcserve
+// replicas: it polls each replica's GET /metrics (the flat expvar JSON
+// map) and GET /v1/sweeps (live sweep progress) and renders per-replica
+// and fleet-wide throughput, cache hit rates, latency quantiles, and the
+// progress of in-flight sweeps with their per-peer breakdown.
+//
+// Usage:
+//
+//	rctop -peers URL,URL,... [-interval 2s] [-timeout 5s] [-once]
+//
+// -peers lists the replicas to watch (any subset of the fleet; typically
+// the same list the replicas were started with). Throughput is computed
+// from counter deltas between consecutive frames, so the first frame of
+// a live session shows dashes. -once prints a single frame without
+// clearing the screen and exits — useful in scripts; a down replica
+// renders as "down" rather than failing the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"regconn/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rctop:", err)
+		os.Exit(1)
+	}
+}
+
+// replica is one polled rcserve instance.
+type replica struct {
+	base string
+	up   bool
+	err  error
+	m    map[string]float64
+	sw   serve.SweepsResponse
+	t    time.Time // when m was fetched
+
+	// previous frame, for rate deltas
+	prevRequests float64
+	prevTime     time.Time
+	hasPrev      bool
+}
+
+func run() error {
+	var (
+		peers    = flag.String("peers", "", "comma-separated rcserve base URLs to watch (required)")
+		interval = flag.Duration("interval", 2*time.Second, "poll/refresh interval")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-poll HTTP timeout")
+		once     = flag.Bool("once", false, "print one frame and exit (no screen clearing)")
+	)
+	flag.Parse()
+	if *peers == "" {
+		return fmt.Errorf("-peers is required (comma-separated rcserve base URLs)")
+	}
+	var reps []*replica
+	for _, p := range strings.Split(*peers, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" {
+			return fmt.Errorf("-peers contains an empty entry")
+		}
+		reps = append(reps, &replica{base: p})
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	for {
+		pollAll(client, reps)
+		frame := render(reps)
+		if *once {
+			fmt.Print(frame)
+			return nil
+		}
+		// Clear and home, then draw.
+		fmt.Print("\x1b[H\x1b[2J" + frame)
+		time.Sleep(*interval)
+	}
+}
+
+// pollAll fetches /metrics and /v1/sweeps from every replica
+// concurrently.
+func pollAll(client *http.Client, reps []*replica) {
+	done := make(chan struct{}, len(reps))
+	for _, rp := range reps {
+		go func(rp *replica) {
+			defer func() { done <- struct{}{} }()
+			now := time.Now()
+			m, err := fetchMetrics(client, rp.base)
+			if err != nil {
+				rp.up, rp.err = false, err
+				rp.hasPrev = false
+				return
+			}
+			sw, err := fetchSweeps(client, rp.base)
+			if err != nil {
+				rp.up, rp.err = false, err
+				rp.hasPrev = false
+				return
+			}
+			if rp.up {
+				rp.prevRequests = rp.m["requests"]
+				rp.prevTime = rp.t
+				rp.hasPrev = true
+			}
+			rp.up, rp.err = true, nil
+			rp.m, rp.sw = m, sw
+			rp.t = now
+		}(rp)
+	}
+	for range reps {
+		<-done
+	}
+}
+
+func fetchMetrics(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	var m map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("GET /metrics: %v", err)
+	}
+	return m, nil
+}
+
+func fetchSweeps(client *http.Client, base string) (serve.SweepsResponse, error) {
+	var sw serve.SweepsResponse
+	resp, err := client.Get(base + "/v1/sweeps")
+	if err != nil {
+		return sw, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sw, fmt.Errorf("GET /v1/sweeps: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sw); err != nil {
+		return sw, fmt.Errorf("GET /v1/sweeps: %v", err)
+	}
+	return sw, nil
+}
+
+// reqRate returns requests/second since the previous frame ("" when
+// unknown).
+func (rp *replica) reqRate() string {
+	if !rp.hasPrev || rp.t.Sub(rp.prevTime) <= 0 {
+		return "-"
+	}
+	rate := (rp.m["requests"] - rp.prevRequests) / rp.t.Sub(rp.prevTime).Seconds()
+	if rate < 0 {
+		return "-" // counter reset (replica restarted)
+	}
+	return fmt.Sprintf("%.1f", rate)
+}
+
+// hitPct returns the cache hit percentage over all answered points.
+func hitPct(m map[string]float64) string {
+	total := m["cache_hits"] + m["cache_misses"] + m["coalesced"]
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*m["cache_hits"]/total)
+}
+
+func render(reps []*replica) string {
+	var sb strings.Builder
+	now := time.Now().Format("15:04:05")
+	fmt.Fprintf(&sb, "rctop — %d replica(s) — %s\n\n", len(reps), now)
+	fmt.Fprintf(&sb, "%-34s %-5s %8s %7s %9s %9s %7s %8s %7s\n",
+		"REPLICA", "UP", "REQ/S", "HIT%", "P50 MS", "P99 MS", "INFLT", "STORE", "SWEEPS")
+	var fleet struct {
+		hits, misses, co, inflight, store float64
+		active                            int
+	}
+	for _, rp := range reps {
+		if !rp.up {
+			fmt.Fprintf(&sb, "%-34s %-5s\n", clip(rp.base, 34), "down")
+			continue
+		}
+		active := 0
+		for _, v := range rp.sw.Sweeps {
+			if v.Active {
+				active++
+			}
+		}
+		fmt.Fprintf(&sb, "%-34s %-5s %8s %7s %9.1f %9.1f %7.0f %8.0f %7d\n",
+			clip(rp.base, 34), "ok", rp.reqRate(), hitPct(rp.m),
+			rp.m["latency_p50_ms"], rp.m["latency_p99_ms"],
+			rp.m["inflight"], rp.m["store_entries"], active)
+		fleet.hits += rp.m["cache_hits"]
+		fleet.misses += rp.m["cache_misses"]
+		fleet.co += rp.m["coalesced"]
+		fleet.inflight += rp.m["inflight"]
+		fleet.store += rp.m["store_entries"]
+		fleet.active += active
+	}
+	fleetTotal := fleet.hits + fleet.misses + fleet.co
+	fleetHit := "-"
+	if fleetTotal > 0 {
+		fleetHit = fmt.Sprintf("%.1f", 100*fleet.hits/fleetTotal)
+	}
+	fmt.Fprintf(&sb, "%-34s %-5s %8s %7s %9s %9s %7.0f %8.0f %7d\n",
+		"FLEET", "", "", fleetHit, "", "", fleet.inflight, fleet.store, fleet.active)
+
+	sb.WriteString("\nSWEEPS\n")
+	any := false
+	for _, rp := range reps {
+		for _, v := range rp.sw.Sweeps {
+			any = true
+			state := "done"
+			if v.Active {
+				state = "live"
+			}
+			fmt.Fprintf(&sb, "  %s  %s  %s  %4d/%-4d errs %d  %6.1fs  %s\n",
+				v.ID, clip(rp.base, 24), state, v.Done, v.Total, v.Errors,
+				float64(v.ElapsedMS)/1000, bar(v.Done, v.Total, 20))
+			for _, owner := range sortedOwners(v.Peers) {
+				pp := v.Peers[owner]
+				fmt.Fprintf(&sb, "      %-30s %4d/%-4d\n", clip(owner, 30), pp.Done, pp.Total)
+			}
+		}
+	}
+	if !any {
+		sb.WriteString("  (none)\n")
+	}
+	return sb.String()
+}
+
+func sortedOwners(peers map[string]serve.SweepPeerView) []string {
+	out := make([]string, 0, len(peers))
+	for o := range peers {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// bar renders a [####....] progress bar of the given width.
+func bar(done, total, width int) string {
+	if total <= 0 {
+		return ""
+	}
+	fill := done * width / total
+	if fill > width {
+		fill = width
+	}
+	return "[" + strings.Repeat("#", fill) + strings.Repeat(".", width-fill) + "]"
+}
+
+// clip truncates s to n runes with an ellipsis.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}

@@ -17,11 +17,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"regconn"
 	"regconn/internal/bench"
 	"regconn/internal/flight"
 	"regconn/internal/machine"
+	"regconn/internal/obs"
 )
 
 // Result is one simulated data point.
@@ -55,6 +57,13 @@ type Runner struct {
 
 	// Benchmarks restricts the suite (nil = all twelve).
 	Benchmarks []bench.Benchmark
+
+	// Progress, when set, is called after each point of a warm pass
+	// completes, with the number of finished points and the pass total.
+	// It is the hook live dashboards (rcexp -progress, rcserve's
+	// /v1/sweeps) build on. Called from worker goroutines — must be
+	// safe for concurrent use.
+	Progress func(done, total int)
 
 	// runPoint overrides the execution primitive (nil = RunPoint). It is a
 	// test seam: flight semantics — waiter counting, cancellation of
@@ -169,16 +178,25 @@ var arenas = sync.Pool{New: func() any { return regconn.NewArena() }}
 // canceled through ctx. Every point also runs the static map-state verifier
 // (Arch.Verify): a sweep result is only reported for code rclint proved
 // correct. It is the execution primitive behind Runner.Run and the serve
-// daemon's cold path.
+// daemon's cold path. When the context carries an obs span (a traced
+// rcserve request), the build and execute phases open child spans; with
+// no span in the context the instrumentation is nil no-ops.
 func RunPoint(ctx context.Context, bm bench.Benchmark, arch regconn.Arch) (*Result, error) {
 	arch.Verify = true
+	_, buildSpan := obs.StartSpan(ctx, "build")
 	ex, err := regconn.Build(bm.Build(), arch)
+	buildSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", bm.Name, err)
 	}
 	arena := arenas.Get().(*regconn.Arena)
 	defer arenas.Put(arena)
-	res, err := arena.VerifyContext(ctx, ex)
+	execCtx, execSpan := obs.StartSpan(ctx, "execute")
+	res, err := arena.VerifyContext(execCtx, ex)
+	if err == nil {
+		execSpan.Set("cycles", res.Cycles).Set("instrs", res.Instrs)
+	}
+	execSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", bm.Name, err)
 	}
@@ -245,9 +263,12 @@ func (r *Runner) forAll(n int, f func(i int)) {
 // warm simulates the given points concurrently, populating the memo cache
 // so the figure's sequential pass — which keeps row order and error
 // reporting deterministic — hits only memoized results. Errors are left in
-// the cache for that pass to surface.
+// the cache for that pass to surface. When a Progress hook is set, the
+// warm pass also runs in sequential mode (the hook has to see the grid
+// advance), reporting after each unique point completes.
 func (r *Runner) warm(pts []point) {
-	if r.workers() <= 1 {
+	progress := r.Progress
+	if r.workers() <= 1 && progress == nil {
 		return
 	}
 	seen := make(map[string]bool, len(pts))
@@ -258,7 +279,13 @@ func (r *Runner) warm(pts []point) {
 			uniq = append(uniq, p)
 		}
 	}
-	r.forAll(len(uniq), func(i int) { _, _ = r.Run(uniq[i].bm, uniq[i].arch) })
+	var done atomic.Int64
+	r.forAll(len(uniq), func(i int) {
+		_, _ = r.Run(uniq[i].bm, uniq[i].arch)
+		if progress != nil {
+			progress(int(done.Add(1)), len(uniq))
+		}
+	})
 }
 
 // warmSpeedups warms the points plus each benchmark's baseline (the

@@ -9,9 +9,10 @@ package machine
 // one instant track for connects, map resets, and traps.
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+
+	"regconn/internal/obs"
 )
 
 // EventKind classifies one pipeline event.
@@ -111,30 +112,6 @@ func (r *EventRing) Dropped() int64 {
 	return 0
 }
 
-// traceEvent is one Chrome trace-event JSON record (the subset of the
-// trace-event format the viewers need: complete "X", instant "i", and
-// metadata "M" events).
-type traceEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	Ts   int64          `json:"ts"`
-	Dur  int64          `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	S    string         `json:"s,omitempty"`
-	Args map[string]any `json:"args,omitempty"`
-}
-
-// traceFile is the top-level chrome://tracing document.
-type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
-	Meta            struct {
-		CycleUnit string `json:"cycle_unit"`
-		Dropped   int64  `json:"events_dropped"`
-	} `json:"otherData"`
-}
-
 // instrName disassembles the instruction at pc in the process's image
 // (best effort; out-of-range PCs can only come from a corrupted ring).
 func instrName(imgs []*Image, proc uint8, pc int32) string {
@@ -147,49 +124,48 @@ func instrName(imgs []*Image, proc uint8, pc int32) string {
 }
 
 // WriteTraceJSON renders the buffered events as Chrome trace-event JSON
-// (load the file in chrome://tracing or ui.perfetto.dev). imgs holds one
-// image per process, in process order, for instruction names; pass the
-// single image of a plain Run. One cycle is rendered as one microsecond.
+// (load the file in chrome://tracing or ui.perfetto.dev), using the
+// document model shared with the request-level span export in
+// internal/obs. imgs holds one image per process, in process order, for
+// instruction names; pass the single image of a plain Run. One cycle is
+// rendered as one microsecond.
 func (r *EventRing) WriteTraceJSON(w io.Writer, imgs ...*Image) error {
 	stallTid := r.issue
 	instantTid := r.issue + 1
 
-	var out traceFile
-	out.DisplayTimeUnit = "ms"
-	out.Meta.CycleUnit = "1 cycle = 1us"
-	out.Meta.Dropped = r.Dropped()
+	out := obs.TraceFile{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"cycle_unit":     "1 cycle = 1us",
+			"events_dropped": r.Dropped(),
+		},
+	}
 
 	procs := map[int]bool{}
 	for _, e := range r.Events() {
 		procs[int(e.Proc)] = true
-		te := traceEvent{Ts: e.Cycle, Pid: int(e.Proc)}
+		pid := int(e.Proc)
+		var te obs.TraceEvent
 		switch e.Kind {
 		case EvIssue:
-			te.Name = instrName(imgs, e.Proc, e.PC)
-			te.Ph, te.Dur, te.Tid = "X", 1, int(e.Slot)
+			te = obs.Complete(instrName(imgs, e.Proc, e.PC), e.Cycle, 1, pid, int(e.Slot))
 			te.Args = map[string]any{"pc": e.PC}
 		case EvStall:
-			te.Name = "stall:" + stallNames[stallReason(e.Arg)]
-			te.Ph, te.Dur, te.Tid = "X", 1, stallTid
+			te = obs.Complete("stall:"+stallNames[stallReason(e.Arg)], e.Cycle, 1, pid, stallTid)
 			te.Args = map[string]any{"pc": e.PC}
 		case EvConnect:
-			te.Name = instrName(imgs, e.Proc, e.PC)
-			te.Ph, te.S, te.Tid = "i", "t", instantTid
+			te = obs.Instant(instrName(imgs, e.Proc, e.PC), e.Cycle, pid, instantTid)
 			te.Args = map[string]any{"pc": e.PC}
 		case EvReset:
-			te.Name = "map-reset"
-			te.Ph, te.S, te.Tid = "i", "t", instantTid
+			te = obs.Instant("map-reset", e.Cycle, pid, instantTid)
 			te.Args = map[string]any{"pc": e.PC}
 		case EvTrap:
-			te.Name = "trap"
-			te.Ph, te.Dur, te.Tid = "X", e.Dur, instantTid
+			te = obs.Complete("trap", e.Cycle, e.Dur, pid, instantTid)
 			te.Args = map[string]any{"overhead_cycles": e.Dur}
 		case EvHalt:
-			te.Name = "halt"
-			te.Ph, te.S, te.Tid = "i", "t", instantTid
+			te = obs.Instant("halt", e.Cycle, pid, instantTid)
 		case EvSwitch:
-			te.Name = "context-switch"
-			te.Ph, te.Dur, te.Tid = "X", e.Dur, instantTid
+			te = obs.Complete("context-switch", e.Cycle, e.Dur, pid, instantTid)
 		default:
 			continue
 		}
@@ -203,25 +179,15 @@ func (r *EventRing) WriteTraceJSON(w io.Writer, imgs ...*Image) error {
 		if pid < len(imgs) {
 			name = fmt.Sprintf("process %d (%s)", pid, imgs[pid].Prog.Entry)
 		}
-		out.TraceEvents = append(out.TraceEvents, traceEvent{
-			Name: "process_name", Ph: "M", Pid: pid,
-			Args: map[string]any{"name": name},
-		})
+		out.TraceEvents = append(out.TraceEvents, obs.MetaProcessName(pid, name))
 		for s := 0; s < r.issue; s++ {
-			out.TraceEvents = append(out.TraceEvents, traceEvent{
-				Name: "thread_name", Ph: "M", Pid: pid, Tid: s,
-				Args: map[string]any{"name": fmt.Sprintf("issue slot %d", s)},
-			})
+			out.TraceEvents = append(out.TraceEvents,
+				obs.MetaThreadName(pid, s, fmt.Sprintf("issue slot %d", s)))
 		}
-		out.TraceEvents = append(out.TraceEvents, traceEvent{
-			Name: "thread_name", Ph: "M", Pid: pid, Tid: stallTid,
-			Args: map[string]any{"name": "stall"},
-		}, traceEvent{
-			Name: "thread_name", Ph: "M", Pid: pid, Tid: instantTid,
-			Args: map[string]any{"name": "events"},
-		})
+		out.TraceEvents = append(out.TraceEvents,
+			obs.MetaThreadName(pid, stallTid, "stall"),
+			obs.MetaThreadName(pid, instantTid, "events"))
 	}
 
-	enc := json.NewEncoder(w)
-	return enc.Encode(&out)
+	return obs.WriteTraceFile(w, &out)
 }

@@ -1,0 +1,456 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4) over a Registry,
+// and a deliberately strict parser of the same format. The parser
+// stands in for promtool in the test suite: exposition output must
+// round-trip through it, and it rejects the classic mistakes (samples
+// before TYPE, unescaped label values, non-cumulative histogram
+// buckets, missing +Inf).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the registry in registration
+// order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if err := f.writeProm(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// unescapeHelp inverts escapeHelp; unknown escapes pass through
+// verbatim (HELP text is informational, not validated).
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// labelString renders {k="v",...}; extra appends one more pair (used
+// for histogram le). Empty input renders as "".
+func labelString(names, values []string, extraName, extraVal string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(values[i]))
+		sb.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraName)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(extraVal))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func (f *family) writeProm(w *bufio.Writer) error {
+	keys, series := f.snapshot()
+	if len(series) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for i, s := range series {
+		switch v := s.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, keys[i], "", ""), v.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, keys[i], "", ""), formatFloat(v.Value()))
+		case *Histogram:
+			var cum int64
+			counts := v.BucketCounts()
+			for bi, bound := range v.bounds {
+				cum += counts[bi]
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, keys[i], "le", formatFloat(bound)), cum)
+			}
+			cum += counts[len(counts)-1]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				labelString(f.labels, keys[i], "le", "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+				labelString(f.labels, keys[i], "", ""), formatFloat(v.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+				labelString(f.labels, keys[i], "", ""), cum)
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------- parser
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParsePrometheus parses text exposition strictly: every sample must
+// follow a # TYPE line for its family, names and labels must match the
+// Prometheus grammar, label values must be properly quoted/escaped, no
+// series may repeat, and histograms must have cumulative buckets ending
+// in le="+Inf" whose count equals the family's _count sample. It
+// returns families in document order.
+func ParsePrometheus(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var fams []PromFamily
+	byName := map[string]*PromFamily{}
+	seen := map[string]bool{} // duplicate-series detection
+	cur := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimPrefix(rest, " ")
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				parts := strings.SplitN(rest[len("HELP "):], " ", 2)
+				name := parts[0]
+				if !nameOK(name) {
+					return nil, fmt.Errorf("line %d: bad metric name %q in HELP", lineNo, name)
+				}
+				if _, dup := byName[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				fams = append(fams, PromFamily{Name: name})
+				f := &fams[len(fams)-1]
+				if len(parts) == 2 {
+					f.Help = unescapeHelp(parts[1])
+				}
+				byName[name] = f
+				cur = name
+			case strings.HasPrefix(rest, "TYPE "):
+				parts := strings.Fields(rest[len("TYPE "):])
+				if len(parts) != 2 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+				}
+				name, typ := parts[0], parts[1]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				f, ok := byName[name]
+				if !ok {
+					fams = append(fams, PromFamily{Name: name})
+					f = &fams[len(fams)-1]
+					byName[name] = f
+				}
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				f.Type = typ
+				cur = name
+			default:
+				// plain comment: ignored
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := familyOf(s.Name)
+		f, ok := byName[fam]
+		if !ok || f.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %s before # TYPE %s", lineNo, s.Name, fam)
+		}
+		if fam != cur {
+			return nil, fmt.Errorf("line %d: sample %s interleaved outside its family block", lineNo, s.Name)
+		}
+		sk := seriesKey(s)
+		if seen[sk] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, sk)
+		}
+		seen[sk] = true
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range fams {
+		if fams[i].Type == "histogram" {
+			if err := checkHistogramFamily(&fams[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyOf strips the histogram/summary sample suffixes.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func seriesKey(s PromSample) string {
+	var sb strings.Builder
+	sb.WriteString(s.Name)
+	// deterministic order for the key
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		sb.WriteString(keySep)
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(s.Labels[k])
+	}
+	return sb.String()
+}
+
+func parseSampleLine(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	s.Name = line[:i]
+	if !nameOK(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			for i < len(line) && (line[i] == ' ' || line[i] == ',') {
+				i++
+			}
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j == len(line) {
+				return s, fmt.Errorf("unterminated label set")
+			}
+			lname := line[i:j]
+			if !nameOK(lname) || strings.Contains(lname, ":") {
+				return s, fmt.Errorf("bad label name %q", lname)
+			}
+			i = j + 1
+			if i >= len(line) || line[i] != '"' {
+				return s, fmt.Errorf("label %s value not quoted", lname)
+			}
+			i++
+			var val strings.Builder
+			for {
+				if i >= len(line) {
+					return s, fmt.Errorf("unterminated label value for %s", lname)
+				}
+				c := line[i]
+				if c == '"' {
+					i++
+					break
+				}
+				if c == '\\' {
+					i++
+					if i >= len(line) {
+						return s, fmt.Errorf("dangling escape in label %s", lname)
+					}
+					switch line[i] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("bad escape \\%c in label %s", line[i], lname)
+					}
+					i++
+					continue
+				}
+				val.WriteByte(c)
+				i++
+			}
+			if _, dup := s.Labels[lname]; dup {
+				return s, fmt.Errorf("duplicate label %s", lname)
+			}
+			s.Labels[lname] = val.String()
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("expected value after series, got %q", rest)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromValue(tok string) (float64, error) {
+	switch tok {
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(tok, 64)
+}
+
+// checkHistogramFamily enforces the histogram shape per label set:
+// buckets cumulative and non-decreasing in le order, le="+Inf" present,
+// and _count equal to the +Inf bucket.
+func checkHistogramFamily(f *PromFamily) error {
+	type hist struct {
+		les    []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+	}
+	groups := map[string]*hist{}
+	group := func(s PromSample) *hist {
+		labels := map[string]string{}
+		for k, v := range s.Labels {
+			if k != "le" {
+				labels[k] = v
+			}
+		}
+		key := seriesKey(PromSample{Name: f.Name, Labels: labels})
+		h, ok := groups[key]
+		if !ok {
+			h = &hist{}
+			groups[key] = h
+		}
+		return h
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket sample without le label", f.Name)
+			}
+			le, err := parsePromValue(leStr)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", f.Name, leStr)
+			}
+			h := group(s)
+			h.les = append(h.les, le)
+			h.counts = append(h.counts, s.Value)
+		case f.Name + "_count":
+			h := group(s)
+			h.count = s.Value
+			h.hasCnt = true
+		case f.Name + "_sum":
+			// value unconstrained
+		default:
+			return fmt.Errorf("histogram %s: unexpected sample %s", f.Name, s.Name)
+		}
+	}
+	for _, h := range groups {
+		if len(h.les) == 0 {
+			return fmt.Errorf("histogram %s: series without buckets", f.Name)
+		}
+		for i := 1; i < len(h.les); i++ {
+			if h.les[i] <= h.les[i-1] {
+				return fmt.Errorf("histogram %s: le bounds not ascending", f.Name)
+			}
+			if h.counts[i] < h.counts[i-1] {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative", f.Name)
+			}
+		}
+		last := h.les[len(h.les)-1]
+		if !math.IsInf(last, +1) {
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", f.Name)
+		}
+		if !h.hasCnt {
+			return fmt.Errorf("histogram %s: missing _count sample", f.Name)
+		}
+		if h.count != h.counts[len(h.counts)-1] {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", f.Name, h.count, h.counts[len(h.counts)-1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry populates a registry with one of each family kind,
+// including label values that exercise the escaping rules.
+func buildTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("plain_total", "a plain counter").Add(3)
+	v := reg.CounterVec("labeled_total", "counter with\nnewline help", "endpoint", "peer")
+	v.With("run", `http://x:1/"q"`).Add(2)
+	v.With("sweep", `back\slash`).Inc()
+	reg.Gauge("temp", "a gauge").Set(-2.5)
+	reg.GaugeFunc("fn_gauge", "callback gauge", func() float64 { return 7 })
+	h := reg.HistogramVec("lat_seconds", "latency", []float64{0.1, 1}, "endpoint")
+	h.With("run").Observe(0.05)
+	h.With("run").Observe(0.5)
+	h.With("run").Observe(5)
+	return reg
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := buildTestRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	fams, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParsePrometheus rejected our own output: %v\n%s", err, buf.String())
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	if f := byName["plain_total"]; f.Type != "counter" || len(f.Samples) != 1 || f.Samples[0].Value != 3 {
+		t.Fatalf("plain_total = %+v", f)
+	}
+	lf := byName["labeled_total"]
+	if lf.Help != "counter with\nnewline help" {
+		t.Fatalf("help round-trip = %q", lf.Help)
+	}
+	got := map[string]float64{}
+	for _, s := range lf.Samples {
+		got[s.Labels["endpoint"]+"|"+s.Labels["peer"]] = s.Value
+	}
+	if got[`run|http://x:1/"q"`] != 2 || got[`sweep|back\slash`] != 1 {
+		t.Fatalf("labeled samples = %v", got)
+	}
+	if f := byName["temp"]; f.Type != "gauge" || f.Samples[0].Value != -2.5 {
+		t.Fatalf("temp = %+v", f)
+	}
+	if f := byName["fn_gauge"]; f.Samples[0].Value != 7 {
+		t.Fatalf("fn_gauge = %+v", f)
+	}
+
+	hf := byName["lat_seconds"]
+	if hf.Type != "histogram" {
+		t.Fatalf("lat_seconds type = %q", hf.Type)
+	}
+	// Expect cumulative buckets 1, 2, 3 and sum/count.
+	want := map[string]float64{
+		"bucket|0.1":  1,
+		"bucket|1":    2,
+		"bucket|+Inf": 3,
+		"sum|":        5.55,
+		"count|":      3,
+	}
+	seen := map[string]float64{}
+	for _, s := range hf.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			seen["bucket|"+s.Labels["le"]] = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			seen["sum|"] = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			seen["count|"] = s.Value
+		}
+	}
+	for k, v := range want {
+		if k == "sum|" {
+			if math.Abs(seen[k]-v) > 1e-9 {
+				t.Fatalf("histogram %s = %v, want %v", k, seen[k], v)
+			}
+			continue
+		}
+		if seen[k] != v {
+			t.Fatalf("histogram %s = %v, want %v (all: %v)", k, seen[k], v, seen)
+		}
+	}
+}
+
+func TestParsePrometheusRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring of the error
+	}{
+		{
+			"sample before TYPE",
+			"orphan_total 1\n",
+			"before # TYPE",
+		},
+		{
+			"interleaved families",
+			"# TYPE a counter\na 1\n# TYPE b counter\nb 1\na 2\n",
+			"interleaved",
+		},
+		{
+			"duplicate series",
+			"# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n",
+			"duplicate",
+		},
+		{
+			"bad metric name",
+			"# TYPE 9bad counter\n9bad 1\n",
+			"name",
+		},
+		{
+			"unquoted label value",
+			"# TYPE a counter\na{x=1} 1\n",
+			"label",
+		},
+		{
+			"bad escape in label value",
+			"# TYPE a counter\na{x=\"\\q\"} 1\n",
+			"escape",
+		},
+		{
+			"unparseable value",
+			"# TYPE a counter\na one\n",
+			"value",
+		},
+		{
+			"bad type keyword",
+			"# TYPE a summary2\na 1\n",
+			"type",
+		},
+		{
+			"histogram missing +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"+Inf",
+		},
+		{
+			"histogram non-cumulative",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			"cumulative",
+		},
+		{
+			"histogram count mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 5\n",
+			"count",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParsePrometheus(strings.NewReader(c.text))
+			if err == nil {
+				t.Fatalf("parser accepted %q", c.text)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(c.want)) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParsePrometheusAcceptsSpecials(t *testing.T) {
+	text := "# HELP g special values\n# TYPE g gauge\n" +
+		"g{k=\"inf\"} +Inf\ng{k=\"ninf\"} -Inf\ng{k=\"nan\"} NaN\ng{k=\"exp\"} 1e-3\n"
+	fams, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v", err)
+	}
+	if len(fams) != 1 || len(fams[0].Samples) != 4 {
+		t.Fatalf("families = %+v", fams)
+	}
+	vals := map[string]float64{}
+	for _, s := range fams[0].Samples {
+		vals[s.Labels["k"]] = s.Value
+	}
+	if !math.IsInf(vals["inf"], 1) || !math.IsInf(vals["ninf"], -1) ||
+		!math.IsNaN(vals["nan"]) || vals["exp"] != 1e-3 {
+		t.Fatalf("special values = %v", vals)
+	}
+}

@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// A Trace is the span tree of one request: the service-level analogue of
+// the simulator's cycle ledger. Spans are created from possibly many
+// goroutines (a sweep fans its points out); every mutation takes the
+// trace's lock, so the hot path stays lock-free only when tracing is off
+// (nil spans). Times are offsets from one monotonic base, so intervals
+// are directly comparable and the nesting invariant is checkable.
+type Trace struct {
+	id    string
+	begin time.Time // wall + monotonic base
+
+	mu        sync.Mutex
+	spans     []*Span
+	nextTrack int
+	openRoots int
+	wall      time.Duration // set by Finish
+	finished  bool
+}
+
+// Span is one timed operation inside a trace. A nil *Span is valid and
+// every method on it is a no-op: code instruments unconditionally and
+// pays nothing when tracing is disabled.
+type Span struct {
+	tr     *Trace
+	name   string
+	parent *Span
+	track  int
+	start  time.Duration
+	end    time.Duration // < 0 while open
+	open   int           // currently open children (track assignment)
+	attrs  []Attr
+}
+
+// Attr is one span attribute (rendered into the trace event's args).
+type Attr struct {
+	Key string
+	Val any
+}
+
+// NewTrace starts an empty trace identified by id (the request ID).
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, begin: time.Now()}
+}
+
+// ID returns the trace identifier.
+func (t *Trace) ID() string { return t.id }
+
+// Begin returns the trace's start time.
+func (t *Trace) Begin() time.Time { return t.begin }
+
+// Finish stamps the trace's wall time. Call it exactly once, after the
+// request completes; Check and Events read the recorded wall.
+func (t *Trace) Finish() {
+	d := time.Since(t.begin)
+	t.mu.Lock()
+	if !t.finished {
+		t.wall = d
+		t.finished = true
+	}
+	t.mu.Unlock()
+}
+
+// Wall returns the wall time recorded by Finish (0 before).
+func (t *Trace) Wall() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wall
+}
+
+// newSpan allocates a span under parent (nil = root) holding t.mu.
+// Track assignment mirrors how the work actually forked: a span whose
+// parent has no other open child continues on the parent's track
+// (sequential phases render as one stacked lane), while a concurrent
+// sibling forks a fresh track so overlapping "X" events never share a
+// lane in the viewer.
+func (t *Trace) newSpan(parent *Span, name string) *Span {
+	s := &Span{tr: t, name: name, parent: parent, start: time.Since(t.begin), end: -1}
+	if parent == nil {
+		if t.openRoots == 0 && t.nextTrack == 0 {
+			t.nextTrack = 1 // track 0 belongs to the first root
+		} else {
+			s.track = t.nextTrack
+			t.nextTrack++
+		}
+		t.openRoots++
+	} else {
+		if parent.open == 0 {
+			s.track = parent.track
+		} else {
+			s.track = t.nextTrack
+			t.nextTrack++
+		}
+		parent.open++
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Root opens a root span (the request itself).
+func (t *Trace) Root(name string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.newSpan(nil, name)
+}
+
+// Child opens a sub-span. Safe on a nil receiver (returns nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.tr.newSpan(s, name)
+}
+
+// End closes the span. Ending twice is a no-op; ending a nil span is a
+// no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.tr.begin)
+	s.tr.mu.Lock()
+	if s.end < 0 {
+		s.end = d
+		if s.parent != nil {
+			s.parent.open--
+		} else {
+			s.tr.openRoots--
+		}
+	}
+	s.tr.mu.Unlock()
+}
+
+// Set attaches an attribute (chainable). No-op on nil.
+func (s *Span) Set(key string, val any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{key, val})
+	s.tr.mu.Unlock()
+	return s
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+type spanCtxKey struct{}
+
+// NewContext returns ctx carrying s as the current span. A nil span
+// returns ctx unchanged, so untraced requests never allocate.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// FromContext returns the current span, or nil when the request is not
+// being traced.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's current span and returns the
+// derived context plus the span. With no span in ctx (tracing off) it
+// returns ctx unchanged and a nil span — the zero-overhead path.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.Child(name)
+	return NewContext(ctx, s), s
+}
+
+// SpanInfo is the exported snapshot of one span (tests, /v1/sweeps).
+// Parent indexes the trace's span list (-1 = root).
+type SpanInfo struct {
+	Name   string
+	Parent int
+	Track  int
+	Start  time.Duration
+	End    time.Duration // -1 while still open
+	Attrs  []Attr
+}
+
+// Spans snapshots the span tree in creation order.
+func (t *Trace) Spans() []SpanInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := make(map[*Span]int, len(t.spans))
+	for i, s := range t.spans {
+		idx[s] = i
+	}
+	out := make([]SpanInfo, len(t.spans))
+	for i, s := range t.spans {
+		p := -1
+		if s.parent != nil {
+			p = idx[s.parent]
+		}
+		out[i] = SpanInfo{
+			Name: s.name, Parent: p, Track: s.track,
+			Start: s.start, End: s.end,
+			Attrs: append([]Attr(nil), s.attrs...),
+		}
+	}
+	return out
+}
+
+// interval is a closed span interval used by Check's union accounting.
+type interval struct{ lo, hi time.Duration }
+
+// unionLen returns the total length of the union of intervals.
+func unionLen(ivs []interval) time.Duration {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var total time.Duration
+	cur := ivs[0]
+	for _, iv := range ivs[1:] {
+		if iv.lo > cur.hi {
+			total += cur.hi - cur.lo
+			cur = iv
+			continue
+		}
+		if iv.hi > cur.hi {
+			cur.hi = iv.hi
+		}
+	}
+	return total + cur.hi - cur.lo
+}
+
+// Check verifies the trace's ledger-style invariants within tolerance
+// tol:
+//
+//  1. the trace is finished and every span has ended;
+//  2. nesting — every span's interval lies inside its parent's (each
+//     point's simulate span encloses its build/execute children, and so
+//     on up the tree);
+//  3. accounting — for every span, the union of its children's intervals
+//     does not exceed the span's own duration plus tol (children cannot
+//     claim time their parent does not have); and
+//  4. wall closure — the union of the root spans' intervals equals the
+//     request's recorded wall time within tol: the tree accounts for
+//     where the request's time went, the way CheckLedger proves every
+//     simulated cycle lands in a bucket.
+//
+// A request that abandoned an in-flight execution (client cancellation)
+// can legitimately fail 2: the flight's spans outlive the request that
+// started it. Tests exercise cancellation-free paths.
+func (t *Trace) Check(tol time.Duration) error {
+	spans := t.Spans()
+	t.mu.Lock()
+	finished, wall := t.finished, t.wall
+	t.mu.Unlock()
+	if !finished {
+		return fmt.Errorf("obs: trace %s: Check before Finish", t.id)
+	}
+	children := make([][]interval, len(spans))
+	var roots []interval
+	for _, s := range spans {
+		if s.End < 0 {
+			return fmt.Errorf("obs: trace %s: span %q never ended", t.id, s.Name)
+		}
+		if s.End < s.Start {
+			return fmt.Errorf("obs: trace %s: span %q ends (%v) before it starts (%v)", t.id, s.Name, s.End, s.Start)
+		}
+		if s.Parent >= 0 {
+			p := spans[s.Parent]
+			if s.Start+tol < p.Start || s.End > p.End+tol {
+				return fmt.Errorf("obs: trace %s: span %q [%v,%v] escapes parent %q [%v,%v]",
+					t.id, s.Name, s.Start, s.End, p.Name, p.Start, p.End)
+			}
+			children[s.Parent] = append(children[s.Parent], interval{s.Start, s.End})
+		} else {
+			roots = append(roots, interval{s.Start, s.End})
+		}
+	}
+	for i, ivs := range children {
+		if len(ivs) == 0 {
+			continue
+		}
+		if u, d := unionLen(ivs), spans[i].End-spans[i].Start; u > d+tol {
+			return fmt.Errorf("obs: trace %s: children of %q cover %v, span only lasts %v",
+				t.id, spans[i].Name, u, d)
+		}
+	}
+	if len(roots) == 0 {
+		return fmt.Errorf("obs: trace %s has no root span", t.id)
+	}
+	u := unionLen(roots)
+	if diff := u - wall; diff > tol || -diff > tol {
+		return fmt.Errorf("obs: trace %s: root spans cover %v, request wall time is %v (tolerance %v)",
+			t.id, u, wall, tol)
+	}
+	return nil
+}
+
+// Events renders the trace as Chrome trace events under pid: one "X"
+// event per completed span (timestamps in microseconds from the trace
+// start), tracks named, the process named after the trace ID. Spans
+// still open at export time are skipped.
+func (t *Trace) Events(pid int) []TraceEvent {
+	spans := t.Spans()
+	out := make([]TraceEvent, 0, len(spans)+4)
+	out = append(out, MetaProcessName(pid, "request "+t.id))
+	maxTrack := 0
+	for _, s := range spans {
+		if s.End < 0 {
+			continue
+		}
+		te := Complete(s.Name, s.Start.Microseconds(), (s.End - s.Start).Microseconds(), pid, s.Track)
+		if len(s.Attrs) > 0 {
+			te.Args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				te.Args[a.Key] = a.Val
+			}
+		}
+		out = append(out, te)
+		if s.Track > maxTrack {
+			maxTrack = s.Track
+		}
+	}
+	for tr := 0; tr <= maxTrack; tr++ {
+		name := fmt.Sprintf("track %d", tr)
+		if tr == 0 {
+			name = "request"
+		}
+		out = append(out, MetaThreadName(pid, tr, name))
+	}
+	return out
+}
+
+// WriteTraces renders traces as one Chrome trace document, one process
+// track group per trace.
+func WriteTraces(w io.Writer, traces ...*Trace) error {
+	f := &TraceFile{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"time_unit": "1us", "traces": len(traces)},
+	}
+	for i, t := range traces {
+		f.TraceEvents = append(f.TraceEvents, t.Events(i)...)
+	}
+	return WriteTraceFile(w, f)
+}

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *Span
+	s.End()
+	s.Set("k", 1)
+	if c := s.Child("x"); c != nil {
+		t.Fatalf("nil.Child = %v, want nil", c)
+	}
+	if s.Name() != "" {
+		t.Fatalf("nil.Name = %q", s.Name())
+	}
+}
+
+func TestNilSpanZeroAllocs(t *testing.T) {
+	var s *Span
+	allocs := testing.AllocsPerRun(100, func() {
+		_, sp := StartSpan(t.Context(), "x")
+		sp.Set("k", 1)
+		sp.End()
+		_ = s.Child("y")
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced span path allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestStartSpanWithoutParentReturnsSameContext(t *testing.T) {
+	ctx := t.Context()
+	ctx2, sp := StartSpan(ctx, "x")
+	if sp != nil {
+		t.Fatalf("span = %v, want nil", sp)
+	}
+	if ctx2 != ctx {
+		t.Fatal("StartSpan changed the context with no parent span")
+	}
+}
+
+func TestTraceNestingAndCheck(t *testing.T) {
+	tr := NewTrace("t1")
+	root := tr.Root("request")
+	ctx := NewContext(t.Context(), root)
+	ctx, a := StartSpan(ctx, "a")
+	_, b := StartSpan(ctx, "b")
+	time.Sleep(2 * time.Millisecond)
+	b.Set("cycles", int64(42))
+	b.End()
+	a.End()
+	root.End()
+	tr.Finish()
+	if err := tr.Check(50 * time.Millisecond); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Parent != -1 || spans[1].Parent != 0 || spans[2].Parent != 1 {
+		t.Fatalf("parent chain = %d,%d,%d, want -1,0,1",
+			spans[0].Parent, spans[1].Parent, spans[2].Parent)
+	}
+	// Sequential descent: all three share the root's track.
+	if spans[1].Track != spans[0].Track || spans[2].Track != spans[0].Track {
+		t.Fatalf("sequential children forked tracks: %d,%d,%d",
+			spans[0].Track, spans[1].Track, spans[2].Track)
+	}
+	if len(spans[2].Attrs) != 1 || spans[2].Attrs[0].Key != "cycles" {
+		t.Fatalf("attrs = %v", spans[2].Attrs)
+	}
+}
+
+func TestConcurrentChildrenForkTracks(t *testing.T) {
+	tr := NewTrace("t2")
+	root := tr.Root("sweep")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := root.Child("point")
+			time.Sleep(time.Millisecond)
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	tr.Finish()
+	if err := tr.Check(50 * time.Millisecond); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	// With 4 children all open at once, at least two distinct tracks must
+	// exist (the first inherits the root's, the overlapping rest fork).
+	tracks := map[int]bool{}
+	for _, s := range tr.Spans() {
+		tracks[s.Track] = true
+	}
+	if len(tracks) < 2 {
+		t.Fatalf("concurrent children shared one track: %v", tracks)
+	}
+}
+
+func TestCheckRejectsUnendedSpan(t *testing.T) {
+	tr := NewTrace("t3")
+	root := tr.Root("request")
+	root.Child("leak") // never ended
+	root.End()
+	tr.Finish()
+	err := tr.Check(time.Second)
+	if err == nil || !strings.Contains(err.Error(), "never ended") {
+		t.Fatalf("Check = %v, want never-ended error", err)
+	}
+}
+
+func TestCheckRejectsChildEscapingParent(t *testing.T) {
+	tr := NewTrace("t4")
+	root := tr.Root("request")
+	child := root.Child("late")
+	root.End() // parent ends while the child is open
+	time.Sleep(5 * time.Millisecond)
+	child.End() // child now ends well after its parent
+	tr.Finish()
+	err := tr.Check(time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "escapes parent") {
+		t.Fatalf("Check = %v, want escape error", err)
+	}
+}
+
+func TestCheckRejectsWallMismatch(t *testing.T) {
+	tr := NewTrace("t5")
+	root := tr.Root("request")
+	root.End() // root covers ~0 of the wall
+	time.Sleep(20 * time.Millisecond)
+	tr.Finish() // wall is ~20ms
+	err := tr.Check(time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "wall time") {
+		t.Fatalf("Check = %v, want wall-closure error", err)
+	}
+	// The same trace passes with a tolerance wider than the gap.
+	if err := tr.Check(time.Second); err != nil {
+		t.Fatalf("Check with wide tolerance: %v", err)
+	}
+}
+
+func TestCheckBeforeFinish(t *testing.T) {
+	tr := NewTrace("t6")
+	tr.Root("r").End()
+	if err := tr.Check(time.Second); err == nil {
+		t.Fatal("Check passed before Finish")
+	}
+}
+
+func TestDoubleEndKeepsFirst(t *testing.T) {
+	tr := NewTrace("t7")
+	s := tr.Root("r")
+	s.End()
+	end1 := tr.Spans()[0].End
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if end2 := tr.Spans()[0].End; end2 != end1 {
+		t.Fatalf("second End moved the span end: %v -> %v", end1, end2)
+	}
+}
+
+func TestWriteTracesChromeJSON(t *testing.T) {
+	tr := NewTrace("abc123")
+	root := tr.Root("run")
+	c := root.Child("point")
+	c.Set("key", "k1")
+	time.Sleep(time.Millisecond)
+	c.End()
+	root.End()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, tr); err != nil {
+		t.Fatalf("WriteTraces: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Dur  int64          `json:"dur"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	var haveRun, havePoint, haveProcName bool
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.Name == "run":
+			haveRun = true
+		case e.Ph == "X" && e.Name == "point":
+			havePoint = true
+			if e.Args["key"] != "k1" {
+				t.Fatalf("point args = %v", e.Args)
+			}
+		case e.Ph == "M" && e.Name == "process_name":
+			haveProcName = true
+			if got := e.Args["name"]; got != "request abc123" {
+				t.Fatalf("process name = %v", got)
+			}
+		}
+	}
+	if !haveRun || !havePoint || !haveProcName {
+		t.Fatalf("missing events: run=%v point=%v procname=%v", haveRun, havePoint, haveProcName)
+	}
+	if doc.OtherData["traces"] != float64(1) {
+		t.Fatalf("otherData = %v", doc.OtherData)
+	}
+}
+
+func TestOpenSpansSkippedInExport(t *testing.T) {
+	tr := NewTrace("t8")
+	root := tr.Root("r")
+	root.Child("open") // never ended
+	root.End()
+	for _, e := range tr.Events(0) {
+		if e.Name == "open" {
+			t.Fatal("open span exported")
+		}
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Fatalf("two NewRequestID calls collided: %s", a)
+	}
+	if len(a) != 16 || !ValidRequestID(a) {
+		t.Fatalf("NewRequestID() = %q, want 16 valid hex chars", a)
+	}
+	for id, want := range map[string]bool{
+		"abc-123.X_Y":           true,
+		"":                      false,
+		"has space":             false,
+		"quote\"inside":         false,
+		"back\\slash":           false,
+		"ctrl\nchar":            false,
+		"non-ascii-é":           false,
+		strings.Repeat("a", 64): true,
+		strings.Repeat("a", 65): false,
+	} {
+		if got := ValidRequestID(id); got != want {
+			t.Errorf("ValidRequestID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestUnionLen(t *testing.T) {
+	cases := []struct {
+		ivs  []interval
+		want time.Duration
+	}{
+		{nil, 0},
+		{[]interval{{0, 10}}, 10},
+		{[]interval{{0, 10}, {5, 15}}, 15},
+		{[]interval{{0, 10}, {20, 30}}, 20},
+		{[]interval{{5, 15}, {0, 10}, {12, 20}}, 20},
+		{[]interval{{0, 10}, {2, 4}}, 10},
+	}
+	for _, c := range cases {
+		if got := unionLen(append([]interval(nil), c.ivs...)); got != c.want {
+			t.Errorf("unionLen(%v) = %v, want %v", c.ivs, got, c.want)
+		}
+	}
+}

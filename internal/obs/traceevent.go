@@ -1,0 +1,58 @@
+package obs
+
+// The Chrome trace-event JSON document model: the subset of the format
+// the viewers need (complete "X", instant "i", and metadata "M" events),
+// shared by machine.EventRing's cycle-level pipeline export and the
+// request-level span export (Trace.Events). One writer means one dialect:
+// a file produced by either layer loads in chrome://tracing and
+// ui.perfetto.dev the same way.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceEvent is one trace-event record.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the top-level chrome://tracing document. OtherData carries
+// free-form metadata shown in the viewer's info panel.
+type TraceFile struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// Complete returns a duration ("X") event.
+func Complete(name string, ts, dur int64, pid, tid int) TraceEvent {
+	return TraceEvent{Name: name, Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid}
+}
+
+// Instant returns a thread-scoped instant ("i") event.
+func Instant(name string, ts int64, pid, tid int) TraceEvent {
+	return TraceEvent{Name: name, Ph: "i", S: "t", Ts: ts, Pid: pid, Tid: tid}
+}
+
+// MetaProcessName returns the metadata event naming a process track.
+func MetaProcessName(pid int, name string) TraceEvent {
+	return TraceEvent{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}}
+}
+
+// MetaThreadName returns the metadata event naming a thread track.
+func MetaThreadName(pid, tid int, name string) TraceEvent {
+	return TraceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}}
+}
+
+// WriteTraceFile encodes the document to w.
+func WriteTraceFile(w io.Writer, f *TraceFile) error {
+	return json.NewEncoder(w).Encode(f)
+}

@@ -23,10 +23,14 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
 	"runtime"
 	"slices"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -34,6 +38,7 @@ import (
 	"regconn/internal/bench"
 	"regconn/internal/exp"
 	"regconn/internal/machine"
+	"regconn/internal/obs"
 	"regconn/internal/store"
 )
 
@@ -54,6 +59,23 @@ type Config struct {
 	Peers []string
 	// Self is this replica's entry in Peers (required with Peers).
 	Self string
+
+	// Trace enables request tracing: every run/sweep/figures request
+	// builds a span tree, retained in memory (TraceKeep) and served by
+	// GET /debug/trace. Off by default: with tracing off requests carry
+	// no span and the instrumentation is nil no-ops.
+	Trace bool
+	// TraceDir additionally writes each finished trace as
+	// <id>.trace.json into the directory (implies Trace; the directory
+	// is created by New).
+	TraceDir string
+	// TraceKeep bounds the in-memory trace retention ring (0 = 64).
+	TraceKeep int
+	// Logger receives structured request logs (nil = discard).
+	Logger *slog.Logger
+	// SlowThreshold marks requests slower than it as slow (logged at
+	// Warn, counted in rcserve_slow_requests_total; 0 = 2s).
+	SlowThreshold time.Duration
 }
 
 // Server implements the HTTP API. Create with New; it is an http.Handler.
@@ -65,6 +87,7 @@ type Server struct {
 	peerClient *http.Client
 	flights    *flightGroup
 	met        *metrics
+	obs        *serveObs
 	sem        chan struct{}
 	runner     *exp.Runner // memoized figure generation
 	mux        *http.ServeMux
@@ -72,7 +95,8 @@ type Server struct {
 }
 
 // New returns a ready-to-serve Server. It fails only when the persistent
-// store cannot be opened or the shard configuration is inconsistent.
+// store or trace directory cannot be opened or the shard configuration
+// is inconsistent.
 func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -81,9 +105,13 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		cache:   newLRUCache(cfg.CacheSize),
 		flights: newFlightGroup(),
-		met:     newMetrics(),
 		sem:     make(chan struct{}, cfg.Workers),
 		runner:  exp.NewRunner(),
+	}
+	if cfg.TraceDir != "" {
+		if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: trace dir: %w", err)
+		}
 	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir, store.Options{})
@@ -104,13 +132,26 @@ func New(cfg Config) (*Server, error) {
 		// the per-request context bounds them.
 		s.peerClient = &http.Client{}
 	}
+	// The metric set is built after cache/store/ring exist: the
+	// scrape-time gauges close over them, and the fleet's peer-liveness
+	// series are registered up front for every peer we could forward to.
+	var others []string
+	for _, p := range cfg.Peers {
+		if p != cfg.Self {
+			others = append(others, p)
+		}
+	}
+	s.met = newMetrics(s.cache, s.store, others)
+	s.obs = newServeObs(cfg)
 	s.runner.Workers = cfg.Workers
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweeps)
 	mux.HandleFunc("GET /v1/figures/{id}", s.handleFigures)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
 	s.mux = mux
 	return s, nil
 }
@@ -125,23 +166,112 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Metrics exposes the counter map (cmd/rcserve publishes it to expvar).
-func (s *Server) Metrics() fmt.Stringer { return s.met.expvarMap(s.cache, s.store) }
+// Metrics exposes the legacy counter map (cmd/rcserve publishes it to
+// expvar). The map is assembled exactly once — every call returns the
+// same *expvar.Map, whose entries are live views over the obs registry —
+// so scraping it does not rebuild anything.
+func (s *Server) Metrics() *expvar.Map { return s.met.legacy }
 
 // SetDraining flips /healthz to 503 so load balancers stop routing new
 // work here while http.Server.Shutdown lets inflight requests finish.
 func (s *Server) SetDraining() { s.draining.Store(true) }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.met.requests.Add(1)
-	sw := &statusWriter{ResponseWriter: w}
-	s.mux.ServeHTTP(sw, r)
-	if sw.status >= 400 {
-		s.met.errors.Add(1)
+// endpointOf classifies a request for metric labels and trace roots.
+func endpointOf(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/v1/run":
+		return "run"
+	case p == "/v1/sweep":
+		return "sweep"
+	case p == "/v1/sweeps":
+		return "sweeps"
+	case strings.HasPrefix(p, "/v1/figures/"):
+		return "figures"
+	case p == "/healthz":
+		return "healthz"
+	case p == "/metrics":
+		return "metrics"
+	case p == "/debug/trace":
+		return "trace"
 	}
+	return "other"
 }
 
-// statusWriter records the response status for the error counter.
+// traceableEndpoint reports whether the endpoint does work worth a span
+// tree (observability polls are not traced).
+func traceableEndpoint(ep string) bool {
+	return ep == "run" || ep == "sweep" || ep == "figures"
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ep := endpointOf(r)
+	s.met.requests.With(ep).Inc()
+
+	// Every request gets a request ID: the client's own X-Request-ID when
+	// it is safe to echo (peer sub-sweeps propagate theirs so one sweep is
+	// one ID fleet-wide), a fresh one otherwise. The ID is the trace ID.
+	rid := r.Header.Get("X-Request-ID")
+	if !obs.ValidRequestID(rid) {
+		rid = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", rid)
+	ctx := context.WithValue(r.Context(), ridCtxKey{}, rid)
+
+	var tr *obs.Trace
+	var root *obs.Span
+	if s.obs.trace && traceableEndpoint(ep) {
+		tr = obs.NewTrace(rid)
+		root = tr.Root(ep)
+		ctx = obs.NewContext(ctx, root)
+	}
+
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	dur := time.Since(start)
+
+	if sw.status >= 400 {
+		s.met.errors.With(ep).Inc()
+	}
+	if tr != nil {
+		root.End()
+		tr.Finish()
+		s.obs.retain(tr)
+	}
+	s.logRequest(r, ep, rid, sw, dur)
+}
+
+// logRequest emits the structured request log line. Successful
+// observability polls (healthz, metrics, sweeps) are skipped so an rctop
+// refresh loop does not flood the log.
+func (s *Server) logRequest(r *http.Request, ep, rid string, sw *statusWriter, dur time.Duration) {
+	slow := dur >= s.obs.slow
+	if slow {
+		s.met.slowRequests.Inc()
+	}
+	if sw.status < 400 && (ep == "healthz" || ep == "metrics" || ep == "sweeps") {
+		return
+	}
+	attrs := []any{
+		"request_id", rid,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.status,
+		"duration_ms", dur.Milliseconds(),
+	}
+	if c := sw.Header().Get("X-Cache"); c != "" {
+		attrs = append(attrs, "cache", c)
+	}
+	if slow {
+		s.obs.log.Warn("slow request", attrs...)
+		return
+	}
+	s.obs.log.Info("request", attrs...)
+}
+
+// statusWriter records the response status for the error counter and the
+// request log.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -253,28 +383,59 @@ func (src pointSource) String() string {
 	}
 }
 
+// label is the source's metric-label spelling.
+func (src pointSource) label() string {
+	switch src {
+	case srcHit:
+		return "hit"
+	case srcCoalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
 // point answers one (benchmark, arch) coordinate: LRU, then the
 // persistent store, then singleflight, then a worker slot, then the
-// simulation. It returns the response bytes and their source.
-func (s *Server) point(ctx context.Context, bm bench.Benchmark, arch regconn.Arch) (body []byte, src pointSource, err error) {
+// simulation. It returns the response bytes and their source. Every
+// route into a point — /v1/run and each /v1/sweep job alike — comes
+// through here, so the deferred observe covers per-point latency and the
+// source counters uniformly, and the span tree (when the request is
+// traced) records each stage.
+func (s *Server) point(ctx context.Context, endpoint string, bm bench.Benchmark, arch regconn.Arch) (body []byte, src pointSource, err error) {
 	// Canonicalize before keying so the cached response body names the
 	// point the same way the key hashes it, whichever spelling (Backend
 	// name or legacy Mode number) the client used.
 	arch = arch.Canonical()
 	k := Key(bm.Name, arch)
-	if b, ok := s.cache.get(k); ok {
-		s.met.hits.Add(1)
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "point")
+	span.Set("benchmark", bm.Name).Set("key", k).Set("backend", backendLabel(arch))
+	defer func() {
+		span.Set("cache", src.String()).End()
+		s.met.observe(endpoint, arch, src, time.Since(start))
+	}()
+	lk := span.Child("cache.lookup")
+	b, ok := s.cache.get(k)
+	lk.End()
+	if ok {
 		return b, srcHit, nil
 	}
 	if s.store != nil {
-		if b, ok := s.store.Get(k); ok {
+		rd := span.Child("store.read")
+		b, ok := s.store.Get(k)
+		rd.End()
+		if ok {
 			// Read through: promote the durable record into the LRU so the
 			// next hit skips the store index.
 			s.cache.put(k, b)
-			s.met.hits.Add(1)
 			return b, srcHit, nil
 		}
 	}
+	// The flight span covers the whole wait; only the owner's closure
+	// runs, so the simulate/store.append children attach to exactly one
+	// request's tree — the owner's.
+	fl := span.Child("flight")
 	val, err, shared := s.flights.Do(ctx, k, func(fctx context.Context) ([]byte, error) {
 		select {
 		case s.sem <- struct{}{}:
@@ -284,10 +445,14 @@ func (s *Server) point(ctx context.Context, bm bench.Benchmark, arch regconn.Arc
 		defer func() { <-s.sem }()
 		s.met.inflight.Add(1)
 		defer s.met.inflight.Add(-1)
-		res, err := exp.RunPoint(fctx, bm, arch)
+		sim := fl.Child("simulate")
+		res, err := exp.RunPoint(obs.NewContext(fctx, sim), bm, arch)
 		if err != nil {
+			sim.End()
 			return nil, err
 		}
+		sim.Set("cycles", res.Cycles).Set("instrs", res.Instrs)
+		sim.End()
 		b, err := json.Marshal(RunResponse{Benchmark: bm.Name, Arch: arch, Key: k, Result: res})
 		if err != nil {
 			return nil, err
@@ -295,8 +460,11 @@ func (s *Server) point(ctx context.Context, bm bench.Benchmark, arch regconn.Arc
 		// Write through: durable first (Put fsyncs, first write wins),
 		// then the LRU. A store failure costs persistence, not the result.
 		if s.store != nil {
-			if err := s.store.Put(k, b); err != nil {
-				s.met.storeErrors.Add(1)
+			ap := fl.Child("store.append")
+			perr := s.store.Put(k, b)
+			ap.End()
+			if perr != nil {
+				s.met.storeErrors.Inc()
 			}
 		}
 		s.cache.put(k, b)
@@ -305,10 +473,10 @@ func (s *Server) point(ctx context.Context, bm bench.Benchmark, arch regconn.Arc
 	// A true miss is the flight owner alone; everyone who joined its
 	// flight coalesced. (Counted on errors too: the flight did run.)
 	if shared {
-		s.met.coalesced.Add(1)
+		fl.Set("role", "join").End()
 		return val, srcCoalesced, err
 	}
-	s.met.misses.Add(1)
+	fl.Set("role", "own").End()
 	return val, srcMiss, err
 }
 
@@ -361,9 +529,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	start := time.Now()
-	body, src, err := s.point(ctx, bm, req.Arch)
-	s.met.observe(time.Since(start))
+	body, src, err := s.point(ctx, "run", bm, req.Arch)
 	if err != nil {
 		writeError(w, statusFor(err), errorBody{Benchmark: bm.Name, Key: Key(bm.Name, req.Arch), Error: err.Error()})
 		return
@@ -404,30 +570,41 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, 0)
 	defer cancel()
 
+	// Resolve every point's owner up front: it labels the sweep-progress
+	// table's per-peer breakdown and routes the fan-out below.
+	sharded := s.ring != nil && !req.LocalOnly
+	ownerOf := make([]string, len(jobs))
+	for i, j := range jobs {
+		if sharded && !s.ring.local(j.key) {
+			ownerOf[i] = s.ring.owner(j.key)
+		} else {
+			ownerOf[i] = ownerLocal
+		}
+		j.owner = ownerOf[i]
+	}
+	// Register in the live progress table (GET /v1/sweeps) under the
+	// request ID: a forwarded sub-sweep carries its parent's ID, so one
+	// distributed sweep shows up under one ID on every replica it touches.
+	st := s.obs.sweeps.register(requestIDFrom(ctx), ownerOf)
+	defer s.obs.sweeps.finish(st)
+
 	// Fan the grid out — locally (the worker-pool semaphore bounds real
 	// concurrency) or to each point's owning replica — and stream lines
 	// back in deterministic benchmark-major request order.
-	if s.ring == nil || req.LocalOnly {
-		for _, j := range jobs {
+	var owners []string
+	byOwner := map[string][]*sweepJob{}
+	for _, j := range jobs {
+		if j.owner == ownerLocal {
 			go s.runSweepJob(ctx, j)
+			continue
 		}
-	} else {
-		var owners []string
-		byOwner := map[string][]*sweepJob{}
-		for _, j := range jobs {
-			if s.ring.local(j.key) {
-				go s.runSweepJob(ctx, j)
-				continue
-			}
-			o := s.ring.owner(j.key)
-			if _, ok := byOwner[o]; !ok {
-				owners = append(owners, o)
-			}
-			byOwner[o] = append(byOwner[o], j)
+		if _, ok := byOwner[j.owner]; !ok {
+			owners = append(owners, j.owner)
 		}
-		for _, o := range owners {
-			go s.forwardSweep(ctx, o, byOwner[o])
-		}
+		byOwner[j.owner] = append(byOwner[j.owner], j)
+	}
+	for _, o := range owners {
+		go s.forwardSweep(ctx, o, byOwner[o])
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -436,19 +613,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	failed := 0
 	for _, j := range jobs {
 		res := <-j.ch
+		pointFailed := res.err != nil || res.remoteErr
 		switch {
 		case res.err != nil:
-			s.met.sweepPointErrors.Add(1)
+			s.met.sweepPointErrors.Inc()
 			failed++
 			enc.Encode(errorBody{Benchmark: j.bm.Name, Key: j.key, Error: res.err.Error()})
 		default:
 			if res.remoteErr {
-				s.met.sweepPointErrors.Add(1)
+				s.met.sweepPointErrors.Inc()
 				failed++
 			}
 			w.Write(res.body)
 			w.Write([]byte("\n"))
 		}
+		st.point(j.owner, pointFailed)
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -456,9 +635,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// The 200 header went out before the first point ran, so statusWriter
 	// cannot see a sweep where every point failed — count it here.
 	if failed > 0 && failed == len(jobs) {
-		s.met.errors.Add(1)
+		s.met.errors.With("sweep").Inc()
 	}
 }
+
+// ownerLocal labels points this replica computes itself in the sweep
+// progress table.
+const ownerLocal = "local"
 
 // result pairs one sweep point's outcome. remoteErr marks a line relayed
 // from a peer that is an error body rather than a RunResponse.
@@ -498,7 +681,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte(`{"status":"ok"}` + "\n"))
 }
 
+// wantsPrometheus selects the exposition format: explicit
+// ?format=prometheus, or an Accept header asking for text (the
+// Prometheus scraper sends "text/plain; version=0.0.4").
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.refresh()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.met.reg.WritePrometheus(w)
+		return
+	}
+	// Legacy view: the flat expvar JSON map, same shape as ever. The map
+	// is never rebuilt — its entries are live views — so a scrape only
+	// renders it.
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, s.met.expvarMap(s.cache, s.store).String())
+	fmt.Fprintln(w, s.met.legacy.String())
 }

@@ -11,9 +11,9 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"time"
 
 	"regconn/internal/bench"
+	"regconn/internal/obs"
 )
 
 // Sharding: when rcserve runs as N replicas (-peers, -self), every point
@@ -89,42 +89,64 @@ func (r *ring) local(key string) bool {
 // sweepJob is one grid point flowing through handleSweep: computed
 // locally or answered by its owning peer, delivered on ch either way.
 type sweepJob struct {
-	bm   bench.Benchmark
-	arch SweepPoint // request spelling, forwarded verbatim to the owner
-	key  string
-	ch   chan result
+	bm    bench.Benchmark
+	arch  SweepPoint // request spelling, forwarded verbatim to the owner
+	key   string
+	owner string // ownerLocal or the owning peer's base URL
+	ch    chan result
 }
 
 // forwardSweep sends one owner's slice of the grid to that peer as a
 // local-only sub-sweep and relays the NDJSON lines, one per job, in
-// order. Any transport failure — connect, mid-stream disconnect, or a
-// non-200 — falls back to computing the remaining points locally, so a
-// dead peer costs affinity, never results.
+// order. The parent request's X-Request-ID rides along, so the peer's
+// logs, trace, and progress table file the sub-sweep under the same ID.
+// Any transport failure — connect, mid-stream disconnect, or a non-200 —
+// falls back to computing the remaining points locally, so a dead peer
+// costs affinity, never results; either way the peer's health timestamps
+// are updated for the liveness gauges.
 func (s *Server) forwardSweep(ctx context.Context, owner string, jobs []*sweepJob) {
+	_, span := obs.StartSpan(ctx, "peer.forward")
+	span.Set("peer", owner).Set("points", len(jobs))
+	n := s.relaySweep(ctx, owner, jobs, span)
+	span.Set("relayed", n)
+	if n == len(jobs) {
+		span.Set("ok", true).End()
+		s.met.health.markOK(owner)
+		return
+	}
+	// A stream that never started or ended early (peer down, or crashed
+	// mid-sweep) leaves a tail of the slice unanswered; compute it here.
+	span.Set("ok", false).End()
+	s.met.health.markFail(owner)
+	s.fallbackSweep(ctx, owner, jobs[n:])
+}
+
+// relaySweep POSTs the sub-sweep to the owner and relays lines; it
+// returns how many jobs were answered.
+func (s *Server) relaySweep(ctx context.Context, owner string, jobs []*sweepJob, span *obs.Span) int {
 	pts := make([]SweepPoint, len(jobs))
 	for i, j := range jobs {
 		pts[i] = j.arch
 	}
 	body, err := json.Marshal(SweepRequest{Points: pts, LocalOnly: true})
 	if err != nil {
-		s.fallbackSweep(ctx, jobs)
-		return
+		return 0
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/sweep", bytes.NewReader(body))
 	if err != nil {
-		s.fallbackSweep(ctx, jobs)
-		return
+		return 0
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if rid := requestIDFrom(ctx); rid != "" {
+		req.Header.Set("X-Request-ID", rid)
+	}
 	resp, err := s.peerClient.Do(req)
 	if err != nil {
-		s.fallbackSweep(ctx, jobs)
-		return
+		return 0
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		s.fallbackSweep(ctx, jobs)
-		return
+		return 0
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
@@ -132,29 +154,26 @@ func (s *Server) forwardSweep(ctx context.Context, owner string, jobs []*sweepJo
 	for i < len(jobs) && sc.Scan() {
 		line := append([]byte(nil), sc.Bytes()...)
 		jobs[i].ch <- result{body: line, remoteErr: isErrorLine(line)}
-		s.met.peerForwarded.Add(1)
+		s.met.peerForwarded.With(owner).Inc()
 		i++
 	}
-	// A stream that ended early (peer crashed mid-sweep) leaves the tail
-	// of the slice unanswered; compute it here.
-	if i < len(jobs) {
-		s.fallbackSweep(ctx, jobs[i:])
-	}
+	return i
 }
 
-// fallbackSweep computes jobs on this replica, in its own worker pool.
-func (s *Server) fallbackSweep(ctx context.Context, jobs []*sweepJob) {
+// fallbackSweep computes the peer-owned jobs on this replica, in its own
+// worker pool.
+func (s *Server) fallbackSweep(ctx context.Context, owner string, jobs []*sweepJob) {
 	for _, j := range jobs {
-		s.met.peerFallback.Add(1)
+		s.met.peerFallback.With(owner).Inc()
 		go s.runSweepJob(ctx, j)
 	}
 }
 
-// runSweepJob computes one grid point locally and delivers it.
+// runSweepJob computes one grid point locally and delivers it. Latency
+// and source counters are observed inside point, exactly as on the
+// /v1/run route.
 func (s *Server) runSweepJob(ctx context.Context, j *sweepJob) {
-	start := time.Now()
-	body, _, err := s.point(ctx, j.bm, j.arch.Arch)
-	s.met.observe(time.Since(start))
+	body, _, err := s.point(ctx, "sweep", j.bm, j.arch.Arch)
 	j.ch <- result{body: body, err: err}
 }
 

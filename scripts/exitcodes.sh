@@ -12,7 +12,7 @@ GO=${GO:-go}
 BIN=$(mktemp -d)
 trap 'rm -rf "$BIN"' EXIT INT TERM
 
-if ! $GO build -o "$BIN/" ./cmd/rcrun ./cmd/rclint ./cmd/rcexp ./cmd/rcserve; then
+if ! $GO build -o "$BIN/" ./cmd/rcrun ./cmd/rclint ./cmd/rcexp ./cmd/rcserve ./cmd/rctop; then
     echo "exitcodes: build failed" >&2
     exit 1
 fi
@@ -77,11 +77,21 @@ expect_msg 2 "$BACKEND_LIST" "$BIN/rclint" -backends bogus
 expect 0 "$BIN/rclint" -quick -bench grep -issue 4
 expect 0 "$BIN/rclint" -quick -bench grep -issue 4 -backends portreduce,chain
 
-# rcserve: inconsistent shard or store configuration must fail before
-# the daemon binds its listener (all three exit without serving).
+# rcserve: inconsistent shard, store, or observability configuration
+# must fail before the daemon binds its listener.
 expect 1 "$BIN/rcserve" -peers "http://a:1,http://b:1"
 expect 1 "$BIN/rcserve" -peers "http://a:1,http://b:1" -self "http://c:1"
 expect 1 "$BIN/rcserve" -peers "http://a:1,," -self "http://a:1"
+expect 1 "$BIN/rcserve" -trace-dir /dev/null/nope
+expect 1 "$BIN/rcserve" -log bogus
+expect 2 "$BIN/rcserve" -slow bogus
+
+# rctop: -peers is required and validated; a down replica is rendered
+# as "down" in a -once frame rather than failing the run.
+expect 1 "$BIN/rctop"
+expect 1 "$BIN/rctop" -peers "http://a:1,,"
+expect 2 "$BIN/rctop" -interval bogus
+expect 0 "$BIN/rctop" -once -peers "http://127.0.0.1:1"
 
 # rcexp: unknown formats, experiments, and benchmarks must all fail.
 expect 1 "$BIN/rcexp" -quick -format junk

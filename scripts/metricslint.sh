@@ -1,0 +1,57 @@
+#!/bin/sh
+# Cross-checks the metric families registered in internal/serve/metrics.go
+# against the metric table in DESIGN.md §15, in both directions: a family
+# registered in code but missing from the table is undocumented; a table
+# row without a registration is stale documentation. Either fails the
+# build (a make verify step).
+#
+# Run from the repository root: sh scripts/metricslint.sh
+set -u
+
+CODE=internal/serve/metrics.go
+DOC=DESIGN.md
+
+if [ ! -f "$CODE" ] || [ ! -f "$DOC" ]; then
+    echo "metricslint: run from the repository root" >&2
+    exit 1
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+# Families registered in code: every reg.Counter/Gauge/Histogram[Vec]/
+# GaugeFunc call names its family in a string literal on the call line.
+grep -o 'reg\.\(Counter\|CounterVec\|Gauge\|GaugeFunc\|GaugeVec\|Histogram\|HistogramVec\)("[a-z_]*"' "$CODE" |
+    sed 's/.*"\([a-z_]*\)"/\1/' | sort -u >"$TMP/code"
+
+# Families documented in the DESIGN.md §15 table: rows of the form
+# "| `name` | kind | labels |".
+grep -o '^| `[a-z_]*` |' "$DOC" | sed 's/| `\([a-z_]*\)` |/\1/' | sort -u >"$TMP/doc"
+
+if [ ! -s "$TMP/code" ]; then
+    echo "metricslint: no registrations found in $CODE (extraction broken?)" >&2
+    exit 1
+fi
+if [ ! -s "$TMP/doc" ]; then
+    echo "metricslint: no metric table rows found in $DOC (extraction broken?)" >&2
+    exit 1
+fi
+
+fails=0
+undocumented=$(comm -23 "$TMP/code" "$TMP/doc")
+if [ -n "$undocumented" ]; then
+    echo "metricslint: registered in $CODE but missing from the $DOC metric table:"
+    echo "$undocumented" | sed 's/^/  /'
+    fails=1
+fi
+stale=$(comm -13 "$TMP/code" "$TMP/doc")
+if [ -n "$stale" ]; then
+    echo "metricslint: documented in $DOC but not registered in $CODE:"
+    echo "$stale" | sed 's/^/  /'
+    fails=1
+fi
+
+if [ "$fails" -ne 0 ]; then
+    exit 1
+fi
+echo "metricslint: $(wc -l <"$TMP/code" | tr -d ' ') families match the DESIGN.md table"
