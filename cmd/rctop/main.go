@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"time"
+	"unicode/utf8"
 
 	"regconn/internal/serve"
 )
@@ -259,13 +260,18 @@ func bar(done, total, width int) string {
 	return "[" + strings.Repeat("#", fill) + strings.Repeat(".", width-fill) + "]"
 }
 
-// clip truncates s to n runes with an ellipsis.
+// clip truncates s to n runes with an ellipsis, never cutting mid-rune
+// (replica URLs and sweep owners are not guaranteed to be ASCII).
 func clip(s string, n int) string {
-	if len(s) <= n {
+	if utf8.RuneCountInString(s) <= n {
 		return s
 	}
-	if n <= 1 {
-		return s[:n]
+	if n <= 0 {
+		return ""
 	}
-	return s[:n-1] + "…"
+	r := []rune(s)
+	if n == 1 {
+		return string(r[:1])
+	}
+	return string(r[:n-1]) + "…"
 }

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+func TestClipRuneBoundaries(t *testing.T) {
+	cases := []struct {
+		s    string
+		n    int
+		want string
+	}{
+		{"short", 10, "short"},
+		{"exactly-8", 9, "exactly-8"},
+		{"0123456789", 5, "0123…"},
+		{"0123456789", 1, "0"},
+		{"0123456789", 0, ""},
+		{"héllo-wörld", 11, "héllo-wörld"},
+		{"héllo-wörld", 5, "héll…"},
+		{"日本語のテキスト", 4, "日本語…"},
+		{"日本語のテキスト", 1, "日"},
+	}
+	for _, c := range cases {
+		got := clip(c.s, c.n)
+		if got != c.want {
+			t.Errorf("clip(%q, %d) = %q, want %q", c.s, c.n, got, c.want)
+		}
+		if !utf8.ValidString(got) {
+			t.Errorf("clip(%q, %d) = %q: invalid UTF-8", c.s, c.n, got)
+		}
+	}
+}

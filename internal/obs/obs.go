@@ -28,6 +28,7 @@ package obs
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"path/filepath"
 )
 
 // NewRequestID returns a fresh 16-hex-character request identifier, the
@@ -45,17 +46,25 @@ func NewRequestID() string {
 }
 
 // ValidRequestID reports whether a client-supplied request ID is safe to
-// adopt: non-empty, at most 64 bytes, and printable ASCII without spaces
-// or quotes (it is echoed into headers, logs, and trace JSON).
+// adopt: non-empty, at most 64 bytes, and limited to [0-9A-Za-z._-]. The
+// ID is echoed into headers, logs, and trace JSON, and — with -trace-dir
+// set — becomes part of an on-disk filename, so anything that could act
+// as a path separator or escape a directory (slashes, "..", backslashes)
+// is rejected outright rather than sanitized.
 func ValidRequestID(id string) bool {
 	if id == "" || len(id) > 64 {
 		return false
 	}
 	for i := 0; i < len(id); i++ {
 		c := id[i]
-		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '-', c == '_', c == '.':
+		default:
 			return false
 		}
 	}
-	return true
+	// Belt and braces: the ID must be a plain path element. With the
+	// charset above this only excludes the dot-only names "." and "..".
+	return id != "." && id != ".." && filepath.Base(id) == id
 }

@@ -251,6 +251,12 @@ func TestRequestIDs(t *testing.T) {
 		"back\\slash":           false,
 		"ctrl\nchar":            false,
 		"non-ascii-é":           false,
+		"../../../tmp/evil":     false,
+		"a/b":                   false,
+		"..":                    false,
+		".":                     false,
+		"has:colon":             false,
+		"..leading-dots-ok":     true,
 		strings.Repeat("a", 64): true,
 		strings.Repeat("a", 65): false,
 	} {

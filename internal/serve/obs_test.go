@@ -412,6 +412,48 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 	}
 }
 
+// TestWantsPrometheus: format selection is real content negotiation,
+// not an Accept substring sniff — a JSON scraper that happens to
+// mention text/plain with a low (or zero) preference keeps getting the
+// legacy JSON view.
+func TestWantsPrometheus(t *testing.T) {
+	cases := []struct {
+		query, accept string
+		want          bool
+	}{
+		{"", "", false},
+		{"format=prometheus", "", true},
+		{"format=prometheus", "application/json", true},
+		{"format=json", "text/plain", false},
+		{"", "text/plain", true},
+		{"", "text/plain; version=0.0.4", true},
+		{"", "application/openmetrics-text; version=1.0.0; q=0.9", true},
+		{"", "text/plain;q=0", false},
+		{"", "application/json, text/plain;q=0.1", false},
+		{"", "text/plain;q=0.9, application/json;q=0.2", true},
+		{"", "*/*", false},
+		{"", "text/html", false},
+		{"", "not an accept header", false},
+	}
+	for _, c := range cases {
+		url := "http://x/metrics"
+		if c.query != "" {
+			url += "?" + c.query
+		}
+		r, err := http.NewRequest("GET", url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.accept != "" {
+			r.Header.Set("Accept", c.accept)
+		}
+		if got := wantsPrometheus(r); got != c.want {
+			t.Errorf("wantsPrometheus(query=%q, accept=%q) = %v, want %v",
+				c.query, c.accept, got, c.want)
+		}
+	}
+}
+
 // TestSweepsProgressEndpoint: a finished sweep stays visible on GET
 // /v1/sweeps with done == total and a per-owner breakdown.
 func TestSweepsProgressEndpoint(t *testing.T) {

@@ -26,10 +26,12 @@ import (
 	"expvar"
 	"fmt"
 	"log/slog"
+	"mime"
 	"net/http"
 	"os"
 	"runtime"
 	"slices"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -681,15 +683,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte(`{"status":"ok"}` + "\n"))
 }
 
-// wantsPrometheus selects the exposition format: explicit
-// ?format=prometheus, or an Accept header asking for text (the
-// Prometheus scraper sends "text/plain; version=0.0.4").
+// wantsPrometheus selects the exposition format. ?format=prometheus (or
+// ?format=json) always wins; otherwise the Accept header is parsed as
+// real content negotiation — the Prometheus scraper sends
+// "text/plain; version=0.0.4" — and Prometheus text is served only when
+// the client's best q for a text exposition type beats its q for
+// application/json. Anything unparseable, q=0, or a mere */* keeps the
+// legacy JSON view, so existing JSON scrapers are never switched by an
+// incidental Accept header.
 func wantsPrometheus(r *http.Request) bool {
-	if r.URL.Query().Get("format") == "prometheus" {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
 		return true
+	case "json":
+		return false
 	}
-	accept := r.Header.Get("Accept")
-	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+	promQ, jsonQ := 0.0, 0.0
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt, params, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err != nil {
+			continue
+		}
+		q := 1.0
+		if qs, ok := params["q"]; ok {
+			v, err := strconv.ParseFloat(qs, 64)
+			if err != nil {
+				continue
+			}
+			q = v
+		}
+		switch mt {
+		case "text/plain", "application/openmetrics-text":
+			promQ = max(promQ, q)
+		case "application/json":
+			jsonQ = max(jsonQ, q)
+		}
+	}
+	return promQ > 0 && promQ > jsonQ
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
