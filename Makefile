@@ -23,8 +23,11 @@ test:
 # full benchmark × backend × model × combine grid (cmd/rclint, split
 # into the paper's three backends and the extension backend matrix),
 # the attribution profiler's ledger cross-check over the golden
-# benchmark × config grid (cmd/rcprof), and the arena zero-allocation
-# gate (scripts/benchgate.sh).
+# benchmark × config grid (cmd/rcprof), the arena zero-allocation
+# gate (scripts/benchgate.sh), and the bounded scenario smoke
+# (cmd/rcgen smoke: every workload profile × 3 seeds, each point
+# interpreter-pinned, ledger-checked, and round-tripped through the
+# trace format with a verified replay).
 verify: build
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
@@ -40,6 +43,7 @@ verify: build
 	$(GO) run ./cmd/rclint -backends rc,spill,unlimited
 	$(GO) run ./cmd/rclint -backends portreduce,chain
 	$(GO) run ./cmd/rcprof -grid
+	$(GO) run ./cmd/rcgen smoke
 
 # prof runs the attribution profiler over the golden benchmark × config
 # grid, proving per-PC cycle charges sum bit-exactly to the cycle

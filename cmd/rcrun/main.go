@@ -8,7 +8,13 @@
 //	      [-fpcore 32] [-mode rc|spill|unlimited|portreduce|chain]
 //	      [-readports 0] [-model 3] [-connect-latency 0] [-extra-stage]
 //	      [-no-combine] [-scalar] [-stats] [-prof] [-top 20]
-//	      [-trace-json FILE]
+//	      [-trace-json FILE] [-emit-trace FILE]
+//
+// -bench accepts the paper benchmarks ("grep") and generated workloads
+// ("gen/<profile>/<seed>", see internal/workload; -list shows both).
+// -emit-trace records the compiled, oracle-verified run as a replayable
+// instruction trace (the rctrace format; replay with rcgen or POST
+// /v1/replay) and prints its key.
 //
 // -stats replaces the text report with a machine-readable JSON document:
 // the full cycle ledger (stall breakdown), the per-cycle issue-slot
@@ -32,6 +38,7 @@ import (
 	"regconn/internal/isa"
 	"regconn/internal/machine"
 	"regconn/internal/prof"
+	"regconn/internal/workload"
 )
 
 func main() {
@@ -62,6 +69,7 @@ func run() error {
 		profFlag = flag.Bool("prof", false, "append the per-PC cycle attribution report")
 		top      = flag.Int("top", 20, "rows in the -prof top tables")
 		traceOut = flag.String("trace-json", "", "write a Chrome trace-event JSON timeline to FILE")
+		emit     = flag.String("emit-trace", "", "write a replayable instruction trace (rctrace format) to FILE")
 	)
 	flag.Parse()
 
@@ -73,10 +81,14 @@ func run() error {
 			}
 			fmt.Printf("%-10s (%s, stands in for %s)\n", b.Name, kind, b.Paper)
 		}
+		fmt.Println("generated workloads: gen/<profile>/<seed> with profile one of:")
+		for _, pr := range workload.Profiles() {
+			fmt.Printf("  %-18s %s\n", pr.Name, pr.About)
+		}
 		return nil
 	}
 
-	bm, err := bench.ByName(*bmName)
+	bm, err := workload.ByName(*bmName)
 	if err != nil {
 		return err
 	}
@@ -105,6 +117,25 @@ func run() error {
 	ex, err := regconn.Build(bm.Build(), arch)
 	if err != nil {
 		return err
+	}
+	if *emit != "" {
+		tr, err := ex.Trace(bm.Name)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*emit)
+		if err != nil {
+			return err
+		}
+		key, err := tr.Encode(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rcrun: wrote %s (key %s, %d cycles, %d instrs)\n",
+			*emit, key, tr.Cycles, tr.Instrs)
 	}
 	if *traceOut != "" {
 		ring := machine.NewEventRing(0)

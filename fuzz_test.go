@@ -181,10 +181,13 @@ func (g *progGen) stmt() {
 }
 
 // fuzzArchs is the configuration set each random program is verified on:
-// the non-RC contrasts, every automatic-reset model with combining both on
-// and off (each model × combine pairing has distinct connect placement and
-// reset side effects), and a randomized wide-issue RC point. All points
-// run the static map-state verifier in addition to the interpreter oracle.
+// every registered backend (the non-RC contrasts, the port-reduction
+// backend at a randomized read-port count plus its issue-rate default, and
+// the chaining backend at two issue rates), every automatic-reset model
+// with combining both on and off (each model × combine pairing has
+// distinct connect placement and reset side effects), and a randomized
+// wide-issue RC point. All points run the static map-state verifier in
+// addition to the interpreter oracle.
 func fuzzArchs(rng *rand.Rand) []Arch {
 	models := []Model{ModelNoReset, ModelWriteReset, ModelWriteResetReadUpdate, ModelReadWriteReset}
 	out := []Arch{
@@ -193,6 +196,11 @@ func fuzzArchs(rng *rand.Rand) []Arch {
 			Model:          models[rng.Intn(len(models))],
 			ConnectLatency: rng.Intn(2), ExtraDecodeStage: rng.Intn(2) == 0},
 		{Issue: 4, LoadLatency: 2, Mode: Unlimited},
+		{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32, Mode: PortReduce,
+			ReadPorts: 2 + rng.Intn(3)},
+		{Issue: 8, LoadLatency: 4, IntCore: 16, FPCore: 32, Mode: PortReduce}, // ports = issue rate
+		{Issue: 4, LoadLatency: 2, IntCore: 16, FPCore: 32, Mode: Chain},
+		{Issue: 2, LoadLatency: 2, IntCore: 8, FPCore: 16, Mode: Chain},
 	}
 	for _, model := range models {
 		for _, combine := range []bool{true, false} {
@@ -212,6 +220,10 @@ func fuzzArchs(rng *rand.Rand) []Arch {
 
 // TestFuzzEndToEnd compiles many random programs under randomized
 // architectures and verifies every one against the interpreter oracle.
+// Each seed's program is generated exactly once and reused across every
+// configuration — Build works on a private deep copy — and the test pins
+// that property by asserting the input program is byte-identical after
+// every build (regenerating per config used to paper over a mutation).
 func TestFuzzEndToEnd(t *testing.T) {
 	seeds := 60
 	if testing.Short() {
@@ -225,11 +237,15 @@ func TestFuzzEndToEnd(t *testing.T) {
 			if err := ir.Verify(p); err != nil {
 				t.Fatalf("generated IR invalid: %v", err)
 			}
+			want := p.String()
 			rng := rand.New(rand.NewSource(seed ^ 0x5eed))
 			for ci, arch := range fuzzArchs(rng) {
-				ex, err := Build(genProgram(seed), arch)
+				ex, err := Build(p, arch)
 				if err != nil {
 					t.Fatalf("config %d: build: %v", ci, err)
+				}
+				if got := p.String(); got != want {
+					t.Fatalf("config %d (%+v): Build mutated its input program", ci, arch)
 				}
 				if _, err := ex.Verify(); err != nil {
 					t.Fatalf("config %d (%+v): %v", ci, arch, err)

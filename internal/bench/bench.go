@@ -6,10 +6,16 @@
 // table-driven state machines for the branchy call-heavy integer codes,
 // and dense loop nests for the FP codes. See DESIGN.md §4 for the mapping.
 //
-// Build functions return a fresh program on every call because compilation
-// mutates IR in place; Expect is the checksum main must return, verified
-// against the interpreter in the package tests and against every simulated
-// configuration by regconn.Executable.Verify.
+// Build functions return a fresh program on every call so callers own the
+// result outright (regconn.Build additionally clones its input before the
+// destructive optimization passes, and asserts in the fuzz harness that
+// the caller's program survives bit-identical); Expect is the checksum
+// main must return, verified against the interpreter in the package tests
+// and against every simulated configuration by regconn.Executable.Verify.
+//
+// Generated workloads (internal/workload) widen this suite with seeded
+// scenario programs under gen/<profile>/<seed> names; workload.ByName
+// resolves both namespaces.
 package bench
 
 import (

@@ -469,7 +469,7 @@ var ErrUnknownExperiment = errors.New("unknown experiment")
 
 // Experiments lists every reproducible experiment by id.
 func Experiments() []string {
-	return []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "rivals", "models", "combined", "windows", "os", "pressure", "accum"}
+	return []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "rivals", "models", "combined", "windows", "os", "pressure", "accum", "scenarios"}
 }
 
 // Generate dispatches on an experiment id.
@@ -516,6 +516,9 @@ func (r *Runner) Generate(id string) ([]*Table, error) {
 		return []*Table{t}, err
 	case "accum":
 		t, err := r.AblationAccum()
+		return []*Table{t}, err
+	case "scenarios":
+		t, err := r.Scenarios(ScenarioConfig{})
 		return []*Table{t}, err
 	}
 	ids := strings.Join(Experiments(), ", ")

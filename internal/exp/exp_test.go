@@ -170,7 +170,7 @@ func TestGenerateDispatch(t *testing.T) {
 	} else if !strings.Contains(err.Error(), `"nosuch"`) || !strings.Contains(err.Error(), "table1") {
 		t.Errorf("unknown id error %q should name the id and the valid ids", err)
 	}
-	if len(Experiments()) != 15 {
+	if len(Experiments()) != 16 {
 		t.Errorf("experiments = %d", len(Experiments()))
 	}
 }

@@ -1,0 +1,54 @@
+package ir
+
+import "regconn/internal/isa"
+
+// Clone returns a deep copy of the program: functions, blocks,
+// instructions (including CALL argument slices), globals with their
+// initial data, and the profile weights. The copy shares no mutable state
+// with the original, so compiling the clone — which optimizes and
+// profiles IR in place — leaves the original untouched. regconn.Build
+// clones its input through this, which is what lets one constructed
+// program be built under many architectures (and lets the workload
+// generator hand out a single program per seed).
+func Clone(p *Program) *Program {
+	q := NewProgram()
+	for _, g := range p.Globals {
+		ng := &Global{Name: g.Name, Size: g.Size}
+		if g.InitI != nil {
+			ng.InitI = append([]int64(nil), g.InitI...)
+		}
+		if g.InitF != nil {
+			ng.InitF = append([]float64(nil), g.InitF...)
+		}
+		q.Globals = append(q.Globals, ng)
+	}
+	for _, f := range p.Funcs {
+		nf := &Func{
+			Name:      f.Name,
+			NextInt:   f.NextInt,
+			NextFloat: f.NextFloat,
+		}
+		if f.Params != nil {
+			nf.Params = append([]isa.Reg(nil), f.Params...)
+		}
+		for _, b := range f.Blocks {
+			nb := &Block{
+				Index:       b.Index,
+				Weight:      b.Weight,
+				TakenWeight: b.TakenWeight,
+				fn:          nf,
+			}
+			if b.Instrs != nil {
+				nb.Instrs = append([]isa.Instr(nil), b.Instrs...)
+				for i := range nb.Instrs {
+					if nb.Instrs[i].Args != nil {
+						nb.Instrs[i].Args = append([]isa.Reg(nil), nb.Instrs[i].Args...)
+					}
+				}
+			}
+			nf.Blocks = append(nf.Blocks, nb)
+		}
+		q.AddFunc(nf)
+	}
+	return q
+}

@@ -42,6 +42,7 @@ import (
 	"regconn/internal/machine"
 	"regconn/internal/obs"
 	"regconn/internal/store"
+	"regconn/internal/workload"
 )
 
 // Config sizes the daemon.
@@ -148,6 +149,7 @@ func New(cfg Config) (*Server, error) {
 	s.runner.Workers = cfg.Workers
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/replay", s.handleReplay)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweeps)
 	mux.HandleFunc("GET /v1/figures/{id}", s.handleFigures)
@@ -184,6 +186,8 @@ func endpointOf(r *http.Request) string {
 	switch {
 	case p == "/v1/run":
 		return "run"
+	case p == "/v1/replay":
+		return "replay"
 	case p == "/v1/sweep":
 		return "sweep"
 	case p == "/v1/sweeps":
@@ -203,7 +207,7 @@ func endpointOf(r *http.Request) string {
 // traceableEndpoint reports whether the endpoint does work worth a span
 // tree (observability polls are not traced).
 func traceableEndpoint(ep string) bool {
-	return ep == "run" || ep == "sweep" || ep == "figures"
+	return ep == "run" || ep == "replay" || ep == "sweep" || ep == "figures"
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -295,6 +299,13 @@ type RunRequest struct {
 	Benchmark string       `json:"benchmark"`
 	Arch      regconn.Arch `json:"arch"`
 
+	// Workload selects a generated workload instead of a named benchmark
+	// ({"profile": "connect-heavy", "seed": 42}). Exactly one of Benchmark
+	// and Workload must be given; the point is keyed by the workload's
+	// canonical gen/<profile>/<seed> name, so the spec and the name are
+	// one cache entry.
+	Workload *workload.Spec `json:"workload,omitempty"`
+
 	// TimeoutMS optionally tightens the server's per-request deadline for
 	// this request (milliseconds; 0 = server default). It is not part of
 	// the cache key: how long a client was willing to wait does not change
@@ -321,6 +332,10 @@ type SweepRequest struct {
 	Benchmarks []string       `json:"benchmarks"`
 	Archs      []regconn.Arch `json:"archs"`
 
+	// Workloads adds generated workloads to the cross product, after the
+	// named benchmarks.
+	Workloads []workload.Spec `json:"workloads,omitempty"`
+
 	// Points is an explicit point list (overrides Benchmarks × Archs).
 	Points []SweepPoint `json:"points,omitempty"`
 
@@ -330,10 +345,29 @@ type SweepRequest struct {
 	LocalOnly bool `json:"local_only,omitempty"`
 }
 
-// SweepPoint is one (benchmark, arch) coordinate of a sweep.
+// SweepPoint is one (benchmark, arch) coordinate of a sweep. Workload, when
+// set, selects a generated workload instead of Benchmark (same contract as
+// RunRequest); the field forwards verbatim to an owning shard.
 type SweepPoint struct {
-	Benchmark string       `json:"benchmark"`
-	Arch      regconn.Arch `json:"arch"`
+	Benchmark string         `json:"benchmark"`
+	Arch      regconn.Arch   `json:"arch"`
+	Workload  *workload.Spec `json:"workload,omitempty"`
+}
+
+// resolveBenchmark resolves a request's benchmark coordinate: a workload
+// spec when given (its canonical gen/ name becomes the point's identity),
+// otherwise a name in either namespace — a paper benchmark or a
+// gen/<profile>/<seed> spelling. Giving both is an error unless they name
+// the same workload; failures wrap workload.ErrBadSpec (a 400).
+func resolveBenchmark(name string, spec *workload.Spec) (bench.Benchmark, error) {
+	if spec != nil {
+		if name != "" && name != spec.Name() {
+			return bench.Benchmark{}, fmt.Errorf("%w: both benchmark %q and workload %q given",
+				workload.ErrBadSpec, name, spec.Name())
+		}
+		return spec.Generate()
+	}
+	return workload.ByName(name)
 }
 
 // errorBody is any endpoint's failure payload.
@@ -503,6 +537,8 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, workload.ErrBadSpec), errors.Is(err, workload.ErrBadTrace):
+		return http.StatusBadRequest
 	default:
 		var re *machine.RuntimeError
 		if errors.As(err, &re) {
@@ -524,7 +560,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
-	bm, err := bench.ByName(req.Benchmark)
+	bm, err := resolveBenchmark(req.Benchmark, req.Workload)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, errorBody{Benchmark: req.Benchmark, Error: err.Error()})
 		return
@@ -541,6 +577,118 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// ReplayResponse is the body of POST /v1/replay. Like RunResponse, exactly
+// these marshaled bytes are cached under the trace's key, so warm replays
+// are bit-identical to the cold one.
+type ReplayResponse struct {
+	Name  string          `json:"name"`
+	Key   string          `json:"key"`
+	Arch  json.RawMessage `json:"arch,omitempty"`
+	Ret   int64           `json:"ret"`
+	Stats machine.Stats   `json:"stats"`
+}
+
+// maxReplayBody bounds a replay request body: the trace format's own
+// payload cap plus header slack.
+const maxReplayBody = workload.MaxTracePayload + 4096
+
+// handleReplay serves POST /v1/replay: the body is an rctrace file
+// (rcrun -emit-trace / rcgen emit), replayed through the simulator
+// without re-entering the IR pipeline. Malformed, corrupt, or truncated
+// traces are a structured 400; a valid trace is keyed by its payload
+// checksum and served through the same LRU/store/flight stack as any
+// other point, so repeated replays of one trace are warm byte-identical
+// hits.
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	tr, key, err := workload.DecodeTrace(http.MaxBytesReader(w, r.Body, maxReplayBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+	body, src, err := s.replayPoint(ctx, tr, key)
+	if err != nil {
+		writeError(w, statusFor(err), errorBody{Benchmark: tr.Name, Key: key, Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", src.String())
+	w.Write(body)
+}
+
+// replayPoint is point's twin for trace replays: same LRU → store →
+// flight → worker-slot path, but the simulation is Trace.Replay — the
+// recorded configuration fed straight to the machine, verified against
+// the trace's recorded oracle outcome and cycle counts.
+func (s *Server) replayPoint(ctx context.Context, tr *workload.Trace, k string) (body []byte, src pointSource, err error) {
+	// The recorded arch JSON is the canonical regconn.Arch encoding;
+	// decoded here only to label metrics and spans.
+	var arch regconn.Arch
+	_ = json.Unmarshal(tr.Arch, &arch)
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "point")
+	span.Set("benchmark", tr.Name).Set("key", k).Set("backend", backendLabel(arch))
+	defer func() {
+		span.Set("cache", src.String()).End()
+		s.met.observe("replay", arch, src, time.Since(start))
+	}()
+	lk := span.Child("cache.lookup")
+	b, ok := s.cache.get(k)
+	lk.End()
+	if ok {
+		return b, srcHit, nil
+	}
+	if s.store != nil {
+		rd := span.Child("store.read")
+		b, ok := s.store.Get(k)
+		rd.End()
+		if ok {
+			s.cache.put(k, b)
+			return b, srcHit, nil
+		}
+	}
+	fl := span.Child("flight")
+	val, err, shared := s.flights.Do(ctx, k, func(fctx context.Context) ([]byte, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-fctx.Done():
+			return nil, context.Cause(fctx)
+		}
+		defer func() { <-s.sem }()
+		s.met.inflight.Add(1)
+		defer s.met.inflight.Add(-1)
+		sim := fl.Child("replay")
+		res, err := tr.Replay(obs.NewContext(fctx, sim))
+		if err != nil {
+			sim.End()
+			return nil, err
+		}
+		sim.Set("cycles", res.Cycles).Set("instrs", res.Instrs)
+		sim.End()
+		b, err := json.Marshal(ReplayResponse{Name: tr.Name, Key: k, Arch: tr.Arch, Ret: res.RetInt, Stats: res.Stats()})
+		if err != nil {
+			return nil, err
+		}
+		if s.store != nil {
+			ap := fl.Child("store.append")
+			perr := s.store.Put(k, b)
+			ap.End()
+			if perr != nil {
+				s.met.storeErrors.Inc()
+			}
+		}
+		s.cache.put(k, b)
+		return b, nil
+	})
+	if shared {
+		fl.Set("role", "join").End()
+		return val, srcCoalesced, err
+	}
+	fl.Set("role", "own").End()
+	return val, srcMiss, err
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -549,20 +697,25 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	pts := req.Points
 	if len(pts) == 0 {
-		if len(req.Benchmarks) == 0 || len(req.Archs) == 0 {
-			writeError(w, http.StatusBadRequest, errorBody{Error: "sweep needs at least one benchmark and one arch (or explicit points)"})
+		if (len(req.Benchmarks) == 0 && len(req.Workloads) == 0) || len(req.Archs) == 0 {
+			writeError(w, http.StatusBadRequest, errorBody{Error: "sweep needs at least one benchmark or workload and one arch (or explicit points)"})
 			return
 		}
-		pts = make([]SweepPoint, 0, len(req.Benchmarks)*len(req.Archs))
+		pts = make([]SweepPoint, 0, (len(req.Benchmarks)+len(req.Workloads))*len(req.Archs))
 		for _, name := range req.Benchmarks {
 			for _, arch := range req.Archs {
 				pts = append(pts, SweepPoint{Benchmark: name, Arch: arch})
 			}
 		}
+		for i := range req.Workloads {
+			for _, arch := range req.Archs {
+				pts = append(pts, SweepPoint{Workload: &req.Workloads[i], Arch: arch})
+			}
+		}
 	}
 	jobs := make([]*sweepJob, len(pts))
 	for i, p := range pts {
-		bm, err := bench.ByName(p.Benchmark)
+		bm, err := resolveBenchmark(p.Benchmark, p.Workload)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, errorBody{Benchmark: p.Benchmark, Error: err.Error()})
 			return

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"regconn"
+	"regconn/internal/workload"
+)
+
+// postRaw POSTs arbitrary bytes to a path and returns status + body.
+func postRaw(t *testing.T, srv *httptest.Server, path, contentType string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+path, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// TestRunWorkloadSpec pins the workload contract on /v1/run: a spec and
+// its canonical gen/ name are one point — same key, one cache entry — and
+// the warm hit is byte-identical.
+func TestRunWorkloadSpec(t *testing.T) {
+	sv := newServer(t, Config{Workers: 2})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+
+	spec := &workload.Spec{Profile: "connect-heavy", Seed: 7}
+	resp, cold := postRun(t, srv, RunRequest{Workload: spec, Arch: fastArch()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spec run: status %d: %s", resp.StatusCode, cold)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("cold spec run: X-Cache %q", got)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(cold, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Benchmark != "gen/connect-heavy/7" {
+		t.Fatalf("response benchmark %q, want canonical gen name", rr.Benchmark)
+	}
+	if want := Key("gen/connect-heavy/7", fastArch()); rr.Key != want {
+		t.Fatalf("key %s, want canonical name's key %s", rr.Key, want)
+	}
+
+	// The same workload by its gen/ name must be a warm, byte-identical hit.
+	resp2, warm := postRun(t, srv, RunRequest{Benchmark: "gen/connect-heavy/7", Arch: fastArch()})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("name run: status %d: %s", resp2.StatusCode, warm)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("name spelling of the same point: X-Cache %q, want HIT", got)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("spec and name spellings returned different bytes")
+	}
+}
+
+// TestRunWorkloadValidation pins the serve boundary's failure behavior for
+// workload specs: every malformed spelling is a structured 400 with an
+// error body, never a panic or a 500.
+func TestRunWorkloadValidation(t *testing.T) {
+	sv := newServer(t, Config{Workers: 1})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+
+	cases := []struct {
+		name string
+		req  RunRequest
+	}{
+		{"unknown profile", RunRequest{Workload: &workload.Spec{Profile: "no-such", Seed: 1}, Arch: fastArch()}},
+		{"negative seed", RunRequest{Workload: &workload.Spec{Profile: "mixed", Seed: -4}, Arch: fastArch()}},
+		{"empty spec", RunRequest{Workload: &workload.Spec{}, Arch: fastArch()}},
+		{"conflicting benchmark and workload", RunRequest{Benchmark: "grep",
+			Workload: &workload.Spec{Profile: "mixed", Seed: 1}, Arch: fastArch()}},
+		{"malformed gen name", RunRequest{Benchmark: "gen/mixed/xyz", Arch: fastArch()}},
+		{"unknown gen profile", RunRequest{Benchmark: "gen/no-such/3", Arch: fastArch()}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.ReplaceAll(c.name, " ", "-"), func(t *testing.T) {
+			resp, body := postRun(t, srv, c.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+				t.Fatalf("expected structured error body, got %s (err %v)", body, err)
+			}
+		})
+	}
+}
+
+// TestSweepWorkloads pins workload specs in sweep requests: the Workloads
+// cross product and explicit workload points both stream results keyed by
+// canonical gen/ names, and a bad spec anywhere fails the sweep up front
+// with a 400.
+func TestSweepWorkloads(t *testing.T) {
+	sv := newServer(t, Config{Workers: 2})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+
+	body, _ := json.Marshal(SweepRequest{
+		Benchmarks: []string{"grep"},
+		Workloads:  []workload.Spec{{Profile: "mixed", Seed: 0}, {Profile: "call-heavy", Seed: 1}},
+		Archs:      []regconn.Arch{fastArch()},
+	})
+	resp, out := postRaw(t, srv, "/v1/sweep", "application/json", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d: %s", resp.StatusCode, out)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %s", len(lines), out)
+	}
+	wantNames := []string{"grep", "gen/mixed/0", "gen/call-heavy/1"}
+	for i, ln := range lines {
+		var rr RunResponse
+		if err := json.Unmarshal([]byte(ln), &rr); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rr.Benchmark != wantNames[i] || rr.Result == nil {
+			t.Fatalf("line %d: benchmark %q result %v, want %q", i, rr.Benchmark, rr.Result, wantNames[i])
+		}
+	}
+
+	// Explicit points with workload specs.
+	body, _ = json.Marshal(SweepRequest{Points: []SweepPoint{
+		{Workload: &workload.Spec{Profile: "mixed", Seed: 0}, Arch: fastArch()},
+	}})
+	resp, out = postRaw(t, srv, "/v1/sweep", "application/json", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("points sweep: status %d: %s", resp.StatusCode, out)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(bytes.TrimSpace(out), &rr); err != nil || rr.Benchmark != "gen/mixed/0" {
+		t.Fatalf("points sweep line %s (err %v)", out, err)
+	}
+
+	// A bad spec fails the whole sweep before any point runs.
+	body, _ = json.Marshal(SweepRequest{
+		Workloads: []workload.Spec{{Profile: "no-such", Seed: 0}},
+		Archs:     []regconn.Arch{fastArch()},
+	})
+	resp, out = postRaw(t, srv, "/v1/sweep", "application/json", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec sweep: status %d, want 400: %s", resp.StatusCode, out)
+	}
+}
+
+// encodedTrace builds and encodes a trace for one workload under fastArch.
+func encodedTrace(t *testing.T, name string) []byte {
+	t.Helper()
+	bm, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := regconn.Build(bm.Build(), fastArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ex.Trace(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReplayEndpoint pins POST /v1/replay: a valid trace replays to a 200
+// whose Ret matches the recorded oracle, a second replay of the same trace
+// is a warm byte-identical HIT, and corrupt or truncated traces are
+// structured 400s.
+func TestReplayEndpoint(t *testing.T) {
+	sv := newServer(t, Config{Workers: 2})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+
+	raw := encodedTrace(t, "gen/mispredict-heavy/2")
+	resp, cold := postRaw(t, srv, "/v1/replay", "application/octet-stream", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay: status %d: %s", resp.StatusCode, cold)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("cold replay: X-Cache %q", got)
+	}
+	var rr ReplayResponse
+	if err := json.Unmarshal(cold, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Name != "gen/mispredict-heavy/2" || rr.Stats.Cycles == 0 {
+		t.Fatalf("replay response %+v", rr)
+	}
+
+	resp2, warm := postRaw(t, srv, "/v1/replay", "application/octet-stream", raw)
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("warm replay: X-Cache %q, want HIT", got)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm replay bytes differ from cold")
+	}
+
+	headerLen := bytes.IndexByte(raw, '\n') + 1
+	bad := []struct {
+		name string
+		data []byte
+	}{
+		{"empty body", nil},
+		{"not a trace", []byte("GET me a sandwich\n")},
+		{"truncated", raw[:len(raw)-25]},
+		{"corrupt payload", func() []byte {
+			b := append([]byte(nil), raw...)
+			b[headerLen+32] ^= 0x01
+			return b
+		}()},
+		{"wrong version", append([]byte(fmt.Sprintf("rctrace 999 %d deadbeef\n", len(raw)-headerLen)), raw[headerLen:]...)},
+	}
+	for _, c := range bad {
+		c := c
+		t.Run(strings.ReplaceAll(c.name, " ", "-"), func(t *testing.T) {
+			resp, body := postRaw(t, srv, "/v1/replay", "application/octet-stream", c.data)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+				t.Fatalf("expected structured error body, got %s (err %v)", body, err)
+			}
+		})
+	}
+}
+
+// TestReplayMatchesRun pins cross-path determinism: replaying a trace
+// reports exactly the cycles and result that running the same workload
+// through /v1/run computes — the simulator is deterministic whether it is
+// fed from the IR pipeline or from a trace file.
+func TestReplayMatchesRun(t *testing.T) {
+	sv := newServer(t, Config{Workers: 2})
+	srv := httptest.NewServer(sv)
+	defer srv.Close()
+
+	const name = "gen/trap-heavy/1"
+	resp, runBody := postRun(t, srv, RunRequest{Benchmark: name, Arch: fastArch()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, runBody)
+	}
+	var run RunResponse
+	if err := json.Unmarshal(runBody, &run); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, repBody := postRaw(t, srv, "/v1/replay", "application/octet-stream", encodedTrace(t, name))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay: status %d: %s", resp.StatusCode, repBody)
+	}
+	var rep ReplayResponse
+	if err := json.Unmarshal(repBody, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Cycles != run.Result.Cycles || rep.Stats.Instrs != run.Result.Instrs {
+		t.Fatalf("replay cycles/instrs %d/%d, run %d/%d",
+			rep.Stats.Cycles, rep.Stats.Instrs, run.Result.Cycles, run.Result.Instrs)
+	}
+}

@@ -1,0 +1,360 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"regconn/internal/ir"
+	"regconn/internal/isa"
+)
+
+// genWords is the size (in 8-byte words) of each scratch global. Every
+// memory access the generator emits is masked into this range, so a
+// generated program can never fault.
+const genWords = 64
+
+// maxNest bounds loop/branch nesting so a profile with heavy loop weights
+// cannot stack trip counts into an unbounded runtime.
+const maxNest = 3
+
+// Statement kinds the generator draws from; a Profile weights them.
+const (
+	kNewVar  = iota // bind a fresh integer expression
+	kMutate         // overwrite a live integer variable
+	kStore          // bounded store to the integer scratch global
+	kIfElse         // if/else on a comparison of live variables
+	kLoop           // counted loop with a fixed trip count
+	kBranchy        // counted loop with a data-dependent branch per trip
+	kCall           // call a previously generated function
+	kFP             // floating-point arithmetic (dyadic-exact constants)
+	kFPMem          // bounded FP load/store on the FP scratch global
+	kShift          // shift chain
+	kExpr           // bind a small integer expression
+	numKinds
+)
+
+// weights gives each statement kind a relative selection weight. A zero
+// weight removes the kind from the profile's repertoire entirely.
+type weights [numKinds]int
+
+func (w weights) total() int {
+	t := 0
+	for _, v := range w {
+		t += v
+	}
+	return t
+}
+
+// progGen holds the generator state while one program is built. The
+// algorithm is the fuzz harness's original genProgram, generalized: every
+// shape decision (function count, statement mix, loop trips, seed
+// variables) comes from the Profile, and every random draw comes from one
+// seeded rand.Rand, so a (profile, seed) pair names exactly one program.
+type progGen struct {
+	rng  *rand.Rand
+	pr   *Profile
+	p    *ir.Program
+	b    *ir.Builder
+	base isa.Reg // base address of the integer scratch global
+	fbas isa.Reg // base address of the FP scratch global
+	vars []isa.Reg
+	fps  []isa.Reg
+	fns  []string // callable (already generated) functions
+	nest int      // current loop/branch nesting depth
+}
+
+// span draws uniformly from the inclusive range r.
+func (g *progGen) span(r [2]int) int {
+	if r[1] <= r[0] {
+		return r[0]
+	}
+	return r[0] + g.rng.Intn(r[1]-r[0]+1)
+}
+
+// genProgram builds the profile's program for the seed: structured control
+// flow (if/else, counted loops), bounded memory accesses, non-recursive
+// calls, integer and floating-point arithmetic, folded into a single
+// checksum that main returns. Programs are well-formed (ir.Verify clean)
+// and terminating by construction.
+func genProgram(pr *Profile, seed int64) *ir.Program {
+	g := &progGen{rng: rand.New(rand.NewSource(seed ^ pr.seedSalt())), pr: pr, p: ir.NewProgram()}
+	mem := g.p.AddGlobal("mem", genWords*8)
+	mem.InitI = make([]int64, genWords)
+	for i := range mem.InitI {
+		mem.InitI[i] = g.rng.Int63n(1 << 16)
+	}
+	fmem := g.p.AddGlobal("fmem", genWords*8)
+	fmem.InitF = make([]float64, genWords)
+	for i := range fmem.InitF {
+		fmem.InitF[i] = 0.25 * float64(g.rng.Intn(1<<10))
+	}
+
+	// Leaf functions first, then (for multiprogrammed mixes) one phase
+	// function per sub-profile, then main, which may call any of them.
+	nFuncs := g.span(pr.funcs)
+	for i := 0; i < nFuncs; i++ {
+		name := fmt.Sprintf("f%d", i)
+		g.genFunc(pr, name, 1+g.rng.Intn(2))
+		g.fns = append(g.fns, name)
+	}
+	var phases []string
+	for i, sub := range pr.phases {
+		subPr := mustProfile(sub)
+		name := fmt.Sprintf("phase_%s_%d", subPr.Name[:4], i)
+		g.genFunc(subPr, name, 1)
+		phases = append(phases, name)
+	}
+	g.genMain(phases)
+	return g.p
+}
+
+// genFunc emits one callable function shaped by prof (the program's own
+// profile for leaf functions, a sub-profile for multiprogrammed phases).
+func (g *progGen) genFunc(prof *Profile, name string, params int) {
+	save := g.pr
+	g.pr = prof
+	defer func() { g.pr = save }()
+
+	b := ir.NewFunc(g.p, name, params, 0)
+	g.b = b
+	g.base = b.Addr(g.p.Globals[0], 0)
+	g.fbas = b.Addr(g.p.Globals[1], 0)
+	g.vars = append([]isa.Reg(nil), b.F.Params...)
+	g.fps = nil
+	if prof.w[kFP] > 0 || prof.w[kFPMem] > 0 {
+		g.fps = []isa.Reg{b.FConst(0.5 * float64(g.rng.Intn(8)))}
+	}
+	g.nest = 0
+	g.stmts(g.span(prof.funcStmts))
+	// Fold FP state into the integer return so phase results differ when
+	// FP work differs.
+	ret := g.intVar()
+	for _, f := range g.fps {
+		ret = b.Add(ret, b.FToI(f))
+	}
+	b.Ret(ret)
+}
+
+// genMain emits main: profile-seeded live variables, the statement body,
+// one call per phase function, and the checksum fold.
+func (g *progGen) genMain(phases []string) {
+	pr := g.pr
+	b := ir.NewFunc(g.p, "main", 0, 0)
+	g.b = b
+	g.base = b.Addr(g.p.Globals[0], 0)
+	g.fbas = b.Addr(g.p.Globals[1], 0)
+	g.vars = nil
+	for i := 0; i < pr.intSeeds; i++ {
+		g.vars = append(g.vars, b.Const(g.rng.Int63n(100)))
+	}
+	g.fps = nil
+	for i := 0; i < pr.fpSeeds; i++ {
+		g.fps = append(g.fps, b.FConst(0.5*float64(g.rng.Intn(8))))
+	}
+	g.nest = 0
+	g.stmts(g.span(pr.mainStmts))
+	for _, ph := range phases {
+		g.vars = append(g.vars, b.Call(ph, g.intVar()))
+	}
+	// Fold everything into a checksum: integer vars, the FP samples, and
+	// memory samples from both scratch globals.
+	sum := b.Const(0)
+	for _, v := range g.vars {
+		b.MovTo(sum, b.Add(sum, v))
+	}
+	for _, f := range g.fps {
+		b.MovTo(sum, b.Add(sum, b.FToI(f)))
+	}
+	b.MovTo(sum, b.Add(sum, b.Ld(g.base, 8*int64(g.rng.Intn(genWords)))))
+	b.MovTo(sum, b.Add(sum, b.FToI(b.FLd(g.fbas, 8*int64(g.rng.Intn(genWords))))))
+	b.Ret(sum)
+}
+
+// intVar picks a live integer register.
+func (g *progGen) intVar() isa.Reg {
+	if len(g.vars) == 0 {
+		return g.b.Const(g.rng.Int63n(100))
+	}
+	return g.vars[g.rng.Intn(len(g.vars))]
+}
+
+// expr builds a small random integer expression.
+func (g *progGen) expr() isa.Reg {
+	b := g.b
+	switch g.rng.Intn(8) {
+	case 0:
+		return b.Const(g.rng.Int63n(1000) - 500)
+	case 1: // bounded load
+		addr := b.Add(g.base, b.SllI(b.AndI(g.intVar(), genWords-1), 3))
+		return b.Ld(addr, 0)
+	case 2:
+		return b.Mul(g.intVar(), g.intVar())
+	case 3:
+		return b.Sub(g.intVar(), g.intVar())
+	case 4:
+		return b.Xor(g.intVar(), g.intVar())
+	case 5: // safe division by a non-zero constant
+		return b.DivI(g.intVar(), int64(g.rng.Intn(7))+1)
+	case 6:
+		return b.AndI(g.intVar(), int64(g.rng.Intn(255)+1))
+	default:
+		return b.Add(g.intVar(), g.intVar())
+	}
+}
+
+// stmts emits n random statements into the current block.
+func (g *progGen) stmts(n int) {
+	for i := 0; i < n; i++ {
+		g.stmt()
+	}
+}
+
+// pick draws a statement kind by the profile's weights. At maximum nesting
+// depth the nesting kinds (if/else and both loop forms) are excluded so a
+// loop-heavy profile cannot stack trip counts without bound.
+func (g *progGen) pick() int {
+	w := g.pr.w
+	if g.nest >= maxNest {
+		w[kIfElse], w[kLoop], w[kBranchy] = 0, 0, 0
+	}
+	t := w.total()
+	if t == 0 {
+		return kExpr
+	}
+	n := g.rng.Intn(t)
+	for k, v := range w {
+		if n < v {
+			return k
+		}
+		n -= v
+	}
+	return kExpr
+}
+
+func (g *progGen) stmt() {
+	b := g.b
+	switch g.pick() {
+	case kNewVar:
+		g.vars = append(g.vars, g.expr())
+	case kMutate:
+		if len(g.vars) == 0 {
+			g.vars = append(g.vars, g.expr())
+			return
+		}
+		b.MovTo(g.intVar(), g.expr())
+	case kStore: // bounded store
+		addr := b.Add(g.base, b.SllI(b.AndI(g.intVar(), genWords-1), 3))
+		b.St(g.intVar(), addr, 0)
+	case kIfElse: // if/else on a comparison
+		x, y := g.intVar(), g.intVar()
+		ops := []isa.Op{isa.BEQ, isa.BNE, isa.BLT, isa.BGE}
+		join := b.NewBlock()
+		elseB := b.NewBlock()
+		b.CondBr(ops[g.rng.Intn(len(ops))], x, y, elseB)
+		b.Continue()
+		// Variables created inside a branch are not definitely assigned
+		// at the join: scope them (the IR contract requires every use to
+		// be dominated by a definition — see package ir).
+		mark, fmark := len(g.vars), len(g.fps)
+		g.nest++
+		g.stmts(1 + g.rng.Intn(2))
+		g.vars, g.fps = g.vars[:mark], g.fps[:fmark]
+		b.Br(join)
+		b.SetBlock(elseB)
+		g.stmts(1 + g.rng.Intn(2))
+		g.nest--
+		g.vars, g.fps = g.vars[:mark], g.fps[:fmark]
+		b.Br(join)
+		b.SetBlock(join)
+	case kLoop: // counted loop with a fixed bound
+		trips := int64(g.span(g.pr.trips))
+		cnt := b.Const(0)
+		loop := b.NewBlock()
+		b.Br(loop)
+		b.SetBlock(loop)
+		g.nest++
+		g.stmts(1 + g.rng.Intn(3))
+		g.nest--
+		b.MovTo(cnt, b.AddI(cnt, 1))
+		b.BltI(cnt, trips, loop)
+		b.Continue()
+	case kBranchy:
+		g.branchyLoop()
+	case kCall: // call a generated function
+		if len(g.fns) > 0 {
+			name := g.fns[g.rng.Intn(len(g.fns))]
+			callee := g.p.Func(name)
+			args := make([]isa.Reg, len(callee.Params))
+			for i := range args {
+				args[i] = g.intVar()
+			}
+			g.vars = append(g.vars, b.Call(name, args...))
+		} else {
+			g.vars = append(g.vars, g.expr())
+		}
+	case kFP: // floating point (dyadic-exact constants)
+		if len(g.fps) == 0 {
+			g.fps = append(g.fps, b.FConst(0.25*float64(g.rng.Intn(16))))
+			return
+		}
+		f := g.fps[g.rng.Intn(len(g.fps))]
+		switch g.rng.Intn(3) {
+		case 0:
+			g.fps = append(g.fps, b.FAdd(f, b.FConst(0.25*float64(g.rng.Intn(16)))))
+		case 1:
+			g.fps = append(g.fps, b.FMul(f, b.FConst(0.5)))
+		default:
+			b.MovTo(f, b.FAdd(f, b.IToF(b.AndI(g.intVar(), 15))))
+		}
+	case kFPMem: // bounded FP load/store
+		addr := b.Add(g.fbas, b.SllI(b.AndI(g.intVar(), genWords-1), 3))
+		if len(g.fps) > 0 && g.rng.Intn(2) == 0 {
+			b.FSt(g.fps[g.rng.Intn(len(g.fps))], addr, 0)
+		} else {
+			g.fps = append(g.fps, b.FLd(addr, 0))
+		}
+	case kShift: // shift chain
+		g.vars = append(g.vars, b.SraI(b.SllI(g.intVar(), int64(g.rng.Intn(8))), int64(g.rng.Intn(8))))
+	default:
+		g.vars = append(g.vars, g.expr())
+	}
+}
+
+// branchyLoop emits a counted loop whose body branches on a data-dependent
+// bit: the loop index walks the integer scratch global (initialized with
+// pseudo-random words), and the branch tests the loaded word's low bit, so
+// the outcome alternates irregularly across trips and static profile-based
+// prediction misses about half of them — the mispredict-heavy profile's
+// signature shape.
+func (g *progGen) branchyLoop() {
+	b := g.b
+	trips := int64(g.span(g.pr.trips))
+	cnt := b.Const(0)
+	acc := b.Const(0)
+	g.vars = append(g.vars, acc)
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	addr := b.Add(g.base, b.SllI(b.AndI(b.Add(cnt, g.intVar()), genWords-1), 3))
+	bit := b.AndI(b.Ld(addr, 0), 1)
+	join := b.NewBlock()
+	elseB := b.NewBlock()
+	b.BeqI(bit, 0, elseB)
+	b.Continue()
+	mark, fmark := len(g.vars), len(g.fps)
+	g.nest++
+	g.stmts(1)
+	g.vars, g.fps = g.vars[:mark], g.fps[:fmark]
+	b.MovTo(acc, b.AddI(acc, 1))
+	b.Br(join)
+	b.SetBlock(elseB)
+	g.stmts(1)
+	g.nest--
+	g.vars, g.fps = g.vars[:mark], g.fps[:fmark]
+	b.MovTo(acc, b.Sub(acc, bit))
+	b.Br(join)
+	b.SetBlock(join)
+	b.MovTo(cnt, b.AddI(cnt, 1))
+	b.BltI(cnt, trips, loop)
+	b.Continue()
+}

@@ -1,0 +1,249 @@
+// Package workload is the scenario layer of the reproduction: where
+// package bench fixes the paper's twelve benchmarks, workload turns the
+// fuzz harness's proven program generator into a first-class workload
+// source. A Profile names a program-shape family (call-heavy,
+// connect-heavy, mispredict-heavy, ...) and a seed names one program in
+// it, so "gen/connect-heavy/42" is a reproducible benchmark any tool in
+// the repository can run; every generated workload carries an
+// interpreter-computed expected checksum, so the simulation oracle and
+// the cycle-ledger invariants pin each one exactly like a hand-written
+// benchmark. The package also defines the instruction-trace format
+// (trace.go): a versioned, checksummed snapshot of a compiled program
+// plus its recorded outcome that replays through the simulator directly,
+// without re-entering the IR pipeline.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"regconn/internal/bench"
+	"regconn/internal/interp"
+	"regconn/internal/ir"
+)
+
+// ErrBadSpec marks a workload specification the caller got wrong (unknown
+// profile, malformed name, negative seed). The serve layer maps it to a
+// structured 400 response; errors.Is works through all constructors here.
+var ErrBadSpec = errors.New("workload: bad spec")
+
+// Profile is one named program-shape family. The exported fields identify
+// it; the unexported ones parameterize the generator (gen.go).
+type Profile struct {
+	Name  string
+	About string
+
+	// FP classes the profile's workloads as floating-point benchmarks:
+	// per-class sweeps (exp.archFor) vary the FP core file for them, as
+	// they do for the paper's three FP codes.
+	FP bool
+
+	funcs     [2]int // callable leaf functions (min, max)
+	funcStmts [2]int // statements per generated function body
+	mainStmts [2]int // statements in main's body
+	trips     [2]int // counted-loop trip range
+	intSeeds  int    // live integer variables seeded into main
+	fpSeeds   int    // live FP variables seeded into main
+	w         weights
+	phases    []string // multiprogrammed mixes: one phase function per entry
+}
+
+// seedSalt folds the profile name into the generator seed so each profile
+// draws from its own program space: gen/call-heavy/7 and gen/fp-heavy/7
+// are unrelated programs.
+func (pr *Profile) seedSalt() int64 {
+	h := fnv.New64a()
+	h.Write([]byte(pr.Name))
+	return int64(h.Sum64())
+}
+
+// profiles is the registry, in stable listing order. Weights are relative
+// statement-selection frequencies; see gen.go for the kinds.
+var profiles = []Profile{
+	{
+		Name:  "mixed",
+		About: "balanced statement mix; the lifted fuzz-harness generator",
+		funcs: [2]int{0, 2}, funcStmts: [2]int{2, 5}, mainStmts: [2]int{4, 11},
+		trips: [2]int{1, 12}, intSeeds: 2, fpSeeds: 1,
+		w: weights{kNewVar: 2, kMutate: 1, kStore: 1, kIfElse: 1, kLoop: 1, kCall: 1, kFP: 1, kShift: 1, kExpr: 1},
+	},
+	{
+		Name:  "call-heavy",
+		About: "many small leaf functions, call-dominated main (cccp/eqn-like)",
+		funcs: [2]int{3, 5}, funcStmts: [2]int{1, 3}, mainStmts: [2]int{8, 14},
+		trips: [2]int{1, 6}, intSeeds: 3, fpSeeds: 0,
+		w: weights{kNewVar: 2, kMutate: 1, kIfElse: 1, kLoop: 1, kCall: 6, kExpr: 1},
+	},
+	{
+		Name:  "connect-heavy",
+		About: "long straight-line bodies with many simultaneously live integers: register pressure that forces extended-register connects",
+		funcs: [2]int{0, 1}, funcStmts: [2]int{2, 4}, mainStmts: [2]int{12, 18},
+		trips: [2]int{2, 8}, intSeeds: 10, fpSeeds: 0,
+		w: weights{kNewVar: 5, kMutate: 2, kStore: 1, kLoop: 1, kShift: 2, kExpr: 2},
+	},
+	{
+		Name:  "mispredict-heavy",
+		About: "loops branching on pseudo-random data bits, defeating static profile-based prediction",
+		funcs: [2]int{0, 1}, funcStmts: [2]int{1, 3}, mainStmts: [2]int{5, 9},
+		trips: [2]int{6, 16}, intSeeds: 3, fpSeeds: 0,
+		w: weights{kNewVar: 2, kMutate: 1, kIfElse: 2, kLoop: 1, kBranchy: 6, kExpr: 1},
+	},
+	{
+		Name:  "trap-heavy",
+		About: "long-running nested loops with wide live state: maximizes interrupts hit and per-trap save/restore cost under Arch.Trap",
+		funcs: [2]int{0, 1}, funcStmts: [2]int{2, 4}, mainStmts: [2]int{8, 12},
+		trips: [2]int{8, 24}, intSeeds: 4, fpSeeds: 2,
+		w: weights{kNewVar: 2, kMutate: 2, kStore: 2, kLoop: 5, kBranchy: 1, kFP: 1, kExpr: 1},
+	},
+	{
+		Name:  "fp-heavy",
+		About: "dense FP arithmetic and FP memory traffic (matrix300/tomcatv-like); classed as an FP workload",
+		FP:    true,
+		funcs: [2]int{0, 1}, funcStmts: [2]int{2, 4}, mainStmts: [2]int{8, 14},
+		trips: [2]int{4, 12}, intSeeds: 2, fpSeeds: 6,
+		w: weights{kNewVar: 1, kMutate: 1, kLoop: 2, kFP: 6, kFPMem: 4, kExpr: 1},
+	},
+	{
+		Name:  "multiprogrammed",
+		About: "one phase function per shape family, called in sequence: a workload mix in a single program",
+		funcs: [2]int{1, 2}, funcStmts: [2]int{2, 4}, mainStmts: [2]int{3, 6},
+		trips: [2]int{2, 10}, intSeeds: 3, fpSeeds: 1,
+		w:      weights{kNewVar: 2, kMutate: 1, kStore: 1, kLoop: 1, kCall: 2, kFP: 1, kExpr: 1},
+		phases: []string{"call-heavy", "connect-heavy", "mispredict-heavy", "fp-heavy"},
+	},
+}
+
+// Profiles returns the registry in stable order.
+func Profiles() []Profile {
+	return append([]Profile(nil), profiles...)
+}
+
+// ProfileNames returns the registered profile names in stable order.
+func ProfileNames() []string {
+	names := make([]string, len(profiles))
+	for i := range profiles {
+		names[i] = profiles[i].Name
+	}
+	return names
+}
+
+// ProfileByName finds a profile; unknown names wrap ErrBadSpec and list
+// the registry.
+func ProfileByName(name string) (*Profile, error) {
+	for i := range profiles {
+		if profiles[i].Name == name {
+			return &profiles[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: unknown profile %q (have: %s)",
+		ErrBadSpec, name, strings.Join(ProfileNames(), ", "))
+}
+
+// mustProfile is ProfileByName for registry-internal references (the
+// multiprogrammed phase list); a bad name there is a programming error.
+func mustProfile(name string) *Profile {
+	pr, err := ProfileByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// Spec names one generated workload: a profile and a seed. It is the wire
+// form the serve layer accepts ({"profile": ..., "seed": ...}) and the
+// parsed form of a canonical "gen/<profile>/<seed>" name.
+type Spec struct {
+	Profile string `json:"profile"`
+	Seed    int64  `json:"seed"`
+}
+
+// namePrefix marks generated-workload benchmark names.
+const namePrefix = "gen/"
+
+// Name returns the canonical benchmark name of the spec. Every layer keys
+// generated workloads by this name — the exp runner's memo, the serve
+// cache/store/shard stack — so the two spellings of one workload (a
+// workload spec or its gen/ name) land on one cache entry.
+func (s Spec) Name() string {
+	return fmt.Sprintf("%s%s/%d", namePrefix, s.Profile, s.Seed)
+}
+
+// Validate checks the spec without generating: the profile must be
+// registered and the seed non-negative. Failures wrap ErrBadSpec.
+func (s Spec) Validate() error {
+	if _, err := ProfileByName(s.Profile); err != nil {
+		return err
+	}
+	if s.Seed < 0 {
+		return fmt.Errorf("%w: negative seed %d", ErrBadSpec, s.Seed)
+	}
+	return nil
+}
+
+// ParseName parses a canonical "gen/<profile>/<seed>" name. ok reports
+// whether name carries the generated-workload prefix at all; a prefixed
+// name that is malformed returns ok=true with a non-nil error (the caller
+// meant a generated workload and got the shape wrong).
+func ParseName(name string) (s Spec, ok bool, err error) {
+	if !strings.HasPrefix(name, namePrefix) {
+		return Spec{}, false, nil
+	}
+	rest := name[len(namePrefix):]
+	i := strings.LastIndexByte(rest, '/')
+	if i < 0 {
+		return Spec{}, true, fmt.Errorf("%w: want gen/<profile>/<seed>, got %q", ErrBadSpec, name)
+	}
+	seed, perr := strconv.ParseInt(rest[i+1:], 10, 64)
+	if perr != nil {
+		return Spec{}, true, fmt.Errorf("%w: bad seed in %q: %v", ErrBadSpec, name, perr)
+	}
+	s = Spec{Profile: rest[:i], Seed: seed}
+	return s, true, s.Validate()
+}
+
+// Generate builds the spec's workload: the program is generated from the
+// seed, structurally verified, and executed once on the IR interpreter to
+// compute the expected checksum. The returned Benchmark is fully
+// compatible with the paper suite's — Build returns a fresh program per
+// call (regenerated from the seed), and Expect is what every simulated
+// configuration must return — so the exp runner, the serve daemon, and
+// the oracle machinery run generated workloads unchanged.
+func (s Spec) Generate() (bench.Benchmark, error) {
+	if err := s.Validate(); err != nil {
+		return bench.Benchmark{}, err
+	}
+	pr := mustProfile(s.Profile)
+	p := genProgram(pr, s.Seed)
+	if err := ir.Verify(p); err != nil {
+		return bench.Benchmark{}, fmt.Errorf("workload: %s: generated IR invalid: %w", s.Name(), err)
+	}
+	res, err := interp.Run(p, "main", nil, interp.Options{})
+	if err != nil {
+		return bench.Benchmark{}, fmt.Errorf("workload: %s: interpreter: %w", s.Name(), err)
+	}
+	return bench.Benchmark{
+		Name:   s.Name(),
+		Paper:  "generated (" + s.Profile + ")",
+		FP:     pr.FP,
+		Build:  func() *ir.Program { return genProgram(pr, s.Seed) },
+		Expect: res.Ret,
+	}, nil
+}
+
+// ByName resolves a benchmark name against the paper suite first, then
+// the generated-workload namespace: "grep" finds the paper stand-in,
+// "gen/connect-heavy/42" generates that workload. It is the single
+// resolution point the tools share, so every -bench flag and every serve
+// request accepts both namespaces.
+func ByName(name string) (bench.Benchmark, error) {
+	if s, ok, err := ParseName(name); ok {
+		if err != nil {
+			return bench.Benchmark{}, err
+		}
+		return s.Generate()
+	}
+	return bench.ByName(name)
+}

@@ -236,9 +236,11 @@ func (e *Executable) SaveRestoreGrowth() float64 {
 	return float64(e.SaveRestoreExts) / float64(e.PreAllocSize)
 }
 
-// Build compiles the program for the architecture. The program is mutated
-// (optimized in place); build each experiment from a fresh copy — package
-// bench constructs a fresh program per call for exactly this reason.
+// Build compiles the program for the architecture. The input program is
+// never mutated: compilation (which optimizes and profiles IR in place)
+// works on a deep copy, so one constructed program can be built under many
+// architectures — the fuzz oracle and the workload generator both rely on
+// this.
 func Build(p *ir.Program, arch Arch) (*Executable, error) {
 	arch = arch.normalize()
 	// Reject a non-positive issue rate here rather than letting the list
@@ -272,7 +274,10 @@ func Build(p *ir.Program, arch Arch) (*Executable, error) {
 	}
 
 	// 1. Classical optimization (always on — §5.1: all benchmarks get
-	// full classical optimization).
+	// full classical optimization). From here on every pass rewrites IR
+	// in place, so work on a private deep copy: the caller's program
+	// stays byte-identical however many times it is built.
+	p = ir.Clone(p)
 	opt.Classical(p)
 
 	// 2. ILP transformation sized to the issue rate, guided by a

@@ -12,7 +12,7 @@ GO=${GO:-go}
 BIN=$(mktemp -d)
 trap 'rm -rf "$BIN"' EXIT INT TERM
 
-if ! $GO build -o "$BIN/" ./cmd/rcrun ./cmd/rclint ./cmd/rcexp ./cmd/rcserve ./cmd/rctop; then
+if ! $GO build -o "$BIN/" ./cmd/rcrun ./cmd/rclint ./cmd/rcexp ./cmd/rcserve ./cmd/rctop ./cmd/rcgen; then
     echo "exitcodes: build failed" >&2
     exit 1
 fi
@@ -57,6 +57,10 @@ expect_msg() {
 # carry (sorted registry order).
 BACKEND_LIST="chain, portreduce, rc, spill, or unlimited"
 
+# Likewise for unknown workload-profile rejections: the message must list
+# the profile registry (registration order).
+PROFILE_LIST="mixed, call-heavy, connect-heavy, mispredict-heavy, trap-heavy, fp-heavy, multiprogrammed"
+
 # rcrun: bad flag values must be rejected, not silently normalized; the
 # mode rejection names every registered backend.
 expect 1 "$BIN/rcrun" -bench grep -model 9
@@ -67,6 +71,33 @@ expect 0 "$BIN/rcrun" -bench grep
 expect 0 "$BIN/rcrun" -bench grep -mode portreduce
 expect 0 "$BIN/rcrun" -bench grep -mode chain
 expect 0 "$BIN/rcrun" -list
+
+# rcrun generated workloads and trace emission: malformed gen names and
+# unknown profiles fail; a valid spec runs, and -emit-trace produces a
+# file rcgen accepts.
+expect_msg 1 "$PROFILE_LIST" "$BIN/rcrun" -bench gen/nosuchprofile/0
+expect 1 "$BIN/rcrun" -bench gen/mixed/notanumber
+expect 0 "$BIN/rcrun" -bench gen/mixed/0
+expect 0 "$BIN/rcrun" -bench gen/mixed/0 -emit-trace "$BIN/t.rctrace"
+expect 0 "$BIN/rcgen" replay "$BIN/t.rctrace"
+
+# rcgen: usage errors exit non-zero; list/emit/info/replay/smoke succeed
+# on valid inputs, and corrupt traces are rejected.
+expect 2 "$BIN/rcgen"
+expect 2 "$BIN/rcgen" nosuchsub
+expect 1 "$BIN/rcgen" emit -profile mixed -seed 0
+expect_msg 1 "$PROFILE_LIST" "$BIN/rcgen" emit -profile nosuchprofile -o "$BIN/x.rctrace"
+expect 1 "$BIN/rcgen" emit -profile mixed -bench grep -o "$BIN/x.rctrace"
+expect 1 "$BIN/rcgen" info "$BIN/nosuchfile.rctrace"
+expect 1 "$BIN/rcgen" replay /dev/null
+expect_msg 1 "$PROFILE_LIST" "$BIN/rcgen" smoke -profiles nosuchprofile
+expect 0 "$BIN/rcgen" list
+expect 0 "$BIN/rcgen" emit -profile call-heavy -seed 1 -o "$BIN/c.rctrace"
+expect 0 "$BIN/rcgen" info "$BIN/c.rctrace"
+expect 0 "$BIN/rcgen" replay "$BIN/c.rctrace"
+expect 0 "$BIN/rcgen" smoke -seeds 1 -profiles mixed
+printf 'rctrace 1 4 deadbeef\njunk' > "$BIN/bad.rctrace"
+expect 1 "$BIN/rcgen" replay "$BIN/bad.rctrace"
 
 # rclint: usage errors exit 2 (unknown backends list the registry); a
 # clean quick sweep exits 0, including the extension-backend matrix.
@@ -99,6 +130,15 @@ expect 1 "$BIN/rcexp" -quick -exp nosuchfigure
 expect 1 "$BIN/rcexp" -quick -bench nosuchbench
 expect 0 "$BIN/rcexp" -quick -bench grep -exp table1
 expect 0 "$BIN/rcexp" -quick -bench grep -exp table1 -format csv
+
+# rcexp scenarios: bad profiles and seed lists fail; a bounded scenario
+# run (one profile, one seed) succeeds, and generated workloads work as
+# -bench arguments.
+expect_msg 1 "$PROFILE_LIST" "$BIN/rcexp" -profile nosuchprofile
+expect 1 "$BIN/rcexp" -seeds notanumber
+expect 1 "$BIN/rcexp" -seeds 5-2
+expect 0 "$BIN/rcexp" -profile mixed -seeds 0
+expect 0 "$BIN/rcexp" -quick -bench gen/mixed/0 -exp table1
 
 if [ "$fails" -gt 0 ]; then
     echo "exitcodes: $fails assertion(s) failed"
